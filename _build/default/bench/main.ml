@@ -1,0 +1,378 @@
+(* Benchmark harness: regenerates every figure in the paper's
+   evaluation (Section 6) and the ablations described in DESIGN.md.
+
+     dune exec bench/main.exe                 full reproduction
+     dune exec bench/main.exe -- --quick      small sweep (N <= 40)
+     dune exec bench/main.exe -- --figures    figures only, no ablations
+     dune exec bench/main.exe -- --micro      Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- --ns 10,20   custom sweep sizes
+     dune exec bench/main.exe -- --runs 3     runs averaged per size
+     dune exec bench/main.exe -- --rsa-bits 512
+
+   Output sections:
+     Figure 3  query completion time (s) per configuration
+     Figure 4  bandwidth utilization (MB) per configuration
+     Section 6 overhead summary (the paper's +53%/+36%/+41%/+54% text)
+     Ablation A  local vs distributed provenance
+     Ablation B  proactive vs reactive maintenance
+     Ablation C  sampling and Bloom digests
+     Ablation D  provenance granularity (node vs AS)
+     Micro       Bechamel micro-benchmarks of the substrates *)
+
+let default_ns = [ 10; 20; 30; 40; 50; 60; 80; 100 ]
+
+type options = {
+  mutable ns : int list;
+  mutable runs : int;
+  mutable rsa_bits : int;
+  mutable figures_only : bool;
+  mutable micro_only : bool;
+  mutable skip_micro : bool;
+}
+
+let parse_args () =
+  let o =
+    { ns = default_ns; runs = 1; rsa_bits = 384; figures_only = false;
+      micro_only = false; skip_micro = false }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      o.ns <- [ 10; 20; 30; 40 ];
+      go rest
+    | "--figures" :: rest ->
+      o.figures_only <- true;
+      go rest
+    | "--micro" :: rest ->
+      o.micro_only <- true;
+      go rest
+    | "--no-micro" :: rest ->
+      o.skip_micro <- true;
+      go rest
+    | "--ns" :: v :: rest ->
+      o.ns <- List.filter_map int_of_string_opt (String.split_on_char ',' v);
+      go rest
+    | "--runs" :: v :: rest ->
+      o.runs <- int_of_string v;
+      go rest
+    | "--rsa-bits" :: v :: rest ->
+      o.rsa_bits <- int_of_string v;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- Figures 3 and 4 ---------------------------------------------------- *)
+
+let figures (o : options) : Core.Bestpath_workload.point list =
+  hr "Figures 3 & 4: Best-Path query, three configurations";
+  Printf.printf
+    "workload: all-pairs Best-Path; random topologies, avg outdegree 3, link costs 1..10\n\
+     parameters: N in {%s}, %d run(s) per size, %d-bit RSA\n\
+     (completion time is the virtual-clock quiescence time; see EXPERIMENTS.md)\n"
+    (String.concat "," (List.map string_of_int o.ns))
+    o.runs o.rsa_bits;
+  let opts =
+    { Core.Bestpath_workload.default_opts with ro_runs = o.runs; ro_rsa_bits = o.rsa_bits }
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let t0 = Unix.gettimeofday () in
+      let ps = Core.Bestpath_workload.measure_n ~opts n in
+      points := !points @ ps;
+      Printf.printf "  measured N=%-3d (%.0fs real)\n%!" n (Unix.gettimeofday () -. t0))
+    o.ns;
+  let points = !points in
+  print_newline ();
+  print_string
+    (Core.Metrics.figure_table points
+       ~metric:(fun p -> p.Core.Bestpath_workload.p_sim_seconds)
+       ~title:"Figure 3: query completion time (s)");
+  print_newline ();
+  print_string
+    (Core.Metrics.figure_table points
+       ~metric:(fun p -> p.Core.Bestpath_workload.p_megabytes)
+       ~title:"Figure 4: bandwidth utilization (MB)");
+  hr "Section 6 overhead summary";
+  Printf.printf "paper reports: SeNDLog vs NDLog avg +53%% time / +36%% bandwidth (at N=100: +44%% / +17%%)\n";
+  Printf.printf "               SeNDLogProv vs SeNDLog avg +41%% time / +54%% bandwidth (at N=100: +6%% / +10%%)\n\n";
+  (match Core.Metrics.overhead points ~base:"NDLog" ~variant:"SeNDLog" with
+  | Some ov -> Printf.printf "measured:      %s\n" (Core.Metrics.overhead_to_string ov)
+  | None -> ());
+  (match Core.Metrics.overhead points ~base:"SeNDLog" ~variant:"SeNDLogProv" with
+  | Some ov -> Printf.printf "               %s\n" (Core.Metrics.overhead_to_string ov)
+  | None -> ());
+  let check name b = Printf.printf "  [%s] %s\n" (if b then "ok" else "MISS") name in
+  check "ordering NDLog <= SeNDLog <= SeNDLogProv (time)"
+    (Core.Metrics.ordering_holds points ~metric:(fun p -> p.p_sim_seconds));
+  check "ordering NDLog <= SeNDLog <= SeNDLogProv (bandwidth)"
+    (Core.Metrics.ordering_holds points ~metric:(fun p -> p.p_megabytes));
+  check "SeNDLog relative bandwidth overhead decreases with N"
+    (Core.Metrics.overhead_decreases points ~base:"NDLog" ~variant:"SeNDLog"
+       ~metric:(fun p -> p.p_megabytes));
+  check "SeNDLogProv relative time overhead decreases with N"
+    (Core.Metrics.overhead_decreases points ~base:"SeNDLog" ~variant:"SeNDLogProv"
+       ~metric:(fun p -> p.p_sim_seconds));
+  points
+
+(* --- Ablation A: local vs distributed provenance ------------------------- *)
+
+let ablation_local_vs_distributed (o : options) =
+  hr "Ablation A (Section 4.1): local vs distributed provenance";
+  Printf.printf
+    "local ships provenance with every tuple; distributed stores per-hop pointers\n\
+     and pays at query time. N=20 Best-Path, then traceback of every bestPath at n0.\n\n";
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2008) ~n:20 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
+      topo.Net.Topology.nodes
+  in
+  Printf.printf "%-12s %14s %16s %16s %14s\n" "mode" "wire prov (B)" "online store (B)"
+    "traceback msgs" "traceback (B)";
+  List.iter
+    (fun (name, prov) ->
+      let cfg = { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits; prov } in
+      let t =
+        Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+          ~program:(Ndlog.Programs.best_path ()) ()
+      in
+      Core.Runtime.install_links t;
+      ignore (Core.Runtime.run t);
+      let stats = Core.Runtime.stats t in
+      let storage = Core.Runtime.total_storage t in
+      let tb_msgs = ref 0 and tb_bytes = ref 0 in
+      List.iter
+        (fun tuple ->
+          let r = Core.Traceback.query t ~at:"n0" tuple in
+          tb_msgs := !tb_msgs + r.cost.remote_queries;
+          tb_bytes := !tb_bytes + r.cost.query_bytes)
+        (Core.Runtime.query t ~at:"n0" "bestPath");
+      Printf.printf "%-12s %14d %16d %16d %14d\n" name stats.bytes_provenance
+        (storage.st_online_expr_bytes + storage.st_online_pointer_bytes)
+        !tb_msgs !tb_bytes)
+    [ ("local", Core.Config.Prov_local); ("distributed", Core.Config.Prov_distributed) ];
+  Printf.printf
+    "\nexpected: local pays on the wire during execution and answers queries locally;\n\
+     distributed ships nothing but traceback crosses nodes (the paper's trade-off).\n"
+
+(* --- Ablation B: proactive vs reactive ------------------------------------ *)
+
+let ablation_proactive_vs_reactive (o : options) =
+  hr "Ablation B (Section 5): proactive vs reactive provenance";
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2009) ~n:20 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
+      topo.Net.Topology.nodes
+  in
+  Printf.printf "%-12s %16s %18s %16s\n" "mode" "completion (s)" "wire prov (B)" "expr bytes";
+  List.iter
+    (fun (name, maintenance) ->
+      let cfg = { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits; maintenance } in
+      let t =
+        Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+          ~program:(Ndlog.Programs.best_path ()) ()
+      in
+      Core.Runtime.install_links t;
+      let r = Core.Runtime.run t in
+      let stats = Core.Runtime.stats t in
+      let storage = Core.Runtime.total_storage t in
+      Printf.printf "%-12s %16.3f %18d %16d\n" name r.sim_seconds stats.bytes_provenance
+        storage.st_online_expr_bytes)
+    [ ("proactive", Core.Config.Proactive); ("reactive", Core.Config.Reactive) ];
+  Printf.printf
+    "\nexpected: reactive maintains pointers only (no wire or expression cost) and\n\
+     defers computation to query time; proactive pays during execution.\n"
+
+(* --- Ablation C: sampling and Bloom digests -------------------------------- *)
+
+let ablation_sampling (o : options) =
+  hr "Ablation C (Section 5): sampled provenance and Bloom digests";
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2010) ~n:20 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
+      topo.Net.Topology.nodes
+  in
+  Printf.printf "%-12s %18s %16s\n" "sample rate" "wire prov (B)" "expr bytes";
+  List.iter
+    (fun rate ->
+      let cfg = { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits; sample_rate = rate } in
+      let t =
+        Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+          ~program:(Ndlog.Programs.best_path ()) ()
+      in
+      Core.Runtime.install_links t;
+      ignore (Core.Runtime.run t);
+      let stats = Core.Runtime.stats t in
+      let storage = Core.Runtime.total_storage t in
+      Printf.printf "%-12g %18d %16d\n" rate stats.bytes_provenance
+        storage.st_online_expr_bytes)
+    [ 1.0; 0.5; 0.1; 0.01 ];
+  (* ForNet-style digests: storage per packet vs full record *)
+  Printf.printf "\nForNet Bloom digests (10000 packets through 5 routers):\n";
+  Printf.printf "%-12s %14s %14s %12s\n" "fp target" "digest (B)" "exact (B)" "observed fp";
+  List.iter
+    (fun fp_rate ->
+      let ds =
+        Core.Forensics.create_digests ~epoch_seconds:60.0 ~expected_per_epoch:10_000
+          ~fp_rate ()
+      in
+      let exact_bytes = ref 0 in
+      for i = 0 to 9_999 do
+        let key = Printf.sprintf "pkt-%d" i in
+        for r = 0 to 4 do
+          Core.Forensics.record ds ~node:(Printf.sprintf "r%d" r) ~time:1.0 key
+        done;
+        exact_bytes := !exact_bytes + (5 * (String.length key + 8))
+      done;
+      let fps = ref 0 in
+      let probes = 5000 in
+      for i = 0 to probes - 1 do
+        if Core.Forensics.query ds ~time:1.0 (Printf.sprintf "absent-%d" i) <> [] then
+          incr fps
+      done;
+      Printf.printf "%-12g %14d %14d %12.4f\n" fp_rate (Core.Forensics.storage_bytes ds)
+        !exact_bytes
+        (float_of_int !fps /. float_of_int probes))
+    [ 0.1; 0.01; 0.001 ];
+  (* IP-traceback sampling: packets needed vs marking probability *)
+  Printf.printf "\nIP-traceback marking (path of 8 routers):\n";
+  Printf.printf "%-12s %18s\n" "mark prob" "packets to recover";
+  let path = List.init 8 (fun i -> Printf.sprintf "r%d" i) in
+  List.iter
+    (fun p ->
+      let sim =
+        Core.Forensics.simulate_traceback (Crypto.Rng.create ~seed:4) ~path
+          ~mark_probability:p ~n_packets:2_000_000
+      in
+      Printf.printf "%-12g %18s\n" p
+        (match sim.ts_packets_needed with
+        | Some k -> string_of_int k
+        | None -> "not recovered"))
+    [ 0.04; 0.001; 0.00005 (* the paper's 1/20,000 *) ]
+
+(* --- Ablation D: granularity ------------------------------------------------ *)
+
+let ablation_granularity (o : options) =
+  hr "Ablation D (Section 5): provenance granularity (node vs AS)";
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2011) ~n:40 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
+      topo.Net.Topology.nodes
+  in
+  Printf.printf "%-12s %16s %14s %18s\n" "granularity" "distinct keys" "expr bytes" "wire prov (B)";
+  List.iter
+    (fun (name, granularity) ->
+      let cfg = { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits; granularity } in
+      let t =
+        Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+          ~program:(Ndlog.Programs.best_path ()) ()
+      in
+      Core.Runtime.install_links t;
+      ignore (Core.Runtime.run t);
+      let stats = Core.Runtime.stats t in
+      let storage = Core.Runtime.total_storage t in
+      let keys =
+        List.concat_map
+          (fun (at, tu) ->
+            Provenance.Prov_expr.bases (Core.Runtime.provenance_of t ~at tu))
+          (Core.Runtime.query_all t "bestPath")
+        |> List.sort_uniq compare
+      in
+      Printf.printf "%-12s %16d %14d %18d\n" name (List.length keys)
+        storage.st_online_expr_bytes stats.bytes_provenance)
+    [ ("node", Core.Config.Node_level); ("AS", Core.Config.As_level) ];
+  Printf.printf
+    "\nexpected: AS granularity collapses keys (~1 per 10 nodes) and shrinks\n\
+     expressions, at the price of only AS-level attribution.\n"
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------ *)
+
+let micro (o : options) =
+  hr "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let rng = Crypto.Rng.create ~seed:99 in
+  let kp = Crypto.Rsa.generate rng ~bits:o.rsa_bits in
+  let msg = String.make 256 'm' in
+  let signature = Crypto.Rsa.sign kp.private_ msg in
+  let ctx = Provenance.Condense.create_ctx () in
+  let deep_expr =
+    (* a 12-principal redundant expression *)
+    let base i = Provenance.Prov_expr.base (Printf.sprintf "p%d" i) in
+    List.fold_left
+      (fun acc i -> Provenance.Prov_expr.plus acc (Provenance.Prov_expr.times (base i) acc))
+      (base 0)
+      (List.init 11 (fun i -> i + 1))
+  in
+  let tuple =
+    Engine.Tuple.make "path"
+      [ Engine.Value.V_str "n1"; Engine.Value.V_str "n2";
+        Engine.Value.V_list (List.init 8 (fun i -> Engine.Value.V_str (Printf.sprintf "n%d" i)));
+        Engine.Value.V_int 42 ]
+  in
+  let tests =
+    [ Test.make ~name:"sha256 (256B)" (Staged.stage (fun () -> Crypto.Sha256.digest msg));
+      Test.make
+        ~name:(Printf.sprintf "rsa-%d sign" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.sign kp.private_ msg));
+      Test.make
+        ~name:(Printf.sprintf "rsa-%d verify" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.verify kp.public ~signature msg));
+      Test.make ~name:"hmac-sha256" (Staged.stage (fun () -> Crypto.Hmac.sha256 ~key:"k" msg));
+      Test.make ~name:"bdd condense (12 keys)"
+        (Staged.stage (fun () -> Provenance.Condense.condense ctx deep_expr));
+      Test.make ~name:"prov to_wire"
+        (Staged.stage (fun () -> Provenance.Condense.to_wire ctx deep_expr));
+      Test.make ~name:"tuple encode"
+        (Staged.stage (fun () -> Net.Wire.encode_tuple tuple));
+      Test.make ~name:"tuple decode"
+        (Staged.stage
+           (let bytes = Net.Wire.encode_tuple tuple in
+            fun () -> Net.Wire.decode_tuple bytes)) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None ())
+          [ instance ] test
+      in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-24s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+        results)
+    tests
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let o = parse_args () in
+  Printf.printf "Provenance-aware Secure Networks: benchmark harness\n";
+  Printf.printf "(reproduces the evaluation of Zhou, Cronin, Loo - ICDE 2008)\n";
+  if o.micro_only then micro o
+  else begin
+    let _points = figures o in
+    if not o.figures_only then begin
+      ablation_local_vs_distributed o;
+      ablation_proactive_vs_reactive o;
+      ablation_sampling o;
+      ablation_granularity o;
+      if not o.skip_micro then micro o
+    end
+  end;
+  print_newline ();
+  print_endline "bench done."

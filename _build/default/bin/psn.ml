@@ -1,0 +1,150 @@
+(* psn - command-line front end for the provenance-aware secure
+   networking library.
+
+   Subcommands:
+     parse   check and pretty-print an NDlog/SeNDlog program
+     run     execute a program over a simulated topology
+     sweep   reproduce the Figure 3 / Figure 4 series
+     demo    the paper's Figure 1 / Figure 2 walkthrough *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- psn parse ------------------------------------------------------- *)
+
+let parse_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"NDlog source file")
+  in
+  let localize =
+    Arg.(value & flag & info [ "localize" ] ~doc:"Print the localized rewrite")
+  in
+  let run file localize =
+    match Ndlog.Parser.parse_program (read_file file) with
+    | exception Ndlog.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "parse error (line %d): %s\n" line msg;
+      exit 1
+    | exception Ndlog.Lexer.Lex_error (msg, line) ->
+      Printf.eprintf "lex error (line %d): %s\n" line msg;
+      exit 1
+    | program -> (
+      let program = if localize then Ndlog.Localize.localize_program program else program in
+      print_string (Ndlog.Pretty.program_to_string program);
+      match Ndlog.Analysis.check_program program with
+      | [] -> ()
+      | errs ->
+        Printf.eprintf "%s\n" (Ndlog.Analysis.errors_to_string errs);
+        exit 1)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Check and pretty-print a program")
+    Term.(const run $ file $ localize)
+
+(* --- psn run --------------------------------------------------------- *)
+
+let config_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ndlog" -> Ok Core.Config.ndlog
+    | "sendlog" -> Ok Core.Config.sendlog
+    | "sendlogprov" | "prov" -> Ok Core.Config.sendlog_prov
+    | _ -> Error (`Msg "expected ndlog | sendlog | sendlogprov")
+  in
+  let print fmt c = Format.pp_print_string fmt (Core.Config.name c) in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"NDlog source file")
+  in
+  let nodes =
+    Arg.(value & opt int 10 & info [ "n"; "nodes" ] ~doc:"Number of nodes in the random topology")
+  in
+  let seed = Arg.(value & opt int 2008 & info [ "seed" ] ~doc:"Random seed") in
+  let cfg =
+    Arg.(value & opt config_conv Core.Config.ndlog
+         & info [ "config" ] ~doc:"ndlog | sendlog | sendlogprov")
+  in
+  let rsa_bits = Arg.(value & opt int 384 & info [ "rsa-bits" ] ~doc:"RSA modulus size") in
+  let with_links =
+    Arg.(value & flag & info [ "links" ] ~doc:"Insert the topology's link(src,dst,cost) facts")
+  in
+  let show =
+    Arg.(value & opt_all string [] & info [ "show" ] ~docv:"REL" ~doc:"Print a relation after the run")
+  in
+  let run file nodes seed cfg rsa_bits with_links show =
+    let program = Ndlog.Parser.parse_program_exn (read_file file) in
+    let rng = Crypto.Rng.create ~seed in
+    let topo = Net.Topology.random rng ~n:nodes () in
+    let cfg = { cfg with Core.Config.rsa_bits } in
+    let t = Core.Runtime.create ~rng ~cfg ~topo ~program () in
+    if with_links then Core.Runtime.install_links t;
+    Core.Runtime.install_program_facts t;
+    let r = Core.Runtime.run t in
+    Printf.printf "completion: %.3fs (virtual), %.3fs (cpu), %d events\n" r.sim_seconds
+      r.wall_seconds r.events;
+    Printf.printf "%s\n" (Net.Stats.to_string (Core.Runtime.stats t));
+    List.iter
+      (fun rel ->
+        Printf.printf "-- %s (%d tuples across all nodes)\n" rel
+          (List.length (Core.Runtime.query_all t rel));
+        List.iter
+          (fun (at, tuple) ->
+            Printf.printf "  @%s %s\n" at (Engine.Tuple.to_string tuple))
+          (Core.Runtime.query_all t rel))
+      show
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program over a simulated network")
+    Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ with_links $ show)
+
+(* --- psn sweep -------------------------------------------------------- *)
+
+let sweep_cmd =
+  let ns =
+    Arg.(value & opt (list int) [ 10; 20; 30 ]
+         & info [ "ns" ] ~doc:"Network sizes to sweep")
+  in
+  let runs = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Runs to average per size") in
+  let rsa_bits = Arg.(value & opt int 384 & info [ "rsa-bits" ] ~doc:"RSA modulus size") in
+  let run ns runs rsa_bits =
+    let opts =
+      { Core.Bestpath_workload.default_opts with ro_runs = runs; ro_rsa_bits = rsa_bits }
+    in
+    let points = Core.Bestpath_workload.sweep ~opts ~ns () in
+    print_string
+      (Core.Metrics.figure_table points
+         ~metric:(fun p -> p.Core.Bestpath_workload.p_sim_seconds)
+         ~title:"Figure 3: query completion time (s)");
+    print_string
+      (Core.Metrics.figure_table points
+         ~metric:(fun p -> p.Core.Bestpath_workload.p_megabytes)
+         ~title:"Figure 4: bandwidth utilization (MB)")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Reproduce the Figure 3/4 series")
+    Term.(const run $ ns $ runs $ rsa_bits)
+
+(* --- psn demo ---------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    print_endline "Figure 1: NDlog derivation tree for reachable(a,c)";
+    print_string (Provenance.Derivation.to_string (Provenance.Derivation.figure1 ()));
+    print_endline "\nFigure 2: SeNDlog derivation tree with condensed provenance";
+    let f2 = Provenance.Derivation.figure2 () in
+    print_string (Provenance.Derivation.to_string f2);
+    let e = Provenance.Derivation.to_expr f2 in
+    let ctx = Provenance.Condense.create_ctx () in
+    Printf.printf "\nraw provenance:       %s\n" (Provenance.Prov_expr.to_annotation e);
+    Printf.printf "condensed provenance: %s\n" (Provenance.Condense.annotation ctx e);
+    Printf.printf "security level (a=2, b=1): %d\n" (Provenance.Trust.paper_example_level ())
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Figure 1/2 provenance walkthrough") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "psn" ~version:"1.0.0" ~doc:"Provenance-aware secure networks" in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; sweep_cmd; demo_cmd ]))

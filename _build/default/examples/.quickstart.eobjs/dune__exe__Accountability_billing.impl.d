@@ -1,0 +1,1 @@
+examples/accountability_billing.ml: Core Crypto List Ndlog Net Printf

@@ -1,0 +1,1 @@
+examples/accountability_billing.mli:

@@ -1,0 +1,1 @@
+examples/chord_dht.ml: Core Crypto Engine Float List Ndlog Net Printf String

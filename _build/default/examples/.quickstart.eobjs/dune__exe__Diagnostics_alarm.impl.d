@@ -1,0 +1,1 @@
+examples/diagnostics_alarm.ml: Core Crypto Engine List Ndlog Net Printf

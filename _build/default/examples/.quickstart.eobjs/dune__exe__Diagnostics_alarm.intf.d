@@ -1,0 +1,1 @@
+examples/diagnostics_alarm.mli:

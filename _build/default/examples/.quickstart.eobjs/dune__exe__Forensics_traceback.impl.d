@@ -1,0 +1,1 @@
+examples/forensics_traceback.ml: Core Crypto Engine List Ndlog Net Printf Provenance String

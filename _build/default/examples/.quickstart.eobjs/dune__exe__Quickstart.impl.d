@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Crypto Engine List Ndlog Net Printf Provenance String

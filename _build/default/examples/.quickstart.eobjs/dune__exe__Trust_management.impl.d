@@ -1,0 +1,1 @@
+examples/trust_management.ml: Core Crypto Engine List Ndlog Net Printf Provenance

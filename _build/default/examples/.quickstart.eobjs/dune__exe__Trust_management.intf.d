@@ -1,0 +1,1 @@
+examples/trust_management.mli:

@@ -1,0 +1,75 @@
+(* Bloom filters, the ForNet-style provenance summarisation the paper
+   cites in Sections 3 and 5: each node keeps a compact digest of the
+   tuples/packets it has forwarded per epoch and answers membership
+   queries during forensic traceback with a bounded false-positive
+   rate and zero false negatives. *)
+
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  nhashes : int;
+  mutable ninserted : int;
+}
+
+(* Derive [k] independent hash positions from a double SHA-256, per the
+   standard Kirsch-Mitzenmacher construction h1 + i*h2. *)
+let positions (t : t) (key : string) : int list =
+  let d = Crypto.Sha256.digest key in
+  let word off =
+    (Char.code d.[off] lsl 24)
+    lor (Char.code d.[off + 1] lsl 16)
+    lor (Char.code d.[off + 2] lsl 8)
+    lor Char.code d.[off + 3]
+  in
+  let h1 = word 0 and h2 = word 4 lor 1 in
+  List.init t.nhashes (fun i -> abs (h1 + (i * h2)) mod t.nbits)
+
+let create ~nbits ~nhashes =
+  if nbits <= 0 || nhashes <= 0 then invalid_arg "Bloom.create";
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; nhashes; ninserted = 0 }
+
+(* Size a filter for [expected] insertions at target false-positive
+   rate [fp_rate], using the standard m = -n ln p / (ln 2)^2 formula. *)
+let create_for ~expected ~fp_rate =
+  if expected <= 0 || fp_rate <= 0.0 || fp_rate >= 1.0 then
+    invalid_arg "Bloom.create_for";
+  let ln2 = Float.log 2.0 in
+  let m = -.Float.of_int expected *. Float.log fp_rate /. (ln2 *. ln2) in
+  let nbits = max 8 (int_of_float (Float.ceil m)) in
+  let k = max 1 (int_of_float (Float.round (m /. Float.of_int expected *. ln2))) in
+  create ~nbits ~nhashes:k
+
+let set_bit t i =
+  let byte = Bytes.get_uint8 t.bits (i / 8) in
+  Bytes.set_uint8 t.bits (i / 8) (byte lor (1 lsl (i mod 8)))
+
+let get_bit t i = Bytes.get_uint8 t.bits (i / 8) land (1 lsl (i mod 8)) <> 0
+
+let add (t : t) (key : string) : unit =
+  List.iter (set_bit t) (positions t key);
+  t.ninserted <- t.ninserted + 1
+
+let mem (t : t) (key : string) : bool = List.for_all (get_bit t) (positions t key)
+
+let cardinal_inserted t = t.ninserted
+
+let size_bytes (t : t) : int = Bytes.length t.bits
+
+(* Expected false-positive probability given the current load:
+   (1 - e^{-kn/m})^k. *)
+let estimated_fp_rate (t : t) : float =
+  let k = Float.of_int t.nhashes
+  and n = Float.of_int t.ninserted
+  and m = Float.of_int t.nbits in
+  (1.0 -. Float.exp (-.k *. n /. m)) ** k
+
+(* Union of two same-shape filters (epoch merging at an aggregation
+   point, e.g. AS-granularity provenance). *)
+let union (a : t) (b : t) : t =
+  if a.nbits <> b.nbits || a.nhashes <> b.nhashes then
+    invalid_arg "Bloom.union: mismatched shapes";
+  let bits = Bytes.create (Bytes.length a.bits) in
+  for i = 0 to Bytes.length bits - 1 do
+    Bytes.set_uint8 bits i (Bytes.get_uint8 a.bits i lor Bytes.get_uint8 b.bits i)
+  done;
+  { bits; nbits = a.nbits; nhashes = a.nhashes; ninserted = a.ninserted + b.ninserted }

@@ -1,0 +1,32 @@
+(** Bloom filters — the ForNet-style provenance summaries the paper
+    cites (Sections 3 and 5): compact per-epoch digests of forwarded
+    traffic with bounded false positives and no false negatives. *)
+
+type t
+
+val create : nbits:int -> nhashes:int -> t
+(** @raise Invalid_argument when a parameter is non-positive. *)
+
+val create_for : expected:int -> fp_rate:float -> t
+(** Size a filter for [expected] insertions at the target
+    false-positive rate via the standard [-n ln p / (ln 2)^2]
+    formula.  @raise Invalid_argument on nonsense parameters. *)
+
+val add : t -> string -> unit
+
+val mem : t -> string -> bool
+(** Possibly-false positives, never false negatives. *)
+
+val cardinal_inserted : t -> int
+(** Number of [add] calls so far. *)
+
+val size_bytes : t -> int
+(** Bit-array storage footprint. *)
+
+val estimated_fp_rate : t -> float
+(** Analytic false-positive probability at the current load:
+    [(1 - e^(-kn/m))^k]. *)
+
+val union : t -> t -> t
+(** Bitwise union of two same-shape filters (epoch merging).
+    @raise Invalid_argument when shapes differ. *)

@@ -1,0 +1,1 @@
+lib/core/accountability.ml: Buffer Engine Float Hashtbl List Net Option Printf Stdlib String Tuple

@@ -1,0 +1,1 @@
+lib/core/bestpath_workload.ml: Config Crypto Hashtbl List Ndlog Net Option Runtime Sendlog

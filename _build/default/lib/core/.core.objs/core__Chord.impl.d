@@ -1,0 +1,1 @@
+lib/core/chord.ml: Char Crypto Engine Hashtbl List Printf Runtime Stdlib String Tuple Value

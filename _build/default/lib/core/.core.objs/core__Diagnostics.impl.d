@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Engine List Ndlog Net Printf Provenance Runtime Traceback Tuple Value

@@ -1,0 +1,1 @@
+lib/core/forensics.ml: Array Bloom Crypto Engine Hashtbl List Option Prov_store Runtime Stdlib String

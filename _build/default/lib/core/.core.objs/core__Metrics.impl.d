@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Bestpath_workload Buffer List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/prov_store.ml: Engine List Option Provenance String Tuple

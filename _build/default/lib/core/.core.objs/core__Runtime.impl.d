@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Bdd Char Config Crypto Db Engine Eval Float Hashtbl List Ndlog Net Option Printf Prov_store Provenance Sendlog String Tuple Unix Value

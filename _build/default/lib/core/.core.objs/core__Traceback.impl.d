@@ -1,0 +1,1 @@
+lib/core/traceback.ml: Db Engine Hashtbl List Prov_store Provenance Runtime String Tuple

@@ -1,0 +1,1 @@
+lib/core/trust_mgmt.ml: Engine List Option Provenance Runtime Tuple

@@ -1,0 +1,101 @@
+(* The Section 6 workload: Best-Path over random topologies.
+
+   "As input, we insert link tables for N nodes with average outdegree
+   of three, and vary the size of N from 10 to 100.  To isolate the
+   individual overhead of authenticated communication and provenance,
+   we execute three versions of the Best-Path query: NDlog ...,
+   SeNDlog ..., and SeNDlogProv ...  [metrics:] query completion time
+   and bandwidth usage, averaged over 10 experimental runs." *)
+
+type point = {
+  p_config : string;
+  p_n : int;
+  p_wall_seconds : float;
+  p_sim_seconds : float;
+  p_megabytes : float;
+  p_messages : int;
+  p_signatures : int;
+  p_best_paths : int;
+}
+
+type run_opts = {
+  ro_seed : int;
+  ro_runs : int; (* experimental runs to average (paper: 10) *)
+  ro_rsa_bits : int;
+  ro_outdegree : int;
+}
+
+let default_opts = { ro_seed = 2008; ro_runs = 3; ro_rsa_bits = 512; ro_outdegree = 3 }
+
+(* One run of one configuration over one topology; the directory is
+   shared so RSA key generation (provisioning, not query execution)
+   stays out of the measured time. *)
+let run_once ~(cfg : Config.t) ~(topo : Net.Topology.t)
+    ~(directory : Sendlog.Principal.directory) ~(seed : int) :
+    float * float * Net.Stats.t * int =
+  let program = Ndlog.Programs.best_path () in
+  let t =
+    Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed) ~cfg ~topo ~program ()
+  in
+  Runtime.install_links t;
+  let r = Runtime.run t in
+  let best = List.length (Runtime.query_all t "bestPath") in
+  (r.wall_seconds, r.sim_seconds, Runtime.stats t, best)
+
+let configs ~(rsa_bits : int) : Config.t list =
+  [ { Config.ndlog with rsa_bits };
+    { Config.sendlog with rsa_bits };
+    { Config.sendlog_prov with rsa_bits } ]
+
+(* Measure the three configurations at one network size, averaging
+   over [opts.ro_runs] topologies. *)
+let measure_n ?(opts = default_opts) (n : int) : point list =
+  let cfgs = configs ~rsa_bits:opts.ro_rsa_bits in
+  let acc = Hashtbl.create 4 in
+  for run = 0 to opts.ro_runs - 1 do
+    let topo_rng = Crypto.Rng.create ~seed:(opts.ro_seed + (1000 * run) + n) in
+    let topo = Net.Topology.random topo_rng ~n ~outdegree:opts.ro_outdegree () in
+    let dir_rng = Crypto.Rng.create ~seed:(opts.ro_seed + 7 + run) in
+    let directory =
+      Sendlog.Principal.directory_for dir_rng ~rsa_bits:opts.ro_rsa_bits
+        topo.Net.Topology.nodes
+    in
+    List.iter
+      (fun cfg ->
+        let wall, sim, stats, best =
+          run_once ~cfg ~topo ~directory ~seed:(opts.ro_seed + run)
+        in
+        let name = Config.name cfg in
+        let prev =
+          Option.value (Hashtbl.find_opt acc name)
+            ~default:(0.0, 0.0, 0.0, 0, 0, 0)
+        in
+        let w, s, mb, msgs, sigs, bp = prev in
+        Hashtbl.replace acc name
+          ( w +. wall,
+            s +. sim,
+            mb +. Net.Stats.megabytes stats,
+            msgs + stats.Net.Stats.messages,
+            sigs + stats.Net.Stats.signatures_generated,
+            bp + best ))
+      cfgs
+  done;
+  List.map
+    (fun cfg ->
+      let name = Config.name cfg in
+      let w, s, mb, msgs, sigs, bp = Hashtbl.find acc name in
+      let r = float_of_int opts.ro_runs in
+      { p_config = name;
+        p_n = n;
+        p_wall_seconds = w /. r;
+        p_sim_seconds = s /. r;
+        p_megabytes = mb /. r;
+        p_messages = msgs / opts.ro_runs;
+        p_signatures = sigs / opts.ro_runs;
+        p_best_paths = bp / opts.ro_runs })
+    cfgs
+
+(* The full Figure 3 / Figure 4 sweep. *)
+let sweep ?(opts = default_opts) ?(ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]) () :
+    point list =
+  List.concat_map (fun n -> measure_n ~opts n) ns

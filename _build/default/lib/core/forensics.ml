@@ -1,0 +1,149 @@
+(* Forensics (Sections 3 and 5): offline provenance, ForNet-style
+   Bloom digests, IP-traceback-style sampling, and random moonwalks.
+
+   These are the storage/accuracy trade-offs the paper surveys for
+   historical traffic: instead of full per-packet provenance, nodes
+   keep (a) per-epoch Bloom digests of what they forwarded (ForNet
+   [23]), or (b) probabilistic marks emitted every 1/k packets
+   (IP traceback [22]); and queries over a flow graph can use random
+   moonwalks [26] instead of exhaustive traversal. *)
+
+(* --- ForNet-style Bloom digests -------------------------------------- *)
+
+type digest_store = {
+  ds_epoch_seconds : float;
+  ds_expected_per_epoch : int;
+  ds_fp_rate : float;
+  tables : (string * int, Bloom.t) Hashtbl.t; (* (node, epoch) -> digest *)
+}
+
+let create_digests ?(epoch_seconds = 60.0) ?(expected_per_epoch = 10_000)
+    ?(fp_rate = 0.01) () : digest_store =
+  { ds_epoch_seconds = epoch_seconds;
+    ds_expected_per_epoch = expected_per_epoch;
+    ds_fp_rate = fp_rate;
+    tables = Hashtbl.create 64 }
+
+let epoch_of (ds : digest_store) (time : float) : int =
+  int_of_float (time /. ds.ds_epoch_seconds)
+
+let digest_for (ds : digest_store) ~(node : string) ~(epoch : int) : Bloom.t =
+  match Hashtbl.find_opt ds.tables (node, epoch) with
+  | Some b -> b
+  | None ->
+    let b = Bloom.create_for ~expected:ds.ds_expected_per_epoch ~fp_rate:ds.ds_fp_rate in
+    Hashtbl.add ds.tables (node, epoch) b;
+    b
+
+(* Record that [node] forwarded an item (packet/tuple identity) at
+   [time]. *)
+let record (ds : digest_store) ~(node : string) ~(time : float) (key : string) : unit =
+  Bloom.add (digest_for ds ~node ~epoch:(epoch_of ds time)) key
+
+(* Which nodes claim to have forwarded [key] during the epoch covering
+   [time]?  False positives possible, false negatives not. *)
+let query (ds : digest_store) ~(time : float) (key : string) : string list =
+  let epoch = epoch_of ds time in
+  Hashtbl.fold
+    (fun (node, e) digest acc ->
+      if e = epoch && Bloom.mem digest key then node :: acc else acc)
+    ds.tables []
+  |> List.sort String.compare
+
+let storage_bytes (ds : digest_store) : int =
+  Hashtbl.fold (fun _ b acc -> acc + Bloom.size_bytes b) ds.tables 0
+
+(* --- IP-traceback-style sampling -------------------------------------- *)
+
+(* Savage et al.: each router marks a packet with its own address with
+   probability 1/k (the paper quotes 1/20,000); the victim
+   reconstructs the path from collected marks.  [simulate_traceback]
+   pushes [n_packets] along [path] and reports which routers were
+   recovered and how many packets it took to see them all. *)
+
+type traceback_sim = {
+  ts_recovered : string list; (* routers seen in marks *)
+  ts_complete : bool;
+  ts_packets_needed : int option; (* packets until full path recovered *)
+}
+
+let simulate_traceback (rng : Crypto.Rng.t) ~(path : string list)
+    ~(mark_probability : float) ~(n_packets : int) : traceback_sim =
+  let seen = Hashtbl.create 16 in
+  let needed = ref None in
+  let total = List.length path in
+  for pkt = 1 to n_packets do
+    List.iter
+      (fun router ->
+        if Crypto.Rng.float rng 1.0 < mark_probability then begin
+          if not (Hashtbl.mem seen router) then begin
+            Hashtbl.replace seen router ();
+            if Hashtbl.length seen = total && !needed = None then needed := Some pkt
+          end
+        end)
+      path
+  done;
+  { ts_recovered = Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare;
+    ts_complete = Hashtbl.length seen = total;
+    ts_packets_needed = !needed }
+
+(* --- random moonwalks -------------------------------------------------- *)
+
+(* Xie et al. [26]: repeated backward random walks over the
+   communication graph concentrate at the attack origin.  The flow
+   graph is a list of directed edges (src, dst, time); a walk starts
+   from a random late edge and repeatedly steps to a uniformly random
+   earlier incoming edge at the current source. *)
+
+type flow = { fl_src : string; fl_dst : string; fl_time : float }
+
+let random_moonwalk (rng : Crypto.Rng.t) ~(flows : flow list) ~(walks : int)
+    ~(max_hops : int) : (string * int) list =
+  let arrivals = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let cur = Option.value (Hashtbl.find_opt arrivals f.fl_dst) ~default:[] in
+      Hashtbl.replace arrivals f.fl_dst (f :: cur))
+    flows;
+  let origins = Hashtbl.create 16 in
+  let flows_arr = Array.of_list flows in
+  if Array.length flows_arr = 0 then []
+  else begin
+    for _ = 1 to walks do
+      (* Start from a random flow, walk backwards in time. *)
+      let start = flows_arr.(Crypto.Rng.int rng (Array.length flows_arr)) in
+      let rec step (f : flow) (hops : int) =
+        if hops >= max_hops then f.fl_src
+        else begin
+          let incoming =
+            List.filter
+              (fun g -> g.fl_time < f.fl_time)
+              (Option.value (Hashtbl.find_opt arrivals f.fl_src) ~default:[])
+          in
+          match incoming with
+          | [] -> f.fl_src
+          | _ -> step (Crypto.Rng.pick rng incoming) (hops + 1)
+        end
+      in
+      let origin = step start 0 in
+      Hashtbl.replace origins origin
+        (Option.value (Hashtbl.find_opt origins origin) ~default:0 + 1)
+    done;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) origins []
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+  end
+
+(* --- offline provenance queries --------------------------------------- *)
+
+(* Search the offline stores of every node for records mentioning a
+   relation (forensics over expired state, Section 4.2). *)
+let offline_search (t : Runtime.t) ~(rel : string) :
+    (string * Prov_store.offline_record) list =
+  List.concat_map
+    (fun (n : Runtime.node) ->
+      List.filter_map
+        (fun (r : Prov_store.offline_record) ->
+          if String.equal r.off_tuple.Engine.Tuple.rel rel then Some (n.n_addr, r)
+          else None)
+        (Prov_store.offline_records n.n_prov))
+    (Runtime.nodes t)

@@ -1,0 +1,202 @@
+(* Per-node provenance storage, covering the taxonomy of Section 4.
+
+   *Local/online*: each live tuple maps to its provenance expression
+   (the whole derivation is available at the node).
+   *Distributed/online*: each live tuple maps to derivation records -
+   (rule, body tuples, where each body tuple lives) - i.e. only
+   pointers to the previous hop, reconstructed on demand by
+   [Traceback].
+   *Offline*: when a tuple expires or is replaced, its provenance
+   moves to an append-only log (Section 4.2), optionally aged out.
+
+   Re-derivations of the same tuple combine with [Plus]; duplicate
+   derivations (the same rule over the same body tuples, which
+   semi-naive evaluation can report more than once) are deduplicated
+   by a derivation key. *)
+
+open Engine
+
+(* Where a body tuple used in a derivation lives: locally, or at the
+   sending node (for tuples that arrived over the network). *)
+type origin =
+  | O_local
+  | O_remote of string (* address of the node it came from *)
+
+type deriv_record = {
+  dr_rule : string;
+  dr_body : (Tuple.t * origin * string option) list;
+      (* tuple, where it lives, asserting principal if any *)
+  dr_at : float; (* creation timestamp (soft-state annotation, §4) *)
+  dr_signature : string option; (* authenticated provenance node (§4.3) *)
+  dr_signer : string option;
+}
+
+type entry = {
+  mutable e_expr : Provenance.Prov_expr.t; (* accumulated expression *)
+  mutable e_derivs : deriv_record list;
+  mutable e_keys : string list; (* dedup keys of recorded derivations *)
+  mutable e_received_from : string list; (* senders that shipped this tuple *)
+}
+
+type offline_record = {
+  off_tuple : Tuple.t;
+  off_expr : Provenance.Prov_expr.t;
+  off_derivs : deriv_record list;
+  off_expired_at : float;
+}
+
+type t = {
+  entries : entry Tuple.Table.t;
+  mutable offline : offline_record list;
+  mutable offline_bytes : int;
+  offline_enabled : bool;
+}
+
+let create ~offline_enabled () =
+  { entries = Tuple.Table.create 256; offline = []; offline_bytes = 0; offline_enabled }
+
+let find (t : t) (tuple : Tuple.t) : entry option = Tuple.Table.find_opt t.entries tuple
+
+let entry (t : t) (tuple : Tuple.t) : entry =
+  match Tuple.Table.find_opt t.entries tuple with
+  | Some e -> e
+  | None ->
+    let e =
+      { e_expr = Provenance.Prov_expr.zero; e_derivs = []; e_keys = [];
+        e_received_from = [] }
+    in
+    Tuple.Table.replace t.entries tuple e;
+    e
+
+let expr_of (t : t) (tuple : Tuple.t) : Provenance.Prov_expr.t =
+  match find t tuple with Some e -> e.e_expr | None -> Provenance.Prov_expr.zero
+
+let derivs_of (t : t) (tuple : Tuple.t) : deriv_record list =
+  match find t tuple with Some e -> e.e_derivs | None -> []
+
+(* Record a base tuple with its provenance key (principal, tuple id,
+   or AS, depending on granularity). *)
+let record_base (t : t) (tuple : Tuple.t) ~(key : string) : unit =
+  let e = entry t tuple in
+  let base = Provenance.Prov_expr.base key in
+  if not (List.exists (String.equal key) e.e_keys) then begin
+    e.e_expr <- Provenance.Prov_expr.plus e.e_expr base;
+    e.e_keys <- key :: e.e_keys
+  end
+
+(* Record a local derivation; [body_exprs] are the (already known)
+   expressions of the body tuples.  Returns [true] when the
+   derivation was new. *)
+let record_derivation (t : t) (head : Tuple.t) ~(record : deriv_record)
+    ~(combined : Provenance.Prov_expr.t) : bool =
+  let key =
+    record.dr_rule ^ "|"
+    ^ String.concat ";"
+        (List.map
+           (fun (b, _, says) ->
+             Tuple.identity b ^ Option.fold ~none:"" ~some:(fun s -> "/" ^ s) says)
+           record.dr_body)
+  in
+  let e = entry t head in
+  if List.exists (String.equal key) e.e_keys then false
+  else begin
+    e.e_keys <- key :: e.e_keys;
+    e.e_derivs <- record :: e.e_derivs;
+    e.e_expr <- Provenance.Prov_expr.plus e.e_expr combined;
+    true
+  end
+
+(* Record provenance shipped with a received tuple (local mode over
+   the network): plus-combine with what we already believe. *)
+let record_received (t : t) (tuple : Tuple.t) ~(from : string)
+    ~(expr : Provenance.Prov_expr.t) : unit =
+  let e = entry t tuple in
+  let key = "recv|" ^ from ^ "|" ^ Provenance.Prov_expr.to_string expr in
+  if not (List.exists (String.equal key) e.e_keys) then begin
+    e.e_keys <- key :: e.e_keys;
+    e.e_expr <- Provenance.Prov_expr.plus e.e_expr expr
+  end;
+  if not (List.exists (String.equal from) e.e_received_from) then
+    e.e_received_from <- from :: e.e_received_from
+
+let received_from (t : t) (tuple : Tuple.t) : string list =
+  match find t tuple with Some e -> e.e_received_from | None -> []
+
+(* Move a tuple's provenance to the offline log (expiry / replacement;
+   Section 4.2). *)
+let retire (t : t) (tuple : Tuple.t) ~(now : float) : unit =
+  match Tuple.Table.find_opt t.entries tuple with
+  | None -> ()
+  | Some e ->
+    Tuple.Table.remove t.entries tuple;
+    if t.offline_enabled then begin
+      let record =
+        { off_tuple = tuple; off_expr = e.e_expr; off_derivs = e.e_derivs;
+          off_expired_at = now }
+      in
+      t.offline <- record :: t.offline;
+      t.offline_bytes <-
+        t.offline_bytes + Tuple.wire_size tuple
+        + Provenance.Prov_expr.wire_size e.e_expr
+    end
+
+(* Age out offline provenance older than [max_age] (Section 5:
+   "offline provenance for forensics can be aged out over time to
+   reduce storage, unless explicitly marked to persist"). *)
+let age_offline (t : t) ~(now : float) ~(max_age : float)
+    ?(persist : Tuple.t -> bool = fun _ -> false) () : int =
+  let keep, drop =
+    List.partition
+      (fun r -> now -. r.off_expired_at <= max_age || persist r.off_tuple)
+      t.offline
+  in
+  t.offline <- keep;
+  List.iter
+    (fun r ->
+      t.offline_bytes <-
+        t.offline_bytes - Tuple.wire_size r.off_tuple
+        - Provenance.Prov_expr.wire_size r.off_expr)
+    drop;
+  List.length drop
+
+let offline_records (t : t) : offline_record list = t.offline
+
+let offline_lookup (t : t) (tuple : Tuple.t) : offline_record option =
+  List.find_opt (fun r -> Tuple.equal r.off_tuple tuple) t.offline
+
+(* Storage accounting for the ablations: bytes of online expressions,
+   derivation pointers, and the offline log. *)
+type storage = {
+  st_online_entries : int;
+  st_online_expr_bytes : int;
+  st_online_pointer_bytes : int;
+  st_offline_records : int;
+  st_offline_bytes : int;
+}
+
+let storage (t : t) : storage =
+  let entries = Tuple.Table.length t.entries in
+  let expr_bytes, ptr_bytes =
+    Tuple.Table.fold
+      (fun _ e (eb, pb) ->
+        let eb = eb + Provenance.Prov_expr.wire_size e.e_expr in
+        let pb =
+          pb
+          + List.fold_left
+              (fun acc r ->
+                acc
+                + List.fold_left
+                    (fun acc (b, o, _) ->
+                      acc + Tuple.wire_size b
+                      + match o with O_local -> 1 | O_remote a -> 1 + String.length a)
+                    0 r.dr_body)
+              0 e.e_derivs
+        in
+        (eb, pb))
+      t.entries (0, 0)
+  in
+  { st_online_entries = entries;
+    st_online_expr_bytes = expr_bytes;
+    st_online_pointer_bytes = ptr_bytes;
+    st_offline_records = List.length t.offline;
+    st_offline_bytes = t.offline_bytes }

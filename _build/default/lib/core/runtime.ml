@@ -1,0 +1,468 @@
+(* The provenance-aware secure networking runtime: the paper's
+   modified P2 system.
+
+   Every simulated node runs the same compiled SeNDlog/NDlog program
+   over its own database.  Locally derived tuples addressed at another
+   node become wire messages: encoded, authenticated according to the
+   configuration (Section 2.2's [says] implementations), and - in the
+   provenance-shipping configurations - annotated with the tuple's
+   (condensed) provenance (Sections 4.1/4.4).  Receivers verify
+   authentication, fold the shipped provenance into their stores, and
+   continue the distributed fixpoint.  The discrete-event simulator
+   delivers messages; quiescence of its queue is the distributed
+   fixpoint the paper's "query completion time" measures. *)
+
+open Engine
+
+type node = {
+  n_addr : string;
+  n_principal : Sendlog.Principal.t;
+  n_db : Db.t;
+  n_prov : Prov_store.t;
+  n_sent_cache : (string, unit) Hashtbl.t; (* dedup of identical sends *)
+  mutable n_msgs_received : int;
+  mutable n_free_at : float; (* virtual time until which this node's CPU is busy *)
+}
+
+type t = {
+  cfg : Config.t;
+  sim : Net.Event_sim.t;
+  topo : Net.Topology.t;
+  stats : Net.Stats.t;
+  directory : Sendlog.Principal.directory;
+  compiled : Sendlog.Compile.compiled;
+  nodes : (string, node) Hashtbl.t;
+  prov_ctx : Provenance.Condense.ctx;
+  mutable seq : int;
+  mutable dropped_forged : int;
+  mutable log_derivations : bool;
+  mutable derivation_log : Eval.derivation list;
+  mutable on_message : (float -> Net.Wire.message -> unit) option;
+      (* audit tap: sees every wire message (Accountability) *)
+  mutable extra_charge : float;
+      (* cost-model seconds accumulated by the handler currently
+         executing (e.g. provenance-operator charges) *)
+  mutable out_buffer : (float * node option * Net.Wire.message) list;
+      (* messages produced by the handler currently executing; flushed
+         once the handler's processing duration is known, so outgoing
+         sends depart only after the node finishes processing *)
+}
+
+let node (t : t) (addr : string) : node =
+  match Hashtbl.find_opt t.nodes addr with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Runtime.node: unknown node %s" addr)
+
+let nodes (t : t) : node list =
+  List.map (fun addr -> node t addr) t.topo.Net.Topology.nodes
+
+(* --- creation -------------------------------------------------------- *)
+
+let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.t)
+    ~(cfg : Config.t) ~(topo : Net.Topology.t) ~(program : Ndlog.Ast.program) () : t =
+  let compiled = Sendlog.Compile.compile program in
+  let directory =
+    match directory with
+    | Some d -> d
+    | None ->
+      Sendlog.Principal.directory_for rng ~rsa_bits:cfg.rsa_bits topo.Net.Topology.nodes
+  in
+  let nodes = Hashtbl.create (List.length topo.Net.Topology.nodes) in
+  List.iter
+    (fun addr ->
+      let db = Db.create () in
+      Db.configure_from_program db compiled.c_program;
+      let principal =
+        match Sendlog.Principal.find directory addr with
+        | Some p -> p
+        | None ->
+          (* Nodes outside the directory get fresh keys. *)
+          let p = Sendlog.Principal.create rng ~name:addr ~rsa_bits:cfg.rsa_bits () in
+          Sendlog.Principal.register directory p;
+          p
+      in
+      Hashtbl.replace nodes addr
+        { n_addr = addr;
+          n_principal = principal;
+          n_db = db;
+          n_prov = Prov_store.create ~offline_enabled:cfg.offline_store ();
+          n_sent_cache = Hashtbl.create 256;
+          n_msgs_received = 0;
+          n_free_at = 0.0 })
+    topo.Net.Topology.nodes;
+  { cfg;
+    sim = Net.Event_sim.create ();
+    topo;
+    stats = Net.Stats.create ();
+    directory;
+    compiled;
+    nodes;
+    prov_ctx = Provenance.Condense.create_ctx ();
+    seq = 0;
+    dropped_forged = 0;
+    log_derivations = false;
+    derivation_log = [];
+    on_message = None;
+    extra_charge = 0.0;
+    out_buffer = [] }
+
+(* --- provenance capture ---------------------------------------------- *)
+
+(* Is this tuple's provenance recorded at all?  Deterministic sampling
+   on the tuple identity implements Section 5's sampling optimisation
+   without extra RNG state. *)
+let sampled (t : t) (tuple : Tuple.t) : bool =
+  t.cfg.sample_rate >= 1.0
+  || begin
+       let h = Crypto.Sha256.digest (Tuple.identity tuple) in
+       let v = (Char.code h.[0] lsl 16) lor (Char.code h.[1] lsl 8) lor Char.code h.[2] in
+       float_of_int v /. float_of_int 0xFFFFFF < t.cfg.sample_rate
+     end
+
+let prov_enabled (t : t) =
+  match t.cfg.prov with
+  | Config.Prov_off -> false
+  | Config.Prov_local | Config.Prov_distributed -> true
+
+(* Provenance key for a base tuple at [node]: the asserting principal
+   at node granularity, or the node's AS (Section 5). *)
+let base_key (t : t) (n : node) : string =
+  match t.cfg.granularity with
+  | Config.Node_level -> n.n_addr
+  | Config.As_level -> Printf.sprintf "as%d" (Net.Topology.as_of t.topo n.n_addr)
+
+(* Expression of a body tuple as seen at [n]; base tuples (no entry
+   yet) are registered on first use. *)
+let body_expr (t : t) (n : node) (tuple : Tuple.t) : Provenance.Prov_expr.t =
+  let e = Prov_store.expr_of n.n_prov tuple in
+  if not (Provenance.Prov_expr.equal e Provenance.Prov_expr.zero) then e
+  else begin
+    Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+    Prov_store.expr_of n.n_prov tuple
+  end
+
+let origin_of (t : t) (n : node) (tuple : Tuple.t) : Prov_store.origin =
+  ignore t;
+  match Prov_store.received_from n.n_prov tuple with
+  | sender :: _ -> Prov_store.O_remote sender
+  | [] -> Prov_store.O_local
+
+(* Record one derivation in [n]'s provenance store and return the
+   expression shipped alongside the head tuple (local mode). *)
+let capture_derivation (t : t) (n : node) (deriv : Eval.derivation) :
+    Provenance.Prov_expr.t =
+  if (not (prov_enabled t)) || not (sampled t deriv.d_head) then
+    Provenance.Prov_expr.zero
+  else begin
+    let combined =
+      match t.cfg.maintenance with
+      | Config.Reactive -> Provenance.Prov_expr.zero (* pointers only *)
+      | Config.Proactive ->
+        Provenance.Prov_expr.times_list
+          (List.map (fun (b, _) -> body_expr t n b) deriv.d_body)
+    in
+    let node_repr =
+      Printf.sprintf "%s<-%s[%s]" (Tuple.identity deriv.d_head) deriv.d_rule
+        (String.concat ";" (List.map (fun (b, _) -> Tuple.identity b) deriv.d_body))
+    in
+    let signature, signer =
+      if t.cfg.sign_provenance then begin
+        t.stats.signatures_generated <- t.stats.signatures_generated + 1;
+        ( Sendlog.Auth.sign_provenance_node t.cfg.auth n.n_principal ~node_repr,
+          Some n.n_addr )
+      end
+      else (None, None)
+    in
+    let record =
+      { Prov_store.dr_rule = deriv.d_rule;
+        dr_body =
+          List.map
+            (fun (b, asserter) ->
+              ( b,
+                origin_of t n b,
+                Option.map Value.to_addr asserter ))
+            deriv.d_body;
+        dr_at = Net.Event_sim.now t.sim;
+        dr_signature = signature;
+        dr_signer = signer }
+    in
+    ignore (Prov_store.record_derivation n.n_prov deriv.d_head ~record ~combined);
+    combined
+  end
+
+(* Wire block for a shipped provenance expression.  Condensed mode
+   ships the serialized BDD itself, as the paper's modified P2 does;
+   raw mode ships the expression tree. *)
+let encode_prov (t : t) (e : Provenance.Prov_expr.t) : string =
+  match t.cfg.repr with
+  | Config.Repr_raw -> Provenance.Prov_expr.encode e
+  | Config.Repr_condensed -> Provenance.Condense.to_wire t.prov_ctx e
+
+let decode_prov (t : t) (block : string) : Provenance.Prov_expr.t =
+  match t.cfg.repr with
+  | Config.Repr_raw -> (
+    try Provenance.Prov_expr.decode block
+    with Provenance.Prov_expr.Decode_error _ -> Provenance.Prov_expr.zero)
+  | Config.Repr_condensed -> (
+    try Provenance.Condense.of_wire t.prov_ctx block
+    with Bdd.Deserialize_error _ -> Provenance.Prov_expr.zero)
+
+(* --- message plumbing ------------------------------------------------ *)
+
+let deliver : (t -> node -> Net.Wire.message -> unit) ref =
+  ref (fun _ _ _ -> assert false)
+
+let send (t : t) (sender : node) (emit : Eval.emit) : unit =
+  let tuple = emit.e_tuple in
+  (* Record the derivation at the sender (distributed traceback walks
+     these pointers back through the node that derived the tuple) and
+     obtain the combined expression of this derivation. *)
+  let combined = capture_derivation t sender emit.e_deriv in
+  (* Provenance shipped with the tuple: only in local proactive mode
+     (receiver Plus-combines alternatives). *)
+  let prov_block =
+    match (t.cfg.prov, t.cfg.maintenance) with
+    | Config.Prov_local, Config.Proactive when sampled t tuple ->
+      if Provenance.Prov_expr.equal combined Provenance.Prov_expr.zero then None
+      else begin
+        t.extra_charge <- t.extra_charge +. t.cfg.cost_model.per_provenance_seconds;
+        Some (encode_prov t combined)
+      end
+    | _ -> None
+  in
+  let cache_key =
+    emit.e_dest ^ "|" ^ Tuple.identity tuple ^ "|"
+    ^ Option.value prov_block ~default:""
+  in
+  if not (Hashtbl.mem sender.n_sent_cache cache_key) then begin
+    Hashtbl.add sender.n_sent_cache cache_key ();
+    let bytes = Net.Wire.signed_bytes ~src:sender.n_addr ~dst:emit.e_dest tuple in
+    let auth = Sendlog.Auth.make_auth t.cfg.auth sender.n_principal bytes in
+    (match t.cfg.auth with
+    | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
+    | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
+    let msg =
+      { Net.Wire.msg_src = sender.n_addr;
+        msg_dst = emit.e_dest;
+        msg_seq = t.seq;
+        msg_tuple = tuple;
+        msg_auth = auth;
+        msg_provenance = prov_block }
+    in
+    t.seq <- t.seq + 1;
+    Net.Stats.record_message t.stats msg;
+    (match t.on_message with
+    | Some tap -> tap (Net.Event_sim.now t.sim) msg
+    | None -> ());
+    let latency = Net.Topology.latency_between t.topo ~src:sender.n_addr ~dst:emit.e_dest in
+    let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
+    t.out_buffer <- (latency, receiver, msg) :: t.out_buffer
+  end
+
+(* Run the local fixpoint at [n] with [pending] insertions and ship
+   whatever is derived for other nodes. *)
+let process (t : t) (n : node) (pending : Eval.frontier_item list) : unit =
+  let self_principal =
+    match t.cfg.auth with
+    | Sendlog.Auth.Auth_none -> None
+    | _ -> Some (Value.V_str n.n_addr)
+  in
+  let on_derive deriv =
+    if t.log_derivations then t.derivation_log <- deriv :: t.derivation_log;
+    ignore (capture_derivation t n deriv)
+  in
+  let emits, _stats =
+    Eval.run_fixpoint n.n_db ~now:(Net.Event_sim.now t.sim)
+      ~rules:t.compiled.c_rules ~local:(Some n.n_addr) ?self_principal ~pending
+      ~on_derive ()
+  in
+  List.iter (send t n) emits
+
+(* Execute [work] as node [n]'s CPU: measure its real duration, add
+   the cost-model charges, advance the node's busy horizon, and only
+   then release the messages the work produced (they depart when the
+   node finishes processing, as they would on a real host). *)
+let with_processing (t : t) (n : node) ~(incoming_bytes : int) (work : unit -> unit) :
+    unit =
+  let cm = t.cfg.cost_model in
+  assert (t.out_buffer = []);
+  t.extra_charge <- 0.0;
+  let t0 = Unix.gettimeofday () in
+  work ();
+  let compute = Unix.gettimeofday () -. t0 in
+  let duration =
+    compute +. t.extra_charge
+    +. (if incoming_bytes > 0 then cm.per_message_seconds else 0.0)
+    +. (float_of_int incoming_bytes /. cm.throughput_bytes_per_sec)
+  in
+  t.extra_charge <- 0.0;
+  let now = Net.Event_sim.now t.sim in
+  n.n_free_at <- max n.n_free_at now +. duration;
+  let depart = n.n_free_at -. now in
+  let outgoing = List.rev t.out_buffer in
+  t.out_buffer <- [];
+  List.iter
+    (fun (latency, receiver, msg) ->
+      match receiver with
+      | None -> () (* destination outside the simulation: counted, dropped *)
+      | Some r ->
+        Net.Event_sim.schedule t.sim ~delay:(depart +. latency) (fun () ->
+            !deliver t r msg))
+    outgoing
+
+(* Handle a delivered message: verify, record provenance, insert, and
+   continue the fixpoint. *)
+let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
+  (* If the receiver's CPU is still busy with earlier work, the
+     message waits in its queue. *)
+  let now = Net.Event_sim.now t.sim in
+  if receiver.n_free_at > now +. 1e-9 then
+    Net.Event_sim.schedule_at t.sim ~time:receiver.n_free_at (fun () ->
+        !deliver t receiver msg)
+  else begin
+    receiver.n_msgs_received <- receiver.n_msgs_received + 1;
+    with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun () ->
+        (* [Exit] aborts processing of a forged message; the work done
+           so far (verification) is still charged to the node. *)
+        try handle_message_body t receiver msg with Exit -> ())
+  end
+
+and handle_message_body (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
+  let tuple = msg.msg_tuple in
+  let bytes = Net.Wire.signed_bytes ~src:msg.msg_src ~dst:msg.msg_dst tuple in
+  let asserter =
+    if not t.cfg.verify_signatures then
+      match msg.msg_auth with
+      | Net.Wire.A_none -> None
+      | Net.Wire.A_principal p
+      | Net.Wire.A_hmac { principal = p; _ }
+      | Net.Wire.A_signature { principal = p; _ } -> Some (Value.V_str p)
+    else begin
+      match Sendlog.Auth.verify t.cfg.auth t.directory msg.msg_auth bytes with
+      | Sendlog.Auth.Verified p ->
+        (match t.cfg.auth with
+        | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
+          Net.Stats.record_verification t.stats ~ok:true
+        | _ -> ());
+        Some (Value.V_str p)
+      | Sendlog.Auth.Unsigned -> None
+      | Sendlog.Auth.Forged _ ->
+        Net.Stats.record_verification t.stats ~ok:false;
+        t.dropped_forged <- t.dropped_forged + 1;
+        raise Exit
+    end
+  in
+  (* Record shipped provenance (and the sender pointer for
+     distributed traceback) before evaluation so downstream
+     derivations can fold it in. *)
+  if prov_enabled t then begin
+    let expr =
+      match msg.msg_provenance with
+      | Some block -> decode_prov t block
+      | None -> Provenance.Prov_expr.zero
+    in
+    Prov_store.record_received receiver.n_prov tuple ~from:msg.msg_src ~expr
+  end;
+  process t receiver [ { Eval.f_tuple = tuple; f_asserter = asserter } ]
+
+let () = deliver := handle_message
+
+(* --- public operations ----------------------------------------------- *)
+
+(* Install a base fact at a node (scheduled immediately). *)
+let install_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
+  let n = node t at in
+  Net.Event_sim.schedule t.sim ~delay:0.0 (fun () ->
+      with_processing t n ~incoming_bytes:0 (fun () ->
+          if prov_enabled t && sampled t tuple then
+            Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+          process t n [ { Eval.f_tuple = tuple; f_asserter = None } ]))
+
+(* Install program facts at the location given by their location
+   specifier (or first address argument). *)
+let install_program_facts (t : t) : unit =
+  List.iter
+    (fun (f : Ndlog.Ast.fact) ->
+      let args = List.map Value.of_const f.fact_args in
+      let tuple = Tuple.make f.fact_pred args in
+      let at =
+        let idx = Option.value f.fact_loc ~default:0 in
+        Value.to_addr (List.nth args idx)
+      in
+      install_fact t ~at tuple)
+    (Ndlog.Ast.facts t.compiled.c_program)
+
+(* Install the topology's link facts at their source nodes. *)
+let install_links ?(with_cost = true) (t : t) : unit =
+  List.iter
+    (fun tuple -> install_fact t ~at:(Value.to_addr (Tuple.arg tuple 0)) tuple)
+    (Net.Topology.link_facts ~with_cost t.topo)
+
+type run_result = {
+  wall_seconds : float; (* real CPU time: the paper's completion time *)
+  sim_seconds : float; (* simulated network time at quiescence *)
+  events : int;
+}
+
+(* Run to distributed fixpoint (event-queue quiescence). *)
+let run ?(until = Float.infinity) (t : t) : run_result =
+  let t0 = Unix.gettimeofday () in
+  let events = Net.Event_sim.run ~until t.sim in
+  let wall = Unix.gettimeofday () -. t0 in
+  { wall_seconds = wall; sim_seconds = Net.Event_sim.now t.sim; events }
+
+(* Advance simulated time and evict expired soft state, retiring its
+   provenance to the offline stores. *)
+let advance (t : t) ~(seconds : float) : unit =
+  Net.Event_sim.schedule t.sim ~delay:seconds (fun () -> ());
+  ignore (Net.Event_sim.run t.sim);
+  let now = Net.Event_sim.now t.sim in
+  Hashtbl.iter
+    (fun _ n ->
+      let evicted = Db.evict_expired n.n_db ~now in
+      List.iter (fun tuple -> Prov_store.retire n.n_prov tuple ~now) evicted)
+    t.nodes
+
+(* --- queries ---------------------------------------------------------- *)
+
+let query (t : t) ~(at : string) (rel : string) : Tuple.t list =
+  Db.tuples_of (node t at).n_db rel
+
+let query_all (t : t) (rel : string) : (string * Tuple.t) list =
+  List.concat_map
+    (fun n -> List.map (fun tu -> (n.n_addr, tu)) (Db.tuples_of n.n_db rel))
+    (nodes t)
+
+let provenance_of (t : t) ~(at : string) (tuple : Tuple.t) : Provenance.Prov_expr.t =
+  Prov_store.expr_of (node t at).n_prov tuple
+
+let condensed_annotation (t : t) ~(at : string) (tuple : Tuple.t) : string =
+  Provenance.Condense.annotation t.prov_ctx (provenance_of t ~at tuple)
+
+let stats (t : t) : Net.Stats.t = t.stats
+
+let dropped_forged (t : t) : int = t.dropped_forged
+
+let enable_derivation_log (t : t) : unit = t.log_derivations <- true
+
+let set_message_tap (t : t) (tap : float -> Net.Wire.message -> unit) : unit =
+  t.on_message <- Some tap
+
+let derivation_log (t : t) : Eval.derivation list = List.rev t.derivation_log
+
+(* Total provenance storage across nodes, for the ablations. *)
+let total_storage (t : t) : Prov_store.storage =
+  List.fold_left
+    (fun acc n ->
+      let s = Prov_store.storage n.n_prov in
+      { Prov_store.st_online_entries = acc.Prov_store.st_online_entries + s.st_online_entries;
+        st_online_expr_bytes = acc.st_online_expr_bytes + s.st_online_expr_bytes;
+        st_online_pointer_bytes = acc.st_online_pointer_bytes + s.st_online_pointer_bytes;
+        st_offline_records = acc.st_offline_records + s.st_offline_records;
+        st_offline_bytes = acc.st_offline_bytes + s.st_offline_bytes })
+    { Prov_store.st_online_entries = 0;
+      st_online_expr_bytes = 0;
+      st_online_pointer_bytes = 0;
+      st_offline_records = 0;
+      st_offline_bytes = 0 }
+    (nodes t)

@@ -1,0 +1,149 @@
+(* Distributed provenance queries (Section 4.1).
+
+   With *distributed* provenance each node only stores derivation
+   pointers ("it is derived from link(@a,b) which is available
+   locally, and reachable(@b,c) which is stored at node b"), and a
+   traceback reconstructs the full derivation tree on demand by
+   recursively querying the nodes along the chain - the paper's IP
+   traceback analogy.  The query itself costs messages and bytes,
+   which is the other side of the local-vs-distributed trade-off
+   (ablation A in DESIGN.md). *)
+
+open Engine
+
+type cost = {
+  mutable remote_queries : int;
+  mutable query_bytes : int; (* request + response bytes *)
+  mutable nodes_visited : int;
+}
+
+type result = {
+  tree : Provenance.Derivation.t;
+  expr : Provenance.Prov_expr.t;
+  cost : cost;
+}
+
+(* Approximate wire cost of one remote provenance query: a request
+   naming the tuple plus a response carrying the remote subtree
+   (sized as its expression encoding). *)
+let request_bytes (tuple : Tuple.t) : int = 16 + Tuple.wire_size tuple
+
+let response_bytes (e : Provenance.Prov_expr.t) : int =
+  16 + String.length (Provenance.Prov_expr.encode e)
+
+let max_depth = 64
+
+(* Reconstruct the derivation tree of [tuple] as stored at [addr],
+   following remote pointers across nodes.  [visited] breaks cycles
+   (a tuple rederived through itself across nodes). *)
+let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
+  let cost = { remote_queries = 0; query_bytes = 0; nodes_visited = 1 } in
+  let visited = Hashtbl.create 64 in
+  let rec walk (addr : string) (tuple : Tuple.t) (depth : int) : Provenance.Derivation.t =
+    let key = addr ^ "|" ^ Tuple.identity tuple in
+    let node = Runtime.node t addr in
+    let ident = Tuple.identity tuple in
+    if depth > max_depth || Hashtbl.mem visited key then
+      Provenance.Derivation.Leaf
+        { tuple = ident; ann = Provenance.Derivation.annot addr }
+    else begin
+      Hashtbl.add visited key ();
+      let derivs = Prov_store.derivs_of node.Runtime.n_prov tuple in
+      let received = Prov_store.received_from node.Runtime.n_prov tuple in
+      let local_alternatives =
+        List.map
+          (fun (r : Prov_store.deriv_record) ->
+            let children =
+              List.map
+                (fun (b, origin, says) ->
+                  match origin with
+                  | Prov_store.O_local -> walk addr b (depth + 1)
+                  | Prov_store.O_remote sender ->
+                    cost.remote_queries <- cost.remote_queries + 1;
+                    cost.nodes_visited <- cost.nodes_visited + 1;
+                    cost.query_bytes <- cost.query_bytes + request_bytes b;
+                    let sub = walk sender b (depth + 1) in
+                    cost.query_bytes <-
+                      cost.query_bytes
+                      + response_bytes (Provenance.Derivation.to_expr_by_tuple sub);
+                    (match says with
+                    | Some _ -> sub
+                    | None -> sub))
+                r.dr_body
+            in
+            Provenance.Derivation.Rule
+              { rule = r.dr_rule;
+                tuple = ident;
+                ann =
+                  Provenance.Derivation.annot ~created:r.dr_at
+                    ?says:
+                      (match r.dr_signer with
+                      | Some s -> Some s
+                      | None -> Some addr)
+                    ?signature:r.dr_signature addr;
+                children })
+          derivs
+      in
+      (* Tuples that (also) arrived over the network are traced at
+         their senders, yielding the remote alternatives of the
+         union. *)
+      let remote_alternatives =
+        List.map
+            (fun sender ->
+              cost.remote_queries <- cost.remote_queries + 1;
+              cost.nodes_visited <- cost.nodes_visited + 1;
+              cost.query_bytes <- cost.query_bytes + request_bytes tuple;
+              let sub = walk sender tuple (depth + 1) in
+              cost.query_bytes <-
+                cost.query_bytes
+                + response_bytes (Provenance.Derivation.to_expr_by_tuple sub);
+              sub)
+            received
+      in
+      match local_alternatives @ remote_alternatives with
+      | [] ->
+        (* A base tuple: leaf asserted by its home node. *)
+        Provenance.Derivation.Leaf
+          { tuple = ident; ann = Provenance.Derivation.annot ~says:addr addr }
+      | [ one ] -> one
+      | alternatives -> Provenance.Derivation.Union { tuple = ident; alternatives }
+    end
+  in
+  let tree = walk at tuple 0 in
+  { tree; expr = Provenance.Derivation.to_expr tree; cost }
+
+(* The source principals/nodes a tuple ultimately depends on - the
+   "trace the origins of its data" primitive of the trust-management
+   use case. *)
+let origins (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : string list =
+  let r = query t ~at tuple in
+  Provenance.Prov_expr.bases r.expr
+
+(* Delete all tuples at [at] whose provenance involves [suspect]: the
+   paper's diagnostics reaction ("when a node is detected to be
+   suspicious, one can query the online provenance to delete all
+   routing entries associated with the malicious node").  Returns the
+   deleted tuples. *)
+let purge_suspect (t : Runtime.t) ~(at : string) ~(suspect : string) : Tuple.t list =
+  let node = Runtime.node t at in
+  let deleted = ref [] in
+  List.iter
+    (fun rel ->
+      List.iter
+        (fun tuple ->
+          let expr = Prov_store.expr_of node.Runtime.n_prov tuple in
+          let involved =
+            List.exists (String.equal suspect) (Provenance.Prov_expr.bases expr)
+            ||
+            (* Distributed mode: walk the pointers. *)
+            (Provenance.Prov_expr.equal expr Provenance.Prov_expr.zero
+            && Prov_store.derivs_of node.Runtime.n_prov tuple <> []
+            && List.exists (String.equal suspect) (origins t ~at tuple))
+          in
+          if involved then begin
+            Db.remove node.Runtime.n_db tuple;
+            deleted := tuple :: !deleted
+          end)
+        (Db.tuples_of node.Runtime.n_db rel))
+    (Db.relation_names node.Runtime.n_db);
+  !deleted

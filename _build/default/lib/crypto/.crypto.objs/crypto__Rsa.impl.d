@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bigint Bignum Nat Prime Printf Rng Sha256 String

@@ -1,0 +1,24 @@
+(* HMAC-SHA256 (RFC 2104).  Used by the benign "cleartext plus MAC"
+   authentication mode of SeNDlog's [says], where full RSA signatures
+   are unnecessary. *)
+
+let block_size = 64
+
+let sha256 ~(key : string) (msg : string) : string =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  let key =
+    if String.length key < block_size then
+      key ^ String.make (block_size - String.length key) '\000'
+    else key
+  in
+  let xor_with pad =
+    String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
+  in
+  let ipad = xor_with 0x36 and opad = xor_with 0x5c in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let hex ~key msg = Sha256.to_hex (sha256 ~key msg)
+
+let verify ~key ~tag msg = String.equal (sha256 ~key msg) tag

@@ -1,0 +1,91 @@
+(* Probabilistic prime generation for RSA key material.
+
+   Miller-Rabin with deterministic-seeded random witnesses, preceded by
+   trial division against small primes to reject most composites
+   cheaply. *)
+
+open Bignum
+
+(* Primes below 1000, for fast trial division. *)
+let small_primes =
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to limit do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let acc = ref [] in
+  for i = limit downto 2 do
+    if sieve.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let divisible_by_small_prime (n : Nat.t) : bool =
+  List.exists
+    (fun p ->
+      let _, r = Nat.divmod_limb n p in
+      r = 0 && not (Nat.equal n (Nat.of_int p)))
+    small_primes
+
+(* One Miller-Rabin round with witness [a]; [n - 1 = d * 2^s]. *)
+let miller_rabin_round n d s a =
+  let x = ref (Nat.mod_pow a d n) in
+  let n1 = Nat.sub n Nat.one in
+  if Nat.equal !x Nat.one || Nat.equal !x n1 then true
+  else begin
+    let ok = ref false in
+    let r = ref 1 in
+    while (not !ok) && !r < s do
+      x := Nat.rem (Nat.mul !x !x) n;
+      if Nat.equal !x n1 then ok := true;
+      incr r
+    done;
+    !ok
+  end
+
+let is_probable_prime ?(rounds = 24) (rng : Rng.t) (n : Nat.t) : bool =
+  if Nat.compare n Nat.two < 0 then false
+  else if Nat.equal n Nat.two then true
+  else if Nat.is_even n then false
+  else if List.exists (fun p -> Nat.equal n (Nat.of_int p)) small_primes then true
+  else if divisible_by_small_prime n then false
+  else begin
+    let n1 = Nat.sub n Nat.one in
+    (* Write n - 1 = d * 2^s with d odd. *)
+    let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
+    let d, s = split n1 0 in
+    let rand = Rng.nat_rand rng in
+    let rec rounds_ok i =
+      if i = 0 then true
+      else begin
+        (* Witness in [2, n-2]. *)
+        let a = Nat.add (Nat.random_below ~rand (Nat.sub n (Nat.of_int 3))) Nat.two in
+        miller_rabin_round n d s a && rounds_ok (i - 1)
+      end
+    in
+    rounds_ok rounds
+  end
+
+(* [generate rng ~bits] returns a random probable prime with exactly
+   [bits] bits (top bit forced, so products of two such primes have
+   2*bits or 2*bits-1 bits). *)
+let generate (rng : Rng.t) ~(bits : int) : Nat.t =
+  if bits < 4 then invalid_arg "Prime.generate: need >= 4 bits";
+  let rand = Rng.nat_rand rng in
+  let rec go () =
+    (* Draw the low bits at random, then force the two top bits (so the
+       product of two such primes reaches the target modulus width) and
+       the bottom bit (odd). *)
+    let c = Nat.random_bits ~rand (bits - 2) in
+    let c = Nat.add c (Nat.shift_left (Nat.of_int 3) (bits - 2)) in
+    let c = if Nat.is_even c then Nat.add c Nat.one else c in
+    if is_probable_prime rng c then c else go ()
+  in
+  go ()

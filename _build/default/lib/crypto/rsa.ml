@@ -1,0 +1,84 @@
+(* RSA signatures over SHA-256 digests.
+
+   Substitute for the OpenSSL RSA signing the paper's modified P2 uses
+   for authenticated communication (SeNDlog's [says]) and authenticated
+   provenance.  Padding follows the PKCS#1 v1.5 layout (0x00 0x01 FF..
+   0x00 || digest) but without the DER DigestInfo header; this is a
+   simulation-grade scheme whose *cost profile* (one mod-exp per sign /
+   verify, signature as wide as the modulus) matches real RSA, which is
+   all the paper's evaluation depends on. *)
+
+open Bignum
+
+type public_key = { n : Nat.t; e : Nat.t; key_bits : int }
+
+type private_key = { pub : public_key; d : Nat.t }
+
+type keypair = { public : public_key; private_ : private_key }
+
+let public_exponent = Nat.of_int 65537
+
+(* [generate rng ~bits] generates an RSA keypair with a [bits]-wide
+   modulus.  Deterministic given the generator state. *)
+let generate (rng : Rng.t) ~(bits : int) : keypair =
+  if bits < 64 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.generate rng ~bits:half in
+    let q = Prime.generate rng ~bits:(bits - half) in
+    if Nat.equal p q then go ()
+    else begin
+      let n = Nat.mul p q in
+      let phi = Nat.mul (Nat.sub p Nat.one) (Nat.sub q Nat.one) in
+      match
+        Bigint.mod_inverse (Bigint.of_nat public_exponent) (Bigint.of_nat phi)
+      with
+      | None -> go () (* e not coprime with phi; extremely rare *)
+      | Some d ->
+        let pub = { n; e = public_exponent; key_bits = bits } in
+        { public = pub; private_ = { pub; d = Bigint.to_nat_exn d } }
+    end
+  in
+  go ()
+
+let signature_size (pub : public_key) : int = (pub.key_bits + 7) / 8
+
+(* Deterministic PKCS#1-v1.5-style encoding of a digest into a natural
+   just below the modulus. *)
+let encode_digest (pub : public_key) (digest : string) : Nat.t =
+  let k = signature_size pub in
+  let dlen = String.length digest in
+  if k < dlen + 11 then invalid_arg "Rsa.encode_digest: modulus too small";
+  let padding = String.make (k - dlen - 3) '\xFF' in
+  Nat.of_bytes_be ("\x00\x01" ^ padding ^ "\x00" ^ digest)
+
+let sign (priv : private_key) (message : string) : string =
+  let m = encode_digest priv.pub (Sha256.digest message) in
+  let s = Nat.mod_pow m priv.d priv.pub.n in
+  let raw = Nat.to_bytes_be s in
+  (* Left-pad to the full modulus width so signatures have fixed size. *)
+  let k = signature_size priv.pub in
+  String.make (k - String.length raw) '\000' ^ raw
+
+let verify (pub : public_key) ~(signature : string) (message : string) : bool =
+  String.length signature = signature_size pub
+  && begin
+       let s = Nat.of_bytes_be signature in
+       Nat.compare s pub.n < 0
+       && Nat.equal (Nat.mod_pow s pub.e pub.n) (encode_digest pub (Sha256.digest message))
+     end
+
+(* Serialized public key, also used for fingerprints in wire messages. *)
+let public_to_string (pub : public_key) : string =
+  Printf.sprintf "rsa:%d:%s:%s" pub.key_bits (Nat.to_hex pub.n) (Nat.to_hex pub.e)
+
+let public_of_string (s : string) : public_key option =
+  match String.split_on_char ':' s with
+  | [ "rsa"; bits; n; e ] -> (
+    match int_of_string_opt bits with
+    | Some key_bits -> Some { n = Nat.of_hex n; e = Nat.of_hex e; key_bits }
+    | None -> None)
+  | _ -> None
+
+let fingerprint (pub : public_key) : string =
+  String.sub (Sha256.hex_digest (public_to_string pub)) 0 16

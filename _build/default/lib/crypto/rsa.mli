@@ -1,0 +1,41 @@
+(** RSA signatures over SHA-256 digests — the substitute for the
+    OpenSSL signing the paper's modified P2 performs on every
+    inter-node tuple (SeNDlog's authenticated [says]) and on
+    provenance nodes (Section 4.3).
+
+    Simulation-grade: deterministic PKCS#1-v1.5-style padding without
+    the DER DigestInfo header, no blinding, no constant-time
+    guarantees.  The cost profile (one modular exponentiation per
+    sign/verify, signature as wide as the modulus) matches real RSA,
+    which is what the paper's evaluation depends on. *)
+
+type public_key = { n : Bignum.Nat.t; e : Bignum.Nat.t; key_bits : int }
+
+type private_key = { pub : public_key; d : Bignum.Nat.t }
+
+type keypair = { public : public_key; private_ : private_key }
+
+val public_exponent : Bignum.Nat.t
+(** 65537. *)
+
+val generate : Rng.t -> bits:int -> keypair
+(** Deterministic given the generator state.  The modulus must leave
+    room for the padded digest: [bits >= 344] in practice for SHA-256.
+    @raise Invalid_argument when [bits < 64]. *)
+
+val signature_size : public_key -> int
+(** Signature width in bytes (the modulus width). *)
+
+val sign : private_key -> string -> string
+(** Sign the SHA-256 digest of the message; fixed-width output. *)
+
+val verify : public_key -> signature:string -> string -> bool
+
+val public_to_string : public_key -> string
+val public_of_string : string -> public_key option
+
+val fingerprint : public_key -> string
+(** 16-hex-character key fingerprint. *)
+
+val encode_digest : public_key -> string -> Bignum.Nat.t
+(** The deterministic padding, exposed for tests. *)

@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4), verified against the FIPS test vectors in
+    the test suite.  Used for message digests under RSA signatures,
+    HMAC, Bloom-filter hashing, and deterministic sampling. *)
+
+type ctx
+(** Streaming context. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** The 32-byte digest; the context must not be reused. *)
+
+val digest : string -> string
+(** One-shot 32-byte digest. *)
+
+val hex_digest : string -> string
+(** One-shot digest in lowercase hex. *)
+
+val to_hex : string -> string
+(** Hex-encode arbitrary bytes (e.g. a digest). *)
+
+val digest_size : int
+(** 32. *)

@@ -1,0 +1,1 @@
+lib/engine/bindings.ml: List Map Printf String Value

@@ -1,0 +1,1 @@
+lib/engine/db.ml: Fun Hashtbl List Ndlog Option String Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Bindings Db Expr_eval Hashtbl List Ndlog Option String Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/expr_eval.ml: Bindings Crypto Float List Ndlog Printf Tuple Value

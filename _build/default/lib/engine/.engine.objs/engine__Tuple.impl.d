@@ -1,0 +1,1 @@
+lib/engine/tuple.ml: Array Format Hashtbl List Printf Stdlib String Value

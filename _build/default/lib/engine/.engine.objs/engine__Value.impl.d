@@ -1,0 +1,1 @@
+lib/engine/value.ml: Format Hashtbl List Ndlog Printf Stdlib String

@@ -1,0 +1,238 @@
+(* Per-node tuple store.
+
+   Each relation is a set of tuples with per-tuple soft-state metadata
+   (creation time, expiry).  Relations can carry a *replace policy*
+   (from `#key` directives or MIN/MAX aggregate heads): tuples are
+   keyed on a column subset, and an insert for an existing key either
+   replaces the old tuple or is rejected, depending on the preference
+   order.  This implements P2's materialized-table semantics and the
+   replace-based convergence of Best-Path (see DESIGN.md). *)
+
+type prefer =
+  | P_last (* last write wins *)
+  | P_min of int (* keep the tuple with the smallest value at index *)
+  | P_max of int
+
+type policy =
+  | Set (* plain set semantics *)
+  | Replace of { key : int list; prefer : prefer }
+
+type meta = {
+  mutable inserted_at : float;
+  mutable expires_at : float option;
+  mutable asserters : Value.t list;
+  (* Principals that have asserted this tuple via SeNDlog's [says];
+     empty in plain NDlog mode.  A tuple can be asserted by several
+     neighbours, and a `W says p(...)` literal enumerates them. *)
+}
+
+type rel_store = {
+  tuples : meta Tuple.Table.t;
+  mutable policy : policy;
+  by_key : (Value.t list, Tuple.t) Hashtbl.t;
+}
+
+type t = {
+  rels : (string, rel_store) Hashtbl.t;
+  ttls : (string, float) Hashtbl.t; (* soft-state lifetime per relation *)
+}
+
+let create () = { rels = Hashtbl.create 32; ttls = Hashtbl.create 8 }
+
+let rel_store (db : t) (name : string) : rel_store =
+  match Hashtbl.find_opt db.rels name with
+  | Some r -> r
+  | None ->
+    let r = { tuples = Tuple.Table.create 64; policy = Set; by_key = Hashtbl.create 16 } in
+    Hashtbl.add db.rels name r;
+    r
+
+let set_policy (db : t) (name : string) (policy : policy) : unit =
+  (rel_store db name).policy <- policy
+
+let policy (db : t) (name : string) : policy = (rel_store db name).policy
+
+let set_ttl (db : t) (name : string) (seconds : float) : unit =
+  Hashtbl.replace db.ttls name seconds
+
+let ttl (db : t) (name : string) : float option = Hashtbl.find_opt db.ttls name
+
+type insert_result =
+  | Added
+  | Refreshed (* already present; soft-state lifetime extended *)
+  | New_asserter (* already present, but now asserted by a new principal *)
+  | Replaced of Tuple.t (* keyed relation: the returned old tuple was evicted *)
+  | Rejected (* keyed relation: existing tuple preferred *)
+
+(* Results that introduce new information and must join the
+   semi-naive frontier. *)
+let result_is_new = function
+  | Added | New_asserter | Replaced _ -> true
+  | Refreshed | Rejected -> false
+
+(* Compare a candidate against the incumbent under a preference
+   order; [true] when the candidate should replace it. *)
+let candidate_wins prefer ~incumbent ~candidate =
+  match prefer with
+  | P_last -> true
+  | P_min i -> Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) < 0
+  | P_max i -> Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) > 0
+
+let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
+    (tuple : Tuple.t) : insert_result =
+  let store = rel_store db tuple.rel in
+  let expires_at = Option.map (fun s -> now +. s) (ttl db tuple.rel) in
+  let asserters = Option.to_list asserted_by in
+  let add_new () =
+    Tuple.Table.replace store.tuples tuple { inserted_at = now; expires_at; asserters }
+  in
+  (* Refresh an existing tuple's soft state; reports [New_asserter]
+     when the asserting principal is new for this tuple. *)
+  let refresh (meta : meta) =
+    meta.expires_at <- expires_at;
+    match asserted_by with
+    | Some p when not (List.exists (Value.equal p) meta.asserters) ->
+      meta.asserters <- p :: meta.asserters;
+      New_asserter
+    | Some _ | None -> Refreshed
+  in
+  match store.policy with
+  | Set -> (
+    match Tuple.Table.find_opt store.tuples tuple with
+    | Some meta -> refresh meta
+    | None ->
+      add_new ();
+      Added)
+  | Replace { key; prefer } -> (
+    let k = Tuple.key_of tuple key in
+    match Hashtbl.find_opt store.by_key k with
+    | None ->
+      add_new ();
+      Hashtbl.replace store.by_key k tuple;
+      Added
+    | Some incumbent when Tuple.equal incumbent tuple -> (
+      match Tuple.Table.find_opt store.tuples tuple with
+      | Some meta -> refresh meta
+      | None ->
+        add_new ();
+        Added)
+    | Some incumbent ->
+      if candidate_wins prefer ~incumbent ~candidate:tuple then begin
+        Tuple.Table.remove store.tuples incumbent;
+        add_new ();
+        Hashtbl.replace store.by_key k tuple;
+        Replaced incumbent
+      end
+      else Rejected)
+
+let asserters_of (db : t) (tuple : Tuple.t) : Value.t list =
+  match Hashtbl.find_opt db.rels tuple.rel with
+  | None -> []
+  | Some store -> (
+    match Tuple.Table.find_opt store.tuples tuple with
+    | None -> []
+    | Some meta -> meta.asserters)
+
+let mem (db : t) (tuple : Tuple.t) : bool =
+  match Hashtbl.find_opt db.rels tuple.rel with
+  | None -> false
+  | Some store -> Tuple.Table.mem store.tuples tuple
+
+let remove (db : t) (tuple : Tuple.t) : unit =
+  match Hashtbl.find_opt db.rels tuple.rel with
+  | None -> ()
+  | Some store ->
+    Tuple.Table.remove store.tuples tuple;
+    (match store.policy with
+    | Set -> ()
+    | Replace { key; _ } ->
+      let k = Tuple.key_of tuple key in
+      (match Hashtbl.find_opt store.by_key k with
+      | Some t when Tuple.equal t tuple -> Hashtbl.remove store.by_key k
+      | Some _ | None -> ()))
+
+let iter_rel (db : t) (name : string) (f : Tuple.t -> unit) : unit =
+  match Hashtbl.find_opt db.rels name with
+  | None -> ()
+  | Some store -> Tuple.Table.iter (fun t _ -> f t) store.tuples
+
+let fold_rel (db : t) (name : string) (f : Tuple.t -> 'a -> 'a) (init : 'a) : 'a =
+  match Hashtbl.find_opt db.rels name with
+  | None -> init
+  | Some store -> Tuple.Table.fold (fun t _ acc -> f t acc) store.tuples init
+
+let tuples_of (db : t) (name : string) : Tuple.t list =
+  fold_rel db name (fun t acc -> t :: acc) []
+
+let cardinal (db : t) (name : string) : int =
+  match Hashtbl.find_opt db.rels name with
+  | None -> 0
+  | Some store -> Tuple.Table.length store.tuples
+
+let relation_names (db : t) : string list =
+  Hashtbl.fold (fun k _ acc -> k :: acc) db.rels [] |> List.sort String.compare
+
+let total_tuples (db : t) : int =
+  Hashtbl.fold (fun _ store acc -> acc + Tuple.Table.length store.tuples) db.rels 0
+
+let meta_of (db : t) (tuple : Tuple.t) : meta option =
+  match Hashtbl.find_opt db.rels tuple.rel with
+  | None -> None
+  | Some store -> Tuple.Table.find_opt store.tuples tuple
+
+(* Remove all tuples whose soft-state lifetime has passed; returns the
+   evicted tuples so the caller can move their provenance to an
+   offline store (Section 4.2 of the paper). *)
+let evict_expired (db : t) ~(now : float) : Tuple.t list =
+  let evicted = ref [] in
+  Hashtbl.iter
+    (fun _ store ->
+      let dead =
+        Tuple.Table.fold
+          (fun t meta acc ->
+            match meta.expires_at with
+            | Some e when e <= now -> t :: acc
+            | Some _ | None -> acc)
+          store.tuples []
+      in
+      List.iter
+        (fun t ->
+          Tuple.Table.remove store.tuples t;
+          (match store.policy with
+          | Set -> ()
+          | Replace { key; _ } -> (
+            let k = Tuple.key_of t key in
+            match Hashtbl.find_opt store.by_key k with
+            | Some cur when Tuple.equal cur t -> Hashtbl.remove store.by_key k
+            | Some _ | None -> ()));
+          evicted := t :: !evicted)
+        dead)
+    db.rels;
+  !evicted
+
+(* Apply `#key` / `#ttl` directives from a parsed program, and derive
+   replace policies for MIN/MAX aggregate heads (group-by columns form
+   the key; see DESIGN.md "Aggregates"). *)
+let configure_from_program (db : t) (p : Ndlog.Ast.program) : unit =
+  List.iter
+    (function
+      | Ndlog.Ast.D_ttl (rel, seconds) -> set_ttl db rel seconds
+      | Ndlog.Ast.D_key (rel, key) -> set_policy db rel (Replace { key; prefer = P_last })
+      | Ndlog.Ast.D_watch _ -> ())
+    (Ndlog.Ast.directives p);
+  List.iter
+    (fun (r : Ndlog.Ast.rule) ->
+      match Ndlog.Ast.head_agg r.rule_head with
+      | Some (i, fn, _) -> (
+        let rel = r.rule_head.head_pred in
+        let nargs = List.length r.rule_head.head_args in
+        let key = List.filter (fun j -> j <> i) (List.init nargs Fun.id) in
+        match fn with
+        | A_min -> set_policy db rel (Replace { key; prefer = P_min i })
+        | A_max -> set_policy db rel (Replace { key; prefer = P_max i })
+        | A_count | A_sum ->
+          (* COUNT/SUM groups are recomputed wholesale each round; the
+             key keeps one tuple per group. *)
+          set_policy db rel (Replace { key; prefer = P_last }))
+      | None -> ())
+    (Ndlog.Ast.rules p)

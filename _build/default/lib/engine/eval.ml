@@ -1,0 +1,389 @@
+(* Semi-naive bottom-up evaluation of localized NDlog / SeNDlog rules
+   at one node.
+
+   The evaluator is provenance-agnostic: every successful derivation
+   is reported through the [on_derive] callback (tuple, rule, body
+   tuples used), and the caller (Core.Runtime) decides how to record
+   provenance, sign tuples, and so on.  Derived tuples whose head
+   location is not the local address are returned as [emit]s for the
+   network layer instead of being inserted.
+
+   Aggregates:
+   - MIN/MAX heads are evaluated as plain rules deriving candidate
+     tuples; the relation's replace policy (installed by
+     [Db.configure_from_program]) keeps only the best tuple per group
+     and improvements re-enter the frontier.  This is exactly how
+     Best-Path converges in P2 (transient worse routes are replaced).
+   - COUNT/SUM heads are recomputed from scratch on every round
+     (stratification has already rejected recursion through them). *)
+
+open Ndlog.Ast
+
+(* One derivation step: [d_head] was produced by rule [d_rule] from
+   the positive body matches [d_body]; each body entry carries the
+   asserting principal consumed by a [says] literal, if any. *)
+type derivation = {
+  d_rule : string;
+  d_head : Tuple.t;
+  d_body : (Tuple.t * Value.t option) list;
+}
+
+(* A tuple addressed to another node. *)
+type emit = {
+  e_dest : string;
+  e_tuple : Tuple.t;
+  e_deriv : derivation;
+}
+
+type frontier_item = {
+  f_tuple : Tuple.t;
+  f_asserter : Value.t option;
+}
+
+exception Rule_error of string
+
+(* --- body matching -------------------------------------------------- *)
+
+(* Enumerate matches of one positive predicate literal against a list
+   of candidate tuples.  For a [says] literal, the asserter pattern is
+   matched against each recorded asserter of the tuple (or against the
+   supplied asserter for frontier tuples). *)
+let match_literal_tuples (db : Db.t) (pred : pred) (says : term option)
+    (bindings : Bindings.t) (candidates : (Tuple.t * Value.t option list) list) :
+    (Bindings.t * Tuple.t * Value.t option) list =
+  List.concat_map
+    (fun (tuple, asserter_choices) ->
+      if tuple.Tuple.rel <> pred.name then []
+      else begin
+        match Expr_eval.match_args bindings pred.args tuple with
+        | None -> []
+        | Some b -> (
+          match says with
+          | None -> [ (b, tuple, None) ]
+          | Some says_pattern ->
+            (* Enumerate asserters; for database tuples this is the
+               recorded asserter set. *)
+            let choices =
+              match asserter_choices with
+              | [] -> Db.asserters_of db tuple |> List.map Option.some
+              | cs -> cs
+            in
+            List.filter_map
+              (fun asserter ->
+                match asserter with
+                | None -> None (* says requires an asserted tuple *)
+                | Some p -> (
+                  match Expr_eval.match_term b says_pattern p with
+                  | Some b' -> Some (b', tuple, Some p)
+                  | None -> None))
+              choices)
+      end)
+    candidates
+
+let db_candidates (db : Db.t) (name : string) : (Tuple.t * Value.t option list) list =
+  Db.fold_rel db name (fun t acc -> (t, []) :: acc) []
+
+(* Evaluate the body of [rule] with the literal at positive-predicate
+   index [delta_at] (0-based among positive predicates) drawn from
+   [delta] instead of the database.  Returns complete bindings plus
+   the body tuples used. *)
+let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
+    ~(delta_at : int option) ~(delta : frontier_item list) :
+    (Bindings.t * (Tuple.t * Value.t option) list) list =
+  (* A SeNDlog `At S:` context binds its principal variable to the
+     executing node's principal; a constant context only fires at the
+     named principal. *)
+  let init =
+    match (rule.rule_context, self) with
+    | None, _ -> [ (Bindings.empty, []) ]
+    | Some (T_var v), Some p -> (
+      match Bindings.bind v p Bindings.empty with
+      | Some b -> [ (b, []) ]
+      | None -> [])
+    | Some (T_const c), Some p ->
+      if Value.equal (Value.of_const c) p then [ (Bindings.empty, []) ] else []
+    | Some _, None -> [ (Bindings.empty, []) ]
+    | Some (T_binop _ | T_app _), Some _ -> [ (Bindings.empty, []) ]
+  in
+  let rec go lits pred_idx acc =
+    match lits with
+    | [] -> acc
+    | lit :: rest -> (
+      match lit with
+      | L_pred { pred; says; negated = false } ->
+        let use_delta = delta_at = Some pred_idx in
+        let acc' =
+          List.concat_map
+            (fun (b, body) ->
+              let candidates =
+                if use_delta then
+                  (* Skip stale frontier entries: a keyed relation may
+                     have replaced a tuple after it entered the
+                     frontier (e.g. a better bestPathCost arrived in
+                     the same round); joining against the dead tuple
+                     would resurrect superseded derivations. *)
+                  List.filter_map
+                    (fun fi ->
+                      if fi.f_tuple.Tuple.rel = pred.name && Db.mem db fi.f_tuple then
+                        Some (fi.f_tuple, [ fi.f_asserter ])
+                      else None)
+                    delta
+                else db_candidates db pred.name
+              in
+              match_literal_tuples db pred says b candidates
+              |> List.map (fun (b', tuple, asserter) -> (b', body @ [ (tuple, asserter) ])))
+            acc
+        in
+        go rest (pred_idx + 1) acc'
+      | L_pred { pred; says = _; negated = true } ->
+        let acc' =
+          List.filter
+            (fun (b, _) ->
+              not
+                (Db.fold_rel db pred.name
+                   (fun t found ->
+                     found || Option.is_some (Expr_eval.match_args b pred.args t))
+                   false))
+            acc
+        in
+        go rest pred_idx acc'
+      | L_cond (op, x, y) ->
+        let acc' =
+          List.filter
+            (fun (b, _) ->
+              try Expr_eval.eval_relop op (Expr_eval.eval b x) (Expr_eval.eval b y)
+              with Expr_eval.Eval_error _ -> false)
+            acc
+        in
+        go rest pred_idx acc'
+      | L_assign (v, e) ->
+        let acc' =
+          List.filter_map
+            (fun (b, body) ->
+              match Expr_eval.eval b e with
+              | x -> (
+                match Bindings.bind v x b with
+                | Some b' -> Some (b', body)
+                | None -> None)
+              | exception Expr_eval.Eval_error _ -> None)
+            acc
+        in
+        go rest pred_idx acc')
+  in
+  go rule.rule_body 0 init
+
+let positive_pred_count (rule : rule) : int =
+  List.length
+    (List.filter
+       (function L_pred { negated = false; _ } -> true | _ -> false)
+       rule.rule_body)
+
+(* --- head construction ---------------------------------------------- *)
+
+(* Build the head tuple and its destination address under [bindings].
+   NDlog heads are addressed by the @-marked argument; SeNDlog heads by
+   [export_to], defaulting to the local context. *)
+let instantiate_head (rule : rule) (bindings : Bindings.t) : Tuple.t * string option =
+  let head = rule.rule_head in
+  let arg_value = function
+    | H_term t -> Expr_eval.eval bindings t
+    | H_agg ((A_min | A_max), v) -> Bindings.find_exn v bindings
+    | H_agg ((A_count | A_sum), _) ->
+      raise (Rule_error "COUNT/SUM heads are recomputed, not instantiated")
+  in
+  let args = List.map arg_value head.head_args in
+  let tuple = { Tuple.rel = head.head_pred; args = Array.of_list args } in
+  let dest =
+    match head.export_to with
+    | Some t -> Some (Value.to_addr (Expr_eval.eval bindings t))
+    | None -> (
+      match head.head_loc with
+      | Some i -> Some (Value.to_addr (List.nth args i))
+      | None -> None)
+  in
+  (tuple, dest)
+
+(* --- COUNT / SUM recomputation -------------------------------------- *)
+
+let is_recomputed_agg (rule : rule) : bool =
+  match head_agg rule.rule_head with
+  | Some (_, (A_count | A_sum), _) -> true
+  | Some (_, (A_min | A_max), _) | None -> false
+
+(* Recompute a COUNT/SUM rule over the full database: group complete
+   body matches by the non-aggregate head arguments and produce one
+   tuple per group. *)
+let recompute_agg_rule (db : Db.t) ~(self : Value.t option) (rule : rule) :
+    (Tuple.t * string option * (Tuple.t * Value.t option) list) list =
+  match head_agg rule.rule_head with
+  | None | Some (_, (A_min | A_max), _) -> []
+  | Some (agg_idx, fn, agg_var) ->
+    let matches = eval_body db rule ~self ~delta_at:None ~delta:[] in
+    let groups : (Value.t list, Value.t list * (Tuple.t * Value.t option) list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun (b, body) ->
+        let group_args =
+          List.filteri (fun i _ -> i <> agg_idx) rule.rule_head.head_args
+          |> List.map (function
+               | H_term t -> Expr_eval.eval b t
+               | H_agg _ -> raise (Rule_error "multiple aggregates in head"))
+        in
+        let v = Bindings.find_exn agg_var b in
+        let prev_vals, prev_body =
+          Option.value (Hashtbl.find_opt groups group_args) ~default:([], [])
+        in
+        (* Count distinct witness values, per Datalog set semantics. *)
+        let vals =
+          if List.exists (Value.equal v) prev_vals then prev_vals else v :: prev_vals
+        in
+        Hashtbl.replace groups group_args (vals, prev_body @ body))
+      matches;
+    Hashtbl.fold
+      (fun group_args (vals, body) acc ->
+        let agg_value =
+          match fn with
+          | A_count -> Value.V_int (List.length vals)
+          | A_sum ->
+            List.fold_left
+              (fun acc v ->
+                match (acc, v) with
+                | Value.V_int a, Value.V_int b -> Value.V_int (a + b)
+                | Value.V_float a, Value.V_float b -> Value.V_float (a +. b)
+                | Value.V_int a, Value.V_float b -> Value.V_float (float_of_int a +. b)
+                | Value.V_float a, Value.V_int b -> Value.V_float (a +. float_of_int b)
+                | _ -> raise (Rule_error "SUM over non-numeric values"))
+              (Value.V_int 0) vals
+          | A_min | A_max -> assert false
+        in
+        (* Re-insert the aggregate value at its head position. *)
+        let rec insert_at i l =
+          if i = agg_idx then agg_value :: l
+          else
+            match l with
+            | [] -> [ agg_value ]
+            | x :: rest -> x :: insert_at (i + 1) rest
+        in
+        let args = insert_at 0 group_args in
+        let tuple = { Tuple.rel = rule.rule_head.head_pred; args = Array.of_list args } in
+        let dest =
+          match rule.rule_head.head_loc with
+          | Some i -> Some (Value.to_addr (List.nth args i))
+          | None -> None
+        in
+        (tuple, dest, body) :: acc)
+      groups []
+
+(* --- the fixpoint ---------------------------------------------------- *)
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int;
+  mutable inserted : int;
+}
+
+let new_stats () = { rounds = 0; derivations = 0; inserted = 0 }
+
+(* [run_fixpoint db ~now ~rules ~local ~self_principal ~pending ~on_derive]
+   inserts [pending] and applies [rules] to a local fixpoint.
+
+   - [local]: this node's address; derived tuples addressed elsewhere
+     become [emit]s.  [None] runs single-site (everything local).
+   - [self_principal]: the asserting principal recorded for locally
+     derived tuples (SeNDlog context; [None] in plain NDlog).
+   - [on_derive] fires for *every* derivation found, including
+     re-derivations of existing tuples, so the caller can accumulate
+     alternative provenance (Plus in the semiring). *)
+let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
+    ~(local : string option) ?(self_principal : Value.t option)
+    ~(pending : frontier_item list) ~(on_derive : derivation -> unit) () :
+    emit list * stats =
+  let stats = new_stats () in
+  let emits = ref [] in
+  let agg_rules, plain_rules = List.partition is_recomputed_agg rules in
+  let insert_local tuple asserter =
+    let r = Db.insert db ~now ?asserted_by:asserter tuple in
+    if Db.result_is_new r then Some { f_tuple = tuple; f_asserter = asserter } else None
+  in
+  (* Insert the initial pending tuples. *)
+  let frontier =
+    ref (List.filter_map (fun fi -> insert_local fi.f_tuple fi.f_asserter) pending)
+  in
+  let process_derivation rule_name (tuple, dest, body) next_frontier =
+    stats.derivations <- stats.derivations + 1;
+    let deriv = { d_rule = rule_name; d_head = tuple; d_body = body } in
+    let is_local = match (dest, local) with
+      | None, _ -> true
+      | Some _, None -> true
+      | Some d, Some l -> String.equal d l
+    in
+    if is_local then begin
+      on_derive deriv;
+      match insert_local tuple self_principal with
+      | Some fi ->
+        stats.inserted <- stats.inserted + 1;
+        fi :: next_frontier
+      | None -> next_frontier
+    end
+    else begin
+      (match dest with
+      | Some d -> emits := { e_dest = d; e_tuple = tuple; e_deriv = deriv } :: !emits
+      | None -> ());
+      next_frontier
+    end
+  in
+  while !frontier <> [] do
+    stats.rounds <- stats.rounds + 1;
+    let delta = !frontier in
+    let next = ref [] in
+    (* Plain (and MIN/MAX) rules: one pass per positive body literal
+       seeded from the delta. *)
+    List.iter
+      (fun rule ->
+        let npreds = positive_pred_count rule in
+        for i = 0 to npreds - 1 do
+          let results = eval_body db rule ~self:self_principal ~delta_at:(Some i) ~delta in
+          List.iter
+            (fun (b, body) ->
+              match instantiate_head rule b with
+              | head -> (
+                let tuple, dest = head in
+                next := process_derivation rule.rule_name (tuple, dest, body) !next)
+              | exception Expr_eval.Eval_error _ -> ())
+            results
+        done)
+      plain_rules;
+    (* COUNT/SUM rules: full recomputation. *)
+    List.iter
+      (fun rule ->
+        let results = recompute_agg_rule db ~self:self_principal rule in
+        List.iter
+          (fun (tuple, dest, body) ->
+            next := process_derivation rule.rule_name (tuple, dest, body) !next)
+          results)
+      agg_rules;
+    frontier := !next
+  done;
+  (List.rev !emits, stats)
+
+(* Single-site convenience used by tests and the quickstart example:
+   run a whole program (facts + rules) to fixpoint in one database,
+   ignoring distribution. *)
+let run_single_site ?(on_derive = fun _ -> ()) (program : program) : Db.t =
+  let db = Db.create () in
+  Db.configure_from_program db program;
+  let pending =
+    List.map
+      (fun (f : fact) ->
+        { f_tuple =
+            { Tuple.rel = f.fact_pred;
+              args = Array.of_list (List.map Value.of_const f.fact_args) };
+          f_asserter = None })
+      (facts program)
+  in
+  let emits, _stats =
+    run_fixpoint db ~now:0.0 ~rules:(rules program) ~local:None ~pending ~on_derive ()
+  in
+  assert (emits = []);
+  db

@@ -1,0 +1,136 @@
+(* Evaluation of NDlog terms (expressions) under a set of bindings,
+   including the built-in [f_*] function symbols P2 provides.
+
+   Built-ins implemented (those used by the paper's programs plus the
+   common P2 list/path utilities):
+     f_init(S, D)      fresh path [S; D]
+     f_concat(S, P)    prepend S to path P
+     f_append(P, D)    append D to path P
+     f_member(P, X)    true iff X occurs in list P
+     f_size(P)         length of list P
+     f_first(P), f_last(P)
+     f_min(X, Y), f_max(X, Y), f_abs(X)
+     f_sha256(X)       hex digest of the printed value
+     f_in_ring(K, A, B)      K in the half-open ring interval (A, B]
+     f_ring_dist(A, B, M)    clockwise distance from A to B modulo M
+   The ring builtins support Chord-style identifier spaces (the
+   "secure Chord routing" future work of the paper). *)
+
+open Ndlog.Ast
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let as_int = function
+  | Value.V_int i -> i
+  | v -> err "expected integer, got %s" (Value.to_string v)
+
+let as_list = function
+  | Value.V_list l -> l
+  | v -> err "expected list, got %s" (Value.to_string v)
+
+let numeric_binop op (a : Value.t) (b : Value.t) : Value.t =
+  let to_f = function
+    | Value.V_int i -> float_of_int i
+    | Value.V_float f -> f
+    | v -> err "arithmetic on non-number %s" (Value.to_string v)
+  in
+  match (a, b, op) with
+  | Value.V_int x, Value.V_int y, Add -> Value.V_int (x + y)
+  | Value.V_int x, Value.V_int y, Sub -> Value.V_int (x - y)
+  | Value.V_int x, Value.V_int y, Mul -> Value.V_int (x * y)
+  | Value.V_int x, Value.V_int y, Div ->
+    if y = 0 then err "division by zero" else Value.V_int (x / y)
+  | Value.V_int x, Value.V_int y, Mod ->
+    if y = 0 then err "modulo by zero" else Value.V_int (x mod y)
+  | _, _, Mod -> err "modulo requires integers"
+  | _, _, Add -> Value.V_float (to_f a +. to_f b)
+  | _, _, Sub -> Value.V_float (to_f a -. to_f b)
+  | _, _, Mul -> Value.V_float (to_f a *. to_f b)
+  | _, _, Div ->
+    let d = to_f b in
+    if d = 0.0 then err "division by zero" else Value.V_float (to_f a /. d)
+
+let apply_builtin (name : string) (args : Value.t list) : Value.t =
+  match (name, args) with
+  | "f_init", [ s; d ] -> Value.V_list [ s; d ]
+  | "f_concat", [ s; Value.V_list p ] -> Value.V_list (s :: p)
+  | "f_append", [ Value.V_list p; d ] -> Value.V_list (p @ [ d ])
+  | "f_member", [ Value.V_list p; x ] ->
+    Value.V_bool (List.exists (Value.equal x) p)
+  | "f_size", [ Value.V_list p ] -> Value.V_int (List.length p)
+  | "f_first", [ v ] -> (
+    match as_list v with
+    | x :: _ -> x
+    | [] -> err "f_first on empty list")
+  | "f_last", [ v ] -> (
+    match List.rev (as_list v) with
+    | x :: _ -> x
+    | [] -> err "f_last on empty list")
+  | "f_min", [ a; b ] -> if Value.compare a b <= 0 then a else b
+  | "f_max", [ a; b ] -> if Value.compare a b >= 0 then a else b
+  | "f_abs", [ Value.V_int i ] -> Value.V_int (abs i)
+  | "f_abs", [ Value.V_float f ] -> Value.V_float (Float.abs f)
+  | "f_sha256", [ v ] -> Value.V_str (Crypto.Sha256.hex_digest (Value.to_string v))
+  | "f_in_ring", [ k; a; b ] ->
+    (* K in (A, B] on an identifier ring; when A = B the interval is
+       the full ring (a single-node ring owns every key). *)
+    let k = as_int k and a = as_int a and b = as_int b in
+    Value.V_bool
+      (if a = b then true
+       else if a < b then a < k && k <= b
+       else k > a || k <= b)
+  | "f_ring_dist", [ a; b; m ] ->
+    let a = as_int a and b = as_int b and m = as_int m in
+    if m <= 0 then err "f_ring_dist: modulus must be positive"
+    else Value.V_int (((b - a) mod m + m) mod m)
+  | _ ->
+    err "unknown builtin %s/%d" name (List.length args)
+
+let rec eval (b : Bindings.t) (t : term) : Value.t =
+  match t with
+  | T_const c -> Value.of_const c
+  | T_var v -> (
+    match Bindings.find v b with
+    | Some x -> x
+    | None -> err "unbound variable %s" v)
+  | T_binop (op, x, y) -> numeric_binop op (eval b x) (eval b y)
+  | T_app (f, args) -> apply_builtin f (List.map (eval b) args)
+
+let eval_relop (op : relop) (a : Value.t) (b : Value.t) : bool =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* Match a term pattern against a value, extending bindings;
+   [None] on mismatch.  Patterns are head/body predicate arguments:
+   variables bind, constants and computable expressions compare. *)
+let match_term (b : Bindings.t) (pattern : term) (v : Value.t) : Bindings.t option =
+  match pattern with
+  | T_var var -> Bindings.bind var v b
+  | T_const c -> if Value.equal (Value.of_const c) v then Some b else None
+  | T_binop _ | T_app _ -> (
+    (* Expression patterns require all their variables bound. *)
+    match eval b pattern with
+    | x -> if Value.equal x v then Some b else None
+    | exception Eval_error _ -> None)
+
+let match_args (b : Bindings.t) (patterns : term list) (tuple : Tuple.t) :
+    Bindings.t option =
+  if List.length patterns <> Tuple.arity tuple then None
+  else begin
+    let rec go b i = function
+      | [] -> Some b
+      | p :: rest -> (
+        match match_term b p (Tuple.arg tuple i) with
+        | Some b' -> go b' (i + 1) rest
+        | None -> None)
+    in
+    go b 0 patterns
+  end

@@ -1,0 +1,1 @@
+lib/ndlog/analysis.pp.ml: Ast Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ndlog/lexer.pp.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/localize.pp.ml: Ast List Printf String

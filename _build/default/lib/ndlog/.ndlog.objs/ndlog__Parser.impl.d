@@ -1,0 +1,1 @@
+lib/ndlog/parser.pp.ml: Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/pretty.pp.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/programs.pp.ml: Parser

@@ -1,0 +1,144 @@
+(* Abstract syntax of NDlog / SeNDlog programs.
+
+   NDlog (Loo et al., SIGMOD'06) is Datalog extended with location
+   specifiers: each predicate marks one attribute with [@] denoting the
+   node where the corresponding tuple lives.  SeNDlog (Abadi & Loo,
+   NetDB'07) adds Binder-style security contexts ([At S: ...] blocks),
+   the [says] authentication operator, and explicit export locations on
+   rule heads ([p(...)@D]). *)
+
+type const =
+  | C_int of int
+  | C_float of float
+  | C_str of string (* also node addresses and symbolic constants *)
+  | C_bool of bool
+[@@deriving show, eq]
+
+type binop = Add | Sub | Mul | Div | Mod [@@deriving show, eq]
+
+type relop = Eq | Neq | Lt | Le | Gt | Ge [@@deriving show, eq]
+
+type term =
+  | T_var of string (* uppercase identifier *)
+  | T_const of const
+  | T_binop of binop * term * term
+  | T_app of string * term list (* builtin function, e.g. f_concat *)
+[@@deriving show, eq]
+
+(* Aggregate functions allowed in rule heads, e.g. a_MIN<C>. *)
+type agg_fn = A_min | A_max | A_count | A_sum [@@deriving show, eq]
+
+type head_arg =
+  | H_term of term
+  | H_agg of agg_fn * string (* aggregate over one body variable *)
+[@@deriving show, eq]
+
+(* A predicate occurrence.  [loc] is the index (into [args] for bodies,
+   [head args] for heads) of the location-specifier attribute, when the
+   program gives one; SeNDlog rule bodies omit specifiers because the
+   whole rule runs within one context. *)
+type pred = {
+  name : string;
+  loc : int option;
+  args : term list;
+}
+[@@deriving show, eq]
+
+type body_literal =
+  | L_pred of { pred : pred; says : term option; negated : bool }
+  | L_cond of relop * term * term
+  | L_assign of string * term (* V := expr *)
+[@@deriving show, eq]
+
+type head = {
+  head_pred : string;
+  head_loc : int option; (* index of @-marked head argument (NDlog) *)
+  head_args : head_arg list;
+  export_to : term option; (* SeNDlog `p(...)@Dest` *)
+}
+[@@deriving show, eq]
+
+type rule = {
+  rule_name : string;
+  rule_head : head;
+  rule_body : body_literal list;
+  rule_context : term option; (* enclosing `At S:` principal, if any *)
+}
+[@@deriving show, eq]
+
+(* Ground facts: p(a, b, 3). *)
+type fact = {
+  fact_pred : string;
+  fact_loc : int option;
+  fact_args : const list;
+}
+[@@deriving show, eq]
+
+type directive =
+  | D_ttl of string * float (* #ttl pred seconds. : soft-state lifetime *)
+  | D_key of string * int list (* #key pred i,j. : replace-semantics key *)
+  | D_watch of string (* #watch pred. : log derivations *)
+[@@deriving show, eq]
+
+type statement =
+  | S_rule of rule
+  | S_fact of fact
+  | S_directive of directive
+[@@deriving show, eq]
+
+type program = {
+  statements : statement list;
+}
+[@@deriving show, eq]
+
+let rules p =
+  List.filter_map (function S_rule r -> Some r | S_fact _ | S_directive _ -> None) p.statements
+
+let facts p =
+  List.filter_map (function S_fact f -> Some f | S_rule _ | S_directive _ -> None) p.statements
+
+let directives p =
+  List.filter_map
+    (function S_directive d -> Some d | S_rule _ | S_fact _ -> None)
+    p.statements
+
+(* Free variables of a term, left to right, duplicates preserved. *)
+let rec term_vars = function
+  | T_var v -> [ v ]
+  | T_const _ -> []
+  | T_binop (_, a, b) -> term_vars a @ term_vars b
+  | T_app (_, args) -> List.concat_map term_vars args
+
+let pred_vars (p : pred) : string list = List.concat_map term_vars p.args
+
+let head_arg_vars = function
+  | H_term t -> term_vars t
+  | H_agg (_, v) -> [ v ]
+
+let head_vars (h : head) : string list =
+  List.concat_map head_arg_vars h.head_args
+  @ (match h.export_to with Some t -> term_vars t | None -> [])
+
+let literal_vars = function
+  | L_pred { pred; says; _ } ->
+    pred_vars pred @ (match says with Some t -> term_vars t | None -> [])
+  | L_cond (_, a, b) -> term_vars a @ term_vars b
+  | L_assign (v, t) -> v :: term_vars t
+
+(* Variables *bound* by a literal (available to later literals):
+   positive predicate arguments and assignment targets.  Conditions and
+   negated predicates bind nothing. *)
+let literal_binds = function
+  | L_pred { pred; says; negated = false } ->
+    pred_vars pred @ (match says with Some t -> term_vars t | None -> [])
+  | L_pred { negated = true; _ } -> []
+  | L_cond _ -> []
+  | L_assign (v, _) -> [ v ]
+
+let head_agg (h : head) : (int * agg_fn * string) option =
+  let rec go i = function
+    | [] -> None
+    | H_agg (fn, v) :: _ -> Some (i, fn, v)
+    | H_term _ :: rest -> go (i + 1) rest
+  in
+  go 0 h.head_args

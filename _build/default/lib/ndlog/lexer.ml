@@ -1,0 +1,249 @@
+(* Hand-written lexer for NDlog / SeNDlog source text.
+
+   Conventions follow the paper: predicate, function and constant names
+   begin with a lowercase letter; variables begin with an uppercase
+   letter; [@] introduces location specifiers; [%% ... ] and
+   [// ...] are line comments, [/* ... */] block comments. *)
+
+type token =
+  | IDENT of string (* lowercase-initial identifier *)
+  | VAR of string (* uppercase-initial identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | AT (* @ *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | COLON
+  | IMPLIES (* :- *)
+  | ASSIGN (* := *)
+  | EQ (* == *)
+  | NEQ (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | HASH_TTL
+  | HASH_KEY
+  | HASH_WATCH
+  | SAYS
+  | AT_KEYWORD (* the context-block keyword `At` *)
+  | NOT
+  | EOF
+
+let show_token = function
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | VAR s -> Printf.sprintf "VAR(%s)" s
+  | INT i -> Printf.sprintf "INT(%d)" i
+  | FLOAT f -> Printf.sprintf "FLOAT(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | AT -> "@"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | PERIOD -> "."
+  | COLON -> ":"
+  | IMPLIES -> ":-"
+  | ASSIGN -> ":="
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | HASH_TTL -> "#ttl"
+  | HASH_KEY -> "#key"
+  | HASH_WATCH -> "#watch"
+  | SAYS -> "says"
+  | AT_KEYWORD -> "At"
+  | NOT -> "not"
+  | EOF -> "<eof>"
+
+exception Lex_error of string * int (* message, line *)
+
+type lexed = { tok : token; line : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      incr line;
+      incr i
+    | '/' when peek 1 = Some '/' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '%' when peek 1 = Some '%' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '/' when peek 1 = Some '*' ->
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", !line))
+    | '"' ->
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        match src.[!i] with
+        | '"' ->
+          closed := true;
+          incr i
+        | '\\' when !i + 1 < n ->
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2
+        | '\n' -> raise (Lex_error ("newline in string literal", !line))
+        | c ->
+          Buffer.add_char buf c;
+          incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", !line));
+      emit (STRING (Buffer.contents buf))
+    | '#' ->
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      i := !j;
+      (match word with
+      | "ttl" -> emit HASH_TTL
+      | "key" -> emit HASH_KEY
+      | "watch" -> emit HASH_WATCH
+      | w -> raise (Lex_error (Printf.sprintf "unknown directive #%s" w, !line)))
+    | '0' .. '9' ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+        incr j
+      done;
+      (* A '.' is a float separator only when followed by a digit;
+         otherwise it terminates a statement. *)
+      if !j < n && src.[!j] = '.' && !j + 1 < n && src.[!j + 1] >= '0' && src.[!j + 1] <= '9'
+      then begin
+        incr j;
+        while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+          incr j
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!j - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!j - start))));
+      i := !j
+    | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      i := !j;
+      (match word with
+      | "says" -> emit SAYS
+      | "At" -> emit AT_KEYWORD
+      | "not" -> emit NOT
+      | "true" -> emit (IDENT "true")
+      | "false" -> emit (IDENT "false")
+      | w when w.[0] >= 'A' && w.[0] <= 'Z' -> emit (VAR w)
+      | w -> emit (IDENT w))
+    | '@' ->
+      emit AT;
+      incr i
+    | '(' ->
+      emit LPAREN;
+      incr i
+    | ')' ->
+      emit RPAREN;
+      incr i
+    | ',' ->
+      emit COMMA;
+      incr i
+    | '.' ->
+      emit PERIOD;
+      incr i
+    | ':' when peek 1 = Some '-' ->
+      emit IMPLIES;
+      i := !i + 2
+    | ':' when peek 1 = Some '=' ->
+      emit ASSIGN;
+      i := !i + 2
+    | ':' ->
+      emit COLON;
+      incr i
+    | '=' when peek 1 = Some '=' ->
+      emit EQ;
+      i := !i + 2
+    | '=' ->
+      (* Accept a single '=' as equality, as in the paper's examples
+         (`P = f_init(S, D)`). *)
+      emit EQ;
+      incr i
+    | '!' when peek 1 = Some '=' ->
+      emit NEQ;
+      i := !i + 2
+    | '<' when peek 1 = Some '=' ->
+      emit LE;
+      i := !i + 2
+    | '<' ->
+      emit LT;
+      incr i
+    | '>' when peek 1 = Some '=' ->
+      emit GE;
+      i := !i + 2
+    | '>' ->
+      emit GT;
+      incr i
+    | '+' ->
+      emit PLUS;
+      incr i
+    | '-' ->
+      emit MINUS;
+      incr i
+    | '*' ->
+      emit STAR;
+      incr i
+    | '/' ->
+      emit SLASH;
+      incr i
+    | '%' ->
+      emit PERCENT;
+      incr i
+    | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+  done;
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,171 @@
+(* Localization rewrite (Loo et al., SIGMOD'06, Section 2; also used
+   by SeNDlog's "additional localization rewrite" in the paper).
+
+   A rule is *localized* when every body predicate shares one location
+   specifier variable, so the whole body can be evaluated at a single
+   node.  Rules that join across locations, such as
+
+     r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+
+   are rewritten by introducing an intermediate predicate shipped to
+   the remote location:
+
+     r2_l0 r2_mid0(@Z,S) :- link(@S,Z).
+     r2_l1 reachable(@S,D) :- r2_mid0(@Z,S), reachable(@Z,D).
+
+   The rewrite proceeds left to right: the maximal prefix of body
+   predicates sharing the first location variable is folded into a
+   helper predicate addressed at the *next* group's location variable
+   (which must occur in the prefix, otherwise the rule is not
+   localizable and we report an error). *)
+
+open Ast
+
+exception Not_localizable of string
+
+(* Location variable of a body predicate, if it is a variable. *)
+let pred_loc_var (p : pred) : string option =
+  match p.loc with
+  | None -> None
+  | Some i -> (
+    match List.nth_opt p.args i with
+    | Some (T_var v) -> Some v
+    | Some (T_const (C_str _)) -> None (* constant address: local to that node *)
+    | _ -> None)
+
+let pred_loc_key (p : pred) : string option =
+  match p.loc with
+  | None -> None
+  | Some i -> (
+    match List.nth_opt p.args i with
+    | Some (T_var v) -> Some ("var:" ^ v)
+    | Some (T_const (C_str a)) -> Some ("addr:" ^ a)
+    | _ -> None)
+
+(* Does every body predicate of [r] share a single location key? *)
+let is_localized (r : rule) : bool =
+  let keys =
+    List.filter_map
+      (function L_pred { pred; _ } -> pred_loc_key pred | L_cond _ | L_assign _ -> None)
+      r.rule_body
+  in
+  match keys with
+  | [] -> true
+  | k :: rest -> List.for_all (String.equal k) rest
+
+(* Fresh helper-predicate names are derived from the rule name. *)
+let helper_name rule_name i = Printf.sprintf "%s_mid%d" rule_name i
+
+let rec localize_rule (r : rule) : rule list =
+  if is_localized r then [ r ]
+  else begin
+    (* Separate predicates from conditions/assignments; conditions are
+       re-attached to the final rule (they only reference variables
+       that survive in the helper tuples, checked by Analysis on the
+       output). *)
+    let preds, others =
+      List.partition_map
+        (function
+          | L_pred { pred; says; negated } -> Left (pred, says, negated)
+          | (L_cond _ | L_assign _) as l -> Right l)
+        r.rule_body
+    in
+    let occ (pred, says, negated) = L_pred { pred; says; negated } in
+    let occ_pred (pred, _, _) = pred in
+    let rec split_groups acc current current_key = function
+      | [] -> List.rev (List.rev current :: acc)
+      | p :: rest -> (
+        let key = pred_loc_key (occ_pred p) in
+        match (current_key, key) with
+        | None, _ | _, None -> split_groups acc (p :: current) current_key rest
+        | Some a, Some b when a = b -> split_groups acc (p :: current) current_key rest
+        | Some _, Some _ ->
+          split_groups (List.rev current :: acc) [ p ] key rest)
+    in
+    let groups =
+      match preds with
+      | [] -> []
+      | p :: rest -> split_groups [] [ p ] (pred_loc_key (occ_pred p)) rest
+    in
+    match groups with
+    | [] | [ _ ] ->
+      (* Single group yet not localized: mixed constant/variable keys.
+         Leave as-is; the runtime treats constant-address predicates as
+         remote reads, which we do not support. *)
+      raise
+        (Not_localizable
+           (Printf.sprintf "rule %s mixes location specifiers in one group" r.rule_name))
+    | first :: rest_groups ->
+      (* Variables needed after the first group: anything used by later
+         groups, conditions, or the head. *)
+      let later_vars =
+        List.concat_map
+          (fun g -> List.concat_map (fun p -> pred_vars (occ_pred p)) g)
+          rest_groups
+        @ List.concat_map literal_vars others
+        @ head_vars r.rule_head
+      in
+      let first_vars =
+        List.concat_map (fun p -> pred_vars (occ_pred p)) first
+        |> List.sort_uniq String.compare
+      in
+      let next_group = List.hd rest_groups in
+      let next_loc_var =
+        match pred_loc_var (occ_pred (List.hd next_group)) with
+        | Some v -> v
+        | None ->
+          raise
+            (Not_localizable
+               (Printf.sprintf "rule %s: next group has no variable location" r.rule_name))
+      in
+      if not (List.mem next_loc_var first_vars) then
+        raise
+          (Not_localizable
+             (Printf.sprintf
+                "rule %s: cannot route to @%s (variable not bound in the local prefix)"
+                r.rule_name next_loc_var));
+      let carried =
+        List.filter
+          (fun v -> v <> next_loc_var && List.mem v later_vars)
+          first_vars
+      in
+      let helper = helper_name r.rule_name 0 in
+      let helper_args = T_var next_loc_var :: List.map (fun v -> T_var v) carried in
+      (* Helper rule runs at the first group's location and ships the
+         joined prefix to the next location. *)
+      let helper_rule =
+        { rule_name = r.rule_name ^ "_l0";
+          rule_head =
+            { head_pred = helper;
+              head_loc = Some 0;
+              head_args = List.map (fun t -> H_term t) helper_args;
+              export_to = None };
+          rule_body = List.map occ first;
+          rule_context = r.rule_context }
+      in
+      let helper_occurrence =
+        L_pred
+          { pred = { name = helper; loc = Some 0; args = helper_args };
+            says = None;
+            negated = false }
+      in
+      let remainder =
+        { r with
+          rule_name = r.rule_name ^ "_l1";
+          rule_body =
+            (helper_occurrence :: List.map occ (List.concat rest_groups))
+            @ others }
+      in
+      (* The remainder may itself span locations; recurse. *)
+      helper_rule :: localize_rule remainder
+  end
+
+let localize_program (p : program) : program =
+  let statements =
+    List.concat_map
+      (function
+        | S_rule r -> List.map (fun r -> S_rule r) (localize_rule r)
+        | (S_fact _ | S_directive _) as s -> [ s ])
+      p.statements
+  in
+  { statements }

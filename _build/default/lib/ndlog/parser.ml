@@ -1,0 +1,380 @@
+(* Recursive-descent parser for NDlog / SeNDlog.
+
+   Grammar (informal):
+     program   ::= (directive | context | statement)*
+     context   ::= "At" term ":" statement*        (until next "At" / EOF)
+     statement ::= [name] head [":-" body] "."
+     head      ::= ident "(" head_arg ("," head_arg)* ")" ["@" term]
+     head_arg  ::= ["@"] (term | aggfn "<" VAR ">")
+     body      ::= literal ("," literal)*
+     literal   ::= [term "says"] pred | "not" pred
+                 | VAR ":=" expr | expr relop expr
+     pred      ::= ident "(" ["@"] term ("," ["@"] term)* ")"
+
+   Function symbols are distinguished from predicates by the "f_"
+   prefix, as in P2. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type state = { mutable toks : Lexer.lexed list }
+
+let peek (st : state) : Lexer.token =
+  match st.toks with [] -> Lexer.EOF | { tok; _ } :: _ -> tok
+
+let peek2 (st : state) : Lexer.token =
+  match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> Lexer.EOF
+
+let line (st : state) : int = match st.toks with [] -> 0 | { line; _ } :: _ -> line
+
+let advance (st : state) : Lexer.token =
+  match st.toks with
+  | [] -> Lexer.EOF
+  | { tok; _ } :: rest ->
+    st.toks <- rest;
+    tok
+
+let error st msg = raise (Parse_error (msg, line st))
+
+let expect (st : state) (t : Lexer.token) (what : string) =
+  let got = advance st in
+  if got <> t then
+    error st (Printf.sprintf "expected %s but found %s" what (Lexer.show_token got))
+
+let is_function_name (s : string) =
+  String.length s > 2 && String.sub s 0 2 = "f_"
+
+let agg_of_ident (s : string) : agg_fn option =
+  match String.lowercase_ascii s with
+  | "a_min" -> Some A_min
+  | "a_max" -> Some A_max
+  | "a_count" -> Some A_count
+  | "a_sum" -> Some A_sum
+  | _ -> None
+
+(* --- expressions --------------------------------------------------- *)
+
+let rec parse_expr (st : state) : term =
+  let lhs = parse_mul st in
+  let rec go lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      ignore (advance st);
+      go (T_binop (Add, lhs, parse_mul st))
+    | Lexer.MINUS ->
+      ignore (advance st);
+      go (T_binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_mul (st : state) : term =
+  let lhs = parse_atom st in
+  let rec go lhs =
+    match peek st with
+    | Lexer.STAR ->
+      ignore (advance st);
+      go (T_binop (Mul, lhs, parse_atom st))
+    | Lexer.SLASH ->
+      ignore (advance st);
+      go (T_binop (Div, lhs, parse_atom st))
+    | Lexer.PERCENT ->
+      ignore (advance st);
+      go (T_binop (Mod, lhs, parse_atom st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_atom (st : state) : term =
+  match advance st with
+  | Lexer.INT i -> T_const (C_int i)
+  | Lexer.FLOAT f -> T_const (C_float f)
+  | Lexer.STRING s -> T_const (C_str s)
+  | Lexer.VAR v -> T_var v
+  | Lexer.MINUS -> (
+    match parse_atom st with
+    | T_const (C_int i) -> T_const (C_int (-i))
+    | T_const (C_float f) -> T_const (C_float (-.f))
+    | t -> T_binop (Sub, T_const (C_int 0), t))
+  | Lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN ")";
+    e
+  | Lexer.IDENT "true" -> T_const (C_bool true)
+  | Lexer.IDENT "false" -> T_const (C_bool false)
+  | Lexer.IDENT name when is_function_name name ->
+    expect st Lexer.LPAREN "( after function name";
+    let args =
+      if peek st = Lexer.RPAREN then []
+      else begin
+        let rec go acc =
+          let a = parse_expr st in
+          if peek st = Lexer.COMMA then begin
+            ignore (advance st);
+            go (a :: acc)
+          end
+          else List.rev (a :: acc)
+        in
+        go []
+      end
+    in
+    expect st Lexer.RPAREN ") after function arguments";
+    T_app (name, args)
+  | Lexer.IDENT name -> T_const (C_str name) (* symbolic constant *)
+  | t -> error st (Printf.sprintf "unexpected %s in expression" (Lexer.show_token t))
+
+(* --- predicates ---------------------------------------------------- *)
+
+(* Parse the parenthesised argument list of a predicate occurrence,
+   tracking which position (if any) carried the [@] marker. *)
+let parse_pred_args (st : state) : int option * term list =
+  expect st Lexer.LPAREN "(";
+  let loc = ref None in
+  let rec go i acc =
+    let marked = peek st = Lexer.AT in
+    if marked then begin
+      ignore (advance st);
+      match !loc with
+      | None -> loc := Some i
+      | Some _ -> error st "multiple location specifiers in one predicate"
+    end;
+    let t = parse_expr st in
+    let acc = t :: acc in
+    match peek st with
+    | Lexer.COMMA ->
+      ignore (advance st);
+      go (i + 1) acc
+    | Lexer.RPAREN ->
+      ignore (advance st);
+      List.rev acc
+    | t -> error st (Printf.sprintf "expected , or ) but found %s" (Lexer.show_token t))
+  in
+  let args = if peek st = Lexer.RPAREN then (ignore (advance st); []) else go 0 [] in
+  (!loc, args)
+
+let parse_pred (st : state) (name : string) : pred =
+  let loc, args = parse_pred_args st in
+  { name; loc; args }
+
+(* --- body literals -------------------------------------------------- *)
+
+let relop_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NEQ -> Some Neq
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let parse_literal (st : state) : body_literal =
+  match (peek st, peek2 st) with
+  | Lexer.NOT, _ -> (
+    ignore (advance st);
+    match advance st with
+    | Lexer.IDENT name when not (is_function_name name) ->
+      L_pred { pred = parse_pred st name; says = None; negated = true }
+    | t -> error st (Printf.sprintf "expected predicate after not, found %s" (Lexer.show_token t)))
+  | Lexer.VAR v, Lexer.SAYS ->
+    ignore (advance st);
+    ignore (advance st);
+    (match advance st with
+    | Lexer.IDENT name when not (is_function_name name) ->
+      L_pred { pred = parse_pred st name; says = Some (T_var v); negated = false }
+    | t -> error st (Printf.sprintf "expected predicate after says, found %s" (Lexer.show_token t)))
+  | Lexer.IDENT p, Lexer.SAYS ->
+    ignore (advance st);
+    ignore (advance st);
+    (match advance st with
+    | Lexer.IDENT name when not (is_function_name name) ->
+      L_pred { pred = parse_pred st name; says = Some (T_const (C_str p)); negated = false }
+    | t -> error st (Printf.sprintf "expected predicate after says, found %s" (Lexer.show_token t)))
+  | Lexer.VAR v, Lexer.ASSIGN ->
+    ignore (advance st);
+    ignore (advance st);
+    L_assign (v, parse_expr st)
+  | Lexer.IDENT name, Lexer.LPAREN when not (is_function_name name) ->
+    ignore (advance st);
+    L_pred { pred = parse_pred st name; says = None; negated = false }
+  | _ ->
+    let lhs = parse_expr st in
+    let op =
+      match relop_of_token (peek st) with
+      | Some op ->
+        ignore (advance st);
+        op
+      | None ->
+        error st
+          (Printf.sprintf "expected comparison operator, found %s"
+             (Lexer.show_token (peek st)))
+    in
+    L_cond (op, lhs, parse_expr st)
+
+let parse_body (st : state) : body_literal list =
+  let rec go acc =
+    let l = parse_literal st in
+    if peek st = Lexer.COMMA then begin
+      ignore (advance st);
+      go (l :: acc)
+    end
+    else List.rev (l :: acc)
+  in
+  go []
+
+(* --- heads, rules, facts ------------------------------------------- *)
+
+let parse_head (st : state) (name : string) : head =
+  expect st Lexer.LPAREN "( after head predicate";
+  let loc = ref None in
+  let parse_head_arg i : head_arg =
+    let marked = peek st = Lexer.AT in
+    if marked then begin
+      ignore (advance st);
+      match !loc with
+      | None -> loc := Some i
+      | Some _ -> error st "multiple location specifiers in head"
+    end;
+    match (peek st, peek2 st) with
+    | Lexer.IDENT a, Lexer.LT when agg_of_ident a <> None ->
+      ignore (advance st);
+      ignore (advance st);
+      let v =
+        match advance st with
+        | Lexer.VAR v -> v
+        | t -> error st (Printf.sprintf "expected variable in aggregate, found %s" (Lexer.show_token t))
+      in
+      expect st Lexer.GT "> closing aggregate";
+      (match agg_of_ident a with Some fn -> H_agg (fn, v) | None -> assert false)
+    | _ -> H_term (parse_expr st)
+  in
+  let rec go i acc =
+    let a = parse_head_arg i in
+    let acc = a :: acc in
+    match peek st with
+    | Lexer.COMMA ->
+      ignore (advance st);
+      go (i + 1) acc
+    | Lexer.RPAREN ->
+      ignore (advance st);
+      List.rev acc
+    | t -> error st (Printf.sprintf "expected , or ) in head, found %s" (Lexer.show_token t))
+  in
+  let args = if peek st = Lexer.RPAREN then (ignore (advance st); []) else go 0 [] in
+  let export_to =
+    if peek st = Lexer.AT then begin
+      ignore (advance st);
+      Some (parse_expr st)
+    end
+    else None
+  in
+  { head_pred = name; head_loc = !loc; head_args = args; export_to }
+
+let const_of_term st = function
+  | T_const c -> c
+  | T_var v -> error st (Printf.sprintf "variable %s in fact" v)
+  | _ -> error st "facts must have constant arguments"
+
+(* A statement is either `name head :- body.`, `head :- body.`, a fact
+   `pred(consts).`, or a directive. *)
+let parse_statement (st : state) ~(context : term option) : statement =
+  let rule_name, head_name =
+    match (peek st, peek2 st) with
+    | Lexer.IDENT n1, Lexer.IDENT n2 ->
+      ignore (advance st);
+      ignore (advance st);
+      (n1, n2)
+    | Lexer.IDENT n, Lexer.LPAREN ->
+      ignore (advance st);
+      ("", n)
+    | t, _ -> error st (Printf.sprintf "expected rule or fact, found %s" (Lexer.show_token t))
+  in
+  let head = parse_head st head_name in
+  match peek st with
+  | Lexer.PERIOD ->
+    ignore (advance st);
+    (* A bodiless head with constant args is a fact. *)
+    let args =
+      List.map
+        (function
+          | H_term t -> const_of_term st t
+          | H_agg _ -> error st "aggregate in fact")
+        head.head_args
+    in
+    if rule_name <> "" then error st "facts cannot carry rule names";
+    S_fact { fact_pred = head.head_pred; fact_loc = head.head_loc; fact_args = args }
+  | Lexer.IMPLIES ->
+    ignore (advance st);
+    let body = parse_body st in
+    expect st Lexer.PERIOD ". at end of rule";
+    let name = if rule_name = "" then head.head_pred else rule_name in
+    S_rule { rule_name = name; rule_head = head; rule_body = body; rule_context = context }
+  | t -> error st (Printf.sprintf "expected :- or . after head, found %s" (Lexer.show_token t))
+
+let parse_directive (st : state) : statement =
+  match advance st with
+  | Lexer.HASH_TTL -> (
+    match (advance st, advance st) with
+    | Lexer.IDENT p, Lexer.INT s ->
+      expect st Lexer.PERIOD ". after #ttl";
+      S_directive (D_ttl (p, float_of_int s))
+    | Lexer.IDENT p, Lexer.FLOAT s ->
+      expect st Lexer.PERIOD ". after #ttl";
+      S_directive (D_ttl (p, s))
+    | _ -> error st "usage: #ttl predicate seconds.")
+  | Lexer.HASH_KEY -> (
+    match advance st with
+    | Lexer.IDENT p ->
+      let rec go acc =
+        match advance st with
+        | Lexer.INT i -> (
+          match peek st with
+          | Lexer.COMMA ->
+            ignore (advance st);
+            go (i :: acc)
+          | _ -> List.rev (i :: acc))
+        | _ -> error st "usage: #key predicate i,j,..."
+      in
+      let ks = go [] in
+      expect st Lexer.PERIOD ". after #key";
+      S_directive (D_key (p, ks))
+    | _ -> error st "usage: #key predicate i,j,...")
+  | Lexer.HASH_WATCH -> (
+    match advance st with
+    | Lexer.IDENT p ->
+      expect st Lexer.PERIOD ". after #watch";
+      S_directive (D_watch p)
+    | _ -> error st "usage: #watch predicate.")
+  | t -> error st (Printf.sprintf "expected directive, found %s" (Lexer.show_token t))
+
+let parse_program_tokens (toks : Lexer.lexed list) : program =
+  let st = { toks } in
+  let statements = ref [] in
+  let context = ref None in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.AT_KEYWORD ->
+      ignore (advance st);
+      let principal = parse_expr st in
+      expect st Lexer.COLON ": after At <principal>";
+      context := Some principal;
+      loop ()
+    | Lexer.HASH_TTL | Lexer.HASH_KEY | Lexer.HASH_WATCH ->
+      statements := parse_directive st :: !statements;
+      loop ()
+    | _ ->
+      statements := parse_statement st ~context:!context :: !statements;
+      loop ()
+  in
+  loop ();
+  { statements = List.rev !statements }
+
+let parse_program (src : string) : program =
+  parse_program_tokens (Lexer.tokenize src)
+
+(* Convenience: parse, raising [Failure] with a printable message. *)
+let parse_program_exn (src : string) : program =
+  try parse_program src with
+  | Parse_error (msg, line) -> failwith (Printf.sprintf "parse error (line %d): %s" line msg)
+  | Lexer.Lex_error (msg, line) -> failwith (Printf.sprintf "lex error (line %d): %s" line msg)

@@ -1,0 +1,137 @@
+(* Pretty-printer for NDlog / SeNDlog syntax.  [Parser.parse_program]
+   of the output round-trips to the same AST (tested by property tests
+   in test/test_ndlog.ml). *)
+
+open Ast
+
+let const_to_string = function
+  | C_int i -> string_of_int i
+  | C_float f -> Printf.sprintf "%g" f
+  | C_str s ->
+    (* Symbolic constants print bare when they are valid identifiers. *)
+    let bare =
+      String.length s > 0
+      && s.[0] >= 'a'
+      && s.[0] <= 'z'
+      && String.for_all
+           (fun c ->
+             (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9')
+             || c = '_')
+           s
+      && s <> "true" && s <> "false" && s <> "says" && s <> "not"
+    in
+    if bare then s else Printf.sprintf "%S" s
+  | C_bool true -> "true"
+  | C_bool false -> "false"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let relop_to_string = function
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec term_to_string = function
+  | T_var v -> v
+  | T_const c -> const_to_string c
+  | T_binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (term_to_string a) (binop_to_string op)
+      (term_to_string b)
+  | T_app (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map term_to_string args))
+
+let agg_to_string = function
+  | A_min -> "a_MIN"
+  | A_max -> "a_MAX"
+  | A_count -> "a_COUNT"
+  | A_sum -> "a_SUM"
+
+let pred_to_string (p : pred) : string =
+  let arg i t =
+    let s = term_to_string t in
+    if p.loc = Some i then "@" ^ s else s
+  in
+  Printf.sprintf "%s(%s)" p.name (String.concat ", " (List.mapi arg p.args))
+
+let literal_to_string = function
+  | L_pred { pred; says; negated } ->
+    let says_prefix =
+      match says with Some t -> term_to_string t ^ " says " | None -> ""
+    in
+    let not_prefix = if negated then "not " else "" in
+    not_prefix ^ says_prefix ^ pred_to_string pred
+  | L_cond (op, a, b) ->
+    Printf.sprintf "%s %s %s" (term_to_string a) (relop_to_string op)
+      (term_to_string b)
+  | L_assign (v, t) -> Printf.sprintf "%s := %s" v (term_to_string t)
+
+let head_to_string (h : head) : string =
+  let arg i a =
+    let s =
+      match a with
+      | H_term t -> term_to_string t
+      | H_agg (fn, v) -> Printf.sprintf "%s<%s>" (agg_to_string fn) v
+    in
+    if h.head_loc = Some i then "@" ^ s else s
+  in
+  let base =
+    Printf.sprintf "%s(%s)" h.head_pred
+      (String.concat ", " (List.mapi arg h.head_args))
+  in
+  match h.export_to with
+  | Some t -> base ^ "@" ^ term_to_string t
+  | None -> base
+
+let rule_to_string (r : rule) : string =
+  Printf.sprintf "%s %s :- %s." r.rule_name (head_to_string r.rule_head)
+    (String.concat ", " (List.map literal_to_string r.rule_body))
+
+let fact_to_string (f : fact) : string =
+  let arg i c =
+    let s = const_to_string c in
+    if f.fact_loc = Some i then "@" ^ s else s
+  in
+  Printf.sprintf "%s(%s)." f.fact_pred
+    (String.concat ", " (List.mapi arg f.fact_args))
+
+let directive_to_string = function
+  | D_ttl (p, s) ->
+    if Float.is_integer s then Printf.sprintf "#ttl %s %d." p (int_of_float s)
+    else Printf.sprintf "#ttl %s %g." p s
+  | D_key (p, ks) ->
+    Printf.sprintf "#key %s %s." p (String.concat "," (List.map string_of_int ks))
+  | D_watch p -> Printf.sprintf "#watch %s." p
+
+(* Print a whole program, re-grouping rules under their `At P:` context
+   blocks in source order. *)
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 256 in
+  let current_context = ref None in
+  List.iter
+    (fun stmt ->
+      (match stmt with
+      | S_rule r when r.rule_context <> !current_context ->
+        current_context := r.rule_context;
+        (match r.rule_context with
+        | Some t -> Buffer.add_string buf (Printf.sprintf "At %s:\n" (term_to_string t))
+        | None -> ())
+      | _ -> ());
+      let line =
+        match stmt with
+        | S_rule r -> rule_to_string r
+        | S_fact f -> fact_to_string f
+        | S_directive d -> directive_to_string d
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    p.statements;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/net/stats.ml: Hashtbl Option Printf Wire

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Crypto Engine Hashtbl List Option Printf String

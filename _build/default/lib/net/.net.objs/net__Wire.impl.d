@@ -1,0 +1,1 @@
+lib/net/wire.ml: Array Buffer Char Engine Int64 List Printf String

@@ -1,0 +1,126 @@
+(* Discrete-event simulator.
+
+   Replaces the real sockets between the paper's 100 P2 processes.
+   Events (message deliveries, timers) execute in timestamp order;
+   ties break by scheduling sequence, so runs are fully deterministic.
+   The clock is *virtual*: simulated network latency is decoupled from
+   the real CPU time spent in evaluation and crypto (which the
+   benchmark harness measures with a wall clock, as the paper does). *)
+
+type event = {
+  ev_time : float;
+  ev_seq : int;
+  ev_action : unit -> unit;
+}
+
+module Pq = struct
+  (* Binary min-heap ordered by (time, seq). *)
+  type t = {
+    mutable heap : event array;
+    mutable size : int;
+  }
+
+  let dummy = { ev_time = 0.0; ev_seq = 0; ev_action = (fun () -> ()) }
+
+  let create () = { heap = Array.make 64 dummy; size = 0 }
+
+  let lt a b = a.ev_time < b.ev_time || (a.ev_time = b.ev_time && a.ev_seq < b.ev_seq)
+
+  let push (q : t) (e : event) : unit =
+    if q.size = Array.length q.heap then begin
+      let bigger = Array.make (2 * q.size) dummy in
+      Array.blit q.heap 0 bigger 0 q.size;
+      q.heap <- bigger
+    end;
+    q.heap.(q.size) <- e;
+    q.size <- q.size + 1;
+    (* Sift up. *)
+    let i = ref (q.size - 1) in
+    while !i > 0 && lt q.heap.(!i) q.heap.((!i - 1) / 2) do
+      let parent = (!i - 1) / 2 in
+      let tmp = q.heap.(parent) in
+      q.heap.(parent) <- q.heap.(!i);
+      q.heap.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop (q : t) : event option =
+    if q.size = 0 then None
+    else begin
+      let top = q.heap.(0) in
+      q.size <- q.size - 1;
+      q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- dummy;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.heap.(!smallest) in
+          q.heap.(!smallest) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let is_empty q = q.size = 0
+  let length q = q.size
+end
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable processed : int;
+  queue : Pq.t;
+}
+
+let create () = { now = 0.0; seq = 0; processed = 0; queue = Pq.create () }
+
+let now (t : t) : float = t.now
+
+let schedule (t : t) ~(delay : float) (action : unit -> unit) : unit =
+  if delay < 0.0 then invalid_arg "Event_sim.schedule: negative delay";
+  let e = { ev_time = t.now +. delay; ev_seq = t.seq; ev_action = action } in
+  t.seq <- t.seq + 1;
+  Pq.push t.queue e
+
+let schedule_at (t : t) ~(time : float) (action : unit -> unit) : unit =
+  if time < t.now then invalid_arg "Event_sim.schedule_at: time in the past";
+  let e = { ev_time = time; ev_seq = t.seq; ev_action = action } in
+  t.seq <- t.seq + 1;
+  Pq.push t.queue e
+
+let pending (t : t) : int = Pq.length t.queue
+
+let events_processed (t : t) : int = t.processed
+
+(* Run until the queue drains (distributed fixpoint / quiescence) or
+   [until] simulated seconds have passed.  Returns the number of
+   events processed. *)
+let run ?(until = Float.infinity) ?(max_events = max_int) (t : t) : int =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < max_events do
+    match Pq.pop t.queue with
+    | None -> continue := false
+    | Some e ->
+      if e.ev_time > until then begin
+        (* Leave future events beyond the horizon unexecuted. *)
+        Pq.push t.queue e;
+        continue := false
+      end
+      else begin
+        t.now <- max t.now e.ev_time;
+        t.processed <- t.processed + 1;
+        e.ev_action ();
+        incr count
+      end
+  done;
+  !count

@@ -1,0 +1,180 @@
+(* Wire format for inter-node messages, with byte-accurate encoding.
+
+   The bandwidth numbers of Figure 4 are computed from the encoded
+   size of every message a run ships: a fixed header, the tuple
+   payload, and - depending on the configuration - an authentication
+   block (cleartext principal, HMAC tag, or RSA signature) and a
+   condensed-provenance block.  RSA signatures are computed over the
+   canonical encoding produced here. *)
+
+type auth =
+  | A_none
+  | A_principal of string (* benign world: cleartext principal header *)
+  | A_hmac of { principal : string; tag : string }
+  | A_signature of { principal : string; signature : string }
+
+type message = {
+  msg_src : string;
+  msg_dst : string;
+  msg_seq : int;
+  msg_tuple : Engine.Tuple.t;
+  msg_auth : auth;
+  msg_provenance : string option; (* serialized condensed provenance *)
+}
+
+(* --- primitive encoders --------------------------------------------- *)
+
+let put_u32 (buf : Buffer.t) (i : int) : unit =
+  Buffer.add_char buf (Char.chr ((i lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((i lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((i lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (i land 0xFF))
+
+let put_u64 (buf : Buffer.t) (i : int64) : unit =
+  for k = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical i (8 * k)) 0xFFL)))
+  done
+
+let put_string (buf : Buffer.t) (s : string) : unit =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let rec put_value (buf : Buffer.t) (v : Engine.Value.t) : unit =
+  match v with
+  | V_int i ->
+    Buffer.add_char buf '\001';
+    put_u64 buf (Int64.of_int i)
+  | V_float f ->
+    Buffer.add_char buf '\002';
+    put_u64 buf (Int64.bits_of_float f)
+  | V_bool b ->
+    Buffer.add_char buf '\003';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | V_str s ->
+    Buffer.add_char buf '\004';
+    put_string buf s
+  | V_list l ->
+    Buffer.add_char buf '\005';
+    put_u32 buf (List.length l);
+    List.iter (put_value buf) l
+
+let encode_tuple (t : Engine.Tuple.t) : string =
+  let buf = Buffer.create 64 in
+  put_string buf t.rel;
+  put_u32 buf (Array.length t.args);
+  Array.iter (put_value buf) t.args;
+  Buffer.contents buf
+
+(* --- decoding -------------------------------------------------------- *)
+
+exception Decode_error of string
+
+type reader = { data : string; mutable pos : int }
+
+let take (r : reader) (n : int) : string =
+  if r.pos + n > String.length r.data then raise (Decode_error "truncated message");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_u32 (r : reader) : int =
+  let s = take r 4 in
+  (Char.code s.[0] lsl 24) lor (Char.code s.[1] lsl 16) lor (Char.code s.[2] lsl 8)
+  lor Char.code s.[3]
+
+let get_u64 (r : reader) : int64 =
+  let s = take r 8 in
+  let acc = ref 0L in
+  String.iter (fun c -> acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code c))) s;
+  !acc
+
+let get_string (r : reader) : string =
+  let n = get_u32 r in
+  take r n
+
+let rec get_value (r : reader) : Engine.Value.t =
+  match (take r 1).[0] with
+  | '\001' -> V_int (Int64.to_int (get_u64 r))
+  | '\002' -> V_float (Int64.float_of_bits (get_u64 r))
+  | '\003' -> V_bool ((take r 1).[0] = '\001')
+  | '\004' -> V_str (get_string r)
+  | '\005' ->
+    let n = get_u32 r in
+    V_list (List.init n (fun _ -> get_value r))
+  | c -> raise (Decode_error (Printf.sprintf "bad value tag %C" c))
+
+let decode_tuple (s : string) : Engine.Tuple.t =
+  let r = { data = s; pos = 0 } in
+  let rel = get_string r in
+  let n = get_u32 r in
+  let args = Array.init n (fun _ -> get_value r) in
+  { Engine.Tuple.rel; args }
+
+(* --- message framing ------------------------------------------------- *)
+
+(* Canonical bytes that authentication covers: source, destination and
+   the tuple payload (not the sequence number, so identical tuples can
+   share signature work if a sender caches them). *)
+let signed_bytes ~(src : string) ~(dst : string) (tuple : Engine.Tuple.t) : string =
+  let buf = Buffer.create 64 in
+  put_string buf src;
+  put_string buf dst;
+  Buffer.add_string buf (encode_tuple tuple);
+  Buffer.contents buf
+
+let encode_message (m : message) : string =
+  let buf = Buffer.create 128 in
+  put_string buf m.msg_src;
+  put_string buf m.msg_dst;
+  put_u32 buf m.msg_seq;
+  put_string buf (encode_tuple m.msg_tuple);
+  (match m.msg_auth with
+  | A_none -> Buffer.add_char buf '\000'
+  | A_principal p ->
+    Buffer.add_char buf '\001';
+    put_string buf p
+  | A_hmac { principal; tag } ->
+    Buffer.add_char buf '\002';
+    put_string buf principal;
+    put_string buf tag
+  | A_signature { principal; signature } ->
+    Buffer.add_char buf '\003';
+    put_string buf principal;
+    put_string buf signature);
+  (match m.msg_provenance with
+  | None -> Buffer.add_char buf '\000'
+  | Some p ->
+    Buffer.add_char buf '\001';
+    put_string buf p);
+  Buffer.contents buf
+
+let size (m : message) : int = String.length (encode_message m)
+
+(* Size breakdown for the bandwidth accounting: how many bytes are
+   base payload vs authentication vs provenance. *)
+type size_breakdown = {
+  sb_header : int;
+  sb_payload : int;
+  sb_auth : int;
+  sb_provenance : int;
+}
+
+let size_breakdown (m : message) : size_breakdown =
+  let header = 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 in
+  let payload = 4 + String.length (encode_tuple m.msg_tuple) in
+  let auth =
+    match m.msg_auth with
+    | A_none -> 1
+    | A_principal p -> 1 + 4 + String.length p
+    | A_hmac { principal; tag } -> 1 + 4 + String.length principal + 4 + String.length tag
+    | A_signature { principal; signature } ->
+      1 + 4 + String.length principal + 4 + String.length signature
+  in
+  let prov =
+    match m.msg_provenance with None -> 1 | Some p -> 1 + 4 + String.length p
+  in
+  { sb_header = header; sb_payload = payload; sb_auth = auth; sb_provenance = prov }
+
+let total (sb : size_breakdown) : int =
+  sb.sb_header + sb.sb_payload + sb.sb_auth + sb.sb_provenance

@@ -1,0 +1,1 @@
+lib/provenance/condense.ml: Bdd Buffer Char Hashtbl List Printf Prov_expr String

@@ -1,0 +1,1 @@
+lib/provenance/derivation.ml: Buffer List Printf Prov_expr String

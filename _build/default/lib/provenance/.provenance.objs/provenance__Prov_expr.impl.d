@@ -1,0 +1,1 @@
+lib/provenance/prov_expr.ml: Buffer Char Hashtbl List Printf Semiring String

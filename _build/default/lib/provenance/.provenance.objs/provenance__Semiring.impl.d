@@ -1,0 +1,1 @@
+lib/provenance/semiring.ml: Bool Float Int List Set String

@@ -1,0 +1,1 @@
+lib/provenance/trust.ml: List Option Printf Prov_expr String

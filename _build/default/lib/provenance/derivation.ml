@@ -1,0 +1,143 @@
+(* Derivation trees with the paper's annotations (Figures 1 and 2).
+
+   A node of the tree is either a base tuple (a leaf) or the result of
+   applying a rule (an oval in the figures) to child subtrees; [union]
+   combines alternative derivations of the same tuple.  Every node is
+   annotated with:
+   - the location where the step executed (Section 4: "we annotate
+     each derivation with its location"),
+   - creation timestamp and time-to-live (soft state),
+   - optionally the asserting principal ("P says ...", Figure 2) and
+     its signature (authenticated provenance, Section 4.3). *)
+
+type annotation = {
+  a_location : string; (* where the step executed: "@a" in Figure 1 *)
+  a_created : float;
+  a_ttl : float option;
+  a_says : string option; (* asserting principal, Figure 2 *)
+  a_signature : string option; (* raw signature bytes, Section 4.3 *)
+}
+
+let annot ?(created = 0.0) ?ttl ?says ?signature location =
+  { a_location = location; a_created = created; a_ttl = ttl; a_says = says;
+    a_signature = signature }
+
+type t =
+  | Leaf of { tuple : string; ann : annotation }
+  | Rule of { rule : string; tuple : string; ann : annotation; children : t list }
+  | Union of { tuple : string; alternatives : t list }
+
+let tuple_of = function
+  | Leaf { tuple; _ } | Rule { tuple; _ } | Union { tuple; _ } -> tuple
+
+(* Base tuples at the leaves: "one can use this tree to figure out the
+   initial input base tuples". *)
+let rec leaves = function
+  | Leaf { tuple; _ } -> [ tuple ]
+  | Rule { children; _ } -> List.concat_map leaves children
+  | Union { alternatives; _ } -> List.concat_map leaves alternatives
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Rule { children; _ } ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+  | Union { alternatives; _ } ->
+    List.fold_left (fun acc c -> max acc (depth c)) 0 alternatives
+
+let rec node_count = function
+  | Leaf _ -> 1
+  | Rule { children; _ } -> 1 + List.fold_left (fun acc c -> acc + node_count c) 0 children
+  | Union { alternatives; _ } ->
+    1 + List.fold_left (fun acc c -> acc + node_count c) 0 alternatives
+
+(* The provenance expression of the tree: leaves are base keys, rule
+   nodes multiply children, unions add alternatives (Section 4.4). *)
+let rec to_expr = function
+  | Leaf { tuple; ann } -> (
+    match ann.a_says with
+    | Some p -> Prov_expr.base p (* Figure 2 keys by asserting principal *)
+    | None -> Prov_expr.base tuple)
+  | Rule { children; _ } -> Prov_expr.times_list (List.map to_expr children)
+  | Union { alternatives; _ } -> Prov_expr.plus_list (List.map to_expr alternatives)
+
+(* Keyed by base tuple identity instead of principal. *)
+let rec to_expr_by_tuple = function
+  | Leaf { tuple; _ } -> Prov_expr.base tuple
+  | Rule { children; _ } -> Prov_expr.times_list (List.map to_expr_by_tuple children)
+  | Union { alternatives; _ } ->
+    Prov_expr.plus_list (List.map to_expr_by_tuple alternatives)
+
+(* All locations that took part in the derivation; used for
+   AS-granularity aggregation (Section 5). *)
+let rec locations = function
+  | Leaf { ann; _ } -> [ ann.a_location ]
+  | Rule { ann; children; _ } ->
+    ann.a_location :: List.concat_map locations children
+  | Union { alternatives; _ } -> List.concat_map locations alternatives
+
+(* Are all signatures present and all nodes attributed?  The runtime
+   performs real verification; this checks structural completeness of
+   an authenticated tree (Section 4.3). *)
+let rec fully_attributed = function
+  | Leaf { ann; _ } -> ann.a_says <> None
+  | Rule { ann; children; _ } -> ann.a_says <> None && List.for_all fully_attributed children
+  | Union { alternatives; _ } -> List.for_all fully_attributed alternatives
+
+(* ASCII rendering in the spirit of Figures 1-2. *)
+let to_string (t : t) : string =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    let pad = String.make indent ' ' in
+    (match t with
+    | Leaf { tuple; ann } ->
+      let says = match ann.a_says with Some p -> p ^ " says " | None -> "" in
+      Buffer.add_string buf (Printf.sprintf "%s%s%s@%s\n" pad says tuple ann.a_location)
+    | Rule { rule; tuple; ann; children } ->
+      let says = match ann.a_says with Some p -> p ^ " says " | None -> "" in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  <- %s@%s\n" pad says tuple rule ann.a_location);
+      List.iter (go (indent + 2)) children
+    | Union { tuple; alternatives } ->
+      Buffer.add_string buf (Printf.sprintf "%s%s  <- union\n" pad tuple);
+      List.iter (go (indent + 2)) alternatives);
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* The Figure 1 tree: reachable(@a,c) over links a->b, a->c, b->c,
+   derived both directly (r1 on link(a,c)) and transitively (r2 on
+   link(a,b) and reachable(b,c)).  Used by tests and the quickstart. *)
+let figure1 () : t =
+  let leaf loc tuple = Leaf { tuple; ann = annot loc } in
+  Union
+    { tuple = "reachable(a,c)";
+      alternatives =
+        [ Rule
+            { rule = "r1"; tuple = "reachable(a,c)"; ann = annot "a";
+              children = [ leaf "a" "link(a,c)" ] };
+          Rule
+            { rule = "r2"; tuple = "reachable(a,c)"; ann = annot "a";
+              children =
+                [ leaf "a" "link(a,b)";
+                  Rule
+                    { rule = "r1"; tuple = "reachable(b,c)"; ann = annot "b";
+                      children = [ leaf "b" "link(b,c)" ] } ] } ] }
+
+(* The Figure 2 tree: same derivations within SeNDlog contexts, every
+   node asserted by its principal; the provenance keys are principals,
+   giving <a + a*b>. *)
+let figure2 () : t =
+  let leaf loc says tuple = Leaf { tuple; ann = annot ~says loc } in
+  Union
+    { tuple = "reachable(a,c)";
+      alternatives =
+        [ Rule
+            { rule = "s1"; tuple = "reachable(a,c)"; ann = annot ~says:"a" "a";
+              children = [ leaf "a" "a" "link(a,c)" ] };
+          Rule
+            { rule = "s3"; tuple = "reachable(a,c)"; ann = annot ~says:"a" "a";
+              children =
+                [ leaf "a" "a" "linkD(b,a)";
+                  Rule
+                    { rule = "s1"; tuple = "reachable(b,c)"; ann = annot ~says:"b" "b";
+                      children = [ leaf "b" "b" "link(b,c)" ] } ] } ] }

@@ -1,0 +1,201 @@
+(* Provenance expressions: the free commutative semiring over base
+   tuple keys.  A tuple's annotation is built during evaluation -
+   [Times] across the body tuples of one derivation, [Plus] across
+   alternative derivations - and later evaluated into any concrete
+   semiring ([eval]) or condensed into a BDD ([Condense]). *)
+
+type t =
+  | Zero
+  | One
+  | Base of string (* key of a base tuple / asserting principal *)
+  | Plus of t * t
+  | Times of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One -> true
+  | Base x, Base y -> String.equal x y
+  | Plus (a1, a2), Plus (b1, b2) | Times (a1, a2), Times (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | (Zero | One | Base _ | Plus _ | Times _), _ -> false
+
+(* Smart constructors applying the semiring identities (0+x = x,
+   1*x = x, 0*x = 0) so expressions stay small during evaluation. *)
+let zero = Zero
+let one = One
+let base k = Base k
+
+let plus a b =
+  match (a, b) with
+  | Zero, x | x, Zero -> x
+  | a, b -> Plus (a, b)
+
+let times a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, x | x, One -> x
+  | a, b -> Times (a, b)
+
+let times_list (l : t list) : t = List.fold_left times One l
+let plus_list (l : t list) : t = List.fold_left plus Zero l
+
+(* Homomorphic evaluation into a semiring, mapping each base key
+   through [assign]. *)
+let eval (type a) (module S : Semiring.S with type t = a) ~(assign : string -> a)
+    (e : t) : a =
+  let rec go = function
+    | Zero -> S.zero
+    | One -> S.one
+    | Base k -> assign k
+    | Plus (x, y) -> S.plus (go x) (go y)
+    | Times (x, y) -> S.times (go x) (go y)
+  in
+  go e
+
+(* The base keys appearing in the expression. *)
+let bases (e : t) : string list =
+  let tbl = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Base k -> Hashtbl.replace tbl k ()
+    | Plus (x, y) | Times (x, y) ->
+      go x;
+      go y
+  in
+  go e;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare
+
+(* Structural size (number of operators and leaves): the paper's
+   "uncondensed provenance" cost measure. *)
+let rec size = function
+  | Zero | One | Base _ -> 1
+  | Plus (x, y) | Times (x, y) -> 1 + size x + size y
+
+(* Syntax matching the paper's annotations: + for union, * for join,
+   e.g. <a+a*b>. *)
+let to_string (e : t) : string =
+  let rec go ~parent = function
+    | Zero -> "0"
+    | One -> "1"
+    | Base k -> k
+    | Plus (x, y) ->
+      let s = go ~parent:`Plus x ^ "+" ^ go ~parent:`Plus y in
+      if parent = `Times then "(" ^ s ^ ")" else s
+    | Times (x, y) -> go ~parent:`Times x ^ "*" ^ go ~parent:`Times y
+  in
+  go ~parent:`Top e
+
+let to_annotation (e : t) : string = "<" ^ to_string e ^ ">"
+
+(* Wire size in bytes when shipped uncondensed: a flattened prefix
+   encoding with one byte per operator and length-prefixed keys. *)
+let rec wire_size = function
+  | Zero | One -> 1
+  | Base k -> 1 + 2 + String.length k
+  | Plus (x, y) | Times (x, y) -> 1 + wire_size x + wire_size y
+
+(* Evaluation into the boolean semiring under a trusted-set
+   interpretation: is the tuple derivable using only trusted bases? *)
+let derivable_from ~(trusted : string -> bool) (e : t) : bool =
+  eval (module Semiring.Boolean) ~assign:trusted e
+
+(* Number of distinct derivations (counting semiring). *)
+let count_derivations (e : t) : int =
+  eval (module Semiring.Counting) ~assign:(fun _ -> 1) e
+
+(* Security level (Section 4.5): plus = max, times = min over the
+   levels of asserting principals. *)
+let security_level ~(level : string -> int) (e : t) : int =
+  eval (module Semiring.Security_level) ~assign:level e
+
+(* Why-provenance with absorption applied, the set analogue of the
+   condensation in Section 4.4. *)
+let minimal_why (e : t) : Semiring.String_set_set.t =
+  eval
+    (module Semiring.Why)
+    ~assign:(fun k -> Semiring.String_set_set.singleton (Semiring.String_set.singleton k))
+    e
+  |> Semiring.minimal_witnesses
+
+(* Vote counting (Section 4.5): the number of distinct principals
+   with at least one derivation consisting solely of their assertions
+   is not expressible per se, so the paper's "over K principals assert
+   the update" test instead asks: how many distinct principals appear
+   across the minimal witnesses that are singletons, or more usefully,
+   for how many principals P the tuple is derivable trusting P's
+   assertions plus the infrastructure set. We expose the building
+   block: derivability restricted to one principal. *)
+let asserted_solely_by (e : t) ~(principal_of : string -> string option)
+    (p : string) : bool =
+  derivable_from e ~trusted:(fun k ->
+      match principal_of k with
+      | Some q -> String.equal p q
+      | None -> false)
+
+let vote_count (e : t) ~(principal_of : string -> string option)
+    ~(principals : string list) : int =
+  List.length (List.filter (asserted_solely_by e ~principal_of) principals)
+
+(* --- binary wire codec ----------------------------------------------- *)
+
+(* Binary encoding matching [wire_size]: one tag byte per node, keys
+   length-prefixed with 2 bytes.  This is the provenance block format
+   shipped inside [Net.Wire] messages. *)
+let encode (e : t) : string =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Zero -> Buffer.add_char buf '\000'
+    | One -> Buffer.add_char buf '\001'
+    | Base k ->
+      Buffer.add_char buf '\002';
+      let n = String.length k in
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (n land 0xFF));
+      Buffer.add_string buf k
+    | Plus (a, b) ->
+      Buffer.add_char buf '\003';
+      go a;
+      go b
+    | Times (a, b) ->
+      Buffer.add_char buf '\004';
+      go a;
+      go b
+  in
+  go e;
+  Buffer.contents buf
+
+exception Decode_error of string
+
+let decode (s : string) : t =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then raise (Decode_error "truncated provenance");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec go () =
+    match byte () with
+    | '\000' -> Zero
+    | '\001' -> One
+    | '\002' ->
+      let hi = Char.code (byte ()) in
+      let lo = Char.code (byte ()) in
+      let n = (hi lsl 8) lor lo in
+      if !pos + n > String.length s then raise (Decode_error "truncated key");
+      let k = String.sub s !pos n in
+      pos := !pos + n;
+      Base k
+    | '\003' ->
+      let a = go () in
+      let b = go () in
+      Plus (a, b)
+    | '\004' ->
+      let a = go () in
+      let b = go () in
+      Times (a, b)
+    | c -> raise (Decode_error (Printf.sprintf "bad provenance tag %C" c))
+  in
+  let e = go () in
+  if !pos <> String.length s then raise (Decode_error "trailing bytes");
+  e

@@ -1,0 +1,149 @@
+(* Provenance semirings (Green, Karvounarakis, Tannen, PODS'07).
+
+   The paper (Section 4.4-4.5) annotates tuples with provenance
+   expressions over base-tuple keys; evaluating the same expression in
+   different commutative semirings yields the different "quantifiable"
+   readings: boolean trust, derivation counting, security levels
+   (max/min), tropical cost, why-provenance, and lineage. *)
+
+module type S = sig
+  type t
+
+  val zero : t (* annotation of absent tuples;  plus identity *)
+  val one : t (* annotation of base facts;      times identity *)
+  val plus : t -> t -> t (* alternative derivations (union) *)
+  val times : t -> t -> t (* joint use in one derivation (join) *)
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+(* Boolean semiring: does the tuple exist / is it derivable from
+   trusted base tuples. *)
+module Boolean : S with type t = bool = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let to_string = string_of_bool
+end
+
+(* Counting semiring: number of distinct derivations (Gupta et al.'s
+   view-maintenance counts, cited as [10] in the paper). *)
+module Counting : S with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let plus = ( + )
+  let times = ( * )
+  let equal = Int.equal
+  let to_string = string_of_int
+end
+
+(* Security-level semiring (Section 4.5): plus = max, times = min;
+   "the derivation has trust level max over alternatives of the min
+   level inside each alternative".  Levels are small non-negative
+   integers; [zero] is the absent level. *)
+module Security_level : S with type t = int = struct
+  type t = int
+
+  let zero = min_int
+  let one = max_int (* a derivation using no base facts is fully trusted *)
+  let plus = max
+  let times = min
+  let equal = Int.equal
+
+  let to_string l =
+    if l = min_int then "-inf" else if l = max_int then "+inf" else string_of_int l
+end
+
+(* Tropical semiring: minimum total cost over derivations, cost adding
+   along a derivation.  Useful for weighted traceback. *)
+module Tropical : S with type t = float = struct
+  type t = float
+
+  let zero = Float.infinity
+  let one = 0.0
+  let plus = Float.min
+  let times = ( +. )
+  let equal a b = Float.equal a b
+  let to_string = string_of_float
+end
+
+module String_set = Set.Make (String)
+
+(* Lineage: the set of base tuples involved in any derivation
+   (Cui-Widom style).  A plain set union of both operations would
+   violate the annihilation law (0 * x = 0), so absent tuples carry an
+   explicit bottom element, as in Green et al.'s formulation. *)
+module Lineage : S with type t = String_set.t option = struct
+  type t = String_set.t option (* None = tuple absent *)
+
+  let zero = None
+  let one = Some String_set.empty
+
+  let plus a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (String_set.union a b)
+
+  let times a b =
+    match (a, b) with
+    | None, _ | _, None -> None
+    | Some a, Some b -> Some (String_set.union a b)
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> String_set.equal a b
+    | None, Some _ | Some _, None -> false
+
+  let to_string = function
+    | None -> "_|_"
+    | Some s -> "{" ^ String.concat "," (String_set.elements s) ^ "}"
+end
+
+module String_set_set = Set.Make (String_set)
+
+(* Why-provenance: set of witnesses, each witness a set of base
+   tuples (Buneman-Khanna-Tan, cited as [7] in the paper).  [times] is
+   the pairwise union of witnesses. *)
+module Why : S with type t = String_set_set.t = struct
+  type t = String_set_set.t
+
+  let zero = String_set_set.empty
+  let one = String_set_set.singleton String_set.empty
+  let plus = String_set_set.union
+
+  let times a b =
+    String_set_set.fold
+      (fun wa acc ->
+        String_set_set.fold
+          (fun wb acc -> String_set_set.add (String_set.union wa wb) acc)
+          b acc)
+      a String_set_set.empty
+
+  let equal = String_set_set.equal
+
+  let to_string s =
+    "{"
+    ^ String.concat ";"
+        (List.map
+           (fun w -> "{" ^ String.concat "," (String_set.elements w) ^ "}")
+           (String_set_set.elements s))
+    ^ "}"
+end
+
+(* Minimal witnesses under subset order: drops absorbed witnesses, so
+   why({a},{a,b}) = {{a}} - the set counterpart of <a+a*b> -> <a>. *)
+let minimal_witnesses (w : String_set_set.t) : String_set_set.t =
+  String_set_set.filter
+    (fun s ->
+      not
+        (String_set_set.exists
+           (fun s' -> (not (String_set.equal s s')) && String_set.subset s' s)
+           w))
+    w

@@ -1,0 +1,51 @@
+(* Quantifiable provenance and trust policies (Sections 4.5 and 3).
+
+   A [policy] decides whether to accept a tuple given its provenance,
+   the paper's trust-management use case (Orchestra-style accept or
+   reject of updates based on source origins). *)
+
+type policy =
+  | Accept_all
+  | Trusted_set of string list
+      (* accept iff derivable from trusted principals only *)
+  | Min_security_level of { levels : (string * int) list; threshold : int }
+      (* Section 4.5: max-min security level must reach the threshold *)
+  | K_votes of { principals : string list; k : int }
+      (* "accepting an update only if over K principals assert the update" *)
+  | And of policy * policy
+  | Or of policy * policy
+
+let rec evaluate (policy : policy) (e : Prov_expr.t) : bool =
+  match policy with
+  | Accept_all -> true
+  | Trusted_set trusted ->
+    Prov_expr.derivable_from e ~trusted:(fun k -> List.mem k trusted)
+  | Min_security_level { levels; threshold } ->
+    let level k = Option.value (List.assoc_opt k levels) ~default:0 in
+    Prov_expr.security_level ~level e >= threshold
+  | K_votes { principals; k } ->
+    (* A principal votes for the tuple when the tuple is derivable
+       from that principal's assertions alone. *)
+    Prov_expr.vote_count e ~principal_of:(fun p -> Some p) ~principals >= k
+  | And (a, b) -> evaluate a e && evaluate b e
+  | Or (a, b) -> evaluate a e || evaluate b e
+
+(* Section 4.5 worked example: <a+a*b> with level(a)=2, level(b)=1
+   evaluates to max(2, min(2,1)) = 2. *)
+let paper_example_level () : int =
+  let e =
+    Prov_expr.plus (Prov_expr.base "a")
+      (Prov_expr.times (Prov_expr.base "a") (Prov_expr.base "b"))
+  in
+  Prov_expr.security_level e ~level:(function
+    | "a" -> 2
+    | "b" -> 1
+    | _ -> 0)
+
+let rec to_string = function
+  | Accept_all -> "accept-all"
+  | Trusted_set l -> Printf.sprintf "trusted{%s}" (String.concat "," l)
+  | Min_security_level { threshold; _ } -> Printf.sprintf "level>=%d" threshold
+  | K_votes { k; _ } -> Printf.sprintf "votes>=%d" k
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)

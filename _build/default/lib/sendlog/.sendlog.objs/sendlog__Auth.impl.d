@@ -1,0 +1,1 @@
+lib/sendlog/auth.ml: Crypto Net Principal Printf

@@ -1,0 +1,1 @@
+lib/sendlog/compile.ml: Hashtbl List Ndlog String

@@ -1,0 +1,1 @@
+lib/sendlog/principal.ml: Crypto Hashtbl List Printf String

@@ -1,0 +1,88 @@
+(* Implementations of the [says] abstraction (Section 2.2).
+
+   "In a hostile world, says may require digital signatures.  In a
+   more benign world, says may simply append a cleartext principal
+   header to a message - and this will of course be cheaper."
+
+   Four modes:
+   - [Auth_none]      plain NDlog, no says (the NDLog baseline);
+   - [Auth_cleartext] principal name in the clear, no crypto;
+   - [Auth_hmac]      shared-key MAC (cheap authenticated mode);
+   - [Auth_rsa]       per-tuple RSA signature (the paper's SeNDlog
+                      configuration). *)
+
+type mode =
+  | Auth_none
+  | Auth_cleartext
+  | Auth_hmac
+  | Auth_rsa
+
+let mode_to_string = function
+  | Auth_none -> "none"
+  | Auth_cleartext -> "cleartext"
+  | Auth_hmac -> "hmac"
+  | Auth_rsa -> "rsa"
+
+(* Sign (or just attribute) [bytes] on behalf of [principal]. *)
+let make_auth (mode : mode) (sender : Principal.t) (bytes : string) : Net.Wire.auth =
+  match mode with
+  | Auth_none -> Net.Wire.A_none
+  | Auth_cleartext -> Net.Wire.A_principal sender.name
+  | Auth_hmac ->
+    Net.Wire.A_hmac
+      { principal = sender.name; tag = Crypto.Hmac.sha256 ~key:sender.hmac_key bytes }
+  | Auth_rsa ->
+    Net.Wire.A_signature
+      { principal = sender.name;
+        signature = Crypto.Rsa.sign sender.keypair.private_ bytes }
+
+type verdict =
+  | Verified of string (* principal whose assertion checked out *)
+  | Unsigned (* no authentication present (Auth_none mode) *)
+  | Forged of string (* authentication present but invalid *)
+
+(* Verify an incoming message's authentication against the directory.
+   Cleartext headers are accepted at face value (that is the point of
+   the benign mode); HMAC and RSA are cryptographically checked. *)
+let verify (mode : mode) (directory : Principal.directory) (auth : Net.Wire.auth)
+    (bytes : string) : verdict =
+  match (mode, auth) with
+  | Auth_none, _ -> Unsigned
+  | Auth_cleartext, Net.Wire.A_principal p -> Verified p
+  | Auth_cleartext, _ -> Forged "missing principal header"
+  | Auth_hmac, Net.Wire.A_hmac { principal; tag } -> (
+    match Principal.find directory principal with
+    | None -> Forged (Printf.sprintf "unknown principal %s" principal)
+    | Some sender ->
+      if Crypto.Hmac.verify ~key:sender.hmac_key ~tag bytes then Verified principal
+      else Forged (Printf.sprintf "bad MAC from %s" principal))
+  | Auth_hmac, _ -> Forged "missing MAC"
+  | Auth_rsa, Net.Wire.A_signature { principal; signature } -> (
+    match Principal.find directory principal with
+    | None -> Forged (Printf.sprintf "unknown principal %s" principal)
+    | Some sender ->
+      if Crypto.Rsa.verify (Principal.public_key sender) ~signature bytes then
+        Verified principal
+      else Forged (Printf.sprintf "bad signature from %s" principal))
+  | Auth_rsa, _ -> Forged "missing signature"
+
+(* Sign an individual provenance node (authenticated provenance,
+   Section 4.3: "individual nodes in the provenance tree need to have
+   digital signatures to validate the authenticity of the computed
+   provenance"). *)
+let sign_provenance_node (mode : mode) (sender : Principal.t) ~(node_repr : string) :
+    string option =
+  match mode with
+  | Auth_none | Auth_cleartext -> None
+  | Auth_hmac -> Some (Crypto.Hmac.sha256 ~key:sender.hmac_key node_repr)
+  | Auth_rsa -> Some (Crypto.Rsa.sign sender.keypair.private_ node_repr)
+
+let verify_provenance_node (mode : mode) (directory : Principal.directory)
+    ~(principal : string) ~(node_repr : string) ~(signature : string) : bool =
+  match Principal.find directory principal with
+  | None -> false
+  | Some sender -> (
+    match mode with
+    | Auth_none | Auth_cleartext -> false
+    | Auth_hmac -> Crypto.Hmac.verify ~key:sender.hmac_key ~tag:signature node_repr
+    | Auth_rsa -> Crypto.Rsa.verify (Principal.public_key sender) ~signature node_repr)

@@ -1,0 +1,71 @@
+(* Compilation of SeNDlog programs for distributed execution.
+
+   SeNDlog rule bodies are already localized by construction (every
+   literal executes within the rule's `At P:` context); what remains
+   is to validate the program in SeNDlog mode, check that every
+   exported head and imported [says] literal is consistent, and
+   extract the communication signature of the program: which
+   predicates cross context boundaries (and therefore need [says]
+   authentication when the mode requires it). *)
+
+open Ndlog.Ast
+
+type comm_info = {
+  exported : string list; (* predicates sent to other contexts *)
+  imported : string list; (* predicates consumed under a says literal *)
+}
+
+let communication (p : program) : comm_info =
+  let exported = Hashtbl.create 8 and imported = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      (match r.rule_head.export_to with
+      | Some _ -> Hashtbl.replace exported r.rule_head.head_pred ()
+      | None ->
+        (* NDlog-style heads addressed at a non-body location also
+           cross nodes, but deciding that statically requires the
+           body's location; the runtime accounts for it per tuple. *)
+        ());
+      List.iter
+        (function
+          | L_pred { pred; says = Some _; _ } -> Hashtbl.replace imported pred.name ()
+          | L_pred _ | L_cond _ | L_assign _ -> ())
+        r.rule_body)
+    (rules p);
+  { exported = Hashtbl.fold (fun k () acc -> k :: acc) exported [] |> List.sort String.compare;
+    imported = Hashtbl.fold (fun k () acc -> k :: acc) imported [] |> List.sort String.compare }
+
+type compiled = {
+  c_program : program;
+  c_rules : rule list;
+  c_comm : comm_info;
+  c_sendlog : bool; (* true when the source used contexts / says *)
+}
+
+let uses_sendlog_features (p : program) : bool =
+  List.exists
+    (fun r ->
+      r.rule_context <> None
+      || r.rule_head.export_to <> None
+      || List.exists
+           (function L_pred { says = Some _; _ } -> true | _ -> false)
+           r.rule_body)
+    (rules p)
+
+exception Compile_error of string
+
+(* Validate and localize a program for the distributed runtime:
+   SeNDlog programs must pass the sendlog checks; plain NDlog programs
+   are run through the localization rewrite first. *)
+let compile (p : program) : compiled =
+  let sendlog = uses_sendlog_features p in
+  let p =
+    if sendlog then p
+    else
+      try Ndlog.Localize.localize_program p
+      with Ndlog.Localize.Not_localizable msg -> raise (Compile_error msg)
+  in
+  (match Ndlog.Analysis.check_program ~sendlog p with
+  | [] -> ()
+  | errs -> raise (Compile_error (Ndlog.Analysis.errors_to_string errs)));
+  { c_program = p; c_rules = rules p; c_comm = communication p; c_sendlog = sendlog }

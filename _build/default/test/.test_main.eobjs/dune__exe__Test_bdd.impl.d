@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Float List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bigint Bignum List Nat Printf QCheck QCheck_alcotest String

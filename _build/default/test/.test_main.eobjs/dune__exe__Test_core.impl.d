@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Crypto Engine Fun Hashtbl List Ndlog Net Printf Provenance QCheck QCheck_alcotest Sendlog String Tuple Value

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bindings Db Engine Eval Expr_eval Hashtbl List Ndlog Printf QCheck QCheck_alcotest String Tuple Value

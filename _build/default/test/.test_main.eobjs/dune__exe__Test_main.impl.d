@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bdd Test_bignum Test_bloom Test_core Test_crypto Test_engine Test_ndlog Test_net Test_provenance Test_sendlog

@@ -1,0 +1,1 @@
+test/test_ndlog.ml: Alcotest Analysis Ast Engine Lexer List Localize Ndlog Parser Pretty Programs String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Crypto Engine Hashtbl List Net Option Printf QCheck QCheck_alcotest String Tuple Value

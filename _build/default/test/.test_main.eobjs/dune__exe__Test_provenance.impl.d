@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Array Condense Derivation Fun List Prov_expr Provenance QCheck QCheck_alcotest Semiring String Trust

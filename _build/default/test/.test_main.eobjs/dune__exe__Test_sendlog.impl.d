@@ -1,0 +1,1 @@
+test/test_sendlog.ml: Alcotest Crypto List Ndlog Net Sendlog

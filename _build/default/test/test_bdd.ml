@@ -1,0 +1,239 @@
+(* Tests for the ROBDD substrate, including the condensation behaviour
+   the paper relies on (absorption). *)
+
+(* A tiny boolean-expression type with a reference truth-table
+   evaluator; properties check the BDD agrees with it. *)
+type bexpr =
+  | Var of int
+  | Const of bool
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+
+let rec eval_ref env = function
+  | Var v -> env v
+  | Const b -> b
+  | And (a, b) -> eval_ref env a && eval_ref env b
+  | Or (a, b) -> eval_ref env a || eval_ref env b
+  | Not a -> not (eval_ref env a)
+
+let rec build m = function
+  | Var v -> Bdd.var m v
+  | Const true -> Bdd.top
+  | Const false -> Bdd.bot
+  | And (a, b) -> Bdd.band m (build m a) (build m b)
+  | Or (a, b) -> Bdd.bor m (build m a) (build m b)
+  | Not a -> Bdd.bnot m (build m a)
+
+let nvars = 4
+
+let bexpr_gen : bexpr QCheck.arbitrary =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then oneof [ map (fun v -> Var v) (int_bound (nvars - 1)); map (fun b -> Const b) bool ]
+    else
+      frequency
+        [ (1, map (fun v -> Var v) (int_bound (nvars - 1)));
+          (2, map2 (fun a b -> And (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (2, map2 (fun a b -> Or (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (1, map (fun a -> Not a) (gen (depth - 1))) ]
+  in
+  QCheck.make (gen 4)
+
+let envs =
+  (* all 2^nvars assignments *)
+  List.init (1 lsl nvars) (fun mask v -> mask land (1 lsl v) <> 0)
+
+(* --- unit tests --------------------------------------------------------- *)
+
+let test_constants () =
+  let m = Bdd.create_manager () in
+  Alcotest.(check bool) "top true" true (Bdd.is_true Bdd.top);
+  Alcotest.(check bool) "bot false" true (Bdd.is_false Bdd.bot);
+  Alcotest.(check bool) "x and not x = 0" true
+    (Bdd.is_false (Bdd.band m (Bdd.var m 0) (Bdd.bnot m (Bdd.var m 0))));
+  Alcotest.(check bool) "x or not x = 1" true
+    (Bdd.is_true (Bdd.bor m (Bdd.var m 0) (Bdd.bnot m (Bdd.var m 0))))
+
+let test_hash_consing () =
+  let m = Bdd.create_manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f1 = Bdd.band m a b and f2 = Bdd.band m b a in
+  Alcotest.(check bool) "commutative identical" true (Bdd.equal f1 f2);
+  let g1 = Bdd.bor m a (Bdd.band m a b) in
+  Alcotest.(check bool) "absorption a+ab=a" true (Bdd.equal g1 a)
+
+let test_paper_condensation () =
+  (* Figure 2: <a+a*b> -> <a> *)
+  let m = Bdd.create_manager () in
+  let a = Bdd.named_var m "a" and b = Bdd.named_var m "b" in
+  let e = Bdd.bor m a (Bdd.band m a b) in
+  Alcotest.(check string) "annotation" "<a>" (Bdd.to_annotation m e)
+
+let test_positive_cubes_minimal () =
+  let m = Bdd.create_manager () in
+  let a = Bdd.named_var m "a" and b = Bdd.named_var m "b" and c = Bdd.named_var m "c" in
+  (* a*b + a*b*c + c -> a*b + c *)
+  let e = Bdd.bor m (Bdd.band m a b) (Bdd.bor m (Bdd.band m (Bdd.band m a b) c) c) in
+  Alcotest.(check string) "minimal SOP" "<a*b+c>" (Bdd.to_annotation m e)
+
+let test_restrict_exists () =
+  let m = Bdd.create_manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.band m a b in
+  Alcotest.(check bool) "f[a:=1] = b" true (Bdd.equal (Bdd.restrict m f 0 true) b);
+  Alcotest.(check bool) "f[a:=0] = 0" true (Bdd.is_false (Bdd.restrict m f 0 false));
+  Alcotest.(check bool) "exists a. a*b = b" true (Bdd.equal (Bdd.exists m f 0) b)
+
+let test_sat_count () =
+  let m = Bdd.create_manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  Alcotest.(check (float 0.001)) "count(a)" 4.0 (Bdd.sat_count a ~nvars:3);
+  Alcotest.(check (float 0.001)) "count(a*b)" 2.0 (Bdd.sat_count (Bdd.band m a b) ~nvars:3);
+  Alcotest.(check (float 0.001)) "count(a+b+c)" 7.0
+    (Bdd.sat_count (Bdd.bor m a (Bdd.bor m b c)) ~nvars:3);
+  Alcotest.(check (float 0.001)) "count(1)" 8.0 (Bdd.sat_count Bdd.top ~nvars:3);
+  Alcotest.(check (float 0.001)) "count(0)" 0.0 (Bdd.sat_count Bdd.bot ~nvars:3)
+
+let test_any_sat () =
+  let m = Bdd.create_manager () in
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.bnot m (Bdd.var m 2)) in
+  (match Bdd.any_sat f with
+  | None -> Alcotest.fail "expected satisfiable"
+  | Some assignment ->
+    let env v = Option.value (List.assoc_opt v assignment) ~default:false in
+    Alcotest.(check bool) "assignment satisfies" true (Bdd.eval f env));
+  Alcotest.(check bool) "unsat" true (Bdd.any_sat Bdd.bot = None)
+
+let test_support () =
+  let m = Bdd.create_manager () in
+  let f = Bdd.bor m (Bdd.var m 1) (Bdd.band m (Bdd.var m 3) (Bdd.var m 1)) in
+  Alcotest.(check (list int)) "support after absorption" [ 1 ] (Bdd.support f)
+
+let test_serialize_roundtrip () =
+  let m = Bdd.create_manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.bor m (Bdd.band m a b) (Bdd.band m (Bdd.bnot m a) c) in
+  let m2 = Bdd.create_manager () in
+  let g = Bdd.deserialize m2 (Bdd.serialize f) in
+  (* same truth table *)
+  List.iter
+    (fun env ->
+      Alcotest.(check bool) "same function" (Bdd.eval f env) (Bdd.eval g env))
+    envs;
+  Alcotest.(check bool) "constants" true
+    (Bdd.equal (Bdd.deserialize m2 (Bdd.serialize Bdd.top)) Bdd.top)
+
+let test_deserialize_garbage () =
+  let m = Bdd.create_manager () in
+  Alcotest.(check bool) "bad length rejected" true
+    (match Bdd.deserialize m "abc" with
+    | exception Bdd.Deserialize_error _ -> true
+    | _ -> false)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let prop_agrees_with_truth_table =
+  QCheck.Test.make ~name:"bdd = truth table" ~count:300 bexpr_gen (fun e ->
+      let m = Bdd.create_manager () in
+      let f = build m e in
+      List.for_all (fun env -> Bdd.eval f env = eval_ref env e) envs)
+
+let prop_canonical =
+  (* semantically equal expressions build the identical node *)
+  QCheck.Test.make ~name:"bdd canonical" ~count:200 QCheck.(pair bexpr_gen bexpr_gen)
+    (fun (e1, e2) ->
+      let m = Bdd.create_manager () in
+      let f1 = build m e1 and f2 = build m e2 in
+      let sem_equal = List.for_all (fun env -> eval_ref env e1 = eval_ref env e2) envs in
+      Bdd.equal f1 f2 = sem_equal)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"de morgan" ~count:200 QCheck.(pair bexpr_gen bexpr_gen)
+    (fun (e1, e2) ->
+      let m = Bdd.create_manager () in
+      let f1 = build m e1 and f2 = build m e2 in
+      Bdd.equal (Bdd.bnot m (Bdd.band m f1 f2)) (Bdd.bor m (Bdd.bnot m f1) (Bdd.bnot m f2)))
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrip" ~count:200 bexpr_gen (fun e ->
+      let m = Bdd.create_manager () in
+      let f = build m e in
+      let m2 = Bdd.create_manager () in
+      let g = Bdd.deserialize m2 (Bdd.serialize f) in
+      List.for_all (fun env -> Bdd.eval f env = Bdd.eval g env) envs)
+
+let prop_restrict_shannon =
+  (* f = (v and f[v:=1]) or (not v and f[v:=0]) *)
+  QCheck.Test.make ~name:"shannon expansion" ~count:200
+    QCheck.(pair bexpr_gen (int_bound (nvars - 1)))
+    (fun (e, v) ->
+      let m = Bdd.create_manager () in
+      let f = build m e in
+      let hi = Bdd.restrict m f v true and lo = Bdd.restrict m f v false in
+      let vb = Bdd.var m v in
+      Bdd.equal f (Bdd.bor m (Bdd.band m vb hi) (Bdd.band m (Bdd.bnot m vb) lo)))
+
+let prop_sat_count_matches =
+  QCheck.Test.make ~name:"sat_count = brute force" ~count:150 bexpr_gen (fun e ->
+      let m = Bdd.create_manager () in
+      let f = build m e in
+      let brute = List.length (List.filter (fun env -> Bdd.eval f env) envs) in
+      Float.abs (Bdd.sat_count f ~nvars -. float_of_int brute) < 0.001)
+
+let prop_positive_cubes_cover_monotone =
+  (* for AND/OR-only expressions, the positive cubes are a correct
+     minimal cover *)
+  let monotone_gen =
+    let open QCheck.Gen in
+    let rec gen depth =
+      if depth = 0 then map (fun v -> Var v) (int_bound (nvars - 1))
+      else
+        frequency
+          [ (1, map (fun v -> Var v) (int_bound (nvars - 1)));
+            (2, map2 (fun a b -> And (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+            (2, map2 (fun a b -> Or (a, b)) (gen (depth - 1)) (gen (depth - 1))) ]
+    in
+    QCheck.make (gen 4)
+  in
+  QCheck.Test.make ~name:"positive cubes cover monotone functions" ~count:200 monotone_gen
+    (fun e ->
+      let m = Bdd.create_manager () in
+      let f = build m e in
+      let cubes = Bdd.positive_cubes f in
+      (* rebuild from cubes and compare *)
+      let rebuilt =
+        List.fold_left
+          (fun acc cube ->
+            Bdd.bor m acc
+              (List.fold_left (fun c v -> Bdd.band m c (Bdd.var m v)) Bdd.top cube))
+          Bdd.bot cubes
+      in
+      Bdd.equal f rebuilt
+      (* minimality: no cube subsumes another *)
+      && List.for_all
+           (fun c ->
+             List.for_all
+               (fun c' -> c == c' || not (List.for_all (fun v -> List.mem v c) c'))
+               cubes)
+           cubes)
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "hash consing / absorption" `Quick test_hash_consing;
+    Alcotest.test_case "paper condensation" `Quick test_paper_condensation;
+    Alcotest.test_case "minimal cubes" `Quick test_positive_cubes_minimal;
+    Alcotest.test_case "restrict / exists" `Quick test_restrict_exists;
+    Alcotest.test_case "sat_count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+    Alcotest.test_case "deserialize garbage" `Quick test_deserialize_garbage ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_agrees_with_truth_table;
+        prop_canonical;
+        prop_de_morgan;
+        prop_serialize_roundtrip;
+        prop_restrict_shannon;
+        prop_sat_count_matches;
+        prop_positive_cubes_cover_monotone ]

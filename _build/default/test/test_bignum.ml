@@ -1,0 +1,267 @@
+(* Tests for the arbitrary-precision arithmetic substrate. *)
+
+open Bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let check_nat = Alcotest.check nat
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun i -> Alcotest.(check (option int)) "roundtrip" (Some i) (Nat.to_int_opt (Nat.of_int i)))
+    [ 0; 1; 2; 25; 26; 63; 64; 65; 12345678; max_int ]
+
+let test_add_basic () =
+  check_nat "1+1" Nat.two (Nat.add Nat.one Nat.one);
+  check_nat "0+x" (Nat.of_int 42) (Nat.add Nat.zero (Nat.of_int 42));
+  (* carries across limbs *)
+  let big = Nat.of_string "67108863" (* 2^26 - 1 *) in
+  check_nat "carry" (Nat.of_string "67108864") (Nat.add big Nat.one)
+
+let test_sub_basic () =
+  check_nat "x-x" Nat.zero (Nat.sub (Nat.of_int 99) (Nat.of_int 99));
+  check_nat "borrow" (Nat.of_string "67108863") (Nat.sub (Nat.of_string "67108864") Nat.one);
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.sub: would be negative")
+    (fun () -> ignore (Nat.sub Nat.one Nat.two))
+
+let test_mul_known () =
+  check_nat "known product"
+    (Nat.of_string "121932631137021795226185032733622923332237463801111263526900")
+    (Nat.mul
+       (Nat.of_string "123456789012345678901234567890")
+       (Nat.of_string "987654321098765432109876543210"))
+
+let test_divmod_known () =
+  let q, r = Nat.divmod (Nat.of_string "1000000000000000000000") (Nat.of_string "7777777") in
+  check_nat "q" (Nat.of_string "128571441428572") q;
+  check_nat "r" (Nat.of_string "5555556") r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_divmod_edge_cases () =
+  (* dividend smaller than divisor *)
+  let q, r = Nat.divmod (Nat.of_int 5) (Nat.of_int 7) in
+  check_nat "q=0" Nat.zero q;
+  check_nat "r=dividend" (Nat.of_int 5) r;
+  (* exact division *)
+  let a = Nat.of_string "123456789123456789123456789" in
+  let q, r = Nat.divmod (Nat.mul a (Nat.of_int 997)) a in
+  check_nat "exact q" (Nat.of_int 997) q;
+  check_nat "exact r" Nat.zero r;
+  (* the Knuth D add-back case needs top-limb patterns; stress a few *)
+  let u = Nat.of_hex "7fffffffffffffffffffffffffffffff" in
+  let v = Nat.of_hex "80000000000000000000000001" in
+  let q, r = Nat.divmod u v in
+  check_nat "reconstruct" u (Nat.add (Nat.mul q v) r);
+  Alcotest.(check bool) "r < v" true (Nat.compare r v < 0)
+
+let test_mod_pow () =
+  (* Fermat: a^(p-1) = 1 mod p for prime p not dividing a *)
+  let p = Nat.of_int 1000000007 in
+  let a = Nat.of_int 123456 in
+  check_nat "fermat" Nat.one (Nat.mod_pow a (Nat.sub p Nat.one) p);
+  check_nat "mod 1" Nat.zero (Nat.mod_pow a (Nat.of_int 5) Nat.one);
+  check_nat "e=0" Nat.one (Nat.mod_pow a Nat.zero p)
+
+let test_shift () =
+  check_nat "shl" (Nat.of_int 1024) (Nat.shift_left Nat.one 10);
+  check_nat "shr" Nat.one (Nat.shift_right (Nat.of_int 1024) 10);
+  check_nat "shr to zero" Nat.zero (Nat.shift_right (Nat.of_int 5) 10);
+  (* cross-limb shifts *)
+  let x = Nat.of_string "987654321987654321" in
+  check_nat "shl/shr inverse" x (Nat.shift_right (Nat.shift_left x 53) 53)
+
+let test_bits_testbit () =
+  Alcotest.(check int) "bits 0" 0 (Nat.bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.bits Nat.one);
+  Alcotest.(check int) "bits 255" 8 (Nat.bits (Nat.of_int 255));
+  Alcotest.(check int) "bits 256" 9 (Nat.bits (Nat.of_int 256));
+  Alcotest.(check bool) "testbit" true (Nat.testbit (Nat.of_int 5) 2);
+  Alcotest.(check bool) "testbit clear" false (Nat.testbit (Nat.of_int 5) 1)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
+    [ "0"; "1"; "67108864"; "123456789012345678901234567890123456789" ]
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun h -> Alcotest.(check string) h h (Nat.to_hex (Nat.of_hex h)))
+    [ "1"; "ff"; "deadbeef"; "123456789abcdef0123456789abcdef" ];
+  check_nat "hex value" (Nat.of_int 255) (Nat.of_hex "FF")
+
+let test_bytes_roundtrip () =
+  let x = Nat.of_string "340282366920938463463374607431768211455" in
+  check_nat "bytes" x (Nat.of_bytes_be (Nat.to_bytes_be x));
+  Alcotest.(check string) "zero byte" "\000" (Nat.to_bytes_be Nat.zero)
+
+let test_gcd () =
+  check_nat "gcd" (Nat.of_int 6) (Nat.gcd (Nat.of_int 54) (Nat.of_int 24));
+  check_nat "gcd with zero" (Nat.of_int 7) (Nat.gcd (Nat.of_int 7) Nat.zero);
+  check_nat "gcd coprime" Nat.one (Nat.gcd (Nat.of_int 17) (Nat.of_int 256))
+
+let test_pow () =
+  check_nat "2^10" (Nat.of_int 1024) (Nat.pow Nat.two 10);
+  check_nat "x^0" Nat.one (Nat.pow (Nat.of_int 99) 0);
+  check_nat "10^30" (Nat.of_string ("1" ^ String.make 30 '0')) (Nat.pow (Nat.of_int 10) 30)
+
+(* --- Bigint ----------------------------------------------------------- *)
+
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+
+let test_bigint_signs () =
+  let m3 = Bigint.of_int (-3) and p5 = Bigint.of_int 5 in
+  Alcotest.check bigint "add" (Bigint.of_int 2) (Bigint.add m3 p5);
+  Alcotest.check bigint "sub" (Bigint.of_int (-8)) (Bigint.sub m3 p5);
+  Alcotest.check bigint "mul" (Bigint.of_int (-15)) (Bigint.mul m3 p5);
+  Alcotest.check bigint "neg zero" Bigint.zero (Bigint.neg Bigint.zero);
+  Alcotest.(check int) "sign" (-1) (Bigint.sign_int m3);
+  Alcotest.(check int) "sign zero" 0 (Bigint.sign_int Bigint.zero)
+
+let test_bigint_divmod_truncated () =
+  (* matches OCaml's (/) and (mod) semantics *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Alcotest.check bigint (Printf.sprintf "%d/%d q" a b) (Bigint.of_int (a / b)) q;
+      Alcotest.check bigint (Printf.sprintf "%d mod %d" a b) (Bigint.of_int (a mod b)) r)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (12, 4) ]
+
+let test_bigint_egcd () =
+  let check_pair a b =
+    let g, x, y = Bigint.egcd (Bigint.of_int a) (Bigint.of_int b) in
+    let lhs =
+      Bigint.add (Bigint.mul (Bigint.of_int a) x) (Bigint.mul (Bigint.of_int b) y)
+    in
+    Alcotest.check bigint "bezout" g lhs
+  in
+  List.iter (fun (a, b) -> check_pair a b) [ (240, 46); (17, 0); (0, 5); (-35, 15) ]
+
+let test_bigint_mod_inverse () =
+  (match Bigint.mod_inverse (Bigint.of_int 3) (Bigint.of_int 7) with
+  | Some i -> Alcotest.check bigint "3^-1 mod 7" (Bigint.of_int 5) i
+  | None -> Alcotest.fail "expected inverse");
+  Alcotest.(check bool) "no inverse" true
+    (Bigint.mod_inverse (Bigint.of_int 4) (Bigint.of_int 8) = None)
+
+(* --- property tests ---------------------------------------------------- *)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"nat add commutative" ~count:200
+    QCheck.(pair (int_bound 100_000_000) (int_bound 100_000_000))
+    (fun (a, b) -> Nat.equal (Nat.add (Nat.of_int a) (Nat.of_int b)) (Nat.add (Nat.of_int b) (Nat.of_int a)))
+
+let prop_int_semantics =
+  (* operations agree with machine ints on small values *)
+  QCheck.Test.make ~name:"nat agrees with int" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let na = Nat.of_int a and nb = Nat.of_int b in
+      Nat.to_int_opt (Nat.add na nb) = Some (a + b)
+      && Nat.to_int_opt (Nat.mul na nb) = Some (a * b)
+      && (let q, r = Nat.divmod na nb in
+          Nat.to_int_opt q = Some (a / b) && Nat.to_int_opt r = Some (a mod b)))
+
+let big_nat_gen =
+  (* naturals of up to ~300 bits from decimal digit strings *)
+  QCheck.make
+    ~print:Nat.to_string
+    QCheck.Gen.(
+      map
+        (fun digits ->
+          let s = String.concat "" (List.map string_of_int digits) in
+          Nat.of_string (if s = "" then "0" else s))
+        (list_size (int_range 1 90) (int_bound 9)))
+
+let prop_divmod_reconstructs =
+  QCheck.Test.make ~name:"divmod reconstructs" ~count:300
+    QCheck.(pair big_nat_gen big_nat_gen)
+    (fun (u, v) ->
+      QCheck.assume (not (Nat.is_zero v));
+      let q, r = Nat.divmod u v in
+      Nat.equal u (Nat.add (Nat.mul q v) r) && Nat.compare r v < 0)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    QCheck.(triple big_nat_gen big_nat_gen big_nat_gen)
+    (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:200 big_nat_gen (fun a ->
+      Nat.equal a (Nat.of_string (Nat.to_string a)))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 big_nat_gen (fun a ->
+      Nat.equal a (Nat.of_hex (Nat.to_hex a)))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:200 big_nat_gen (fun a ->
+      Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)))
+
+let prop_shift_consistent =
+  QCheck.Test.make ~name:"shift = mul/div by 2^k" ~count:200
+    QCheck.(pair big_nat_gen (int_bound 100))
+    (fun (a, k) ->
+      let p2 = Nat.pow Nat.two k in
+      Nat.equal (Nat.shift_left a k) (Nat.mul a p2)
+      && Nat.equal (Nat.shift_right a k) (Nat.div a p2))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:200
+    QCheck.(pair big_nat_gen big_nat_gen)
+    (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero a) || not (Nat.is_zero b));
+      let g = Nat.gcd a b in
+      (not (Nat.is_zero g))
+      && Nat.is_zero (Nat.rem a g)
+      && Nat.is_zero (Nat.rem b g))
+
+let prop_mod_pow_mul =
+  (* a^(x+y) = a^x * a^y (mod m) *)
+  QCheck.Test.make ~name:"mod_pow homomorphism" ~count:100
+    QCheck.(triple (int_range 2 10000) (pair (int_bound 200) (int_bound 200)) (int_range 2 100000))
+    (fun (a, (x, y), m) ->
+      let a = Nat.of_int a and m = Nat.of_int m in
+      let lhs = Nat.mod_pow a (Nat.of_int (x + y)) m in
+      let rhs = Nat.rem (Nat.mul (Nat.mod_pow a (Nat.of_int x) m) (Nat.mod_pow a (Nat.of_int y) m)) m in
+      Nat.equal lhs rhs)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:200
+    QCheck.(pair big_nat_gen big_nat_gen)
+    (fun (a, b) -> Nat.compare a b = -Nat.compare b a)
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "add basics" `Quick test_add_basic;
+    Alcotest.test_case "sub basics" `Quick test_sub_basic;
+    Alcotest.test_case "mul known value" `Quick test_mul_known;
+    Alcotest.test_case "divmod known value" `Quick test_divmod_known;
+    Alcotest.test_case "divmod edge cases" `Quick test_divmod_edge_cases;
+    Alcotest.test_case "mod_pow" `Quick test_mod_pow;
+    Alcotest.test_case "shifts" `Quick test_shift;
+    Alcotest.test_case "bits/testbit" `Quick test_bits_testbit;
+    Alcotest.test_case "decimal strings" `Quick test_string_roundtrip;
+    Alcotest.test_case "hex strings" `Quick test_hex_roundtrip;
+    Alcotest.test_case "byte strings" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "bigint signs" `Quick test_bigint_signs;
+    Alcotest.test_case "bigint truncated divmod" `Quick test_bigint_divmod_truncated;
+    Alcotest.test_case "bigint egcd" `Quick test_bigint_egcd;
+    Alcotest.test_case "bigint mod_inverse" `Quick test_bigint_mod_inverse ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_add_commutative;
+        prop_int_semantics;
+        prop_divmod_reconstructs;
+        prop_mul_distributes;
+        prop_string_roundtrip;
+        prop_hex_roundtrip;
+        prop_bytes_roundtrip;
+        prop_shift_consistent;
+        prop_gcd_divides;
+        prop_mod_pow_mul;
+        prop_compare_total_order ]

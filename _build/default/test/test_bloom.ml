@@ -1,0 +1,86 @@
+(* Tests for the ForNet-style Bloom filter substrate. *)
+
+let test_no_false_negatives () =
+  let b = Bloom.create ~nbits:4096 ~nhashes:4 in
+  let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter (Bloom.add b) keys;
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (Bloom.mem b k))
+    keys
+
+let test_fp_rate_bounded () =
+  (* sized for 1% at 1000 insertions: observed FP rate on fresh keys
+     should be within a small factor of the target *)
+  let b = Bloom.create_for ~expected:1000 ~fp_rate:0.01 in
+  for i = 0 to 999 do
+    Bloom.add b (Printf.sprintf "in-%d" i)
+  done;
+  let fps = ref 0 in
+  let probes = 20000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (Printf.sprintf "out-%d" i) then incr fps
+  done;
+  let rate = float_of_int !fps /. float_of_int probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %.4f < 0.03" rate)
+    true (rate < 0.03);
+  (* the analytic estimate should be in the same ballpark *)
+  let est = Bloom.estimated_fp_rate b in
+  Alcotest.(check bool) "estimate sane" true (est > 0.001 && est < 0.03)
+
+let test_empty_filter () =
+  let b = Bloom.create ~nbits:128 ~nhashes:3 in
+  Alcotest.(check bool) "nothing present" false (Bloom.mem b "anything");
+  Alcotest.(check int) "no insertions" 0 (Bloom.cardinal_inserted b);
+  Alcotest.(check (float 0.0001)) "fp 0" 0.0 (Bloom.estimated_fp_rate b)
+
+let test_union () =
+  let a = Bloom.create ~nbits:1024 ~nhashes:3 in
+  let b = Bloom.create ~nbits:1024 ~nhashes:3 in
+  Bloom.add a "x";
+  Bloom.add b "y";
+  let u = Bloom.union a b in
+  Alcotest.(check bool) "x in union" true (Bloom.mem u "x");
+  Alcotest.(check bool) "y in union" true (Bloom.mem u "y");
+  Alcotest.(check int) "cardinal sums" 2 (Bloom.cardinal_inserted u);
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Bloom.union: mismatched shapes") (fun () ->
+      ignore (Bloom.union a (Bloom.create ~nbits:512 ~nhashes:3)))
+
+let test_sizing () =
+  let b = Bloom.create_for ~expected:10_000 ~fp_rate:0.01 in
+  (* the standard formula gives ~9.6 bits/element at 1% *)
+  let bytes = Bloom.size_bytes b in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d bytes in expected window" bytes)
+    true
+    (bytes > 10_000 && bytes < 16_000);
+  Alcotest.check_raises "bad args" (Invalid_argument "Bloom.create_for") (fun () ->
+      ignore (Bloom.create_for ~expected:0 ~fp_rate:0.01))
+
+let prop_membership_after_add =
+  QCheck.Test.make ~name:"added keys always member" ~count:100
+    QCheck.(small_list small_string)
+    (fun keys ->
+      let b = Bloom.create ~nbits:2048 ~nhashes:4 in
+      List.iter (Bloom.add b) keys;
+      List.for_all (Bloom.mem b) keys)
+
+let prop_union_superset =
+  QCheck.Test.make ~name:"union covers both" ~count:100
+    QCheck.(pair (small_list small_string) (small_list small_string))
+    (fun (ka, kb) ->
+      let a = Bloom.create ~nbits:2048 ~nhashes:4 in
+      let b = Bloom.create ~nbits:2048 ~nhashes:4 in
+      List.iter (Bloom.add a) ka;
+      List.iter (Bloom.add b) kb;
+      let u = Bloom.union a b in
+      List.for_all (Bloom.mem u) (ka @ kb))
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
+    Alcotest.test_case "fp rate bounded" `Quick test_fp_rate_bounded;
+    Alcotest.test_case "empty filter" `Quick test_empty_filter;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "sizing" `Quick test_sizing ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_membership_after_add; prop_union_superset ]

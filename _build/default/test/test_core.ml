@@ -1,0 +1,661 @@
+(* Integration tests for the distributed runtime and the use-case
+   layers: correctness of the distributed fixpoint against reference
+   algorithms, authentication end to end, the provenance taxonomy
+   behaviours (local/distributed, online/offline, proactive/reactive,
+   sampled, AS granularity), traceback, diagnostics, forensics,
+   accountability, trust management, and the benchmark metrics. *)
+
+open Engine
+
+let rsa_bits = 384
+
+let mk_runtime ?directory ?(cfg = Core.Config.ndlog) ?(seed = 7) ?(n = 8)
+    ?(program = Ndlog.Programs.best_path ()) () =
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed) ~n () in
+  let cfg = { cfg with Core.Config.rsa_bits } in
+  let t =
+    Core.Runtime.create ?directory ~rng:(Crypto.Rng.create ~seed:(seed + 1)) ~cfg ~topo
+      ~program ()
+  in
+  (t, topo)
+
+let run_links t =
+  Core.Runtime.install_links t;
+  ignore (Core.Runtime.run t)
+
+(* reference shortest paths *)
+let dijkstra_all (topo : Net.Topology.t) =
+  let dist = Hashtbl.create 128 in
+  List.iter
+    (fun src ->
+      let d = Hashtbl.create 16 in
+      Hashtbl.replace d src 0;
+      let visited = Hashtbl.create 16 in
+      let rec loop () =
+        let best =
+          List.fold_left
+            (fun acc n ->
+              if Hashtbl.mem visited n then acc
+              else
+                match Hashtbl.find_opt d n with
+                | None -> acc
+                | Some dn -> (
+                  match acc with Some (_, db) when db <= dn -> acc | _ -> Some (n, dn)))
+            None topo.nodes
+        in
+        match best with
+        | None -> ()
+        | Some (u, du) ->
+          Hashtbl.replace visited u ();
+          List.iter
+            (fun (l : Net.Topology.link) ->
+              if l.l_src = u then
+                match Hashtbl.find_opt d l.l_dst with
+                | Some old when old <= du + l.l_cost -> ()
+                | _ -> Hashtbl.replace d l.l_dst (du + l.l_cost))
+            topo.links;
+          loop ()
+      in
+      loop ();
+      List.iter
+        (fun dst ->
+          if dst <> src then
+            match Hashtbl.find_opt d dst with
+            | Some c -> Hashtbl.replace dist (src, dst) c
+            | None -> ())
+        topo.nodes)
+    topo.nodes;
+  dist
+
+let best_path_costs t =
+  List.filter_map
+    (fun (_, tu) ->
+      match (Tuple.arg tu 0, Tuple.arg tu 1, Tuple.arg tu 3) with
+      | Value.V_str s, Value.V_str d, Value.V_int c -> Some ((s, d), c)
+      | _ -> None)
+    (Core.Runtime.query_all t "bestPath")
+
+let check_against_dijkstra t topo name =
+  let truth = dijkstra_all topo in
+  let got = best_path_costs t in
+  Alcotest.(check int) (name ^ ": pair count") (Hashtbl.length truth) (List.length got);
+  List.iter
+    (fun ((s, d), c) ->
+      match Hashtbl.find_opt truth (s, d) with
+      | Some c' -> Alcotest.(check int) (Printf.sprintf "%s: %s->%s" name s d) c' c
+      | None -> Alcotest.failf "%s: unexpected pair %s->%s" name s d)
+    got
+
+(* --- distributed correctness ------------------------------------------- *)
+
+let test_distributed_ndlog_correct () =
+  let t, topo = mk_runtime () in
+  run_links t;
+  check_against_dijkstra t topo "ndlog"
+
+let test_distributed_sendlog_correct () =
+  let t, topo = mk_runtime ~cfg:Core.Config.sendlog () in
+  run_links t;
+  check_against_dijkstra t topo "sendlog";
+  let st = Core.Runtime.stats t in
+  Alcotest.(check int) "every message signed" st.messages st.signatures_generated;
+  Alcotest.(check int) "every message verified" st.messages st.signatures_verified;
+  Alcotest.(check int) "no failures" 0 st.verification_failures
+
+let test_distributed_sendlogprov_correct () =
+  let t, topo = mk_runtime ~cfg:Core.Config.sendlog_prov () in
+  run_links t;
+  check_against_dijkstra t topo "sendlogprov";
+  (* provenance bytes actually shipped *)
+  let st = Core.Runtime.stats t in
+  Alcotest.(check bool) "provenance bytes > per-message flag byte" true
+    (st.bytes_provenance > st.messages)
+
+let test_sendlog_program_variant () =
+  (* the SeNDlog-with-says Best-Path program computes the same costs *)
+  let t, topo = mk_runtime ~cfg:Core.Config.sendlog_prov
+      ~program:(Ndlog.Programs.sendlog_best_path ()) ()
+  in
+  run_links t;
+  check_against_dijkstra t topo "sendlog-says-program"
+
+let test_three_configs_agree () =
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:17) ~n:10 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:18) ~rsa_bits topo.nodes
+  in
+  let results =
+    List.map
+      (fun cfg ->
+        let t =
+          Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:19)
+            ~cfg:{ cfg with Core.Config.rsa_bits } ~topo
+            ~program:(Ndlog.Programs.best_path ()) ()
+        in
+        run_links t;
+        List.sort compare (best_path_costs t))
+      [ Core.Config.ndlog; Core.Config.sendlog; Core.Config.sendlog_prov ]
+  in
+  match results with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "ndlog = sendlog" true (a = b);
+    Alcotest.(check bool) "sendlog = sendlogprov" true (b = c)
+  | _ -> assert false
+
+(* --- authentication end to end --------------------------------------------- *)
+
+let test_forged_messages_dropped () =
+  (* a sender whose key is not the directory's key for its name: every
+     message it signs must be dropped *)
+  let topo = Net.Topology.line ~n:3 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:31) ~rsa_bits topo.nodes
+  in
+  (* replace n1's key *after* the directory was distributed: simulate
+     by registering a different key under the same name in a second
+     directory used only by the sender *)
+  let t =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:32)
+      ~cfg:{ Core.Config.sendlog with rsa_bits } ~topo
+      ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  (* corrupt n1's signing key so its signatures no longer match the
+     directory's public key *)
+  let rogue = Sendlog.Principal.create (Crypto.Rng.create ~seed:33) ~name:"n1" ~rsa_bits () in
+  let n1 = Core.Runtime.node t "n1" in
+  let n1' = { n1 with Core.Runtime.n_principal = rogue } in
+  Hashtbl.replace t.Core.Runtime.nodes "n1" n1';
+  run_links t;
+  Alcotest.(check bool) "forged messages dropped" true (Core.Runtime.dropped_forged t > 0);
+  let st = Core.Runtime.stats t in
+  Alcotest.(check bool) "failures recorded" true (st.verification_failures > 0)
+
+(* --- provenance taxonomy ------------------------------------------------------ *)
+
+let paper_topology_runtime cfg =
+  (* the 3-node Figure 1/2 network running reachability *)
+  let topo = Net.Topology.paper_example () in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:41)
+      ~cfg:{ cfg with Core.Config.rsa_bits } ~topo
+      ~program:(Ndlog.Programs.reachable ()) ()
+  in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Core.Runtime.install_fact t ~at:l.l_src
+        (Tuple.make "link" [ Value.V_str l.l_src; Value.V_str l.l_dst ]))
+    topo.links;
+  ignore (Core.Runtime.run t);
+  t
+
+let reachable_ac = Tuple.make "reachable" [ Value.V_str "a"; Value.V_str "c" ]
+
+let test_paper_example_provenance () =
+  let t = paper_topology_runtime Core.Config.sendlog_prov in
+  let e = Core.Runtime.provenance_of t ~at:"a" reachable_ac in
+  (* the raw expression is a+a*b up to operand order *)
+  Alcotest.(check (list string)) "bases" [ "a"; "b" ] (Provenance.Prov_expr.bases e);
+  Alcotest.(check int) "two derivations" 2 (Provenance.Prov_expr.count_derivations e);
+  Alcotest.(check string) "condensed to <a>" "<a>"
+    (Core.Runtime.condensed_annotation t ~at:"a" reachable_ac)
+
+let test_traceback_matches_local_provenance () =
+  let t = paper_topology_runtime Core.Config.sendlog_prov in
+  let r = Core.Traceback.query t ~at:"a" reachable_ac in
+  (* the reconstructed tree's expression has the same derivability *)
+  let local = Core.Runtime.provenance_of t ~at:"a" reachable_ac in
+  List.iter
+    (fun trusted ->
+      let env p = List.mem p trusted in
+      Alcotest.(check bool)
+        (Printf.sprintf "trust {%s}" (String.concat "," trusted))
+        (Provenance.Prov_expr.derivable_from local ~trusted:env)
+        (Provenance.Prov_expr.derivable_from r.expr ~trusted:env))
+    [ [ "a" ]; [ "b" ]; [ "a"; "b" ]; [] ];
+  Alcotest.(check bool) "traceback crossed nodes" true (r.cost.remote_queries > 0)
+
+let test_distributed_mode_stores_pointers_only () =
+  let t = paper_topology_runtime { Core.Config.sendlog_prov with prov = Core.Config.Prov_distributed } in
+  let st = Core.Runtime.stats t in
+  (* no provenance on the wire in distributed mode *)
+  Alcotest.(check int) "prov bytes = flag bytes only" st.messages st.bytes_provenance;
+  (* but traceback still reconstructs the derivation *)
+  let r = Core.Traceback.query t ~at:"a" reachable_ac in
+  Alcotest.(check (list string)) "origins" [ "a"; "b" ]
+    (List.sort compare (Provenance.Prov_expr.bases r.expr))
+
+let test_offline_store_after_expiry () =
+  let topo = Net.Topology.paper_example () in
+  let program =
+    Ndlog.Parser.parse_program_exn
+      ("#ttl reachable 5.\n#ttl link 5.\n" ^ Ndlog.Programs.reachable_src)
+  in
+  let cfg = { Core.Config.sendlog_prov with rsa_bits; offline_store = true } in
+  let t = Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:43) ~cfg ~topo ~program () in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Core.Runtime.install_fact t ~at:l.l_src
+        (Tuple.make "link" [ Value.V_str l.l_src; Value.V_str l.l_dst ]))
+    topo.links;
+  ignore (Core.Runtime.run t);
+  Alcotest.(check bool) "live before expiry" true
+    (Core.Runtime.query_all t "reachable" <> []);
+  Core.Runtime.advance t ~seconds:10.0;
+  Alcotest.(check (list (pair string string))) "expired" []
+    (List.map (fun (a, tu) -> (a, Tuple.to_string tu)) (Core.Runtime.query_all t "reachable"));
+  (* offline provenance survives *)
+  let storage = Core.Runtime.total_storage t in
+  Alcotest.(check bool) "offline records kept" true (storage.st_offline_records > 0);
+  let found = Core.Forensics.offline_search t ~rel:"reachable" in
+  Alcotest.(check bool) "searchable" true (found <> [])
+
+let test_reactive_ships_nothing () =
+  let t =
+    paper_topology_runtime { Core.Config.sendlog_prov with maintenance = Core.Config.Reactive }
+  in
+  let st = Core.Runtime.stats t in
+  Alcotest.(check int) "no provenance shipped" st.messages st.bytes_provenance;
+  (* pointers still recorded: traceback works on demand *)
+  let r = Core.Traceback.query t ~at:"a" reachable_ac in
+  Alcotest.(check bool) "reconstructable" true
+    (Provenance.Prov_expr.bases r.expr <> [])
+
+let test_sampling_reduces_storage () =
+  let storage_at rate =
+    let t, _ = mk_runtime ~cfg:{ Core.Config.sendlog_prov with sample_rate = rate } ~n:10 () in
+    run_links t;
+    (Core.Runtime.total_storage t).st_online_expr_bytes
+  in
+  let full = storage_at 1.0 and tenth = storage_at 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "10%% sampling smaller (%d vs %d)" tenth full)
+    true
+    (tenth < full / 2)
+
+let test_as_granularity () =
+  let t, topo = mk_runtime ~cfg:{ Core.Config.sendlog_prov with granularity = Core.Config.As_level } ~n:20 () in
+  run_links t;
+  ignore topo;
+  (* all provenance keys are AS identifiers *)
+  let keys =
+    List.concat_map
+      (fun (at, tu) -> Provenance.Prov_expr.bases (Core.Runtime.provenance_of t ~at tu))
+      (Core.Runtime.query_all t "bestPath")
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "keys are ASes" true
+    (keys <> [] && List.for_all (fun k -> String.length k >= 3 && String.sub k 0 2 = "as") keys);
+  (* AS-level keys are coarser than node-level ones *)
+  Alcotest.(check bool) "coarser than nodes" true (List.length keys < 20)
+
+(* --- use cases ------------------------------------------------------------------ *)
+
+let test_diagnostics_alarm_threshold () =
+  let topo = Net.Topology.ring ~n:4 () in
+  let monitor = Core.Diagnostics.monitor_program ~window_seconds:10.0 ~threshold:3 in
+  let cfg = { Core.Config.ndlog with rsa_bits } in
+  let t = Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:51) ~cfg ~topo ~program:monitor () in
+  for _ = 1 to 3 do
+    Core.Diagnostics.report_change t ~node:"n0" ~dest:"d";
+    Core.Runtime.advance t ~seconds:1.0
+  done;
+  Core.Diagnostics.report_change t ~node:"n1" ~dest:"d";
+  ignore (Core.Runtime.run t);
+  let alarms = Core.Diagnostics.alarms t in
+  Alcotest.(check int) "one alarm" 1 (List.length alarms);
+  let al = List.hd alarms in
+  Alcotest.(check string) "at n0" "n0" al.al_node;
+  Alcotest.(check int) "three changes" 3 al.al_changes
+
+let test_diagnostics_window_expires () =
+  let topo = Net.Topology.ring ~n:3 () in
+  let monitor = Core.Diagnostics.monitor_program ~window_seconds:5.0 ~threshold:2 in
+  let cfg = { Core.Config.ndlog with rsa_bits } in
+  let t = Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:52) ~cfg ~topo ~program:monitor () in
+  Core.Diagnostics.report_change t ~node:"n0" ~dest:"d";
+  Core.Runtime.advance t ~seconds:8.0;
+  (* first event expired; a second event should not trip threshold 2 *)
+  Core.Diagnostics.report_change t ~node:"n0" ~dest:"d";
+  ignore (Core.Runtime.run t);
+  Alcotest.(check int) "no alarm" 0 (List.length (Core.Diagnostics.alarms t))
+
+let test_purge_suspect () =
+  let t, _ = mk_runtime ~cfg:Core.Config.sendlog_prov ~n:6 () in
+  run_links t;
+  let at = "n0" in
+  let deleted = Core.Traceback.purge_suspect t ~at ~suspect:"n2" in
+  Alcotest.(check bool) "something deleted" true (deleted <> []);
+  (* no remaining tuple at n0 depends on n2 *)
+  List.iter
+    (fun tu ->
+      let e = Core.Runtime.provenance_of t ~at tu in
+      Alcotest.(check bool) "clean" false
+        (List.mem "n2" (Provenance.Prov_expr.bases e)))
+    (Core.Runtime.query t ~at "bestPath")
+
+let test_accountability_ledger () =
+  let t, _ = mk_runtime ~cfg:Core.Config.sendlog ~n:6 () in
+  let ledger = Core.Accountability.create_ledger () in
+  Core.Runtime.set_message_tap t (fun time msg -> Core.Accountability.record ledger ~time msg);
+  run_links t;
+  let st = Core.Runtime.stats t in
+  let usage = Core.Accountability.usage ledger in
+  Alcotest.(check int) "ledger covers all bytes" st.bytes_total
+    (List.fold_left (fun acc (_, b) -> acc + b) 0 usage);
+  Alcotest.(check bool) "every record authenticated" true
+    (List.for_all (fun (r : Core.Accountability.flow_record) -> r.fr_authenticated)
+       (Core.Accountability.call_detail ledger ~principal:(fst (List.hd usage)) ()));
+  (* billing is monotone in usage for a flat rate *)
+  let bill = Core.Accountability.bill ledger ~rate:(fun _ -> 1.0) in
+  Alcotest.(check (float 0.01)) "flat rate = bytes"
+    (float_of_int (snd (List.hd usage)))
+    (snd (List.hd bill))
+
+let test_accountability_unattributed () =
+  let t, _ = mk_runtime ~cfg:Core.Config.ndlog ~n:4 () in
+  let ledger = Core.Accountability.create_ledger () in
+  Core.Runtime.set_message_tap t (fun time msg -> Core.Accountability.record ledger ~time msg);
+  run_links t;
+  Alcotest.(check (list (pair string int))) "no attributed records" []
+    (Core.Accountability.usage ledger);
+  Alcotest.(check bool) "bytes counted as unattributed" true (ledger.unattributed_bytes > 0)
+
+let test_trust_gate_on_runtime () =
+  let t, topo = mk_runtime ~cfg:Core.Config.sendlog_prov ~n:6 () in
+  run_links t;
+  let at = "n0" in
+  let all = Core.Trust_mgmt.create_gate (Trusted_set topo.nodes) in
+  let ds = Core.Trust_mgmt.audit_relation all t ~at "bestPath" in
+  Alcotest.(check int) "trusting everyone accepts all" (List.length ds)
+    (Core.Trust_mgmt.accepted all);
+  let none = Core.Trust_mgmt.create_gate (Trusted_set []) in
+  let ds2 = Core.Trust_mgmt.audit_relation none t ~at "bestPath" in
+  Alcotest.(check int) "trusting no one rejects all" (List.length ds2)
+    (Core.Trust_mgmt.rejected none)
+
+let test_forensics_bloom_path_query () =
+  let ds = Core.Forensics.create_digests ~epoch_seconds:60.0 ~expected_per_epoch:100 ~fp_rate:0.001 () in
+  List.iter
+    (fun node -> Core.Forensics.record ds ~node ~time:5.0 "pkt-x")
+    [ "r1"; "r2"; "r3" ];
+  Core.Forensics.record ds ~node:"r9" ~time:5.0 "other";
+  let hits = Core.Forensics.query ds ~time:5.0 "pkt-x" in
+  List.iter (fun r -> Alcotest.(check bool) r true (List.mem r hits)) [ "r1"; "r2"; "r3" ];
+  (* epoch isolation *)
+  Alcotest.(check (list string)) "different epoch empty" []
+    (Core.Forensics.query ds ~time:500.0 "pkt-x")
+
+let test_forensics_sampling_recovers_path () =
+  let sim =
+    Core.Forensics.simulate_traceback (Crypto.Rng.create ~seed:61)
+      ~path:[ "a"; "b"; "c" ] ~mark_probability:0.05 ~n_packets:2000
+  in
+  Alcotest.(check bool) "complete" true sim.ts_complete;
+  Alcotest.(check (list string)) "all routers" [ "a"; "b"; "c" ] sim.ts_recovered;
+  (* ludicrously low probability with few packets fails *)
+  let sim2 =
+    Core.Forensics.simulate_traceback (Crypto.Rng.create ~seed:62)
+      ~path:[ "a"; "b"; "c" ] ~mark_probability:0.00001 ~n_packets:100
+  in
+  Alcotest.(check bool) "incomplete" false sim2.ts_complete
+
+let test_forensics_moonwalk_finds_origin () =
+  (* star burst: n0 sends to many, which each forward once *)
+  let flows =
+    List.concat_map
+      (fun i ->
+        let mid = Printf.sprintf "m%d" i in
+        [ { Core.Forensics.fl_src = "origin"; fl_dst = mid; fl_time = 1.0 };
+          { Core.Forensics.fl_src = mid; fl_dst = Printf.sprintf "leaf%d" i; fl_time = 2.0 } ])
+      (List.init 10 Fun.id)
+  in
+  match Core.Forensics.random_moonwalk (Crypto.Rng.create ~seed:63) ~flows ~walks:100 ~max_hops:5 with
+  | (top, _) :: _ -> Alcotest.(check string) "origin found" "origin" top
+  | [] -> Alcotest.fail "no walks"
+
+let test_prov_store_aging () =
+  let store = Core.Prov_store.create ~offline_enabled:true () in
+  let tu = Tuple.make "p" [ Value.V_int 1 ] in
+  Core.Prov_store.record_base store tu ~key:"a";
+  Core.Prov_store.retire store tu ~now:10.0;
+  Alcotest.(check int) "one offline record" 1 (List.length (Core.Prov_store.offline_records store));
+  let dropped = Core.Prov_store.age_offline store ~now:100.0 ~max_age:50.0 () in
+  Alcotest.(check int) "aged out" 1 dropped;
+  (* persist flag protects marked tuples *)
+  let tu2 = Tuple.make "p" [ Value.V_int 2 ] in
+  Core.Prov_store.record_base store tu2 ~key:"b";
+  Core.Prov_store.retire store tu2 ~now:10.0;
+  let dropped2 =
+    Core.Prov_store.age_offline store ~now:100.0 ~max_age:50.0 ~persist:(fun _ -> true) ()
+  in
+  Alcotest.(check int) "persisted" 0 dropped2
+
+(* --- metrics ------------------------------------------------------------------- *)
+
+let fake_points =
+  (* a synthetic sweep with the paper's qualitative shape *)
+  let mk config n wall mb =
+    { Core.Bestpath_workload.p_config = config; p_n = n; p_wall_seconds = wall;
+      p_sim_seconds = wall; p_megabytes = mb; p_messages = 0; p_signatures = 0;
+      p_best_paths = 0 }
+  in
+  [ mk "NDLog" 10 1.0 1.0; mk "SeNDLog" 10 1.6 1.5; mk "SeNDLogProv" 10 2.2 2.3;
+    mk "NDLog" 100 10.0 10.0; mk "SeNDLog" 100 14.0 12.0; mk "SeNDLogProv" 100 15.0 13.5 ]
+
+let test_metrics_overheads () =
+  (match Core.Metrics.overhead fake_points ~base:"NDLog" ~variant:"SeNDLog" with
+  | Some o ->
+    Alcotest.(check (float 0.1)) "avg time pct" 50.0 o.ov_avg_time_pct;
+    Alcotest.(check (float 0.1)) "at max n" 40.0 o.ov_at_max_n_time_pct;
+    Alcotest.(check int) "max n" 100 o.ov_max_n
+  | None -> Alcotest.fail "expected overhead");
+  Alcotest.(check bool) "missing config" true
+    (Core.Metrics.overhead fake_points ~base:"NDLog" ~variant:"Nope" = None)
+
+let test_metrics_shape_checks () =
+  Alcotest.(check bool) "ordering holds" true
+    (Core.Metrics.ordering_holds fake_points ~metric:(fun p -> p.p_wall_seconds));
+  Alcotest.(check bool) "overhead decreases" true
+    (Core.Metrics.overhead_decreases fake_points ~base:"NDLog" ~variant:"SeNDLog"
+       ~metric:(fun p -> p.p_wall_seconds));
+  let table =
+    Core.Metrics.figure_table fake_points ~metric:(fun p -> p.p_wall_seconds) ~title:"T"
+  in
+  Alcotest.(check bool) "table mentions sizes" true
+    (String.length table > 0 && String.contains table '1')
+
+(* --- cost model ------------------------------------------------------------------- *)
+
+let test_virtual_clock_monotone_in_costs () =
+  (* doubling the per-message cost increases completion time *)
+  let run per_message =
+    let cfg =
+      { Core.Config.ndlog with
+        rsa_bits;
+        cost_model = { Core.Config.default_cost_model with per_message_seconds = per_message } }
+    in
+    let t, _ = mk_runtime ~cfg ~n:6 () in
+    Core.Runtime.install_links t;
+    (Core.Runtime.run t).sim_seconds
+  in
+  let slow = run 0.02 and fast = run 0.002 in
+  Alcotest.(check bool) (Printf.sprintf "%.3f > %.3f" slow fast) true (slow > fast)
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "distributed NDlog = dijkstra" `Quick test_distributed_ndlog_correct;
+    Alcotest.test_case "distributed SeNDlog = dijkstra" `Quick test_distributed_sendlog_correct;
+    Alcotest.test_case "distributed SeNDlogProv = dijkstra" `Quick test_distributed_sendlogprov_correct;
+    Alcotest.test_case "says-program variant" `Quick test_sendlog_program_variant;
+    Alcotest.test_case "three configs agree" `Quick test_three_configs_agree;
+    Alcotest.test_case "forged messages dropped" `Quick test_forged_messages_dropped;
+    Alcotest.test_case "paper example provenance" `Quick test_paper_example_provenance;
+    Alcotest.test_case "traceback = local provenance" `Quick test_traceback_matches_local_provenance;
+    Alcotest.test_case "distributed mode: pointers only" `Quick test_distributed_mode_stores_pointers_only;
+    Alcotest.test_case "offline store after expiry" `Quick test_offline_store_after_expiry;
+    Alcotest.test_case "reactive ships nothing" `Quick test_reactive_ships_nothing;
+    Alcotest.test_case "sampling reduces storage" `Quick test_sampling_reduces_storage;
+    Alcotest.test_case "AS granularity" `Quick test_as_granularity;
+    Alcotest.test_case "diagnostics alarm" `Quick test_diagnostics_alarm_threshold;
+    Alcotest.test_case "diagnostics window expiry" `Quick test_diagnostics_window_expires;
+    Alcotest.test_case "purge suspect" `Quick test_purge_suspect;
+    Alcotest.test_case "accountability ledger" `Quick test_accountability_ledger;
+    Alcotest.test_case "accountability unattributed" `Quick test_accountability_unattributed;
+    Alcotest.test_case "trust gate" `Quick test_trust_gate_on_runtime;
+    Alcotest.test_case "forensics bloom query" `Quick test_forensics_bloom_path_query;
+    Alcotest.test_case "forensics sampling" `Quick test_forensics_sampling_recovers_path;
+    Alcotest.test_case "forensics moonwalk" `Quick test_forensics_moonwalk_finds_origin;
+    Alcotest.test_case "prov store aging" `Quick test_prov_store_aging;
+    Alcotest.test_case "metrics overheads" `Quick test_metrics_overheads;
+    Alcotest.test_case "metrics shape checks" `Quick test_metrics_shape_checks;
+    Alcotest.test_case "virtual clock monotone" `Quick test_virtual_clock_monotone_in_costs ]
+
+(* --- Chord (paper's future work) -------------------------------------------- *)
+
+let test_chord_ring_construction () =
+  let ring = Core.Chord.build_ring ~m:10 [ "a"; "b"; "c"; "d" ] in
+  Alcotest.(check int) "four members" 4 (List.length ring.members);
+  (* members sorted, ids distinct and in range *)
+  let ids = List.map snd ring.members in
+  Alcotest.(check (list int)) "sorted" (List.sort compare ids) ids;
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id -> Alcotest.(check bool) "in range" true (id >= 0 && id < 1024))
+    ids;
+  (* successor wraps around the ring *)
+  let last_addr, _ = List.nth ring.members 3 in
+  let succ_addr, _ = Core.Chord.member_successor ring last_addr in
+  Alcotest.(check string) "wraparound" (fst (List.hd ring.members)) succ_addr
+
+let test_chord_true_owner () =
+  let ring = Core.Chord.build_ring ~m:8 [ "x"; "y"; "z" ] in
+  (* every key's owner is the first member with id >= key (or wrap) *)
+  for k = 0 to 255 do
+    let owner = Core.Chord.true_owner ring k in
+    let expected =
+      match List.find_opt (fun (_, id) -> id >= k) ring.members with
+      | Some (a, _) -> a
+      | None -> fst (List.hd ring.members)
+    in
+    if owner <> expected then
+      Alcotest.failf "key %d: owner %s expected %s" k owner expected
+  done
+
+let test_chord_lookups_resolve () =
+  let n = 12 in
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:71) ~n () in
+  let ring = Core.Chord.build_ring ~m:10 topo.nodes in
+  let cfg = { Core.Config.sendlog_prov with rsa_bits } in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:72) ~cfg ~topo
+      ~program:(Ndlog.Programs.chord ()) ()
+  in
+  Core.Chord.install_ring t ring;
+  ignore (Core.Runtime.run t);
+  let rng = Crypto.Rng.create ~seed:73 in
+  let keys = List.init 15 (fun _ -> Crypto.Rng.int rng ring.modulus) in
+  List.iter (fun k -> Core.Chord.issue_lookup t ~from:"n3" ~key:k) keys;
+  ignore (Core.Runtime.run t);
+  let results = Core.Chord.results t ~requester:"n3" in
+  Alcotest.(check int) "all resolved" (List.length (List.sort_uniq compare keys))
+    (List.length results);
+  List.iter
+    (fun (r : Core.Chord.lookup_result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "key %d owner" r.lr_key)
+        (Core.Chord.true_owner ring r.lr_key)
+        r.lr_owner;
+      Alcotest.(check bool) "path starts at requester" true
+        (List.hd r.lr_path = "n3"))
+    results
+
+let test_chord_provenance_names_path () =
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:74) ~n:10 () in
+  let ring = Core.Chord.build_ring ~m:10 topo.nodes in
+  let cfg = { Core.Config.sendlog_prov with rsa_bits } in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:75) ~cfg ~topo
+      ~program:(Ndlog.Programs.chord ()) ()
+  in
+  Core.Chord.install_ring t ring;
+  ignore (Core.Runtime.run t);
+  Core.Chord.issue_lookup t ~from:"n0" ~key:(ring.modulus / 2);
+  ignore (Core.Runtime.run t);
+  match Core.Runtime.query t ~at:"n0" "lookupResult" with
+  | [] -> Alcotest.fail "no lookup result"
+  | tuple :: _ ->
+    let bases =
+      Provenance.Prov_expr.bases (Core.Runtime.provenance_of t ~at:"n0" tuple)
+    in
+    (* the provenance keys are exactly nodes of the topology, and
+       include the hop(s) the path took *)
+    Alcotest.(check bool) "non-empty" true (bases <> []);
+    List.iter
+      (fun b -> Alcotest.(check bool) ("node " ^ b) true (List.mem b topo.nodes))
+      bases
+
+let chord_suite =
+  [ Alcotest.test_case "chord ring construction" `Quick test_chord_ring_construction;
+    Alcotest.test_case "chord true owner" `Quick test_chord_true_owner;
+    Alcotest.test_case "chord lookups resolve" `Quick test_chord_lookups_resolve;
+    Alcotest.test_case "chord provenance = path" `Quick test_chord_provenance_names_path ]
+
+let suite = suite @ chord_suite
+
+(* --- distributed reachability property -------------------------------------- *)
+
+(* Distributed evaluation over random topologies matches the
+   transitive closure of the link graph, with cheap cleartext auth so
+   the property can run many cases. *)
+let prop_distributed_reachable =
+  QCheck.Test.make ~name:"distributed reachable = closure" ~count:10
+    (QCheck.make QCheck.Gen.(int_range 4 9))
+    (fun n ->
+      let topo = Net.Topology.random (Crypto.Rng.create ~seed:(1000 + n)) ~n () in
+      let cfg = { Core.Config.default with auth = Sendlog.Auth.Auth_cleartext } in
+      let t =
+        Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:2) ~cfg ~topo
+          ~program:(Ndlog.Programs.reachable ()) ()
+      in
+      List.iter
+        (fun (l : Net.Topology.link) ->
+          Core.Runtime.install_fact t ~at:l.l_src
+            (Tuple.make "link" [ Value.V_str l.l_src; Value.V_str l.l_dst ]))
+        topo.links;
+      ignore (Core.Runtime.run t);
+      (* reference closure *)
+      let reach = Hashtbl.create 64 in
+      List.iter (fun (l : Net.Topology.link) -> Hashtbl.replace reach (l.l_src, l.l_dst) ()) topo.links;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun c ->
+                    if Hashtbl.mem reach (a, b) && Hashtbl.mem reach (b, c)
+                       && not (Hashtbl.mem reach (a, c)) then begin
+                      Hashtbl.replace reach (a, c) ();
+                      changed := true
+                    end)
+                  topo.nodes)
+              topo.nodes)
+          topo.nodes
+      done;
+      let expected =
+        Hashtbl.fold (fun (a, b) () acc -> Printf.sprintf "%s>%s" a b :: acc) reach []
+        |> List.sort compare
+      in
+      let got =
+        List.map
+          (fun (_, tu) ->
+            Printf.sprintf "%s>%s"
+              (Value.to_addr (Tuple.arg tu 0))
+              (Value.to_addr (Tuple.arg tu 1)))
+          (Core.Runtime.query_all t "reachable")
+        |> List.sort compare
+      in
+      got = expected)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_distributed_reachable ]

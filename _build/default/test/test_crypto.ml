@@ -1,0 +1,237 @@
+(* Tests for the crypto substrate: PRNG, SHA-256 (FIPS vectors),
+   HMAC (RFC 4231), Miller-Rabin, RSA. *)
+
+open Crypto
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 100 do
+    let v = Rng.int_in_range rng ~lo:5 ~hi:9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:1 in
+  let c1 = Rng.split parent and c2 = Rng.split parent in
+  let s1 = List.init 20 (fun _ -> Rng.int c1 1000000) in
+  let s2 = List.init 20 (fun _ -> Rng.int c2 1000000) in
+  Alcotest.(check bool) "children differ" true (s1 <> s2)
+
+let test_rng_uniformish () =
+  (* crude chi-square-free sanity: each bucket within 3x of expected *)
+  let rng = Rng.create ~seed:5 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket sane" true (c > 300 && c < 3000))
+    buckets
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* --- SHA-256 ------------------------------------------------------------ *)
+
+let test_sha256_fips_vectors () =
+  let cases =
+    [ ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+         ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" ) ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) "digest" expected (Sha256.hex_digest input))
+    cases
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "10^6 x a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* feeding in chunks agrees with one-shot, across block boundaries *)
+  let msg = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  List.iter
+    (fun chunk ->
+      let ctx = Sha256.init () in
+      let rec go off =
+        if off < String.length msg then begin
+          let n = min chunk (String.length msg - off) in
+          Sha256.feed ctx (String.sub msg off n);
+          go (off + n)
+        end
+      in
+      go 0;
+      Alcotest.(check string) (Printf.sprintf "chunk %d" chunk)
+        (Sha256.hex_digest msg)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 1; 7; 63; 64; 65; 128 ]
+
+let test_sha256_padding_boundaries () =
+  (* lengths around the 55/56/64 byte padding edges must all differ *)
+  let digests = List.init 70 (fun n -> Sha256.hex_digest (String.make n 'x')) in
+  Alcotest.(check int) "all distinct" 70
+    (List.length (List.sort_uniq compare digests))
+
+(* --- HMAC ---------------------------------------------------------------- *)
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test case 1 *)
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex ~key:(String.make 20 '\x0b') "Hi There");
+  (* test case 2 *)
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex ~key:"Jefe" "what do ya want for nothing?");
+  (* test case 3: 20-byte 0xaa key, 50-byte 0xdd data *)
+  Alcotest.(check string) "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.hex ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_long_key () =
+  (* keys longer than the block size are hashed first (RFC 4231 case 6) *)
+  Alcotest.(check string) "long key"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_verify () =
+  let tag = Hmac.sha256 ~key:"k" "message" in
+  Alcotest.(check bool) "verify ok" true (Hmac.verify ~key:"k" ~tag "message");
+  Alcotest.(check bool) "wrong msg" false (Hmac.verify ~key:"k" ~tag "messagf");
+  Alcotest.(check bool) "wrong key" false (Hmac.verify ~key:"K" ~tag "message")
+
+(* --- primes ---------------------------------------------------------------- *)
+
+let test_small_primes_classified () =
+  let rng = Rng.create ~seed:5 in
+  let primes = [ 2; 3; 5; 7; 11; 101; 7919; 104729 ] in
+  let composites = [ 0; 1; 4; 9; 100; 561 (* Carmichael *); 7917; 104730 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "%d prime" p) true
+        (Prime.is_probable_prime rng (Bignum.Nat.of_int p)))
+    primes;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Printf.sprintf "%d composite" c) false
+        (Prime.is_probable_prime rng (Bignum.Nat.of_int c)))
+    composites
+
+let test_generate_prime_width () =
+  let rng = Rng.create ~seed:6 in
+  List.iter
+    (fun bits ->
+      let p = Prime.generate rng ~bits in
+      Alcotest.(check int) "width" bits (Bignum.Nat.bits p);
+      Alcotest.(check bool) "odd" false (Bignum.Nat.is_even p))
+    [ 16; 32; 64; 128 ]
+
+(* --- RSA --------------------------------------------------------------------- *)
+
+let test_rsa_sign_verify () =
+  let rng = Rng.create ~seed:11 in
+  let kp = Rsa.generate rng ~bits:384 in
+  let s = Rsa.sign kp.private_ "hello world" in
+  Alcotest.(check int) "sig width" 48 (String.length s);
+  Alcotest.(check bool) "verifies" true (Rsa.verify kp.public ~signature:s "hello world");
+  Alcotest.(check bool) "tampered msg" false
+    (Rsa.verify kp.public ~signature:s "hello worle");
+  (* tampered signature *)
+  let s' = Bytes.of_string s in
+  Bytes.set s' 10 (Char.chr (Char.code (Bytes.get s' 10) lxor 1));
+  Alcotest.(check bool) "tampered sig" false
+    (Rsa.verify kp.public ~signature:(Bytes.to_string s') "hello world")
+
+let test_rsa_wrong_key () =
+  let rng = Rng.create ~seed:12 in
+  let kp1 = Rsa.generate rng ~bits:384 in
+  let kp2 = Rsa.generate rng ~bits:384 in
+  let s = Rsa.sign kp1.private_ "msg" in
+  Alcotest.(check bool) "cross key" false (Rsa.verify kp2.public ~signature:s "msg")
+
+let test_rsa_deterministic_keygen () =
+  let kp1 = Rsa.generate (Rng.create ~seed:13) ~bits:384 in
+  let kp2 = Rsa.generate (Rng.create ~seed:13) ~bits:384 in
+  Alcotest.(check string) "same keys from same seed"
+    (Rsa.public_to_string kp1.public) (Rsa.public_to_string kp2.public)
+
+let test_rsa_public_key_serialization () =
+  let kp = Rsa.generate (Rng.create ~seed:14) ~bits:384 in
+  match Rsa.public_of_string (Rsa.public_to_string kp.public) with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some pub ->
+    let s = Rsa.sign kp.private_ "x" in
+    Alcotest.(check bool) "verify with parsed key" true (Rsa.verify pub ~signature:s "x");
+    Alcotest.(check string) "fingerprint stable" (Rsa.fingerprint kp.public)
+      (Rsa.fingerprint pub)
+
+let test_rsa_modulus_too_small () =
+  Alcotest.check_raises "too small" (Invalid_argument "Rsa.generate: modulus too small")
+    (fun () -> ignore (Rsa.generate (Rng.create ~seed:1) ~bits:32))
+
+(* --- properties --------------------------------------------------------------- *)
+
+let prop_sha_distinct =
+  QCheck.Test.make ~name:"sha256 injective on samples" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+let prop_hmac_key_sensitivity =
+  QCheck.Test.make ~name:"hmac distinguishes keys" ~count:100
+    QCheck.(triple small_string small_string small_string)
+    (fun (k1, k2, msg) -> k1 = k2 || Hmac.sha256 ~key:k1 msg <> Hmac.sha256 ~key:k2 msg)
+
+let shared_kp = lazy (Rsa.generate (Rng.create ~seed:77) ~bits:384)
+
+let prop_rsa_roundtrip =
+  QCheck.Test.make ~name:"rsa sign/verify roundtrip" ~count:25 QCheck.small_string
+    (fun msg ->
+      let kp = Lazy.force shared_kp in
+      Rsa.verify kp.public ~signature:(Rsa.sign kp.private_ msg) msg)
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng uniform-ish" `Quick test_rng_uniformish;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_fips_vectors;
+    Alcotest.test_case "sha256 million a" `Slow test_sha256_million_a;
+    Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+    Alcotest.test_case "sha256 padding edges" `Quick test_sha256_padding_boundaries;
+    Alcotest.test_case "hmac RFC 4231" `Quick test_hmac_rfc4231;
+    Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "prime classification" `Quick test_small_primes_classified;
+    Alcotest.test_case "prime width" `Quick test_generate_prime_width;
+    Alcotest.test_case "rsa sign/verify" `Quick test_rsa_sign_verify;
+    Alcotest.test_case "rsa wrong key" `Quick test_rsa_wrong_key;
+    Alcotest.test_case "rsa deterministic keygen" `Quick test_rsa_deterministic_keygen;
+    Alcotest.test_case "rsa key serialization" `Quick test_rsa_public_key_serialization;
+    Alcotest.test_case "rsa modulus too small" `Quick test_rsa_modulus_too_small ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_sha_distinct; prop_hmac_key_sensitivity; prop_rsa_roundtrip ]

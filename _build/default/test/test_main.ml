@@ -1,0 +1,13 @@
+(* Test entry point: one alcotest suite per library/module group. *)
+let () =
+  Alcotest.run "psn"
+    [ ("bignum", Test_bignum.suite);
+      ("crypto", Test_crypto.suite);
+      ("bdd", Test_bdd.suite);
+      ("bloom", Test_bloom.suite);
+      ("ndlog", Test_ndlog.suite);
+      ("engine", Test_engine.suite);
+      ("net", Test_net.suite);
+      ("provenance", Test_provenance.suite);
+      ("sendlog", Test_sendlog.suite);
+      ("core", Test_core.suite) ]

@@ -1,0 +1,262 @@
+(* Tests for the network substrate: event simulator, wire codec,
+   stats, topology generation. *)
+
+open Engine
+
+(* --- event simulator --------------------------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Net.Event_sim.create () in
+  let log = ref [] in
+  Net.Event_sim.schedule sim ~delay:0.3 (fun () -> log := 3 :: !log);
+  Net.Event_sim.schedule sim ~delay:0.1 (fun () -> log := 1 :: !log);
+  Net.Event_sim.schedule sim ~delay:0.2 (fun () -> log := 2 :: !log);
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 0.3 (Net.Event_sim.now sim)
+
+let test_sim_fifo_ties () =
+  let sim = Net.Event_sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Net.Event_sim.schedule sim ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check (list int)) "ties break by seq" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_cascading () =
+  (* events scheduled from inside events run at their proper times *)
+  let sim = Net.Event_sim.create () in
+  let log = ref [] in
+  Net.Event_sim.schedule sim ~delay:0.1 (fun () ->
+      log := `A :: !log;
+      Net.Event_sim.schedule sim ~delay:0.05 (fun () -> log := `C :: !log));
+  Net.Event_sim.schedule sim ~delay:0.12 (fun () -> log := `B :: !log);
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check bool) "interleaved" true (List.rev !log = [ `A; `B; `C ])
+
+let test_sim_until_horizon () =
+  let sim = Net.Event_sim.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> Net.Event_sim.schedule sim ~delay:d (fun () -> incr count))
+    [ 0.1; 0.2; 0.9 ];
+  ignore (Net.Event_sim.run ~until:0.5 sim);
+  Alcotest.(check int) "only events before horizon" 2 !count;
+  Alcotest.(check int) "one pending" 1 (Net.Event_sim.pending sim);
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check int) "rest runs later" 3 !count
+
+let test_sim_negative_delay_rejected () =
+  let sim = Net.Event_sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Event_sim.schedule: negative delay") (fun () ->
+      Net.Event_sim.schedule sim ~delay:(-1.0) (fun () -> ()))
+
+let prop_sim_heap_order =
+  (* any schedule order drains in nondecreasing timestamp order *)
+  QCheck.Test.make ~name:"heap drains in order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_bound_inclusive 100.0))
+    (fun delays ->
+      let sim = Net.Event_sim.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          Net.Event_sim.schedule sim ~delay:d (fun () ->
+              times := Net.Event_sim.now sim :: !times))
+        delays;
+      ignore (Net.Event_sim.run sim);
+      let ts = List.rev !times in
+      List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length ts - 1) ts) (List.tl ts)
+      || ts = [])
+
+(* --- wire codec ---------------------------------------------------------- *)
+
+let value_gen : Value.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [ map (fun i -> Value.V_int i) int;
+          map (fun f -> Value.V_float f) (float_bound_inclusive 1e6);
+          map (fun b -> Value.V_bool b) bool;
+          map (fun s -> Value.V_str s) (string_size (int_bound 12)) ]
+    else
+      frequency
+        [ (3, map (fun i -> Value.V_int i) int);
+          (1, map (fun l -> Value.V_list l) (list_size (int_bound 4) (gen (depth - 1))));
+          (2, map (fun s -> Value.V_str s) (string_size (int_bound 12))) ]
+  in
+  QCheck.make ~print:Value.to_string (gen 2)
+
+let tuple_gen : Tuple.t QCheck.arbitrary =
+  QCheck.make ~print:Tuple.to_string
+    QCheck.Gen.(
+      map2
+        (fun name args -> Tuple.make name args)
+        (map (fun s -> "rel" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_bound 6)))
+        (list_size (int_bound 5) (QCheck.gen value_gen)))
+
+let prop_tuple_codec_roundtrip =
+  QCheck.Test.make ~name:"tuple encode/decode roundtrip" ~count:300 tuple_gen (fun t ->
+      Tuple.equal t (Net.Wire.decode_tuple (Net.Wire.encode_tuple t)))
+
+let test_message_roundtrip_sizes () =
+  let tuple = Tuple.make "path" [ Value.V_str "a"; Value.V_list [ Value.V_str "a"; Value.V_str "b" ]; Value.V_int 3 ] in
+  let mk auth prov =
+    { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 7; msg_tuple = tuple;
+      msg_auth = auth; msg_provenance = prov }
+  in
+  List.iter
+    (fun m ->
+      let encoded = Net.Wire.encode_message m in
+      Alcotest.(check int) "size = encoded length" (String.length encoded) (Net.Wire.size m);
+      let sb = Net.Wire.size_breakdown m in
+      Alcotest.(check int) "breakdown sums" (Net.Wire.size m) (Net.Wire.total sb))
+    [ mk Net.Wire.A_none None;
+      mk (Net.Wire.A_principal "a") None;
+      mk (Net.Wire.A_hmac { principal = "a"; tag = String.make 32 't' }) None;
+      mk (Net.Wire.A_signature { principal = "a"; signature = String.make 48 's' })
+        (Some (String.make 20 'p')) ]
+
+let test_auth_ordering_sizes () =
+  (* the configurations must cost what the paper says: none <
+     cleartext < hmac < rsa signature *)
+  let tuple = Tuple.make "p" [ Value.V_int 1 ] in
+  let size auth =
+    Net.Wire.size
+      { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
+        msg_auth = auth; msg_provenance = None }
+  in
+  let none = size Net.Wire.A_none in
+  let clear = size (Net.Wire.A_principal "alice") in
+  let hmac = size (Net.Wire.A_hmac { principal = "alice"; tag = String.make 32 't' }) in
+  let rsa = size (Net.Wire.A_signature { principal = "alice"; signature = String.make 48 's' }) in
+  Alcotest.(check bool) "ordering" true (none < clear && clear < hmac && hmac < rsa)
+
+let test_signed_bytes_binds_endpoints () =
+  let tuple = Tuple.make "p" [ Value.V_int 1 ] in
+  let b1 = Net.Wire.signed_bytes ~src:"a" ~dst:"b" tuple in
+  let b2 = Net.Wire.signed_bytes ~src:"a" ~dst:"c" tuple in
+  Alcotest.(check bool) "dst bound into signature" true (b1 <> b2)
+
+let test_decode_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Net.Wire.decode_tuple "\xFF\xFF\xFF\xFF" with
+    | exception Net.Wire.Decode_error _ -> true
+    | _ -> false)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let test_stats_accounting () =
+  let stats = Net.Stats.create () in
+  let tuple = Tuple.make "p" [ Value.V_int 1 ] in
+  let msg =
+    { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
+      msg_auth = Net.Wire.A_none; msg_provenance = None }
+  in
+  Net.Stats.record_message stats msg;
+  Net.Stats.record_message stats msg;
+  Alcotest.(check int) "messages" 2 stats.messages;
+  Alcotest.(check int) "per-node" (2 * Net.Wire.size msg) (Net.Stats.bytes_sent_by stats "a");
+  Alcotest.(check int) "total" (2 * Net.Wire.size msg) stats.bytes_total;
+  Alcotest.(check bool) "megabytes positive" true (Net.Stats.megabytes stats > 0.0)
+
+(* --- topology ------------------------------------------------------------------ *)
+
+let test_topology_deterministic () =
+  let t1 = Net.Topology.random (Crypto.Rng.create ~seed:5) ~n:20 () in
+  let t2 = Net.Topology.random (Crypto.Rng.create ~seed:5) ~n:20 () in
+  let show t =
+    String.concat ";"
+      (List.map
+         (fun (l : Net.Topology.link) -> Printf.sprintf "%s>%s:%d" l.l_src l.l_dst l.l_cost)
+         t.Net.Topology.links)
+  in
+  Alcotest.(check string) "same seed same topology" (show t1) (show t2);
+  let t3 = Net.Topology.random (Crypto.Rng.create ~seed:6) ~n:20 () in
+  Alcotest.(check bool) "different seed differs" true (show t1 <> show t3)
+
+let test_topology_outdegree () =
+  let t = Net.Topology.random (Crypto.Rng.create ~seed:7) ~n:50 ~outdegree:3 () in
+  let avg = Net.Topology.avg_outdegree t in
+  Alcotest.(check bool) (Printf.sprintf "avg %.2f near 3" avg) true (avg >= 2.0 && avg <= 3.5);
+  (* no self loops, no duplicates *)
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Alcotest.(check bool) "no self loop" true (l.l_src <> l.l_dst))
+    t.links;
+  let pairs = List.map (fun (l : Net.Topology.link) -> (l.l_src, l.l_dst)) t.links in
+  Alcotest.(check int) "no duplicate links" (List.length pairs)
+    (List.length (List.sort_uniq compare pairs))
+
+let test_topology_connected () =
+  (* the embedded ring guarantees strong connectivity *)
+  let t = Net.Topology.random (Crypto.Rng.create ~seed:8) ~n:25 () in
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Hashtbl.replace adj l.l_src (l.l_dst :: Option.value (Hashtbl.find_opt adj l.l_src) ~default:[]))
+    t.links;
+  let reachable_from n0 =
+    let seen = Hashtbl.create 32 in
+    let rec go n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        List.iter go (Option.value (Hashtbl.find_opt adj n) ~default:[])
+      end
+    in
+    go n0;
+    Hashtbl.length seen
+  in
+  Alcotest.(check int) "all reachable" 25 (reachable_from "n0")
+
+let test_topology_costs_in_range () =
+  let t = Net.Topology.random (Crypto.Rng.create ~seed:9) ~n:30 ~max_cost:10 () in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Alcotest.(check bool) "cost in [1,10]" true (l.l_cost >= 1 && l.l_cost <= 10))
+    t.links
+
+let test_topology_fixed_shapes () =
+  let line = Net.Topology.line ~n:4 () in
+  Alcotest.(check int) "line links" 6 (List.length line.links);
+  let ring = Net.Topology.ring ~n:4 () in
+  Alcotest.(check int) "ring links" 4 (List.length ring.links);
+  let star = Net.Topology.star ~n:4 () in
+  Alcotest.(check int) "star links" 6 (List.length star.links);
+  let paper = Net.Topology.paper_example () in
+  Alcotest.(check (list string)) "paper nodes" [ "a"; "b"; "c" ] paper.nodes
+
+let test_topology_as_assignment () =
+  let t = Net.Topology.random (Crypto.Rng.create ~seed:10) ~n:40 () in
+  let ases = List.sort_uniq compare (List.map (Net.Topology.as_of t) t.nodes) in
+  Alcotest.(check int) "four ASes for 40 nodes" 4 (List.length ases)
+
+let test_link_facts () =
+  let t = Net.Topology.paper_example () in
+  let with_cost = Net.Topology.link_facts ~with_cost:true t in
+  let without = Net.Topology.link_facts ~with_cost:false t in
+  Alcotest.(check int) "three facts" 3 (List.length with_cost);
+  Alcotest.(check int) "arity 3" 3 (Tuple.arity (List.hd with_cost));
+  Alcotest.(check int) "arity 2" 2 (Tuple.arity (List.hd without))
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "sim ordering" `Quick test_sim_ordering;
+    Alcotest.test_case "sim FIFO ties" `Quick test_sim_fifo_ties;
+    Alcotest.test_case "sim cascading" `Quick test_sim_cascading;
+    Alcotest.test_case "sim horizon" `Quick test_sim_until_horizon;
+    Alcotest.test_case "sim rejects negative delay" `Quick test_sim_negative_delay_rejected;
+    Alcotest.test_case "message sizes" `Quick test_message_roundtrip_sizes;
+    Alcotest.test_case "auth size ordering" `Quick test_auth_ordering_sizes;
+    Alcotest.test_case "signed bytes bind endpoints" `Quick test_signed_bytes_binds_endpoints;
+    Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "topology deterministic" `Quick test_topology_deterministic;
+    Alcotest.test_case "topology outdegree" `Quick test_topology_outdegree;
+    Alcotest.test_case "topology connected" `Quick test_topology_connected;
+    Alcotest.test_case "topology costs" `Quick test_topology_costs_in_range;
+    Alcotest.test_case "fixed shapes" `Quick test_topology_fixed_shapes;
+    Alcotest.test_case "AS assignment" `Quick test_topology_as_assignment;
+    Alcotest.test_case "link facts" `Quick test_link_facts ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_sim_heap_order; prop_tuple_codec_roundtrip ]

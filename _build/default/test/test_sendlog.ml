@@ -1,0 +1,156 @@
+(* Tests for the SeNDlog security layer: principals, the says
+   authentication modes, and program compilation. *)
+
+let rng () = Crypto.Rng.create ~seed:123
+
+(* --- principals -------------------------------------------------------- *)
+
+let test_directory () =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ] (Sendlog.Principal.names d);
+  Alcotest.(check bool) "find" true (Sendlog.Principal.find d "b" <> None);
+  Alcotest.(check bool) "missing" true (Sendlog.Principal.find d "z" = None);
+  Alcotest.(check int) "default level" 1 (Sendlog.Principal.level_of d "a");
+  Alcotest.(check int) "unknown level" 0 (Sendlog.Principal.level_of d "z")
+
+let test_directory_levels () =
+  let d =
+    Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384
+      ~level_of_name:(fun n -> if n = "core" then 3 else 1)
+      [ "core"; "edge" ]
+  in
+  Alcotest.(check int) "core level" 3 (Sendlog.Principal.level_of d "core");
+  Alcotest.(check int) "edge level" 1 (Sendlog.Principal.level_of d "edge")
+
+let test_distinct_keys () =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a"; "b" ] in
+  let pa = Sendlog.Principal.find_exn d "a" and pb = Sendlog.Principal.find_exn d "b" in
+  Alcotest.(check bool) "different RSA keys" false
+    (Crypto.Rsa.public_to_string (Sendlog.Principal.public_key pa)
+    = Crypto.Rsa.public_to_string (Sendlog.Principal.public_key pb));
+  Alcotest.(check bool) "different hmac keys" false (pa.hmac_key = pb.hmac_key)
+
+(* --- auth modes --------------------------------------------------------- *)
+
+let check_mode mode expected_verdict_on_ok =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a"; "b" ] in
+  let sender = Sendlog.Principal.find_exn d "a" in
+  let bytes = "payload-bytes" in
+  let auth = Sendlog.Auth.make_auth mode sender bytes in
+  let v = Sendlog.Auth.verify mode d auth bytes in
+  Alcotest.(check bool)
+    (Sendlog.Auth.mode_to_string mode ^ " verdict")
+    true (v = expected_verdict_on_ok)
+
+let test_auth_none () = check_mode Sendlog.Auth.Auth_none Sendlog.Auth.Unsigned
+let test_auth_cleartext () = check_mode Sendlog.Auth.Auth_cleartext (Sendlog.Auth.Verified "a")
+let test_auth_hmac () = check_mode Sendlog.Auth.Auth_hmac (Sendlog.Auth.Verified "a")
+let test_auth_rsa () = check_mode Sendlog.Auth.Auth_rsa (Sendlog.Auth.Verified "a")
+
+let test_auth_tamper_detected () =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a" ] in
+  let sender = Sendlog.Principal.find_exn d "a" in
+  List.iter
+    (fun mode ->
+      let auth = Sendlog.Auth.make_auth mode sender "original" in
+      match Sendlog.Auth.verify mode d auth "tampered" with
+      | Sendlog.Auth.Forged _ -> ()
+      | _ -> Alcotest.fail (Sendlog.Auth.mode_to_string mode ^ " accepted tampered bytes"))
+    [ Sendlog.Auth.Auth_hmac; Sendlog.Auth.Auth_rsa ]
+
+let test_auth_unknown_principal () =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a" ] in
+  let outsider = Sendlog.Principal.create (rng ()) ~name:"mallory" ~rsa_bits:384 () in
+  let auth = Sendlog.Auth.make_auth Sendlog.Auth.Auth_rsa outsider "bytes" in
+  (match Sendlog.Auth.verify Sendlog.Auth.Auth_rsa d auth "bytes" with
+  | Sendlog.Auth.Forged _ -> ()
+  | _ -> Alcotest.fail "unknown principal accepted")
+
+let test_auth_impersonation_detected () =
+  (* mallory registers her own key but claims to be alice *)
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "alice"; "mallory" ] in
+  let mallory = Sendlog.Principal.find_exn d "mallory" in
+  let bytes = "spoofed" in
+  let forged =
+    Net.Wire.A_signature
+      { principal = "alice"; signature = Crypto.Rsa.sign mallory.keypair.private_ bytes }
+  in
+  (match Sendlog.Auth.verify Sendlog.Auth.Auth_rsa d forged bytes with
+  | Sendlog.Auth.Forged _ -> ()
+  | _ -> Alcotest.fail "impersonation accepted");
+  (* cleartext mode, by design, accepts the claim - that is the benign
+     world trade-off the paper describes *)
+  (match Sendlog.Auth.verify Sendlog.Auth.Auth_cleartext d (Net.Wire.A_principal "alice") bytes with
+  | Sendlog.Auth.Verified "alice" -> ()
+  | _ -> Alcotest.fail "cleartext should accept at face value")
+
+let test_provenance_node_signing () =
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a" ] in
+  let p = Sendlog.Principal.find_exn d "a" in
+  (match Sendlog.Auth.sign_provenance_node Sendlog.Auth.Auth_rsa p ~node_repr:"n" with
+  | Some signature ->
+    Alcotest.(check bool) "verifies" true
+      (Sendlog.Auth.verify_provenance_node Sendlog.Auth.Auth_rsa d ~principal:"a"
+         ~node_repr:"n" ~signature);
+    Alcotest.(check bool) "wrong repr" false
+      (Sendlog.Auth.verify_provenance_node Sendlog.Auth.Auth_rsa d ~principal:"a"
+         ~node_repr:"m" ~signature)
+  | None -> Alcotest.fail "rsa mode must sign");
+  Alcotest.(check bool) "cleartext does not sign" true
+    (Sendlog.Auth.sign_provenance_node Sendlog.Auth.Auth_cleartext p ~node_repr:"n" = None)
+
+(* --- compilation ----------------------------------------------------------- *)
+
+let test_compile_ndlog_localizes () =
+  let c = Sendlog.Compile.compile (Ndlog.Programs.reachable ()) in
+  Alcotest.(check bool) "not sendlog" false c.c_sendlog;
+  Alcotest.(check int) "localized rule count" 3 (List.length c.c_rules);
+  Alcotest.(check bool) "all localized" true
+    (List.for_all Ndlog.Localize.is_localized c.c_rules)
+
+let test_compile_sendlog_detected () =
+  let c = Sendlog.Compile.compile (Ndlog.Programs.sendlog_reachable ()) in
+  Alcotest.(check bool) "sendlog" true c.c_sendlog;
+  Alcotest.(check (list string)) "imported under says" [ "linkD"; "reachable" ]
+    c.c_comm.imported;
+  Alcotest.(check (list string)) "exported" [ "linkD"; "reachable" ] c.c_comm.exported
+
+let test_compile_rejects_bad_program () =
+  let bad = Ndlog.Parser.parse_program_exn "r p(@S, D) :- q(@S)." in
+  Alcotest.(check bool) "unsafe rejected" true
+    (match Sendlog.Compile.compile bad with
+    | exception Sendlog.Compile.Compile_error _ -> true
+    | _ -> false)
+
+let test_compile_rejects_unroutable () =
+  let bad = Ndlog.Parser.parse_program_exn "r t(@S) :- a(@S), b(@Z, S)." in
+  Alcotest.(check bool) "unroutable rejected" true
+    (match Sendlog.Compile.compile bad with
+    | exception Sendlog.Compile.Compile_error _ -> true
+    | _ -> false)
+
+let test_compile_best_path_programs () =
+  (* both Best-Path variants compile cleanly *)
+  let c1 = Sendlog.Compile.compile (Ndlog.Programs.best_path ()) in
+  Alcotest.(check bool) "ndlog best path localized" true
+    (List.for_all Ndlog.Localize.is_localized c1.c_rules);
+  let c2 = Sendlog.Compile.compile (Ndlog.Programs.sendlog_best_path ()) in
+  Alcotest.(check bool) "sendlog variant detected" true c2.c_sendlog
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "directory" `Quick test_directory;
+    Alcotest.test_case "directory levels" `Quick test_directory_levels;
+    Alcotest.test_case "distinct keys" `Quick test_distinct_keys;
+    Alcotest.test_case "auth none" `Quick test_auth_none;
+    Alcotest.test_case "auth cleartext" `Quick test_auth_cleartext;
+    Alcotest.test_case "auth hmac" `Quick test_auth_hmac;
+    Alcotest.test_case "auth rsa" `Quick test_auth_rsa;
+    Alcotest.test_case "tamper detection" `Quick test_auth_tamper_detected;
+    Alcotest.test_case "unknown principal" `Quick test_auth_unknown_principal;
+    Alcotest.test_case "impersonation" `Quick test_auth_impersonation_detected;
+    Alcotest.test_case "provenance node signatures" `Quick test_provenance_node_signing;
+    Alcotest.test_case "compile localizes NDlog" `Quick test_compile_ndlog_localizes;
+    Alcotest.test_case "compile detects SeNDlog" `Quick test_compile_sendlog_detected;
+    Alcotest.test_case "compile rejects unsafe" `Quick test_compile_rejects_bad_program;
+    Alcotest.test_case "compile rejects unroutable" `Quick test_compile_rejects_unroutable;
+    Alcotest.test_case "compile best-path variants" `Quick test_compile_best_path_programs ]
