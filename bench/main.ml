@@ -68,10 +68,54 @@ let parse_args () =
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Per-phase telemetry: each section resets the shared registry on
+   entry and prints the headline series it accumulated on exit, so the
+   numbers attribute to that phase alone. *)
+let phase_reset () = Obs.Metrics.reset Obs.Metrics.default
+
+let phase_metrics (phase : string) : unit =
+  let reg = Obs.Metrics.default in
+  let c name = Obs.Metrics.value (Obs.Metrics.counter reg name) in
+  let sign = Obs.Metrics.histogram reg "crypto.sign_seconds" in
+  let handler = Obs.Metrics.histogram reg "runtime.handler_seconds" in
+  Printf.printf
+    "\n[%s metrics] eval.rounds=%d eval.derivations=%d wire.messages=%d \
+     wire.bytes_total=%d sim.queue_depth_max=%.0f crypto.sign{n=%d sum=%.3fs} \
+     handler{n=%d sum=%.3fs} condense{hit=%d miss=%d}\n"
+    phase (c "eval.rounds") (c "eval.derivations") (c "wire.messages")
+    (c "wire.bytes_total")
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge reg "sim.queue_depth_max"))
+    (Obs.Metrics.hist_count sign) (Obs.Metrics.hist_sum sign)
+    (Obs.Metrics.hist_count handler) (Obs.Metrics.hist_sum handler)
+    (c "prov.condense_hits") (c "prov.condense_misses")
+
+(* Machine-readable companion to the human tables: the sweep points
+   plus the figure phase's metrics snapshot, for tracking the perf
+   trajectory across PRs. *)
+let write_results_json (o : options) (points : Core.Bestpath_workload.point list) : unit =
+  let doc =
+    Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
+        ("ns", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) o.ns));
+        ("runs", Obs.Json.Int o.runs);
+        ("rsa_bits", Obs.Json.Int o.rsa_bits);
+        ("points", Obs.Json.List (List.map Core.Bestpath_workload.point_to_json points));
+        ("metrics", Obs.Metrics.to_json Obs.Metrics.default) ]
+  in
+  let oc = open_out "BENCH_results.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote BENCH_results.json (%d points + metrics snapshot)\n"
+    (List.length points)
+
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
 
 let figures (o : options) : Core.Bestpath_workload.point list =
   hr "Figures 3 & 4: Best-Path query, three configurations";
+  phase_reset ();
   Printf.printf
     "workload: all-pairs Best-Path; random topologies, avg outdegree 3, link costs 1..10\n\
      parameters: N in {%s}, %d run(s) per size, %d-bit RSA\n\
@@ -120,12 +164,15 @@ let figures (o : options) : Core.Bestpath_workload.point list =
   check "SeNDLogProv relative time overhead decreases with N"
     (Core.Metrics.overhead_decreases points ~base:"SeNDLog" ~variant:"SeNDLogProv"
        ~metric:(fun p -> p.p_sim_seconds));
+  phase_metrics "figures";
+  write_results_json o points;
   points
 
 (* --- Ablation A: local vs distributed provenance ------------------------- *)
 
 let ablation_local_vs_distributed (o : options) =
   hr "Ablation A (Section 4.1): local vs distributed provenance";
+  phase_reset ();
   Printf.printf
     "local ships provenance with every tuple; distributed stores per-hop pointers\n\
      and pays at query time. N=20 Best-Path, then traceback of every bestPath at n0.\n\n";
@@ -166,6 +213,7 @@ let ablation_local_vs_distributed (o : options) =
 
 let ablation_proactive_vs_reactive (o : options) =
   hr "Ablation B (Section 5): proactive vs reactive provenance";
+  phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2009) ~n:20 () in
   let directory =
     Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
@@ -194,6 +242,7 @@ let ablation_proactive_vs_reactive (o : options) =
 
 let ablation_sampling (o : options) =
   hr "Ablation C (Section 5): sampled provenance and Bloom digests";
+  phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2010) ~n:20 () in
   let directory =
     Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
@@ -261,6 +310,7 @@ let ablation_sampling (o : options) =
 
 let ablation_granularity (o : options) =
   hr "Ablation D (Section 5): provenance granularity (node vs AS)";
+  phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2011) ~n:40 () in
   let directory =
     Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
@@ -368,9 +418,13 @@ let () =
     let _points = figures o in
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
+      phase_metrics "ablation A";
       ablation_proactive_vs_reactive o;
+      phase_metrics "ablation B";
       ablation_sampling o;
+      phase_metrics "ablation C";
       ablation_granularity o;
+      phase_metrics "ablation D";
       if not o.skip_micro then micro o
     end
   end;

@@ -4,6 +4,8 @@
    Subcommands:
      parse   check and pretty-print an NDlog/SeNDlog program
      run     execute a program over a simulated topology
+             (--metrics / --trace / --events dump run telemetry)
+     stats   pretty-print a metrics snapshot written by run --metrics
      sweep   reproduce the Figure 3 / Figure 4 series
      demo    the paper's Figure 1 / Figure 2 walkthrough *)
 
@@ -14,6 +16,17 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write [content] to [path], with "-" meaning stdout. *)
+let write_output (path : string) (content : string) : unit =
+  if path = "-" then print_string content
+  else
+    match open_out path with
+    | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1
 
 (* --- psn parse ------------------------------------------------------- *)
 
@@ -76,31 +89,162 @@ let run_cmd =
   let show =
     Arg.(value & opt_all string [] & info [ "show" ] ~docv:"REL" ~doc:"Print a relation after the run")
   in
-  let run file nodes seed cfg rsa_bits with_links show =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write a metrics snapshot (JSON) to FILE after the run; \"-\" for stdout")
+  in
+  let metrics_format =
+    Arg.(value & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+         & info [ "metrics-format" ] ~doc:"Snapshot format: json | prom (Prometheus text)")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the run's span tree (JSON lines, virtual-clock durations) to FILE")
+  in
+  let events_out =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"Write the structured event log (JSON lines) to FILE")
+  in
+  let run file nodes seed cfg rsa_bits with_links show metrics_out metrics_format
+      trace_out events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
     let cfg = { cfg with Core.Config.rsa_bits } in
+    (* The snapshot should cover this run only, not process history
+       (key generation during setup still shows in crypto.keygen). *)
+    Obs.Metrics.reset Obs.Metrics.default;
     let t = Core.Runtime.create ~rng ~cfg ~topo ~program () in
+    let tracer =
+      if trace_out <> None then Some (Core.Runtime.enable_tracing t) else None
+    in
     if with_links then Core.Runtime.install_links t;
     Core.Runtime.install_program_facts t;
     let r = Core.Runtime.run t in
-    Printf.printf "completion: %.3fs (virtual), %.3fs (cpu), %d events\n" r.sim_seconds
-      r.wall_seconds r.events;
-    Printf.printf "%s\n" (Net.Stats.to_string (Core.Runtime.stats t));
+    (* Keep stdout clean for the snapshot when any telemetry target is
+       "-", so `psn run --metrics - | psn stats -` pipes cleanly. *)
+    let human =
+      if List.mem (Some "-") [ metrics_out; trace_out; events_out ] then stderr
+      else stdout
+    in
+    Printf.fprintf human "completion: %.3fs (virtual), %.3fs (cpu), %d events\n"
+      r.sim_seconds r.wall_seconds r.events;
+    Printf.fprintf human "%s\n" (Net.Stats.to_string (Core.Runtime.stats t));
     List.iter
       (fun rel ->
-        Printf.printf "-- %s (%d tuples across all nodes)\n" rel
+        Printf.fprintf human "-- %s (%d tuples across all nodes)\n" rel
           (List.length (Core.Runtime.query_all t rel));
         List.iter
           (fun (at, tuple) ->
-            Printf.printf "  @%s %s\n" at (Engine.Tuple.to_string tuple))
+            Printf.fprintf human "  @%s %s\n" at (Engine.Tuple.to_string tuple))
           (Core.Runtime.query_all t rel))
-      show
+      show;
+    (match metrics_out with
+    | Some path ->
+      let content =
+        match metrics_format with
+        | `Json -> Obs.Metrics.to_json_string Obs.Metrics.default ^ "\n"
+        | `Prom -> Obs.Metrics.to_prometheus Obs.Metrics.default
+      in
+      write_output path content
+    | None -> ());
+    (match (trace_out, tracer) with
+    | Some path, Some tr -> write_output path (Obs.Trace.to_json_lines tr)
+    | _ -> ());
+    (match events_out with
+    | Some path -> write_output path (Obs.Events.to_json_lines (Core.Runtime.event_log t))
+    | None -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program over a simulated network")
-    Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ with_links $ show)
+    Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ with_links $ show
+          $ metrics_out $ metrics_format $ trace_out $ events_out)
+
+(* --- psn stats -------------------------------------------------------- *)
+
+(* Pretty-print a metrics snapshot (the JSON written by
+   `psn run --metrics FILE`) as an aligned table. *)
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SNAPSHOT" ~doc:"Metrics snapshot JSON file (\"-\" for stdin)")
+  in
+  let render_labels (j : Obs.Json.t) : string =
+    match j with
+    | Obs.Json.Obj [] | Obs.Json.Null -> ""
+    | Obs.Json.Obj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=%s" k
+                 (Option.value (Obs.Json.to_string_opt v) ~default:"?"))
+             fields)
+      ^ "}"
+    | _ -> ""
+  in
+  let num (j : Obs.Json.t option) : string =
+    match j with
+    | Some (Obs.Json.Int i) -> string_of_int i
+    | Some (Obs.Json.Float f) -> Printf.sprintf "%.6g" f
+    | Some Obs.Json.Null | None -> "-"
+    | Some _ -> "?"
+  in
+  let run file =
+    let content =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else
+        try read_file file
+        with Sys_error msg ->
+          Printf.eprintf "cannot read snapshot: %s\n" msg;
+          exit 1
+    in
+    match Obs.Json.parse content with
+    | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "invalid snapshot: %s\n" msg;
+      exit 1
+    | doc -> (
+      match Obs.Json.member "metrics" doc with
+      | Some (Obs.Json.List metrics) ->
+        Printf.printf "%-10s %-44s %s\n" "TYPE" "METRIC" "VALUE";
+        List.iter
+          (fun m ->
+            let name =
+              Option.value
+                (Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt)
+                ~default:"?"
+            in
+            let labels =
+              Option.value (Option.map render_labels (Obs.Json.member "labels" m))
+                ~default:""
+            in
+            let kind =
+              Option.value
+                (Option.bind (Obs.Json.member "type" m) Obs.Json.to_string_opt)
+                ~default:"?"
+            in
+            match kind with
+            | "histogram" ->
+              Printf.printf "%-10s %-44s count=%s sum=%s min=%s max=%s\n" kind
+                (name ^ labels)
+                (num (Obs.Json.member "count" m))
+                (num (Obs.Json.member "sum" m))
+                (num (Obs.Json.member "min" m))
+                (num (Obs.Json.member "max" m))
+            | _ ->
+              Printf.printf "%-10s %-44s %s\n" kind (name ^ labels)
+                (num (Obs.Json.member "value" m)))
+          metrics
+      | _ ->
+        Printf.eprintf "not a metrics snapshot (no \"metrics\" array)\n";
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pretty-print a metrics snapshot from run --metrics")
+    Term.(const run $ file)
 
 (* --- psn sweep -------------------------------------------------------- *)
 
@@ -123,7 +267,23 @@ let sweep_cmd =
     print_string
       (Core.Metrics.figure_table points
          ~metric:(fun p -> p.Core.Bestpath_workload.p_megabytes)
-         ~title:"Figure 4: bandwidth utilization (MB)")
+         ~title:"Figure 4: bandwidth utilization (MB)");
+    (* Authentication outcome totals across the sweep: failures and
+       forged drops belong in the same report as the bandwidth they
+       saved (all zero on the benign Best-Path workload). *)
+    print_endline "authentication:";
+    List.iter
+      (fun config ->
+        let sum f =
+          List.fold_left
+            (fun acc (p : Core.Bestpath_workload.point) ->
+              if p.p_config = config then acc + f p else acc)
+            0 points
+        in
+        Printf.printf "  %-12s verification_failures=%d dropped_forged=%d\n" config
+          (sum (fun p -> p.p_verif_failures))
+          (sum (fun p -> p.p_dropped_forged)))
+      [ "NDLog"; "SeNDLog"; "SeNDLogProv" ]
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Reproduce the Figure 3/4 series")
     Term.(const run $ ns $ runs $ rsa_bits)
@@ -147,4 +307,4 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "psn" ~version:"1.0.0" ~doc:"Provenance-aware secure networks" in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; sweep_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; stats_cmd; sweep_cmd; demo_cmd ]))

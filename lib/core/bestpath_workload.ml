@@ -15,6 +15,8 @@ type point = {
   p_megabytes : float;
   p_messages : int;
   p_signatures : int;
+  p_verif_failures : int;
+  p_dropped_forged : int;
   p_best_paths : int;
 }
 
@@ -68,22 +70,24 @@ let measure_n ?(opts = default_opts) (n : int) : point list =
         let name = Config.name cfg in
         let prev =
           Option.value (Hashtbl.find_opt acc name)
-            ~default:(0.0, 0.0, 0.0, 0, 0, 0)
+            ~default:(0.0, 0.0, 0.0, 0, 0, 0, 0, 0)
         in
-        let w, s, mb, msgs, sigs, bp = prev in
+        let w, s, mb, msgs, sigs, vf, df, bp = prev in
         Hashtbl.replace acc name
           ( w +. wall,
             s +. sim,
             mb +. Net.Stats.megabytes stats,
             msgs + stats.Net.Stats.messages,
             sigs + stats.Net.Stats.signatures_generated,
+            vf + stats.Net.Stats.verification_failures,
+            df + stats.Net.Stats.dropped_forged,
             bp + best ))
       cfgs
   done;
   List.map
     (fun cfg ->
       let name = Config.name cfg in
-      let w, s, mb, msgs, sigs, bp = Hashtbl.find acc name in
+      let w, s, mb, msgs, sigs, vf, df, bp = Hashtbl.find acc name in
       let r = float_of_int opts.ro_runs in
       { p_config = name;
         p_n = n;
@@ -92,6 +96,8 @@ let measure_n ?(opts = default_opts) (n : int) : point list =
         p_megabytes = mb /. r;
         p_messages = msgs / opts.ro_runs;
         p_signatures = sigs / opts.ro_runs;
+        p_verif_failures = vf;
+        p_dropped_forged = df;
         p_best_paths = bp / opts.ro_runs })
     cfgs
 
@@ -99,3 +105,16 @@ let measure_n ?(opts = default_opts) (n : int) : point list =
 let sweep ?(opts = default_opts) ?(ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]) () :
     point list =
   List.concat_map (fun n -> measure_n ~opts n) ns
+
+let point_to_json (p : point) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("config", Obs.Json.Str p.p_config);
+      ("n", Obs.Json.Int p.p_n);
+      ("wall_seconds", Obs.Json.Float p.p_wall_seconds);
+      ("sim_seconds", Obs.Json.Float p.p_sim_seconds);
+      ("megabytes", Obs.Json.Float p.p_megabytes);
+      ("messages", Obs.Json.Int p.p_messages);
+      ("signatures", Obs.Json.Int p.p_signatures);
+      ("verification_failures", Obs.Json.Int p.p_verif_failures);
+      ("dropped_forged", Obs.Json.Int p.p_dropped_forged);
+      ("best_paths", Obs.Json.Int p.p_best_paths) ]

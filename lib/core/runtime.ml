@@ -33,8 +33,13 @@ type t = {
   compiled : Sendlog.Compile.compiled;
   nodes : (string, node) Hashtbl.t;
   prov_ctx : Provenance.Condense.ctx;
+  obs_events : Obs.Events.log; (* bounded structured event log *)
+  mutable tracer : Obs.Trace.t option; (* span tree, when tracing is on *)
+  h_handler : Obs.Metrics.histogram; (* modeled per-handler duration *)
+  h_compute : Obs.Metrics.histogram; (* measured CPU per handler *)
+  c_flushes : Obs.Metrics.counter;
+  c_buffered : Obs.Metrics.counter;
   mutable seq : int;
-  mutable dropped_forged : int;
   mutable log_derivations : bool;
   mutable derivation_log : Eval.derivation list;
   mutable on_message : (float -> Net.Wire.message -> unit) option;
@@ -90,6 +95,14 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
           n_msgs_received = 0;
           n_free_at = 0.0 })
     topo.Net.Topology.nodes;
+  let reg = Obs.Metrics.default in
+  (* Pre-register the run's standard series so a metrics snapshot
+     always contains them, even for a run that derives nothing. *)
+  ignore (Obs.Metrics.counter reg "eval.rounds");
+  ignore (Obs.Metrics.counter reg "eval.derivations");
+  ignore (Obs.Metrics.counter reg "eval.inserted");
+  ignore (Obs.Metrics.histogram reg "crypto.sign_seconds");
+  ignore (Obs.Metrics.histogram reg "crypto.verify_seconds");
   { cfg;
     sim = Net.Event_sim.create ();
     topo;
@@ -98,8 +111,13 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
     compiled;
     nodes;
     prov_ctx = Provenance.Condense.create_ctx ();
+    obs_events = Obs.Events.create ~capacity:8192 ();
+    tracer = None;
+    h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
+    h_compute = Obs.Metrics.histogram reg "runtime.handler_compute_seconds";
+    c_flushes = Obs.Metrics.counter reg "runtime.out_buffer_flushes";
+    c_buffered = Obs.Metrics.counter reg "runtime.messages_buffered";
     seq = 0;
-    dropped_forged = 0;
     log_derivations = false;
     derivation_log = [];
     on_message = None;
@@ -251,6 +269,16 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
     in
     t.seq <- t.seq + 1;
     Net.Stats.record_message t.stats msg;
+    let at = Net.Event_sim.now t.sim in
+    Obs.Events.emit t.obs_events ~at
+      (Obs.Events.E_msg_sent
+         { src = sender.n_addr; dst = emit.e_dest; bytes = Net.Wire.size msg });
+    (match msg.Net.Wire.msg_provenance with
+    | Some block ->
+      Obs.Events.emit t.obs_events ~at
+        (Obs.Events.E_prov_condensed
+           { node = sender.n_addr; bytes = String.length block })
+    | None -> ());
     (match t.on_message with
     | Some tap -> tap (Net.Event_sim.now t.sim) msg
     | None -> ());
@@ -269,6 +297,13 @@ let process (t : t) (n : node) (pending : Eval.frontier_item list) : unit =
   in
   let on_derive deriv =
     if t.log_derivations then t.derivation_log <- deriv :: t.derivation_log;
+    let at = Net.Event_sim.now t.sim in
+    Obs.Events.emit t.obs_events ~at
+      (Obs.Events.E_rule_fired
+         { node = n.n_addr; rule = deriv.Eval.d_rule; derivations = 1 });
+    Obs.Events.emit t.obs_events ~at
+      (Obs.Events.E_tuple_derived
+         { node = n.n_addr; rel = deriv.Eval.d_head.Tuple.rel; rule = deriv.Eval.d_rule });
     ignore (capture_derivation t n deriv)
   in
   let emits, _stats =
@@ -301,6 +336,20 @@ let with_processing (t : t) (n : node) ~(incoming_bytes : int) (work : unit -> u
   let depart = n.n_free_at -. now in
   let outgoing = List.rev t.out_buffer in
   t.out_buffer <- [];
+  Obs.Metrics.observe t.h_handler duration;
+  Obs.Metrics.observe t.h_compute compute;
+  if outgoing <> [] then begin
+    Obs.Metrics.inc t.c_flushes;
+    Obs.Metrics.inc ~by:(List.length outgoing) t.c_buffered
+  end;
+  (match t.tracer with
+  | Some tr ->
+    (* The span's primary duration is the *modeled* handler time (CPU
+       + cost-model charges), which is what advances the virtual clock
+       and hence the paper's completion time. *)
+    Obs.Trace.record tr ~attrs:[ ("node", n.n_addr) ] "handle" ~start:now
+      ~dur:duration ~wall_dur:compute
+  | None -> ());
   List.iter
     (fun (latency, receiver, msg) ->
       match receiver with
@@ -321,6 +370,10 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
         !deliver t receiver msg)
   else begin
     receiver.n_msgs_received <- receiver.n_msgs_received + 1;
+    Net.Stats.record_received t.stats msg;
+    Obs.Events.emit t.obs_events ~at:now
+      (Obs.Events.E_msg_received
+         { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
     with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun () ->
         (* [Exit] aborts processing of a forged message; the work done
            so far (verification) is still charged to the node. *)
@@ -342,13 +395,21 @@ and handle_message_body (t : t) (receiver : node) (msg : Net.Wire.message) : uni
       | Sendlog.Auth.Verified p ->
         (match t.cfg.auth with
         | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
-          Net.Stats.record_verification t.stats ~ok:true
+          Net.Stats.record_verification t.stats ~ok:true;
+          Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
+            (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
         | _ -> ());
         Some (Value.V_str p)
       | Sendlog.Auth.Unsigned -> None
       | Sendlog.Auth.Forged _ ->
         Net.Stats.record_verification t.stats ~ok:false;
-        t.dropped_forged <- t.dropped_forged + 1;
+        Net.Stats.record_forged t.stats;
+        let at = Net.Event_sim.now t.sim in
+        Obs.Events.emit t.obs_events ~at
+          (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
+        Obs.Events.emit t.obs_events ~at
+          (Obs.Events.E_forged_dropped
+             { node = receiver.n_addr; src = msg.Net.Wire.msg_src });
         raise Exit
     end
   in
@@ -404,12 +465,20 @@ type run_result = {
   events : int;
 }
 
-(* Run to distributed fixpoint (event-queue quiescence). *)
+(* Run to distributed fixpoint (event-queue quiescence).  Under
+   tracing, the whole run is one root span on the virtual clock, so
+   its [dur] is the query-completion time and the per-message
+   "handle" spans nest beneath it. *)
 let run ?(until = Float.infinity) (t : t) : run_result =
-  let t0 = Unix.gettimeofday () in
-  let events = Net.Event_sim.run ~until t.sim in
-  let wall = Unix.gettimeofday () -. t0 in
-  { wall_seconds = wall; sim_seconds = Net.Event_sim.now t.sim; events }
+  let go () =
+    let t0 = Unix.gettimeofday () in
+    let events = Net.Event_sim.run ~until t.sim in
+    let wall = Unix.gettimeofday () -. t0 in
+    { wall_seconds = wall; sim_seconds = Net.Event_sim.now t.sim; events }
+  in
+  match t.tracer with
+  | Some tr -> Obs.Trace.with_span tr ~attrs:[ ("config", Config.name t.cfg) ] "run" go
+  | None -> go ()
 
 (* Advance simulated time and evict expired soft state, retiring its
    provenance to the offline stores. *)
@@ -441,7 +510,22 @@ let condensed_annotation (t : t) ~(at : string) (tuple : Tuple.t) : string =
 
 let stats (t : t) : Net.Stats.t = t.stats
 
-let dropped_forged (t : t) : int = t.dropped_forged
+let dropped_forged (t : t) : int = t.stats.Net.Stats.dropped_forged
+
+(* --- telemetry -------------------------------------------------------- *)
+
+let event_log (t : t) : Obs.Events.log = t.obs_events
+
+let tracer (t : t) : Obs.Trace.t option = t.tracer
+
+let set_tracer (t : t) (tr : Obs.Trace.t) : unit = t.tracer <- Some tr
+
+(* Attach a tracer whose primary clock is the simulator's virtual
+   clock (wall-clock durations are recorded alongside). *)
+let enable_tracing (t : t) : Obs.Trace.t =
+  let tr = Obs.Trace.create ~clock:(fun () -> Net.Event_sim.now t.sim) () in
+  t.tracer <- Some tr;
+  tr
 
 let enable_derivation_log (t : t) : unit = t.log_derivations <- true
 

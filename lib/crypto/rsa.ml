@@ -18,10 +18,18 @@ type keypair = { public : public_key; private_ : private_key }
 
 let public_exponent = Nat.of_int 65537
 
+(* Sign/verify wall-clock histograms (crypto.*_seconds in the shared
+   registry): per-operation cost is what Section 6 attributes the
+   SeNDlog time overhead to, so the runtime profiles it directly. *)
+let sign_hist = lazy (Obs.Metrics.histogram Obs.Metrics.default "crypto.sign_seconds")
+let verify_hist = lazy (Obs.Metrics.histogram Obs.Metrics.default "crypto.verify_seconds")
+let keygen_hist = lazy (Obs.Metrics.histogram Obs.Metrics.default "crypto.keygen_seconds")
+
 (* [generate rng ~bits] generates an RSA keypair with a [bits]-wide
    modulus.  Deterministic given the generator state. *)
 let generate (rng : Rng.t) ~(bits : int) : keypair =
   if bits < 64 then invalid_arg "Rsa.generate: modulus too small";
+  Obs.Metrics.timed (Lazy.force keygen_hist) @@ fun () ->
   let half = bits / 2 in
   let rec go () =
     let p = Prime.generate rng ~bits:half in
@@ -53,6 +61,7 @@ let encode_digest (pub : public_key) (digest : string) : Nat.t =
   Nat.of_bytes_be ("\x00\x01" ^ padding ^ "\x00" ^ digest)
 
 let sign (priv : private_key) (message : string) : string =
+  Obs.Metrics.timed (Lazy.force sign_hist) @@ fun () ->
   let m = encode_digest priv.pub (Sha256.digest message) in
   let s = Nat.mod_pow m priv.d priv.pub.n in
   let raw = Nat.to_bytes_be s in
@@ -61,6 +70,7 @@ let sign (priv : private_key) (message : string) : string =
   String.make (k - String.length raw) '\000' ^ raw
 
 let verify (pub : public_key) ~(signature : string) (message : string) : bool =
+  Obs.Metrics.timed (Lazy.force verify_hist) @@ fun () ->
   String.length signature = signature_size pub
   && begin
        let s = Nat.of_bytes_be signature in

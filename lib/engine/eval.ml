@@ -300,6 +300,17 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
     ~(pending : frontier_item list) ~(on_derive : derivation -> unit) () :
     emit list * stats =
   let stats = new_stats () in
+  let reg = Obs.Metrics.default in
+  let rule_counter =
+    let cache = Hashtbl.create 8 in
+    fun name ->
+      match Hashtbl.find_opt cache name with
+      | Some c -> c
+      | None ->
+        let c = Obs.Metrics.counter reg ~labels:[ ("rule", name) ] "eval.rule_derivations" in
+        Hashtbl.replace cache name c;
+        c
+  in
   let emits = ref [] in
   let agg_rules, plain_rules = List.partition is_recomputed_agg rules in
   let insert_local tuple asserter =
@@ -312,6 +323,7 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
   in
   let process_derivation rule_name (tuple, dest, body) next_frontier =
     stats.derivations <- stats.derivations + 1;
+    Obs.Metrics.inc (rule_counter rule_name);
     let deriv = { d_rule = rule_name; d_head = tuple; d_body = body } in
     let is_local = match (dest, local) with
       | None, _ -> true
@@ -365,6 +377,9 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
       agg_rules;
     frontier := !next
   done;
+  Obs.Metrics.inc ~by:stats.rounds (Obs.Metrics.counter reg "eval.rounds");
+  Obs.Metrics.inc ~by:stats.derivations (Obs.Metrics.counter reg "eval.derivations");
+  Obs.Metrics.inc ~by:stats.inserted (Obs.Metrics.counter reg "eval.inserted");
   (List.rev !emits, stats)
 
 (* Single-site convenience used by tests and the quickstart example:

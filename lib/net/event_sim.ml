@@ -79,9 +79,24 @@ type t = {
   mutable seq : int;
   mutable processed : int;
   queue : Pq.t;
+  g_depth_max : Obs.Metrics.gauge; (* queue depth high-water mark *)
+  c_scheduled : Obs.Metrics.counter;
+  c_processed : Obs.Metrics.counter;
 }
 
-let create () = { now = 0.0; seq = 0; processed = 0; queue = Pq.create () }
+let create () =
+  let reg = Obs.Metrics.default in
+  { now = 0.0;
+    seq = 0;
+    processed = 0;
+    queue = Pq.create ();
+    g_depth_max = Obs.Metrics.gauge reg "sim.queue_depth_max";
+    c_scheduled = Obs.Metrics.counter reg "sim.events_scheduled";
+    c_processed = Obs.Metrics.counter reg "sim.events_processed" }
+
+let note_scheduled (t : t) : unit =
+  Obs.Metrics.inc t.c_scheduled;
+  Obs.Metrics.set_max t.g_depth_max (float_of_int (Pq.length t.queue))
 
 let now (t : t) : float = t.now
 
@@ -89,13 +104,15 @@ let schedule (t : t) ~(delay : float) (action : unit -> unit) : unit =
   if delay < 0.0 then invalid_arg "Event_sim.schedule: negative delay";
   let e = { ev_time = t.now +. delay; ev_seq = t.seq; ev_action = action } in
   t.seq <- t.seq + 1;
-  Pq.push t.queue e
+  Pq.push t.queue e;
+  note_scheduled t
 
 let schedule_at (t : t) ~(time : float) (action : unit -> unit) : unit =
   if time < t.now then invalid_arg "Event_sim.schedule_at: time in the past";
   let e = { ev_time = time; ev_seq = t.seq; ev_action = action } in
   t.seq <- t.seq + 1;
-  Pq.push t.queue e
+  Pq.push t.queue e;
+  note_scheduled t
 
 let pending (t : t) : int = Pq.length t.queue
 
@@ -123,4 +140,5 @@ let run ?(until = Float.infinity) ?(max_events = max_int) (t : t) : int =
         incr count
       end
   done;
+  Obs.Metrics.inc ~by:!count t.c_processed;
   !count

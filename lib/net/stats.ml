@@ -4,7 +4,14 @@
    required for executing the distributed query", which we compute by
    summing the encoded size of every message sent, broken down into
    header / payload / authentication / provenance bytes so ablations
-   can attribute the overheads. *)
+   can attribute the overheads.
+
+   Both directions are tracked per node: sent (who generates traffic)
+   and received (who bears the processing cost), plus dropped forged
+   messages, so the accountability configurations report the same
+   numbers everywhere.  Every record_* call also feeds the shared
+   [Obs.Metrics] registry (wire.* series), which is what
+   `psn run --metrics` snapshots. *)
 
 type t = {
   mutable messages : int;
@@ -13,54 +20,154 @@ type t = {
   mutable bytes_payload : int;
   mutable bytes_auth : int;
   mutable bytes_provenance : int;
+  mutable messages_received : int;
+  mutable bytes_received : int;
   mutable signatures_generated : int;
   mutable signatures_verified : int;
   mutable verification_failures : int;
+  mutable dropped_forged : int; (* forged messages discarded by receivers *)
   per_node_sent : (string, int) Hashtbl.t; (* bytes sent per node *)
   per_node_msgs : (string, int) Hashtbl.t;
+  per_node_recv : (string, int) Hashtbl.t; (* bytes received per node *)
+  per_node_msgs_recv : (string, int) Hashtbl.t;
+  c_messages : Obs.Metrics.counter;
+  c_bytes : Obs.Metrics.counter;
+  c_bytes_auth : Obs.Metrics.counter;
+  c_bytes_prov : Obs.Metrics.counter;
+  c_received : Obs.Metrics.counter;
+  c_sigs : Obs.Metrics.counter;
+  c_verifs : Obs.Metrics.counter;
+  c_verif_failures : Obs.Metrics.counter;
+  c_dropped_forged : Obs.Metrics.counter;
 }
 
 let create () =
+  let reg = Obs.Metrics.default in
   { messages = 0;
     bytes_total = 0;
     bytes_header = 0;
     bytes_payload = 0;
     bytes_auth = 0;
     bytes_provenance = 0;
+    messages_received = 0;
+    bytes_received = 0;
     signatures_generated = 0;
     signatures_verified = 0;
     verification_failures = 0;
+    dropped_forged = 0;
     per_node_sent = Hashtbl.create 64;
-    per_node_msgs = Hashtbl.create 64 }
+    per_node_msgs = Hashtbl.create 64;
+    per_node_recv = Hashtbl.create 64;
+    per_node_msgs_recv = Hashtbl.create 64;
+    c_messages = Obs.Metrics.counter reg "wire.messages";
+    c_bytes = Obs.Metrics.counter reg "wire.bytes_total";
+    c_bytes_auth = Obs.Metrics.counter reg "wire.bytes_auth";
+    c_bytes_prov = Obs.Metrics.counter reg "wire.bytes_provenance";
+    c_received = Obs.Metrics.counter reg "wire.messages_received";
+    c_sigs = Obs.Metrics.counter reg "crypto.signatures_generated";
+    c_verifs = Obs.Metrics.counter reg "crypto.signatures_verified";
+    c_verif_failures = Obs.Metrics.counter reg "crypto.verification_failures";
+    c_dropped_forged = Obs.Metrics.counter reg "wire.dropped_forged" }
 
 let bump tbl key n =
   Hashtbl.replace tbl key (Option.value (Hashtbl.find_opt tbl key) ~default:0 + n)
 
 let record_message (t : t) (m : Wire.message) : unit =
   let sb = Wire.size_breakdown m in
+  let total = Wire.total sb in
   t.messages <- t.messages + 1;
   t.bytes_header <- t.bytes_header + sb.sb_header;
   t.bytes_payload <- t.bytes_payload + sb.sb_payload;
   t.bytes_auth <- t.bytes_auth + sb.sb_auth;
   t.bytes_provenance <- t.bytes_provenance + sb.sb_provenance;
-  t.bytes_total <- t.bytes_total + Wire.total sb;
-  bump t.per_node_sent m.msg_src (Wire.total sb);
-  bump t.per_node_msgs m.msg_src 1
+  t.bytes_total <- t.bytes_total + total;
+  bump t.per_node_sent m.msg_src total;
+  bump t.per_node_msgs m.msg_src 1;
+  Obs.Metrics.inc t.c_messages;
+  Obs.Metrics.inc ~by:total t.c_bytes;
+  Obs.Metrics.inc ~by:sb.sb_auth t.c_bytes_auth;
+  Obs.Metrics.inc ~by:sb.sb_provenance t.c_bytes_prov
 
-let record_signature (t : t) = t.signatures_generated <- t.signatures_generated + 1
+(* Called when a receiver actually processes a delivered message. *)
+let record_received (t : t) (m : Wire.message) : unit =
+  let total = Wire.total (Wire.size_breakdown m) in
+  t.messages_received <- t.messages_received + 1;
+  t.bytes_received <- t.bytes_received + total;
+  bump t.per_node_recv m.msg_dst total;
+  bump t.per_node_msgs_recv m.msg_dst 1;
+  Obs.Metrics.inc t.c_received
+
+let record_signature (t : t) =
+  t.signatures_generated <- t.signatures_generated + 1;
+  Obs.Metrics.inc t.c_sigs
 
 let record_verification (t : t) ~ok =
   t.signatures_verified <- t.signatures_verified + 1;
-  if not ok then t.verification_failures <- t.verification_failures + 1
+  Obs.Metrics.inc t.c_verifs;
+  if not ok then begin
+    t.verification_failures <- t.verification_failures + 1;
+    Obs.Metrics.inc t.c_verif_failures
+  end
+
+let record_forged (t : t) =
+  t.dropped_forged <- t.dropped_forged + 1;
+  Obs.Metrics.inc t.c_dropped_forged
 
 let bytes_sent_by (t : t) (node : string) : int =
   Option.value (Hashtbl.find_opt t.per_node_sent node) ~default:0
+
+let bytes_received_by (t : t) (node : string) : int =
+  Option.value (Hashtbl.find_opt t.per_node_recv node) ~default:0
+
+let msgs_sent_by (t : t) (node : string) : int =
+  Option.value (Hashtbl.find_opt t.per_node_msgs node) ~default:0
+
+let msgs_received_by (t : t) (node : string) : int =
+  Option.value (Hashtbl.find_opt t.per_node_msgs_recv node) ~default:0
 
 let megabytes (t : t) : float = float_of_int t.bytes_total /. (1024.0 *. 1024.0)
 
 let to_string (t : t) : string =
   Printf.sprintf
-    "messages=%d total=%dB (header=%d payload=%d auth=%d prov=%d) sigs=%d verifs=%d fails=%d"
+    "messages=%d total=%dB (header=%d payload=%d auth=%d prov=%d) received=%d/%dB \
+     sigs=%d verifs=%d fails=%d dropped_forged=%d"
     t.messages t.bytes_total t.bytes_header t.bytes_payload t.bytes_auth
-    t.bytes_provenance t.signatures_generated t.signatures_verified
-    t.verification_failures
+    t.bytes_provenance t.messages_received t.bytes_received t.signatures_generated
+    t.signatures_verified t.verification_failures t.dropped_forged
+
+let per_node_json (sent_b : (string, int) Hashtbl.t) (sent_m : (string, int) Hashtbl.t)
+    (recv_b : (string, int) Hashtbl.t) (recv_m : (string, int) Hashtbl.t) : Obs.Json.t =
+  let nodes =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) sent_b
+         (Hashtbl.fold (fun k _ acc -> k :: acc) recv_b []))
+  in
+  let get tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+  Obs.Json.List
+    (List.map
+       (fun node ->
+         Obs.Json.Obj
+           [ ("node", Obs.Json.Str node);
+             ("bytes_sent", Obs.Json.Int (get sent_b node));
+             ("msgs_sent", Obs.Json.Int (get sent_m node));
+             ("bytes_received", Obs.Json.Int (get recv_b node));
+             ("msgs_received", Obs.Json.Int (get recv_m node)) ])
+       nodes)
+
+let to_json (t : t) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("messages", Obs.Json.Int t.messages);
+      ("bytes_total", Obs.Json.Int t.bytes_total);
+      ("bytes_header", Obs.Json.Int t.bytes_header);
+      ("bytes_payload", Obs.Json.Int t.bytes_payload);
+      ("bytes_auth", Obs.Json.Int t.bytes_auth);
+      ("bytes_provenance", Obs.Json.Int t.bytes_provenance);
+      ("messages_received", Obs.Json.Int t.messages_received);
+      ("bytes_received", Obs.Json.Int t.bytes_received);
+      ("signatures_generated", Obs.Json.Int t.signatures_generated);
+      ("signatures_verified", Obs.Json.Int t.signatures_verified);
+      ("verification_failures", Obs.Json.Int t.verification_failures);
+      ("dropped_forged", Obs.Json.Int t.dropped_forged);
+      ("per_node",
+       per_node_json t.per_node_sent t.per_node_msgs t.per_node_recv
+         t.per_node_msgs_recv) ]

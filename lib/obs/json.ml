@@ -1,0 +1,250 @@
+(* Minimal JSON tree, encoder, and parser.
+
+   The telemetry layer serializes metric snapshots, trace spans, and
+   event-log entries as JSON without pulling in an external dependency;
+   the parser exists so `psn stats` can pretty-print a snapshot file
+   and so round-trips are testable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- encoding -------------------------------------------------------- *)
+
+let add_escaped (buf : Buffer.t) (s : string) : unit =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr (f : float) : string =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    (* Keep a decimal point so the value parses back as a float. *)
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+  end
+
+let rec write (buf : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> add_escaped buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        write buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string (v : t) : string =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance (c : cursor) : unit = c.pos <- c.pos + 1
+
+let skip_ws (c : cursor) : unit =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Parse_error (Printf.sprintf "expected '%c', found '%c' at %d" ch x c.pos))
+  | None -> raise (Parse_error (Printf.sprintf "expected '%c', found end of input" ch))
+
+let expect_literal (c : cursor) (lit : string) : unit =
+  String.iter (fun ch -> expect c ch) lit
+
+let parse_string_body (c : cursor) : string =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> raise (Parse_error "unterminated escape")
+      | Some e ->
+        advance c;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.src then raise (Parse_error "truncated \\u escape");
+          let hex = String.sub c.src c.pos 4 in
+          c.pos <- c.pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> raise (Parse_error ("bad \\u escape " ^ hex))
+          in
+          (* Code points above one byte are replaced; telemetry strings
+             are ASCII so nothing is lost in practice. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?'
+        | e -> raise (Parse_error (Printf.sprintf "bad escape '\\%c'" e)));
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number (c : cursor) : t =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> raise (Parse_error ("bad number " ^ s)))
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> raise (Parse_error "unexpected end of input")
+  | Some 'n' ->
+    expect_literal c "null";
+    Null
+  | Some 't' ->
+    expect_literal c "true";
+    Bool true
+  | Some 'f' ->
+    expect_literal c "false";
+    Bool false
+  | Some '"' -> Str (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value c ] in
+      skip_ws c;
+      while peek c = Some ',' do
+        advance c;
+        items := parse_value c :: !items;
+        skip_ws c
+      done;
+      expect c ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws c;
+      while peek c = Some ',' do
+        advance c;
+        fields := field () :: !fields;
+        skip_ws c
+      done;
+      expect c '}';
+      Obj (List.rev !fields)
+    end
+  | Some _ -> parse_number c
+
+let parse (s : string) : t =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    raise (Parse_error (Printf.sprintf "trailing input at %d" c.pos));
+  v
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member (key : string) (v : t) : t option =
+  match v with
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Float f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

@@ -1,0 +1,126 @@
+(* Trace spans: nested timed regions emitted as a span tree.
+
+   A tracer owns a *primary* clock — the simulator's virtual clock
+   when tracing a run (so span durations line up with the paper's
+   query-completion time), or the wall clock for host-side profiling —
+   and always records the real wall-clock duration alongside, so a
+   single trace shows both where the *modeled* time goes and where the
+   *host CPU* time goes.
+
+   Spans nest by call structure: [with_span] pushes onto a stack, so
+   spans opened inside a span's body become its children.  Completed
+   spans append to a bounded list serialized as JSON lines (one object
+   per span), oldest first. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start : float; (* primary clock at entry *)
+  sp_dur : float; (* primary-clock duration *)
+  sp_wall_dur : float; (* wall-clock duration *)
+}
+
+type t = {
+  mutable clock : unit -> float;
+  mutable next_id : int;
+  mutable stack : int list; (* ids of open spans, innermost first *)
+  mutable finished : span list; (* most recently completed first *)
+  mutable finished_len : int;
+  limit : int;
+  mutable dropped : int;
+}
+
+let create ?(limit = 200_000) ?(clock = Unix.gettimeofday) () : t =
+  { clock; next_id = 0; stack = []; finished = []; finished_len = 0; limit; dropped = 0 }
+
+let set_clock (t : t) (clock : unit -> float) : unit = t.clock <- clock
+
+let with_span (t : t) ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let parent = match t.stack with [] -> None | p :: _ -> Some p in
+  t.stack <- id :: t.stack;
+  let start = t.clock () in
+  let wall0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur = t.clock () -. start in
+      let wall_dur = Unix.gettimeofday () -. wall0 in
+      (match t.stack with
+      | top :: rest when top = id -> t.stack <- rest
+      | _ -> () (* unbalanced exit via exception through a sibling *));
+      if t.finished_len >= t.limit then t.dropped <- t.dropped + 1
+      else begin
+        t.finished <-
+          { sp_id = id;
+            sp_parent = parent;
+            sp_name = name;
+            sp_attrs = attrs;
+            sp_start = start;
+            sp_dur = dur;
+            sp_wall_dur = wall_dur }
+          :: t.finished;
+        t.finished_len <- t.finished_len + 1
+      end)
+    f
+
+(* Record an already-measured span (e.g. a handler whose *modeled*
+   duration is only known after the cost model has been applied).  It
+   parents under the innermost open [with_span], if any. *)
+let record (t : t) ?(attrs = []) (name : string) ~(start : float) ~(dur : float)
+    ~(wall_dur : float) : unit =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let parent = match t.stack with [] -> None | p :: _ -> Some p in
+  if t.finished_len >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.finished <-
+      { sp_id = id;
+        sp_parent = parent;
+        sp_name = name;
+        sp_attrs = attrs;
+        sp_start = start;
+        sp_dur = dur;
+        sp_wall_dur = wall_dur }
+      :: t.finished;
+    t.finished_len <- t.finished_len + 1
+  end
+
+(* Completed spans in completion order (children before parents). *)
+let finished_spans (t : t) : span list = List.rev t.finished
+
+let dropped (t : t) : int = t.dropped
+
+let reset (t : t) : unit =
+  t.stack <- [];
+  t.finished <- [];
+  t.finished_len <- 0;
+  t.dropped <- 0
+
+let span_to_json (s : span) : Json.t =
+  Json.Obj
+    [ ("id", Json.Int s.sp_id);
+      ("parent", match s.sp_parent with Some p -> Json.Int p | None -> Json.Null);
+      ("name", Json.Str s.sp_name);
+      ("start", Json.Float s.sp_start);
+      ("dur", Json.Float s.sp_dur);
+      ("wall_dur", Json.Float s.sp_wall_dur);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.sp_attrs)) ]
+
+(* One JSON object per line, oldest span first. *)
+let to_json_lines (t : t) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (span_to_json s));
+      Buffer.add_char buf '\n')
+    (finished_spans t);
+  Buffer.contents buf
+
+(* Total primary-clock time spent in spans named [name]. *)
+let total_duration (t : t) (name : string) : float =
+  List.fold_left
+    (fun acc s -> if s.sp_name = name then acc +. s.sp_dur else acc)
+    0.0 t.finished

@@ -10,9 +10,23 @@
 
 type ctx = {
   manager : Bdd.manager;
+  wire_cache : (Prov_expr.t, string) Hashtbl.t;
+      (* memo of [to_wire]: identical expressions recur every time a
+         tuple is re-shipped, so the encode-serialize pipeline is a
+         cache lookup on the steady state *)
+  c_hits : Obs.Metrics.counter;
+  c_misses : Obs.Metrics.counter;
 }
 
-let create_ctx () = { manager = Bdd.create_manager () }
+(* Bound on memoized encodings; beyond it the cache restarts cold. *)
+let wire_cache_limit = 16_384
+
+let create_ctx () =
+  let reg = Obs.Metrics.default in
+  { manager = Bdd.create_manager ();
+    wire_cache = Hashtbl.create 256;
+    c_hits = Obs.Metrics.counter reg "prov.condense_hits";
+    c_misses = Obs.Metrics.counter reg "prov.condense_misses" }
 
 (* Encode an expression; Zero/One map to the BDD constants, base keys
    to named variables. *)
@@ -80,7 +94,20 @@ let compression_ratio (ctx : ctx) (e : Prov_expr.t) : float =
    Binary Decision Diagrams").  The name table is required because BDD
    variable numbering is manager-local; without it a receiver could
    not map the function back to principals. *)
-let to_wire (ctx : ctx) (e : Prov_expr.t) : string =
+let rec to_wire (ctx : ctx) (e : Prov_expr.t) : string =
+  match Hashtbl.find_opt ctx.wire_cache e with
+  | Some cached ->
+    Obs.Metrics.inc ctx.c_hits;
+    cached
+  | None ->
+    Obs.Metrics.inc ctx.c_misses;
+    let encoded = to_wire_uncached ctx e in
+    if Hashtbl.length ctx.wire_cache >= wire_cache_limit then
+      Hashtbl.reset ctx.wire_cache;
+    Hashtbl.replace ctx.wire_cache e encoded;
+    encoded
+
+and to_wire_uncached (ctx : ctx) (e : Prov_expr.t) : string =
   let b = encode ctx e in
   let support = Bdd.support b in
   let buf = Buffer.create 64 in

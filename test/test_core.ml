@@ -437,7 +437,7 @@ let fake_points =
   let mk config n wall mb =
     { Core.Bestpath_workload.p_config = config; p_n = n; p_wall_seconds = wall;
       p_sim_seconds = wall; p_megabytes = mb; p_messages = 0; p_signatures = 0;
-      p_best_paths = 0 }
+      p_verif_failures = 0; p_dropped_forged = 0; p_best_paths = 0 }
   in
   [ mk "NDLog" 10 1.0 1.0; mk "SeNDLog" 10 1.6 1.5; mk "SeNDLogProv" 10 2.2 2.3;
     mk "NDLog" 100 10.0 10.0; mk "SeNDLog" 100 14.0 12.0; mk "SeNDLogProv" 100 15.0 13.5 ]

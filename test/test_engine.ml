@@ -526,3 +526,25 @@ let suite =
   @ [ Alcotest.test_case "path-vector: open policy" `Quick test_path_vector_policy_open;
       Alcotest.test_case "path-vector: policy filters" `Quick test_path_vector_policy_filters;
       Alcotest.test_case "path-vector: shortest wins" `Quick test_path_vector_prefers_short_paths ]
+
+(* Telemetry integration: a distributed best-path run must populate
+   the shared metrics registry — the fixpoint layer records rounds and
+   the wire layer records message counts, so both are nonzero after a
+   run over a connected topology. *)
+let test_run_emits_metrics () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:7) ~n:6 () in
+  let cfg = { Core.Config.ndlog with Core.Config.rsa_bits = 384 } in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:8) ~cfg ~topo
+      ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  Core.Runtime.install_links t;
+  ignore (Core.Runtime.run t);
+  let v name = Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default name) in
+  Alcotest.(check bool) "eval.rounds nonzero" true (v "eval.rounds" > 0);
+  Alcotest.(check bool) "wire.messages nonzero" true (v "wire.messages" > 0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "run emits eval/wire metrics" `Quick test_run_emits_metrics ]

@@ -10,4 +10,5 @@ let () =
       ("net", Test_net.suite);
       ("provenance", Test_provenance.suite);
       ("sendlog", Test_sendlog.suite);
-      ("core", Test_core.suite) ]
+      ("core", Test_core.suite);
+      ("obs", Test_obs.suite) ]

@@ -1,0 +1,277 @@
+(* Tests for the observability layer: metrics registry semantics
+   (counters, gauges, log-scale histograms, labels, in-place reset),
+   span nesting against a mocked clock, event ring-buffer overflow,
+   and the JSON / Prometheus snapshot round-trips. *)
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "eval.rounds" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.value c);
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:4 c;
+  Alcotest.(check int) "inc accumulates" 5 (Obs.Metrics.value c);
+  (* same (name, labels) yields the same series *)
+  let c' = Obs.Metrics.counter reg "eval.rounds" in
+  Obs.Metrics.inc c';
+  Alcotest.(check int) "same name shares the cell" 6 (Obs.Metrics.value c);
+  (* different labels are independent series *)
+  let ca = Obs.Metrics.counter reg ~labels:[ ("rule", "p1") ] "eval.rule_derivations" in
+  let cb = Obs.Metrics.counter reg ~labels:[ ("rule", "p2") ] "eval.rule_derivations" in
+  Obs.Metrics.inc ~by:3 ca;
+  Obs.Metrics.inc ~by:7 cb;
+  Alcotest.(check int) "label p1" 3 (Obs.Metrics.value ca);
+  Alcotest.(check int) "label p2" 7 (Obs.Metrics.value cb);
+  (* label order must not matter for series identity *)
+  let l1 = Obs.Metrics.counter reg ~labels:[ ("a", "1"); ("b", "2") ] "multi" in
+  let l2 = Obs.Metrics.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "multi" in
+  Obs.Metrics.inc l1;
+  Alcotest.(check int) "sorted labels share the cell" 1 (Obs.Metrics.value l2)
+
+let test_gauge_semantics () =
+  let reg = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge reg "sim.queue_depth_max" in
+  Obs.Metrics.set g 4.0;
+  Obs.Metrics.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "set_max keeps high-water" 4.0 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set_max g 9.0;
+  Alcotest.(check (float 0.0)) "set_max raises" 9.0 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set g 1.0;
+  Alcotest.(check (float 0.0)) "set overrides" 1.0 (Obs.Metrics.gauge_value g)
+
+let test_kind_mismatch () =
+  let reg = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter reg "m");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
+      ignore (Obs.Metrics.gauge reg "m"))
+
+let test_histogram_semantics () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "crypto.sign_seconds" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 3.0; 0.75; 0.0 ];
+  Alcotest.(check int) "count" 4 (Obs.Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 4.25 (Obs.Metrics.hist_sum h);
+  (* buckets: 0.5 and 0.75 share le=1 (2^0); 3.0 lands in le=4 (2^2);
+     0.0 lands in the nonpositive le=0 bucket.  Per-bucket counts in
+     the JSON snapshot must sum back to the total count. *)
+  let j = Obs.Metrics.to_json reg in
+  let metrics =
+    match Obs.Json.member "metrics" j with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "snapshot has no metrics list"
+  in
+  let hist = List.hd metrics in
+  let buckets =
+    match Obs.Json.member "buckets" hist with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "histogram has no buckets"
+  in
+  let bucket_of le =
+    List.find_opt
+      (fun b ->
+        match Obs.Json.member "le" b with
+        | Some v -> Obs.Json.to_float_opt v = Some le
+        | None -> false)
+      buckets
+  in
+  let count_of le =
+    match bucket_of le with
+    | Some b -> Option.value ~default:(-1) (Option.bind (Obs.Json.member "count" b) Obs.Json.to_int_opt)
+    | None -> 0
+  in
+  Alcotest.(check int) "le=1 bucket" 2 (count_of 1.0);
+  Alcotest.(check int) "le=4 bucket" 1 (count_of 4.0);
+  Alcotest.(check int) "le=0 (nonpositive) bucket" 1 (count_of 0.0);
+  let total =
+    List.fold_left
+      (fun acc b ->
+        acc + Option.value ~default:0 (Option.bind (Obs.Json.member "count" b) Obs.Json.to_int_opt))
+      0 buckets
+  in
+  Alcotest.(check int) "bucket counts sum to count" 4 total
+
+let test_reset_in_place () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "c" in
+  let g = Obs.Metrics.gauge reg "g" in
+  let h = Obs.Metrics.histogram reg "h" in
+  Obs.Metrics.inc ~by:9 c;
+  Obs.Metrics.set g 5.0;
+  Obs.Metrics.observe h 1.5;
+  Obs.Metrics.reset reg;
+  (* cached handles must stay attached — this is what lets Crypto.Rsa
+     and Net.Stats keep their lazily created series across runs *)
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Metrics.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "histogram zeroed" 0 (Obs.Metrics.hist_count h);
+  Obs.Metrics.inc c;
+  Alcotest.(check int) "handle still live after reset" 1
+    (Obs.Metrics.value (Obs.Metrics.counter reg "c"))
+
+let test_prometheus_rendering () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.inc ~by:3 (Obs.Metrics.counter reg ~labels:[ ("rule", "p1") ] "eval.rule_derivations");
+  Obs.Metrics.set (Obs.Metrics.gauge reg "sim.queue_depth_max") 12.0;
+  let h = Obs.Metrics.histogram reg "runtime.handler_seconds" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 0.75; 3.0 ];
+  let text = Obs.Metrics.to_prometheus reg in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true
+    (contains "eval_rule_derivations{rule=\"p1\"} 3");
+  Alcotest.(check bool) "gauge line" true (contains "sim_queue_depth_max 12");
+  Alcotest.(check bool) "type declared" true
+    (contains "# TYPE runtime_handler_seconds histogram");
+  (* buckets are cumulative: le=1 holds 2, le=4 holds all 3 *)
+  Alcotest.(check bool) "cumulative le=1" true
+    (contains "runtime_handler_seconds_bucket{le=\"1\"} 2");
+  Alcotest.(check bool) "cumulative le=4" true
+    (contains "runtime_handler_seconds_bucket{le=\"4\"} 3");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains "runtime_handler_seconds_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "count line" true (contains "runtime_handler_seconds_count 3")
+
+(* --- json -------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.Str "wire.bytes_total");
+        ("value", Obs.Json.Int 44580);
+        ("ratio", Obs.Json.Float 0.125);
+        ("tags", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null ]);
+        ("esc", Obs.Json.Str "line\n\"quoted\"\ttab") ]
+  in
+  let v' = Obs.Json.parse (Obs.Json.to_string v) in
+  Alcotest.(check bool) "round-trips structurally" true (v = v');
+  (* parser accepts whitespace and nested structures *)
+  let p = Obs.Json.parse {| { "a" : [ 1, -2.5e1, "x" ], "b": {"c": false} } |} in
+  (match Option.bind (Obs.Json.member "a" p) (fun l ->
+       match l with Obs.Json.List (x :: _) -> Obs.Json.to_int_opt x | _ -> None)
+   with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "nested member access");
+  Alcotest.check_raises "trailing garbage rejected"
+    (Obs.Json.Parse_error "trailing input at 5") (fun () ->
+      ignore (Obs.Json.parse "true x"))
+
+let test_metrics_json_snapshot () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.inc ~by:344 (Obs.Metrics.counter reg "eval.rounds");
+  let j = Obs.Json.parse (Obs.Metrics.to_json_string reg) in
+  let metrics =
+    match Obs.Json.member "metrics" j with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "no metrics list"
+  in
+  let m = List.hd metrics in
+  Alcotest.(check (option string)) "name" (Some "eval.rounds")
+    (Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt);
+  Alcotest.(check (option int)) "value survives print/parse" (Some 344)
+    (Option.bind (Obs.Json.member "value" m) Obs.Json.to_int_opt)
+
+(* --- trace spans ------------------------------------------------------- *)
+
+let test_span_nesting_mock_clock () =
+  let now = ref 100.0 in
+  let tr = Obs.Trace.create ~clock:(fun () -> !now) () in
+  let r =
+    Obs.Trace.with_span tr ~attrs:[ ("config", "NDLog") ] "run" (fun () ->
+        now := !now +. 1.0;
+        Obs.Trace.with_span tr "round" (fun () ->
+            now := !now +. 2.0;
+            Obs.Trace.record tr "handle" ~start:!now ~dur:0.5 ~wall_dur:0.001;
+            17))
+  in
+  Alcotest.(check int) "body result returned" 17 r;
+  match Obs.Trace.finished_spans tr with
+  | [ handle; round; run ] ->
+    Alcotest.(check string) "innermost name" "handle" handle.Obs.Trace.sp_name;
+    Alcotest.(check string) "middle name" "round" round.Obs.Trace.sp_name;
+    Alcotest.(check string) "outer name" "run" run.Obs.Trace.sp_name;
+    Alcotest.(check (option int)) "round parents under run"
+      (Some run.Obs.Trace.sp_id) round.Obs.Trace.sp_parent;
+    Alcotest.(check (option int)) "recorded span parents under round"
+      (Some round.Obs.Trace.sp_id) handle.Obs.Trace.sp_parent;
+    Alcotest.(check (option int)) "run is a root" None run.Obs.Trace.sp_parent;
+    Alcotest.(check (float 1e-9)) "run start on mock clock" 100.0 run.Obs.Trace.sp_start;
+    Alcotest.(check (float 1e-9)) "run duration" 3.0 run.Obs.Trace.sp_dur;
+    Alcotest.(check (float 1e-9)) "round duration" 2.0 round.Obs.Trace.sp_dur;
+    Alcotest.(check (float 1e-9)) "recorded duration" 0.5 handle.Obs.Trace.sp_dur;
+    Alcotest.(check (float 1e-9)) "total_duration sums by name" 0.5
+      (Obs.Trace.total_duration tr "handle")
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_limit_and_json_lines () =
+  let now = ref 0.0 in
+  let tr = Obs.Trace.create ~limit:2 ~clock:(fun () -> !now) () in
+  for _ = 1 to 4 do
+    Obs.Trace.with_span tr "s" (fun () -> now := !now +. 1.0)
+  done;
+  Alcotest.(check int) "bounded" 2 (List.length (Obs.Trace.finished_spans tr));
+  Alcotest.(check int) "dropped counted" 2 (Obs.Trace.dropped tr);
+  let lines =
+    String.split_on_char '\n' (String.trim (Obs.Trace.to_json_lines tr))
+  in
+  Alcotest.(check int) "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let j = Obs.Json.parse line in
+      Alcotest.(check (option string)) "span name in JSON" (Some "s")
+        (Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt))
+    lines;
+  Obs.Trace.reset tr;
+  Alcotest.(check int) "reset clears" 0 (List.length (Obs.Trace.finished_spans tr))
+
+(* --- event ring buffer ------------------------------------------------- *)
+
+let test_ring_overflow () =
+  let log = Obs.Events.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Obs.Events.emit log ~at:(float_of_int i)
+      (Obs.Events.E_msg_sent { src = "a"; dst = "b"; bytes = i })
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Obs.Events.length log);
+  Alcotest.(check int) "two overwrites" 2 (Obs.Events.dropped_count log);
+  Alcotest.(check int) "seq monotone across overwrites" 6 (Obs.Events.total_emitted log);
+  let seqs = List.map (fun e -> e.Obs.Events.en_seq) (Obs.Events.to_list log) in
+  Alcotest.(check (list int)) "oldest entries evicted first" [ 2; 3; 4; 5 ] seqs;
+  Obs.Events.reset log;
+  Alcotest.(check int) "reset empties" 0 (Obs.Events.length log)
+
+let test_event_json_lines () =
+  let log = Obs.Events.create ~capacity:16 () in
+  Obs.Events.emit log ~at:1.5 (Obs.Events.E_sig_verified { node = "n1"; ok = false });
+  Obs.Events.emit log ~at:2.0
+    (Obs.Events.E_rule_fired { node = "n2"; rule = "p3"; derivations = 4 });
+  let lines = String.split_on_char '\n' (String.trim (Obs.Events.to_json_lines log)) in
+  match List.map Obs.Json.parse lines with
+  | [ a; b ] ->
+    Alcotest.(check (option string)) "kind" (Some "sig_verified")
+      (Option.bind (Obs.Json.member "kind" a) Obs.Json.to_string_opt);
+    Alcotest.(check (option (float 0.0))) "virtual timestamp" (Some 1.5)
+      (Option.bind (Obs.Json.member "at" a) Obs.Json.to_float_opt);
+    Alcotest.(check (option string)) "payload field" (Some "p3")
+      (Option.bind (Obs.Json.member "rule" b) Obs.Json.to_string_opt);
+    Alcotest.(check (option int)) "derivations" (Some 4)
+      (Option.bind (Obs.Json.member "derivations" b) Obs.Json.to_int_opt)
+  | l -> Alcotest.failf "expected 2 event lines, got %d" (List.length l)
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "reset is in-place" `Quick test_reset_in_place;
+    Alcotest.test_case "prometheus rendering" `Quick test_prometheus_rendering;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "metrics json snapshot" `Quick test_metrics_json_snapshot;
+    Alcotest.test_case "span nesting (mock clock)" `Quick test_span_nesting_mock_clock;
+    Alcotest.test_case "span limit + json lines" `Quick test_span_limit_and_json_lines;
+    Alcotest.test_case "event ring overflow" `Quick test_ring_overflow;
+    Alcotest.test_case "event json lines" `Quick test_event_json_lines ]
