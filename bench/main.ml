@@ -8,11 +8,15 @@
      dune exec bench/main.exe -- --ns 10,20   custom sweep sizes
      dune exec bench/main.exe -- --runs 3     runs averaged per size
      dune exec bench/main.exe -- --rsa-bits 512
+     dune exec bench/main.exe -- --smoke      CI gate: tiny sweep + index
+                                              ablation; exits nonzero when
+                                              indexed joins stop beating scans
 
    Output sections:
      Figure 3  query completion time (s) per configuration
      Figure 4  bandwidth utilization (MB) per configuration
      Section 6 overhead summary (the paper's +53%/+36%/+41%/+54% text)
+     Index ablation  hash-indexed joins vs full-relation scans
      Ablation A  local vs distributed provenance
      Ablation B  proactive vs reactive maintenance
      Ablation C  sampling and Bloom digests
@@ -28,17 +32,25 @@ type options = {
   mutable figures_only : bool;
   mutable micro_only : bool;
   mutable skip_micro : bool;
+  mutable smoke : bool;
 }
 
 let parse_args () =
   let o =
     { ns = default_ns; runs = 1; rsa_bits = 384; figures_only = false;
-      micro_only = false; skip_micro = false }
+      micro_only = false; skip_micro = false; smoke = false }
   in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
       o.ns <- [ 10; 20; 30; 40 ];
+      go rest
+    | "--smoke" :: rest ->
+      o.smoke <- true;
+      o.ns <- [ 10 ];
+      o.runs <- 1;
+      o.figures_only <- true;
+      o.skip_micro <- true;
       go rest
     | "--figures" :: rest ->
       o.figures_only <- true;
@@ -89,10 +101,11 @@ let phase_metrics (phase : string) : unit =
     (Obs.Metrics.hist_count handler) (Obs.Metrics.hist_sum handler)
     (c "prov.condense_hits") (c "prov.condense_misses")
 
-(* Machine-readable companion to the human tables: the sweep points
-   plus the figure phase's metrics snapshot, for tracking the perf
-   trajectory across PRs. *)
-let write_results_json (o : options) (points : Core.Bestpath_workload.point list) : unit =
+(* Machine-readable companion to the human tables: the sweep points,
+   the index-ablation comparison, and the figure phase's metrics
+   snapshot, for tracking the perf trajectory across PRs. *)
+let write_results_json (o : options) (points : Core.Bestpath_workload.point list)
+    ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t) : unit =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
@@ -100,7 +113,8 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
         ("runs", Obs.Json.Int o.runs);
         ("rsa_bits", Obs.Json.Int o.rsa_bits);
         ("points", Obs.Json.List (List.map Core.Bestpath_workload.point_to_json points));
-        ("metrics", Obs.Metrics.to_json Obs.Metrics.default) ]
+        ("index_ablation", index_ablation);
+        ("metrics", figure_metrics) ]
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect
@@ -108,12 +122,84 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
     (fun () ->
       output_string oc (Obs.Json.to_string doc);
       output_char oc '\n');
-  Printf.printf "\nwrote BENCH_results.json (%d points + metrics snapshot)\n"
+  Printf.printf "\nwrote BENCH_results.json (%d points + index ablation + metrics snapshot)\n"
     (List.length points)
+
+(* --- Index ablation: hash-indexed joins vs full-relation scans ----------- *)
+
+(* The tentpole comparison: the same Best-Path run with the per-store
+   secondary indexes enabled vs disabled (pure O(|R|*|S|) scans, the
+   pre-index evaluator).  NDLog configuration so join work — not
+   crypto — dominates the measured CPU.  Returns the JSON record for
+   BENCH_results.json and the speedup (scan wall / indexed wall). *)
+let index_ablation (o : options) : Obs.Json.t * float =
+  hr "Index ablation: hash-indexed joins vs full-relation scans";
+  let n = 80 in
+  Printf.printf
+    "workload: Best-Path over one random topology, N=%d, NDLog config\n\
+     (wall seconds are real evaluator CPU; the virtual clock is unaffected\n\
+     by indexing, so completion time is not the metric here)\n\n"
+    n;
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2026) ~n () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
+      topo.Net.Topology.nodes
+  in
+  let measure use_indexes =
+    phase_reset ();
+    let cfg = { Core.Config.ndlog with rsa_bits = o.rsa_bits; use_indexes } in
+    let t =
+      Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+        ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    let r = Core.Runtime.run t in
+    let best = List.length (Core.Runtime.query_all t "bestPath") in
+    let c name = Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default name) in
+    ( r.wall_seconds,
+      best,
+      c "db.index_probes",
+      c "db.index_hits",
+      c "db.index_builds",
+      c "db.full_scans" )
+  in
+  let scan_wall, scan_best, _, _, _, scan_scans = measure false in
+  let idx_wall, idx_best, probes, hits, builds, idx_scans = measure true in
+  let speedup = if idx_wall > 0.0 then scan_wall /. idx_wall else 0.0 in
+  Printf.printf "%-10s %14s %14s %14s %14s\n" "joins" "wall (s)" "best paths"
+    "index probes" "full scans";
+  Printf.printf "%-10s %14.3f %14d %14s %14d\n" "scan" scan_wall scan_best "-" scan_scans;
+  Printf.printf "%-10s %14.3f %14d %14d %14d\n" "indexed" idx_wall idx_best probes
+    idx_scans;
+  Printf.printf "\nspeedup (scan/indexed): %.2fx  index hit rate: %.1f%%  builds: %d\n"
+    speedup
+    (if probes > 0 then 100.0 *. float_of_int hits /. float_of_int probes else 0.0)
+    builds;
+  if scan_best <> idx_best then begin
+    (* The fixpoint must be identical under both join strategies;
+       intermediate derivation counts may differ (candidate order
+       changes the races replace policies resolve), but the final
+       relation contents may not. *)
+    Printf.eprintf "FAILURE: fixpoints differ (%d bestPath tuples scan vs %d indexed)\n"
+      scan_best idx_best;
+    exit 1
+  end;
+  ( Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path, one topology, NDLog config");
+        ("n", Obs.Json.Int n);
+        ("scan_wall_seconds", Obs.Json.Float scan_wall);
+        ("indexed_wall_seconds", Obs.Json.Float idx_wall);
+        ("speedup", Obs.Json.Float speedup);
+        ("best_paths", Obs.Json.Int scan_best);
+        ("index_probes", Obs.Json.Int probes);
+        ("index_hits", Obs.Json.Int hits);
+        ("index_builds", Obs.Json.Int builds);
+        ("full_scans_indexed_run", Obs.Json.Int idx_scans) ],
+    speedup )
 
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
 
-let figures (o : options) : Core.Bestpath_workload.point list =
+let figures (o : options) : Core.Bestpath_workload.point list * Obs.Json.t =
   hr "Figures 3 & 4: Best-Path query, three configurations";
   phase_reset ();
   Printf.printf
@@ -165,8 +251,8 @@ let figures (o : options) : Core.Bestpath_workload.point list =
     (Core.Metrics.overhead_decreases points ~base:"SeNDLog" ~variant:"SeNDLogProv"
        ~metric:(fun p -> p.p_sim_seconds));
   phase_metrics "figures";
-  write_results_json o points;
-  points
+  (* Snapshot before the next phase resets the shared registry. *)
+  (points, Obs.Metrics.to_json Obs.Metrics.default)
 
 (* --- Ablation A: local vs distributed provenance ------------------------- *)
 
@@ -415,7 +501,9 @@ let () =
   Printf.printf "(reproduces the evaluation of Zhou, Cronin, Loo - ICDE 2008)\n";
   if o.micro_only then micro o
   else begin
-    let _points = figures o in
+    let points, figure_metrics = figures o in
+    let abl_json, speedup = index_ablation o in
+    write_results_json o points ~figure_metrics ~index_ablation:abl_json;
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
       phase_metrics "ablation A";
@@ -426,6 +514,13 @@ let () =
       ablation_granularity o;
       phase_metrics "ablation D";
       if not o.skip_micro then micro o
+    end;
+    if o.smoke && speedup < 1.1 then begin
+      Printf.eprintf
+        "SMOKE FAILURE: indexed joins are no longer beating full scans \
+         (speedup %.2fx < 1.10x)\n"
+        speedup;
+      exit 1
     end
   end;
   print_newline ();

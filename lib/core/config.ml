@@ -58,6 +58,9 @@ type t = {
   sign_provenance : bool; (* per-node signatures on provenance (Section 4.3) *)
   rsa_bits : int;
   verify_signatures : bool;
+  use_indexes : bool;
+      (* secondary hash indexes on the per-node stores; off forces the
+         evaluator onto full-relation scans (bench ablation) *)
   cost_model : cost_model;
 }
 
@@ -72,6 +75,7 @@ let default =
     sign_provenance = false;
     rsa_bits = 384;
     verify_signatures = true;
+    use_indexes = true;
     cost_model = default_cost_model }
 
 (* The paper's three evaluation configurations. *)

@@ -75,7 +75,7 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   let nodes = Hashtbl.create (List.length topo.Net.Topology.nodes) in
   List.iter
     (fun addr ->
-      let db = Db.create () in
+      let db = Db.create ~indexing:cfg.use_indexes () in
       Db.configure_from_program db compiled.c_program;
       let principal =
         match Sendlog.Principal.find directory addr with
@@ -101,6 +101,10 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   ignore (Obs.Metrics.counter reg "eval.rounds");
   ignore (Obs.Metrics.counter reg "eval.derivations");
   ignore (Obs.Metrics.counter reg "eval.inserted");
+  ignore (Obs.Metrics.counter reg "db.index_probes");
+  ignore (Obs.Metrics.counter reg "db.index_hits");
+  ignore (Obs.Metrics.counter reg "db.index_builds");
+  ignore (Obs.Metrics.counter reg "db.full_scans");
   ignore (Obs.Metrics.histogram reg "crypto.sign_seconds");
   ignore (Obs.Metrics.histogram reg "crypto.verify_seconds");
   { cfg;
@@ -223,7 +227,8 @@ let decode_prov (t : t) (block : string) : Provenance.Prov_expr.t =
     with Provenance.Prov_expr.Decode_error _ -> Provenance.Prov_expr.zero)
   | Config.Repr_condensed -> (
     try Provenance.Condense.of_wire t.prov_ctx block
-    with Bdd.Deserialize_error _ -> Provenance.Prov_expr.zero)
+    with Bdd.Deserialize_error _ | Provenance.Condense.Wire_error _ ->
+      Provenance.Prov_expr.zero)
 
 (* --- message plumbing ------------------------------------------------ *)
 

@@ -26,26 +26,100 @@ type meta = {
      neighbours, and a `W says p(...)` literal enumerates them. *)
 }
 
+(* Column-subset keys.  Equality follows [Value.equal] (numeric values
+   compare across representations), not structural equality, so an
+   index probe finds exactly the tuples a full-scan match would. *)
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash (k : t) = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
 type rel_store = {
   tuples : meta Tuple.Table.t;
   mutable policy : policy;
-  by_key : (Value.t list, Tuple.t) Hashtbl.t;
+  by_key : Tuple.t Key_tbl.t;
+  indexes : (int list, Tuple.t list ref Key_tbl.t) Hashtbl.t;
+      (* secondary hash indexes, one per column subset, built lazily on
+         the first probe of that subset and maintained incrementally by
+         every insert/replace/remove/evict thereafter *)
 }
 
 type t = {
   rels : (string, rel_store) Hashtbl.t;
   ttls : (string, float) Hashtbl.t; (* soft-state lifetime per relation *)
+  mutable indexing : bool; (* when off, [probe] falls back to a scan *)
 }
 
-let create () = { rels = Hashtbl.create 32; ttls = Hashtbl.create 8 }
+(* Shared-registry instrumentation of the index machinery.  The
+   handles survive [Obs.Metrics.reset] (reset zeroes series in place),
+   so forcing them once is safe across benchmark phases. *)
+let c_probes = lazy (Obs.Metrics.counter Obs.Metrics.default "db.index_probes")
+let c_hits = lazy (Obs.Metrics.counter Obs.Metrics.default "db.index_hits")
+let c_builds = lazy (Obs.Metrics.counter Obs.Metrics.default "db.index_builds")
+let c_scans = lazy (Obs.Metrics.counter Obs.Metrics.default "db.full_scans")
+
+let create ?(indexing = true) () =
+  { rels = Hashtbl.create 32; ttls = Hashtbl.create 8; indexing }
+
+let set_indexing (db : t) (on : bool) : unit = db.indexing <- on
 
 let rel_store (db : t) (name : string) : rel_store =
   match Hashtbl.find_opt db.rels name with
   | Some r -> r
   | None ->
-    let r = { tuples = Tuple.Table.create 64; policy = Set; by_key = Hashtbl.create 16 } in
+    let r =
+      { tuples = Tuple.Table.create 64;
+        policy = Set;
+        by_key = Key_tbl.create 16;
+        indexes = Hashtbl.create 4 }
+    in
     Hashtbl.add db.rels name r;
     r
+
+(* --- secondary indexes ----------------------------------------------- *)
+
+let index_add (idx : Tuple.t list ref Key_tbl.t) (cols : int list) (t : Tuple.t) :
+    unit =
+  match Tuple.key_opt t cols with
+  | None -> () (* tuple of a different arity: unreachable via these columns *)
+  | Some k -> (
+    match Key_tbl.find_opt idx k with
+    | Some bucket -> bucket := t :: !bucket
+    | None -> Key_tbl.replace idx k (ref [ t ]))
+
+let index_remove (idx : Tuple.t list ref Key_tbl.t) (cols : int list) (t : Tuple.t) :
+    unit =
+  match Tuple.key_opt t cols with
+  | None -> ()
+  | Some k -> (
+    match Key_tbl.find_opt idx k with
+    | None -> ()
+    | Some bucket -> (
+      match List.filter (fun t' -> not (Tuple.equal t t')) !bucket with
+      | [] -> Key_tbl.remove idx k
+      | rest -> bucket := rest))
+
+let add_to_indexes (store : rel_store) (t : Tuple.t) : unit =
+  Hashtbl.iter (fun cols idx -> index_add idx cols t) store.indexes
+
+let remove_from_indexes (store : rel_store) (t : Tuple.t) : unit =
+  Hashtbl.iter (fun cols idx -> index_remove idx cols t) store.indexes
+
+(* The index over [cols], building it from the current tuple set on
+   first use. *)
+let index_for (store : rel_store) (cols : int list) : Tuple.t list ref Key_tbl.t =
+  match Hashtbl.find_opt store.indexes cols with
+  | Some idx -> idx
+  | None ->
+    Obs.Metrics.inc (Lazy.force c_builds);
+    let idx = Key_tbl.create (max 16 (Tuple.Table.length store.tuples)) in
+    Tuple.Table.iter (fun t _ -> index_add idx cols t) store.tuples;
+    Hashtbl.replace store.indexes cols idx;
+    idx
 
 let set_policy (db : t) (name : string) (policy : policy) : unit =
   (rel_store db name).policy <- policy
@@ -84,7 +158,8 @@ let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
   let expires_at = Option.map (fun s -> now +. s) (ttl db tuple.rel) in
   let asserters = Option.to_list asserted_by in
   let add_new () =
-    Tuple.Table.replace store.tuples tuple { inserted_at = now; expires_at; asserters }
+    Tuple.Table.replace store.tuples tuple { inserted_at = now; expires_at; asserters };
+    add_to_indexes store tuple
   in
   (* Refresh an existing tuple's soft state; reports [New_asserter]
      when the asserting principal is new for this tuple. *)
@@ -105,10 +180,10 @@ let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
       Added)
   | Replace { key; prefer } -> (
     let k = Tuple.key_of tuple key in
-    match Hashtbl.find_opt store.by_key k with
+    match Key_tbl.find_opt store.by_key k with
     | None ->
       add_new ();
-      Hashtbl.replace store.by_key k tuple;
+      Key_tbl.replace store.by_key k tuple;
       Added
     | Some incumbent when Tuple.equal incumbent tuple -> (
       match Tuple.Table.find_opt store.tuples tuple with
@@ -119,8 +194,9 @@ let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
     | Some incumbent ->
       if candidate_wins prefer ~incumbent ~candidate:tuple then begin
         Tuple.Table.remove store.tuples incumbent;
+        remove_from_indexes store incumbent;
         add_new ();
-        Hashtbl.replace store.by_key k tuple;
+        Key_tbl.replace store.by_key k tuple;
         Replaced incumbent
       end
       else Rejected)
@@ -143,12 +219,13 @@ let remove (db : t) (tuple : Tuple.t) : unit =
   | None -> ()
   | Some store ->
     Tuple.Table.remove store.tuples tuple;
+    remove_from_indexes store tuple;
     (match store.policy with
     | Set -> ()
     | Replace { key; _ } ->
       let k = Tuple.key_of tuple key in
-      (match Hashtbl.find_opt store.by_key k with
-      | Some t when Tuple.equal t tuple -> Hashtbl.remove store.by_key k
+      (match Key_tbl.find_opt store.by_key k with
+      | Some t when Tuple.equal t tuple -> Key_tbl.remove store.by_key k
       | Some _ | None -> ()))
 
 let iter_rel (db : t) (name : string) (f : Tuple.t -> unit) : unit =
@@ -163,6 +240,29 @@ let fold_rel (db : t) (name : string) (f : Tuple.t -> 'a -> 'a) (init : 'a) : 'a
 
 let tuples_of (db : t) (name : string) : Tuple.t list =
   fold_rel db name (fun t acc -> t :: acc) []
+
+(* [probe db name ~cols ~key] enumerates the tuples of [name] whose
+   projection on [cols] equals [key], through the secondary index on
+   [cols].  With indexing disabled, or an empty column set, it
+   degrades to a full scan.  The result is a superset filter: callers
+   still run the full literal match against each returned tuple. *)
+let probe (db : t) (name : string) ~(cols : int list) ~(key : Value.t list) :
+    Tuple.t list =
+  match Hashtbl.find_opt db.rels name with
+  | None -> []
+  | Some store ->
+    if (not db.indexing) || cols = [] then begin
+      Obs.Metrics.inc (Lazy.force c_scans);
+      Tuple.Table.fold (fun t _ acc -> t :: acc) store.tuples []
+    end
+    else begin
+      Obs.Metrics.inc (Lazy.force c_probes);
+      match Key_tbl.find_opt (index_for store cols) key with
+      | Some bucket ->
+        Obs.Metrics.inc (Lazy.force c_hits);
+        !bucket
+      | None -> []
+    end
 
 let cardinal (db : t) (name : string) : int =
   match Hashtbl.find_opt db.rels name with
@@ -198,12 +298,13 @@ let evict_expired (db : t) ~(now : float) : Tuple.t list =
       List.iter
         (fun t ->
           Tuple.Table.remove store.tuples t;
+          remove_from_indexes store t;
           (match store.policy with
           | Set -> ()
           | Replace { key; _ } -> (
             let k = Tuple.key_of t key in
-            match Hashtbl.find_opt store.by_key k with
-            | Some cur when Tuple.equal cur t -> Hashtbl.remove store.by_key k
+            match Key_tbl.find_opt store.by_key k with
+            | Some cur when Tuple.equal cur t -> Key_tbl.remove store.by_key k
             | Some _ | None -> ()));
           evicted := t :: !evicted)
         dead)

@@ -80,15 +80,59 @@ let match_literal_tuples (db : Db.t) (pred : pred) (says : term option)
       end)
     candidates
 
-let db_candidates (db : Db.t) (name : string) : (Tuple.t * Value.t option list) list =
-  Db.fold_rel db name (fun t acc -> (t, []) :: acc) []
+(* --- join planning --------------------------------------------------- *)
+
+(* Argument positions of [pred] whose pattern is already computable
+   under [bindings] — a constant, a bound variable, or an expression
+   over bound variables — together with their values.  These columns
+   key the index probe; an empty set falls back to a full scan.  An
+   expression that fails to evaluate is treated as unbound (the probe
+   stays a superset of the true matches either way). *)
+let bound_columns (bindings : Bindings.t) (pred : pred) : int list * Value.t list =
+  let cols = ref [] and key = ref [] in
+  List.iteri
+    (fun i term ->
+      let computable =
+        match term with
+        | T_const _ -> true
+        | T_var v -> Bindings.is_bound v bindings
+        | T_binop _ | T_app _ ->
+          List.for_all (fun v -> Bindings.is_bound v bindings) (term_vars term)
+      in
+      if computable then
+        match Expr_eval.eval bindings term with
+        | v ->
+          cols := i :: !cols;
+          key := v :: !key
+        | exception Expr_eval.Eval_error _ -> ())
+    pred.args;
+  (List.rev !cols, List.rev !key)
+
+(* Candidate tuples for one literal under [bindings]: probe the
+   secondary index on the bound columns (or scan when none are
+   bound / indexing is off).  [match_literal_tuples] still performs
+   the authoritative match on every candidate. *)
+let indexed_candidates (db : Db.t) (pred : pred) (bindings : Bindings.t) :
+    (Tuple.t * Value.t option list) list =
+  let cols, key = bound_columns bindings pred in
+  List.rev_map (fun t -> (t, [])) (Db.probe db pred.name ~cols ~key)
+
+(* Shared empty delta set for non-semi-naive calls (aggregate
+   recomputation); never mutated. *)
+let no_delta_new : unit Tuple.Table.t = Tuple.Table.create 1
 
 (* Evaluate the body of [rule] with the literal at positive-predicate
    index [delta_at] (0-based among positive predicates) drawn from
-   [delta] instead of the database.  Returns complete bindings plus
-   the body tuples used. *)
+   [delta] instead of the database.  [delta_new] holds the frontier
+   tuples that are *new this round* (freshly added or replacing):
+   positive positions before the delta position exclude them, giving
+   the standard semi-naive ordering in which a derivation touching
+   several frontier tuples is found exactly once — at the pass of its
+   first frontier position.  Returns complete bindings plus the body
+   tuples used. *)
 let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
-    ~(delta_at : int option) ~(delta : frontier_item list) :
+    ~(delta_at : int option) ~(delta : frontier_item list)
+    ~(delta_new : unit Tuple.Table.t) :
     (Bindings.t * (Tuple.t * Value.t option) list) list =
   (* A SeNDlog `At S:` context binds its principal variable to the
      executing node's principal; a constant context only fires at the
@@ -96,22 +140,63 @@ let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
   let init =
     match (rule.rule_context, self) with
     | None, _ -> [ (Bindings.empty, []) ]
+    | Some (T_binop _ | T_app _), _ ->
+      (* A compound At-context has no principal to bind; treating it
+         as "fires everywhere" would silently run the rule outside any
+         security context.  [Ndlog.Analysis] rejects this statically;
+         this guards programs that bypass analysis. *)
+      raise
+        (Rule_error
+           (Printf.sprintf
+              "rule %s: At-context must be a principal variable or constant, \
+               not a compound expression"
+              rule.rule_name))
     | Some (T_var v), Some p -> (
       match Bindings.bind v p Bindings.empty with
       | Some b -> [ (b, []) ]
       | None -> [])
     | Some (T_const c), Some p ->
       if Value.equal (Value.of_const c) p then [ (Bindings.empty, []) ] else []
-    | Some _, None -> [ (Bindings.empty, []) ]
-    | Some (T_binop _ | T_app _), Some _ -> [ (Bindings.empty, []) ]
+    | Some (T_var _ | T_const _), None -> [ (Bindings.empty, []) ]
   in
-  let rec go lits pred_idx acc =
+  (* Evaluation order: the delta literal first — its tuple binds the
+     join variables, so the remaining literals are fetched through
+     selective index probes instead of the unselective scans a
+     left-to-right walk would start with.  Join solutions are
+     order-independent (unification is commutative; conditions and
+     assignments still run after every source-order literal to their
+     left, only with more variables bound).  Each matched tuple is
+     tagged with its source position and the body list re-sorted at
+     the end, so provenance expressions and derivation-dedup keys see
+     one canonical order for all delta passes. *)
+  let numbered =
+    let i = ref (-1) in
+    List.map
+      (fun lit ->
+        match lit with
+        | L_pred { negated = false; _ } ->
+          incr i;
+          (lit, !i)
+        | L_pred { negated = true; _ } | L_cond _ | L_assign _ -> (lit, -1))
+      rule.rule_body
+  in
+  let ordered =
+    match delta_at with
+    | None -> numbered
+    | Some k ->
+      let delta_lit, others = List.partition (fun (_, idx) -> idx = k) numbered in
+      delta_lit @ others
+  in
+  let rec go lits acc =
     match lits with
     | [] -> acc
-    | lit :: rest -> (
+    | (lit, pred_idx) :: rest -> (
       match lit with
       | L_pred { pred; says; negated = false } ->
         let use_delta = delta_at = Some pred_idx in
+        let exclude_new =
+          match delta_at with Some k -> pred_idx < k | None -> false
+        in
         let acc' =
           List.concat_map
             (fun (b, body) ->
@@ -128,25 +213,35 @@ let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
                         Some (fi.f_tuple, [ fi.f_asserter ])
                       else None)
                     delta
-                else db_candidates db pred.name
+                else begin
+                  let cands = indexed_candidates db pred b in
+                  if exclude_new then
+                    List.filter
+                      (fun (t, _) -> not (Tuple.Table.mem delta_new t))
+                      cands
+                  else cands
+                end
               in
               match_literal_tuples db pred says b candidates
-              |> List.map (fun (b', tuple, asserter) -> (b', body @ [ (tuple, asserter) ])))
+              |> List.map (fun (b', tuple, asserter) ->
+                     (b', (pred_idx, (tuple, asserter)) :: body)))
             acc
         in
-        go rest (pred_idx + 1) acc'
+        go rest acc'
       | L_pred { pred; says = _; negated = true } ->
+        (* Negated literals have all their variables bound (binding
+           order is checked statically), so this is usually an exact
+           index probe rather than a relation scan. *)
         let acc' =
           List.filter
             (fun (b, _) ->
               not
-                (Db.fold_rel db pred.name
-                   (fun t found ->
-                     found || Option.is_some (Expr_eval.match_args b pred.args t))
-                   false))
+                (List.exists
+                   (fun (t, _) -> Option.is_some (Expr_eval.match_args b pred.args t))
+                   (indexed_candidates db pred b)))
             acc
         in
-        go rest pred_idx acc'
+        go rest acc'
       | L_cond (op, x, y) ->
         let acc' =
           List.filter
@@ -155,7 +250,7 @@ let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
               with Expr_eval.Eval_error _ -> false)
             acc
         in
-        go rest pred_idx acc'
+        go rest acc'
       | L_assign (v, e) ->
         let acc' =
           List.filter_map
@@ -168,9 +263,12 @@ let eval_body (db : Db.t) (rule : rule) ~(self : Value.t option)
               | exception Expr_eval.Eval_error _ -> None)
             acc
         in
-        go rest pred_idx acc')
+        go rest acc')
   in
-  go rule.rule_body 0 init
+  List.map
+    (fun (b, body) ->
+      (b, List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) body)))
+    (go ordered init)
 
 let positive_pred_count (rule : rule) : int =
   List.length
@@ -218,7 +316,7 @@ let recompute_agg_rule (db : Db.t) ~(self : Value.t option) (rule : rule) :
   match head_agg rule.rule_head with
   | None | Some (_, (A_min | A_max), _) -> []
   | Some (agg_idx, fn, agg_var) ->
-    let matches = eval_body db rule ~self ~delta_at:None ~delta:[] in
+    let matches = eval_body db rule ~self ~delta_at:None ~delta:[] ~delta_new:no_delta_new in
     let groups : (Value.t list, Value.t list * (Tuple.t * Value.t option) list) Hashtbl.t =
       Hashtbl.create 16
     in
@@ -313,41 +411,75 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
   in
   let emits = ref [] in
   let agg_rules, plain_rules = List.partition is_recomputed_agg rules in
+  (* Frontier entries carry whether the insert introduced a *new
+     tuple* (Added/Replaced) as opposed to a new asserter of an
+     existing one; only new tuples are excluded from pre-delta join
+     positions by the semi-naive ordering. *)
   let insert_local tuple asserter =
     let r = Db.insert db ~now ?asserted_by:asserter tuple in
-    if Db.result_is_new r then Some { f_tuple = tuple; f_asserter = asserter } else None
+    if Db.result_is_new r then begin
+      let fresh = match r with Db.Added | Db.Replaced _ -> true | _ -> false in
+      Some ({ f_tuple = tuple; f_asserter = asserter }, fresh)
+    end
+    else None
   in
   (* Insert the initial pending tuples. *)
   let frontier =
     ref (List.filter_map (fun fi -> insert_local fi.f_tuple fi.f_asserter) pending)
   in
+  (* Derivations already reported this round, keyed on the full
+     (rule, head, body-with-asserters) identity.  The delta-position
+     ordering prevents most duplicates; this catches the remainder
+     (e.g. several new asserters of existing tuples in one round) so
+     [on_derive] fires exactly once per distinct derivation. *)
+  let round_seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let deriv_key rule_name (tuple : Tuple.t) body =
+    String.concat "\x00"
+      (rule_name :: Tuple.identity tuple
+      :: List.map
+           (fun (t, asserter) ->
+             Tuple.identity t
+             ^ match asserter with Some p -> "@" ^ Value.to_string p | None -> "")
+           body)
+  in
+  let delta_new : unit Tuple.Table.t = Tuple.Table.create 64 in
   let process_derivation rule_name (tuple, dest, body) next_frontier =
-    stats.derivations <- stats.derivations + 1;
-    Obs.Metrics.inc (rule_counter rule_name);
-    let deriv = { d_rule = rule_name; d_head = tuple; d_body = body } in
-    let is_local = match (dest, local) with
-      | None, _ -> true
-      | Some _, None -> true
-      | Some d, Some l -> String.equal d l
-    in
-    if is_local then begin
-      on_derive deriv;
-      match insert_local tuple self_principal with
-      | Some fi ->
-        stats.inserted <- stats.inserted + 1;
-        fi :: next_frontier
-      | None -> next_frontier
-    end
+    let key = deriv_key rule_name tuple body in
+    if Hashtbl.mem round_seen key then next_frontier
     else begin
-      (match dest with
-      | Some d -> emits := { e_dest = d; e_tuple = tuple; e_deriv = deriv } :: !emits
-      | None -> ());
-      next_frontier
+      Hashtbl.add round_seen key ();
+      stats.derivations <- stats.derivations + 1;
+      Obs.Metrics.inc (rule_counter rule_name);
+      let deriv = { d_rule = rule_name; d_head = tuple; d_body = body } in
+      let is_local = match (dest, local) with
+        | None, _ -> true
+        | Some _, None -> true
+        | Some d, Some l -> String.equal d l
+      in
+      if is_local then begin
+        on_derive deriv;
+        match insert_local tuple self_principal with
+        | Some fi ->
+          stats.inserted <- stats.inserted + 1;
+          fi :: next_frontier
+        | None -> next_frontier
+      end
+      else begin
+        (match dest with
+        | Some d -> emits := { e_dest = d; e_tuple = tuple; e_deriv = deriv } :: !emits
+        | None -> ());
+        next_frontier
+      end
     end
   in
   while !frontier <> [] do
     stats.rounds <- stats.rounds + 1;
-    let delta = !frontier in
+    let delta = List.map fst !frontier in
+    Tuple.Table.reset delta_new;
+    List.iter
+      (fun (fi, fresh) -> if fresh then Tuple.Table.replace delta_new fi.f_tuple ())
+      !frontier;
+    Hashtbl.reset round_seen;
     let next = ref [] in
     (* Plain (and MIN/MAX) rules: one pass per positive body literal
        seeded from the delta. *)
@@ -355,7 +487,9 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
       (fun rule ->
         let npreds = positive_pred_count rule in
         for i = 0 to npreds - 1 do
-          let results = eval_body db rule ~self:self_principal ~delta_at:(Some i) ~delta in
+          let results =
+            eval_body db rule ~self:self_principal ~delta_at:(Some i) ~delta ~delta_new
+          in
           List.iter
             (fun (b, body) ->
               match instantiate_head rule b with
@@ -400,5 +534,16 @@ let run_single_site ?(on_derive = fun _ -> ()) (program : program) : Db.t =
   let emits, _stats =
     run_fixpoint db ~now:0.0 ~rules:(rules program) ~local:None ~pending ~on_derive ()
   in
-  assert (emits = []);
+  (if emits <> [] then begin
+     let dests =
+       List.sort_uniq String.compare (List.map (fun e -> e.e_dest) emits)
+     in
+     raise
+       (Rule_error
+          (Printf.sprintf
+             "run_single_site: %d derived tuple(s) are addressed to other nodes \
+              (%s); location-specified programs need the distributed runtime \
+              (Core.Runtime), not the single-site evaluator"
+             (List.length emits) (String.concat ", " dests)))
+   end);
   db

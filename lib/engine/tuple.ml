@@ -48,6 +48,15 @@ let pp fmt t = Format.pp_print_string fmt (to_string t)
 let key_of (t : t) (positions : int list) : Value.t list =
   List.map (arg t) positions
 
+(* Like [key_of] but total: [None] when a position is out of range.
+   Secondary indexes over a relation of mixed arities skip tuples the
+   column subset does not project. *)
+let key_opt (t : t) (positions : int list) : Value.t list option =
+  let n = Array.length t.args in
+  if List.for_all (fun i -> i >= 0 && i < n) positions then
+    Some (List.map (fun i -> t.args.(i)) positions)
+  else None
+
 (* A canonical string identity, used as BDD variable name for base
    tuples and as Bloom-filter key. *)
 let identity (t : t) : string = to_string t

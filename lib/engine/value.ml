@@ -78,8 +78,12 @@ let rec wire_size = function
   | V_str s -> 1 + 4 + String.length s
   | V_list l -> 1 + 4 + List.fold_left (fun acc v -> acc + wire_size v) 0 l
 
+(* [compare] makes numeric values equal across representations
+   (V_int 2 = V_float 2.), so the hash must coincide on them too:
+   integers hash through their float image.  Distinct large integers
+   beyond the float mantissa may collide, which is harmless. *)
 let rec hash = function
-  | V_int i -> Hashtbl.hash (0, i)
+  | V_int i -> Hashtbl.hash (1, float_of_int i)
   | V_float f -> Hashtbl.hash (1, f)
   | V_bool b -> Hashtbl.hash (2, b)
   | V_str s -> Hashtbl.hash (3, s)

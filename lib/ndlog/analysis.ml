@@ -69,6 +69,18 @@ let check_binding_order (r : rule) : error list =
     (head_vars r.rule_head);
   List.rev !errs
 
+(* A SeNDlog [At S:] context names the executing principal: it must be
+   a variable (bound to the local principal) or a constant address.  A
+   compound expression has no principal to bind — the evaluator raises
+   [Rule_error] on it, and we reject it here before execution. *)
+let check_context (r : rule) : error list =
+  match r.rule_context with
+  | None | Some (T_var _) | Some (T_const _) -> []
+  | Some (T_binop _ | T_app _) ->
+    [ { err_rule = r.rule_name;
+        err_msg = "At-context must be a principal variable or constant, not a \
+                   compound expression" } ]
+
 let check_aggregates (r : rule) : error list =
   let err msg = { err_rule = r.rule_name; err_msg = msg } in
   let aggs =
@@ -181,7 +193,8 @@ let check_program ?(sendlog = false) (p : program) : error list =
   let per_rule =
     List.concat_map
       (fun r ->
-        check_binding_order r @ check_aggregates r @ check_locations ~sendlog r)
+        check_binding_order r @ check_context r @ check_aggregates r
+        @ check_locations ~sendlog r)
       (rules p)
   in
   per_rule @ check_stratification p

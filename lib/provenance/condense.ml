@@ -89,11 +89,20 @@ let compression_ratio (ctx : ctx) (e : Prov_expr.t) : float =
   let b = encode ctx e in
   float_of_int (raw_wire_size e) /. float_of_int (condensed_wire_size b)
 
+exception Wire_error of string
+
 (* Wire form of condensed provenance: the serialized BDD plus its
    variable-name table, as the paper's modified P2 ships ("encoded in
    Binary Decision Diagrams").  The name table is required because BDD
    variable numbering is manager-local; without it a receiver could
-   not map the function back to principals. *)
+   not map the function back to principals.
+
+   Layout (all integers big-endian, 16-bit):
+     u16 support-count, then per support variable
+     u16 variable id | u16 name length | name bytes,
+   followed by the serialized BDD.  Counts that do not fit 16 bits
+   raise [Wire_error] instead of silently truncating — a masked count
+   would serialize a block that [of_wire] misparses as tuple data. *)
 let rec to_wire (ctx : ctx) (e : Prov_expr.t) : string =
   match Hashtbl.find_opt ctx.wire_cache e with
   | Some cached ->
@@ -111,19 +120,22 @@ and to_wire_uncached (ctx : ctx) (e : Prov_expr.t) : string =
   let b = encode ctx e in
   let support = Bdd.support b in
   let buf = Buffer.create 64 in
-  Buffer.add_char buf (Char.chr (List.length support land 0xFF));
+  let u16 what v =
+    if v < 0 || v > 0xFFFF then
+      raise (Wire_error (Printf.sprintf "%s %d exceeds the 16-bit wire field" what v));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  u16 "support count" (List.length support);
   List.iter
     (fun v ->
       let name = Bdd.name_of_var ctx.manager v in
-      Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
-      Buffer.add_char buf (Char.chr (v land 0xFF));
-      Buffer.add_char buf (Char.chr (String.length name land 0xFF));
+      u16 "variable id" v;
+      u16 "name length" (String.length name);
       Buffer.add_string buf name)
     support;
   Buffer.add_string buf (Bdd.serialize b);
   Buffer.contents buf
-
-exception Wire_error of string
 
 (* [of_wire] is manager-independent: the BDD is rebuilt in a scratch
    manager (preserving the sender's variable order), decoded to its
@@ -137,13 +149,16 @@ let of_wire (_ctx : ctx) (s : string) : Prov_expr.t =
     incr pos;
     c
   in
-  let n = byte () in
-  let table = Hashtbl.create 8 in
-  for _ = 1 to n do
+  let u16 () =
     let hi = byte () in
     let lo = byte () in
-    let v = (hi lsl 8) lor lo in
-    let len = byte () in
+    (hi lsl 8) lor lo
+  in
+  let n = u16 () in
+  let table = Hashtbl.create 8 in
+  for _ = 1 to n do
+    let v = u16 () in
+    let len = u16 () in
     if !pos + len > String.length s then raise (Wire_error "truncated name table");
     let name = String.sub s !pos len in
     pos := !pos + len;

@@ -548,3 +548,127 @@ let test_run_emits_metrics () =
 let suite =
   suite
   @ [ Alcotest.test_case "run emits eval/wire metrics" `Quick test_run_emits_metrics ]
+
+(* --- secondary indexes and semi-naive dedupe ----------------------------- *)
+
+(* Direct probe API: buckets stay current across inserts, replaces and
+   removals that happen after the index was lazily built. *)
+let test_db_probe_maintenance () =
+  let db = Db.create () in
+  let mk k c = Tuple.make "e" [ v_str k; v_int c ] in
+  List.iter (fun t -> ignore (Db.insert db ~now:0.0 t)) [ mk "a" 1; mk "a" 2; mk "b" 3 ];
+  let probe k =
+    Db.probe db "e" ~cols:[ 0 ] ~key:[ v_str k ]
+    |> List.map Tuple.to_string |> List.sort compare
+  in
+  Alcotest.(check (list string)) "bucket a" [ "e(a, 1)"; "e(a, 2)" ] (probe "a");
+  Db.remove db (mk "a" 1);
+  Alcotest.(check (list string)) "remove maintained" [ "e(a, 2)" ] (probe "a");
+  ignore (Db.insert db ~now:0.0 (mk "a" 9));
+  Alcotest.(check (list string)) "insert maintained" [ "e(a, 2)"; "e(a, 9)" ] (probe "a");
+  Alcotest.(check (list string)) "other bucket" [ "e(b, 3)" ] (probe "b");
+  Alcotest.(check (list string)) "miss is empty" [] (probe "zz");
+  (* replace policies keep at most one tuple per bucket *)
+  Db.set_policy db "best" (Db.Replace { key = [ 0 ]; prefer = Db.P_min 1 });
+  let bk k c = Tuple.make "best" [ v_str k; v_int c ] in
+  ignore (Db.insert db ~now:0.0 (bk "x" 10));
+  let probe_best k =
+    Db.probe db "best" ~cols:[ 0 ] ~key:[ v_str k ] |> List.map Tuple.to_string
+  in
+  Alcotest.(check (list string)) "before replace" [ "best(x, 10)" ] (probe_best "x");
+  ignore (Db.insert db ~now:0.0 (bk "x" 4));
+  Alcotest.(check (list string)) "incumbent deindexed" [ "best(x, 4)" ] (probe_best "x")
+
+(* Regression: a derivation whose body joins two tuples that entered
+   the frontier in the same round must be found exactly once — the
+   seed double-counted it, once per delta position. *)
+let test_two_delta_join_counted_once () =
+  let src = {|
+j1 out(@X, Y) :- a(@X), b(@Y).
+a(@x). b(@y).
+|}
+  in
+  let count = ref 0 in
+  let _db =
+    Eval.run_single_site
+      ~on_derive:(fun d -> if d.Eval.d_rule = "j1" then incr count)
+      (parse src)
+  in
+  Alcotest.(check int) "one derivation from two frontier tuples" 1 !count
+
+(* A keyed relation can replace a tuple after it entered the frontier;
+   the dead tuple must not join (stale-frontier filter), and the
+   replaced incumbent must be gone from the index the join probes. *)
+let test_replace_stale_frontier_indexed () =
+  let p = parse "r1 out(@X, C) :- best(@X, C), tag(@X)." in
+  let db = Db.create () in
+  Db.set_policy db "best" (Db.Replace { key = [ 0 ]; prefer = Db.P_min 1 });
+  let pending =
+    List.map
+      (fun t -> { Eval.f_tuple = t; f_asserter = None })
+      [ Tuple.make "tag" [ v_str "a" ];
+        Tuple.make "best" [ v_str "a"; v_int 10 ];
+        Tuple.make "best" [ v_str "a"; v_int 3 ] ]
+  in
+  ignore
+    (Eval.run_fixpoint db ~now:0.0 ~rules:(Ndlog.Ast.rules p) ~local:None ~pending
+       ~on_derive:(fun _ -> ())
+       ());
+  Alcotest.(check (list string)) "superseded tuple not resurrected" [ "out(a, 3)" ]
+    (results db "out")
+
+(* The indexed evaluator and the scan evaluator must compute the same
+   fixpoint. *)
+let test_index_onoff_equivalence () =
+  let src =
+    Ndlog.Programs.best_path_src
+    ^ {|
+link(@a, b, 1). link(@b, d, 1). link(@a, c, 5). link(@c, d, 1).
+link(@b, a, 1). link(@d, b, 1). link(@c, a, 5). link(@d, c, 1).
+|}
+  in
+  let run ~indexing =
+    let p = parse src in
+    let db = Db.create ~indexing () in
+    Db.configure_from_program db p;
+    let pending =
+      List.map
+        (fun (f : Ndlog.Ast.fact) ->
+          { Eval.f_tuple =
+              { Tuple.rel = f.fact_pred;
+                args = Array.of_list (List.map Value.of_const f.fact_args) };
+            f_asserter = None })
+        (Ndlog.Ast.facts p)
+    in
+    ignore
+      (Eval.run_fixpoint db ~now:0.0 ~rules:(Ndlog.Ast.rules p) ~local:None ~pending
+         ~on_derive:(fun _ -> ())
+         ());
+    db
+  in
+  let indexed = run ~indexing:true and scanned = run ~indexing:false in
+  List.iter
+    (fun rel ->
+      Alcotest.(check (list string))
+        (rel ^ " identical") (results scanned rel) (results indexed rel))
+    [ "bestPath"; "bestPathCost"; "path" ]
+
+(* A compound At-context reaching the evaluator (bypassing analysis)
+   raises Rule_error instead of silently running context-free. *)
+let test_compound_context_rejected_eval () =
+  Alcotest.check_raises "compound context"
+    (Eval.Rule_error
+       "rule r1: At-context must be a principal variable or constant, not a \
+        compound expression")
+    (fun () ->
+      ignore (Eval.run_single_site (parse "q(@a).\nAt S + S:\nr1 p(S) :- q(S).")))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "db probe maintenance" `Quick test_db_probe_maintenance;
+      Alcotest.test_case "two-delta join counted once" `Quick test_two_delta_join_counted_once;
+      Alcotest.test_case "replace + stale frontier (indexed)" `Quick
+        test_replace_stale_frontier_indexed;
+      Alcotest.test_case "index on/off equivalence" `Quick test_index_onoff_equivalence;
+      Alcotest.test_case "compound At-context rejected" `Quick
+        test_compound_context_rejected_eval ]

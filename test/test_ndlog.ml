@@ -210,6 +210,17 @@ let test_analysis_negated_unbound () =
   Alcotest.(check bool) "negation needs bound vars" true
     (errors_of "r p(@S) :- not q(@S, X), r2(@S)." <> [])
 
+let test_analysis_compound_context () =
+  (* An At-context must name a principal; a compound expression has
+     none to bind, so analysis rejects it before the evaluator does. *)
+  Alcotest.(check bool) "compound At-context rejected" true
+    (List.exists
+       (fun (e : Analysis.error) ->
+         String.length e.err_msg >= 10 && String.sub e.err_msg 0 10 = "At-context")
+       (errors_of ~sendlog:true "At S + S:\nr1 p(S) :- q(S)."));
+  Alcotest.(check (list string)) "variable context fine" []
+    (List.map Analysis.show_error (errors_of ~sendlog:true "At S:\nr1 p(S) :- q(S)."))
+
 let test_base_predicates () =
   let p = parse Programs.best_path_src in
   Alcotest.(check (list string)) "base" [ "link" ] (Analysis.base_predicates p)
@@ -300,6 +311,7 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "analysis: unstratified negation" `Quick test_analysis_unstratified_negation;
     Alcotest.test_case "analysis: recursive count" `Quick test_analysis_recursive_count;
     Alcotest.test_case "analysis: negation binding" `Quick test_analysis_negated_unbound;
+    Alcotest.test_case "analysis: compound At-context" `Quick test_analysis_compound_context;
     Alcotest.test_case "analysis: base predicates" `Quick test_base_predicates;
     Alcotest.test_case "localize reachable" `Quick test_localize_reachable;
     Alcotest.test_case "localize no-op" `Quick test_localize_already_local;

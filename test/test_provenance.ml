@@ -267,8 +267,41 @@ let test_compression_ratio_grows () =
   let ctx = Condense.create_ctx () in
   Alcotest.(check bool) "ratio > 3" true (Condense.compression_ratio ctx big > 3.0)
 
+(* --- wire format boundaries -------------------------------------------- *)
+
+(* The condensed-provenance wire format carries 16-bit counts (support
+   size, variable ids, name lengths).  These tests pin the boundaries:
+   values past the old 8-bit mask must round-trip, and values past 16
+   bits must raise [Wire_error] rather than truncate silently. *)
+
+let wire_roundtrip_bases names =
+  let e = Prov_expr.plus_list (List.map Prov_expr.base names) in
+  let decoded = Condense.of_wire (Condense.create_ctx ()) (Condense.to_wire (Condense.create_ctx ()) e) in
+  Alcotest.(check (list string)) "base keys survive the wire"
+    (List.sort_uniq compare names)
+    (List.sort_uniq compare (Prov_expr.bases decoded))
+
+let test_wire_over_255_variables () =
+  (* 300 support variables: the old u8 count field would wrap to 44. *)
+  wire_roundtrip_bases (List.init 300 (Printf.sprintf "principal-%04d"))
+
+let test_wire_255_byte_names () =
+  let name len tag = String.make (len - 1) 'k' ^ tag in
+  wire_roundtrip_bases [ name 255 "a"; name 255 "b"; name 256 "c"; name 300 "d" ]
+
+let test_wire_name_too_long () =
+  let ctx = Condense.create_ctx () in
+  let e = Prov_expr.base (String.make 70_000 'n') in
+  Alcotest.(check bool) "70000-byte name raises Wire_error" true
+    (match Condense.to_wire ctx e with
+    | _ -> false
+    | exception Condense.Wire_error _ -> true)
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "paper condensation <a+a*b> -> <a>" `Quick test_paper_condensation;
+    Alcotest.test_case "wire: >255 support variables" `Quick test_wire_over_255_variables;
+    Alcotest.test_case "wire: 255/256-byte names" `Quick test_wire_255_byte_names;
+    Alcotest.test_case "wire: oversized name rejected" `Quick test_wire_name_too_long;
     Alcotest.test_case "paper security level" `Quick test_paper_security_level;
     Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
     Alcotest.test_case "derivation counting" `Quick test_count_derivations;
