@@ -9,14 +9,21 @@
      dune exec bench/main.exe -- --runs 3     runs averaged per size
      dune exec bench/main.exe -- --rsa-bits 512
      dune exec bench/main.exe -- --smoke      CI gate: tiny sweep + index
-                                              ablation; exits nonzero when
-                                              indexed joins stop beating scans
+                                              ablation + a small SeNDLog
+                                              (Auth_rsa) crypto ablation;
+                                              exits nonzero when indexed
+                                              joins stop beating scans, when
+                                              the crypto fast path stops
+                                              beating naive exponentiation,
+                                              or when fast-path signatures
+                                              are not byte-identical
 
    Output sections:
      Figure 3  query completion time (s) per configuration
      Figure 4  bandwidth utilization (MB) per configuration
      Section 6 overhead summary (the paper's +53%/+36%/+41%/+54% text)
      Index ablation  hash-indexed joins vs full-relation scans
+     Crypto ablation Montgomery/CRT + signature cache vs naive mod-pow
      Ablation A  local vs distributed provenance
      Ablation B  proactive vs reactive maintenance
      Ablation C  sampling and Bloom digests
@@ -102,10 +109,11 @@ let phase_metrics (phase : string) : unit =
     (c "prov.condense_hits") (c "prov.condense_misses")
 
 (* Machine-readable companion to the human tables: the sweep points,
-   the index-ablation comparison, and the figure phase's metrics
-   snapshot, for tracking the perf trajectory across PRs. *)
+   the index- and crypto-ablation comparisons, and the figure phase's
+   metrics snapshot, for tracking the perf trajectory across PRs. *)
 let write_results_json (o : options) (points : Core.Bestpath_workload.point list)
-    ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t) : unit =
+    ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t)
+    ~(crypto_ablation : Obs.Json.t) : unit =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
@@ -114,6 +122,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
         ("rsa_bits", Obs.Json.Int o.rsa_bits);
         ("points", Obs.Json.List (List.map Core.Bestpath_workload.point_to_json points));
         ("index_ablation", index_ablation);
+        ("crypto_ablation", crypto_ablation);
         ("metrics", figure_metrics) ]
   in
   let oc = open_out "BENCH_results.json" in
@@ -122,7 +131,8 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
     (fun () ->
       output_string oc (Obs.Json.to_string doc);
       output_char oc '\n');
-  Printf.printf "\nwrote BENCH_results.json (%d points + index ablation + metrics snapshot)\n"
+  Printf.printf
+    "\nwrote BENCH_results.json (%d points + index/crypto ablations + metrics snapshot)\n"
     (List.length points)
 
 (* --- Index ablation: hash-indexed joins vs full-relation scans ----------- *)
@@ -142,8 +152,7 @@ let index_ablation (o : options) : Obs.Json.t * float =
     n;
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2026) ~n () in
   let directory =
-    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
-      topo.Net.Topology.nodes
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
   in
   let measure use_indexes =
     phase_reset ();
@@ -195,6 +204,110 @@ let index_ablation (o : options) : Obs.Json.t * float =
         ("index_hits", Obs.Json.Int hits);
         ("index_builds", Obs.Json.Int builds);
         ("full_scans_indexed_run", Obs.Json.Int idx_scans) ],
+    speedup )
+
+(* --- Crypto ablation: Montgomery/CRT + signature cache vs naive --------- *)
+
+(* The same SeNDLog (Auth_rsa) Best-Path run with the crypto fast path
+   enabled vs disabled.  Disabled means naive full-width square-and-
+   multiply per signature and no sender-side cache — the pre-fastpath
+   crypto layer.  Signatures are deterministic, so both paths must
+   produce byte-identical bytes; that is asserted directly on a message
+   corpus signed both ways, and the fixpoint must be identical.  (Wire
+   and message counts may differ slightly: measured crypto CPU feeds
+   the virtual clock, so faster signing changes event interleaving and
+   with it which intermediate tuples ship before being superseded.)
+   Exits nonzero on any mismatch so the smoke gate catches crypto
+   regressions. *)
+let crypto_ablation (o : options) : Obs.Json.t * float =
+  hr "Crypto ablation: Montgomery/CRT + signature cache vs naive mod-pow";
+  let n = if o.smoke then 12 else 40 in
+  Printf.printf
+    "workload: Best-Path over one random topology, N=%d, SeNDLog config (Auth_rsa,\n\
+     %d-bit keys).  Wall seconds are real CPU, dominated by per-tuple signing;\n\
+     signatures and the fixpoint must be identical under both paths.\n\n"
+    n o.rsa_bits;
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2027) ~n () in
+  let directory =
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
+  in
+  (* Direct byte-identity check: a corpus signed by both paths. *)
+  let signer = Sendlog.Principal.find_exn directory (List.hd topo.Net.Topology.nodes) in
+  let mismatches = ref 0 in
+  for i = 0 to 31 do
+    let msg = Printf.sprintf "crypto-ablation corpus message %d" i in
+    let fast = Crypto.Rsa.sign ~fastpath:true signer.keypair.private_ msg in
+    let naive = Crypto.Rsa.sign ~fastpath:false signer.keypair.private_ msg in
+    if not (String.equal fast naive) then incr mismatches;
+    if not (Crypto.Rsa.verify ~fastpath:true signer.keypair.public ~signature:fast msg)
+    then incr mismatches;
+    if not (Crypto.Rsa.verify ~fastpath:false signer.keypair.public ~signature:fast msg)
+    then incr mismatches
+  done;
+  if !mismatches > 0 then begin
+    Printf.eprintf
+      "FAILURE: CRT/Montgomery signatures diverge from naive exponentiation \
+       (%d mismatches over 32 messages)\n"
+      !mismatches;
+    exit 1
+  end;
+  Printf.printf "signature byte-identity: ok (32-message corpus, both paths, cross-verified)\n\n";
+  let measure use_crypto_fastpath =
+    phase_reset ();
+    let cfg =
+      { Core.Config.sendlog with rsa_bits = o.rsa_bits; use_crypto_fastpath }
+    in
+    let t =
+      Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+        ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    let r = Core.Runtime.run t in
+    let best = List.length (Core.Runtime.query_all t "bestPath") in
+    let stats = Core.Runtime.stats t in
+    let c name = Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default name) in
+    ( r.wall_seconds,
+      best,
+      stats.Net.Stats.signatures_generated,
+      stats.Net.Stats.bytes_total,
+      c "crypto.sign_cache_hits",
+      c "crypto.sign_cache_misses" )
+  in
+  let naive_wall, naive_best, naive_sigs, naive_bytes, _, _ = measure false in
+  let fast_wall, fast_best, fast_sigs, fast_bytes, hits, misses = measure true in
+  let speedup = if fast_wall > 0.0 then naive_wall /. fast_wall else 0.0 in
+  Printf.printf "%-10s %14s %14s %14s %14s\n" "crypto" "wall (s)" "best paths"
+    "signatures" "wire bytes";
+  Printf.printf "%-10s %14.3f %14d %14d %14d\n" "naive" naive_wall naive_best naive_sigs
+    naive_bytes;
+  Printf.printf "%-10s %14.3f %14d %14d %14d\n" "fastpath" fast_wall fast_best fast_sigs
+    fast_bytes;
+  Printf.printf
+    "\nspeedup (naive/fastpath): %.2fx  sign cache: %d hits / %d misses (%.1f%% hit rate)\n"
+    speedup hits misses
+    (if hits + misses > 0 then 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+     else 0.0);
+  if naive_best <> fast_best then begin
+    (* The fixpoint must be identical under both crypto paths; message
+       and byte counts may differ (timing changes interleaving), but
+       the final relation contents may not. *)
+    Printf.eprintf "FAILURE: fast path changed the fixpoint (%d bestPath tuples vs %d)\n"
+      naive_best fast_best;
+    exit 1
+  end;
+  ( Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path, one topology, SeNDLog config");
+        ("n", Obs.Json.Int n);
+        ("rsa_bits", Obs.Json.Int o.rsa_bits);
+        ("naive_wall_seconds", Obs.Json.Float naive_wall);
+        ("fastpath_wall_seconds", Obs.Json.Float fast_wall);
+        ("speedup", Obs.Json.Float speedup);
+        ("signatures_naive", Obs.Json.Int naive_sigs);
+        ("signatures_fastpath", Obs.Json.Int fast_sigs);
+        ("sign_cache_hits", Obs.Json.Int hits);
+        ("sign_cache_misses", Obs.Json.Int misses);
+        ("signatures_byte_identical", Obs.Json.Bool true);
+        ("best_paths", Obs.Json.Int fast_best) ],
     speedup )
 
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
@@ -264,8 +377,7 @@ let ablation_local_vs_distributed (o : options) =
      and pays at query time. N=20 Best-Path, then traceback of every bestPath at n0.\n\n";
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2008) ~n:20 () in
   let directory =
-    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
-      topo.Net.Topology.nodes
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
   in
   Printf.printf "%-12s %14s %16s %16s %14s\n" "mode" "wire prov (B)" "online store (B)"
     "traceback msgs" "traceback (B)";
@@ -302,8 +414,7 @@ let ablation_proactive_vs_reactive (o : options) =
   phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2009) ~n:20 () in
   let directory =
-    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
-      topo.Net.Topology.nodes
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
   in
   Printf.printf "%-12s %16s %18s %16s\n" "mode" "completion (s)" "wire prov (B)" "expr bytes";
   List.iter
@@ -331,8 +442,7 @@ let ablation_sampling (o : options) =
   phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2010) ~n:20 () in
   let directory =
-    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
-      topo.Net.Topology.nodes
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
   in
   Printf.printf "%-12s %18s %16s\n" "sample rate" "wire prov (B)" "expr bytes";
   List.iter
@@ -399,8 +509,7 @@ let ablation_granularity (o : options) =
   phase_reset ();
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2011) ~n:40 () in
   let directory =
-    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:9) ~rsa_bits:o.rsa_bits
-      topo.Net.Topology.nodes
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
   in
   Printf.printf "%-12s %16s %14s %18s\n" "granularity" "distinct keys" "expr bytes" "wire prov (B)";
   List.iter
@@ -455,11 +564,17 @@ let micro (o : options) =
   let tests =
     [ Test.make ~name:"sha256 (256B)" (Staged.stage (fun () -> Crypto.Sha256.digest msg));
       Test.make
-        ~name:(Printf.sprintf "rsa-%d sign" o.rsa_bits)
-        (Staged.stage (fun () -> Crypto.Rsa.sign kp.private_ msg));
+        ~name:(Printf.sprintf "rsa-%d sign (fast)" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.sign ~fastpath:true kp.private_ msg));
       Test.make
-        ~name:(Printf.sprintf "rsa-%d verify" o.rsa_bits)
-        (Staged.stage (fun () -> Crypto.Rsa.verify kp.public ~signature msg));
+        ~name:(Printf.sprintf "rsa-%d sign (naive)" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.sign ~fastpath:false kp.private_ msg));
+      Test.make
+        ~name:(Printf.sprintf "rsa-%d verify (fast)" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.verify ~fastpath:true kp.public ~signature msg));
+      Test.make
+        ~name:(Printf.sprintf "rsa-%d verify (naive)" o.rsa_bits)
+        (Staged.stage (fun () -> Crypto.Rsa.verify ~fastpath:false kp.public ~signature msg));
       Test.make ~name:"hmac-sha256" (Staged.stage (fun () -> Crypto.Hmac.sha256 ~key:"k" msg));
       Test.make ~name:"bdd condense (12 keys)"
         (Staged.stage (fun () -> Provenance.Condense.condense ctx deep_expr));
@@ -503,7 +618,9 @@ let () =
   else begin
     let points, figure_metrics = figures o in
     let abl_json, speedup = index_ablation o in
-    write_results_json o points ~figure_metrics ~index_ablation:abl_json;
+    let crypto_json, crypto_speedup = crypto_ablation o in
+    write_results_json o points ~figure_metrics ~index_ablation:abl_json
+      ~crypto_ablation:crypto_json;
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
       phase_metrics "ablation A";
@@ -520,6 +637,13 @@ let () =
         "SMOKE FAILURE: indexed joins are no longer beating full scans \
          (speedup %.2fx < 1.10x)\n"
         speedup;
+      exit 1
+    end;
+    if o.smoke && crypto_speedup < 1.5 then begin
+      Printf.eprintf
+        "SMOKE FAILURE: the crypto fast path is no longer beating naive \
+         exponentiation (speedup %.2fx < 1.50x)\n"
+        crypto_speedup;
       exit 1
     end
   end;

@@ -300,6 +300,183 @@ let gcd (a : t) (b : t) : t =
   let rec go a b = if is_zero b then a else go b (rem a b) in
   if compare a b >= 0 then go a b else go b a
 
+(* --- Montgomery arithmetic -------------------------------------------- *)
+
+(* Modular arithmetic for an odd modulus m held in Montgomery form:
+   values are a*R mod m with R = base^k, and [mont_mul] computes
+   a*b*R^-1 mod m with one limb-shift per inner iteration (CIOS,
+   coarsely integrated operand scanning) instead of the full Knuth
+   divmod that [mod_pow] pays on every step.  Every intermediate
+   product fits a native int: limbs are 26 bits, so limb products plus
+   carries stay below 2^54. *)
+module Mont = struct
+  type ctx = {
+    modulus : t;
+    m : int array; (* the modulus, exactly k limbs *)
+    k : int;
+    n0' : int; (* -modulus^-1 mod base *)
+    r2 : int array; (* R^2 mod modulus, padded to k limbs *)
+    one_m : int array; (* R mod modulus: 1 in Montgomery form *)
+  }
+
+  let pad (k : int) (a : t) : int array =
+    let r = Array.make k 0 in
+    Array.blit a 0 r 0 (Array.length a);
+    r
+
+  (* -m0^-1 mod base by Newton iteration: each step doubles the number
+     of correct low bits, and an odd m0 is its own inverse mod 8. *)
+  let neg_inv_limb (m0 : int) : int =
+    let x = ref m0 in
+    for _ = 1 to 4 do
+      x := (!x * (2 - (m0 * !x))) land limb_mask
+    done;
+    (base - !x) land limb_mask
+
+  let ctx (modulus : t) : ctx =
+    if is_zero modulus || is_even modulus || equal modulus one then
+      invalid_arg "Nat.Mont.ctx: modulus must be odd and > 1";
+    let k = Array.length modulus in
+    { modulus;
+      m = Array.copy modulus;
+      k;
+      n0' = neg_inv_limb modulus.(0);
+      r2 = pad k (rem (shift_left one (2 * k * limb_bits)) modulus);
+      one_m = pad k (rem (shift_left one (k * limb_bits)) modulus) }
+
+  let modulus (c : ctx) : t = c.modulus
+
+  (* a*b*R^-1 mod m (CIOS).  Inputs are k-limb arrays holding values
+     < m; the result is a fresh k-limb array < m (the accumulator stays
+     below 2m, so one conditional subtract restores the range). *)
+  let mont_mul (c : ctx) (a : int array) (b : int array) : int array =
+    let k = c.k and m = c.m and n0' = c.n0' in
+    let t = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let s = t.(j) + (ai * b.(j)) + !carry in
+        t.(j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let s = t.(k) + !carry in
+      t.(k) <- s land limb_mask;
+      t.(k + 1) <- s lsr limb_bits;
+      (* Fold in the multiple of m that zeroes the low limb, then shift
+         the accumulator down one limb. *)
+      let u = (t.(0) * n0') land limb_mask in
+      let carry = ref ((t.(0) + (u * m.(0))) lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let s = t.(j) + (u * m.(j)) + !carry in
+        t.(j - 1) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let s = t.(k) + !carry in
+      t.(k - 1) <- s land limb_mask;
+      t.(k) <- t.(k + 1) + (s lsr limb_bits);
+      t.(k + 1) <- 0
+    done;
+    let ge_m =
+      t.(k) <> 0
+      ||
+      let rec go j = j < 0 || (if t.(j) <> m.(j) then t.(j) > m.(j) else go (j - 1)) in
+      go (k - 1)
+    in
+    let r = Array.make k 0 in
+    if ge_m then begin
+      let borrow = ref 0 in
+      for j = 0 to k - 1 do
+        let d = t.(j) - m.(j) - !borrow in
+        if d < 0 then begin
+          r.(j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(j) <- d;
+          borrow := 0
+        end
+      done
+    end
+    else Array.blit t 0 r 0 k;
+    r
+
+  let to_mont (c : ctx) (a : t) : int array = mont_mul c (pad c.k (rem a c.modulus)) c.r2
+
+  let from_mont (c : ctx) (a : int array) : t =
+    let one_limb = Array.make c.k 0 in
+    one_limb.(0) <- 1;
+    normalize (mont_mul c a one_limb)
+
+  let window_bits (n : int) : int =
+    if n <= 24 then 2 else if n <= 160 then 3 else if n <= 768 then 4 else 5
+
+  (* b^e mod m by sliding-window exponentiation in the Montgomery
+     domain: one mont_mul per squaring plus one per (odd) window, with
+     a precomputed table of the odd powers b^1, b^3, ..., b^(2^w - 1). *)
+  let mod_pow (c : ctx) (b : t) (e : t) : t =
+    let nbits = bits e in
+    if nbits = 0 then one
+    else begin
+      let w = window_bits nbits in
+      let g1 = to_mont c b in
+      let g2 = mont_mul c g1 g1 in
+      let table = Array.make (1 lsl (w - 1)) g1 in
+      for i = 1 to Array.length table - 1 do
+        table.(i) <- mont_mul c table.(i - 1) g2
+      done;
+      let result = ref (Array.copy c.one_m) in
+      let i = ref (nbits - 1) in
+      while !i >= 0 do
+        if not (testbit e !i) then begin
+          result := mont_mul c !result !result;
+          decr i
+        end
+        else begin
+          (* Widest window [l, i] that ends on a set bit. *)
+          let l = ref (max 0 (!i - w + 1)) in
+          while not (testbit e !l) do
+            incr l
+          done;
+          let v = ref 0 in
+          for j = !i downto !l do
+            v := (!v lsl 1) lor (if testbit e j then 1 else 0)
+          done;
+          for _ = !l to !i do
+            result := mont_mul c !result !result
+          done;
+          result := mont_mul c !result table.(!v lsr 1);
+          i := !l - 1
+        end
+      done;
+      from_mont c !result
+    end
+
+  (* Small public exponents (RSA verify: e = 65537) skip the Nat
+     exponent walk entirely: square-and-multiply over the bits of a
+     machine int. *)
+  let mod_pow_int (c : ctx) (b : t) (e : int) : t =
+    if e < 0 then invalid_arg "Nat.Mont.mod_pow_int: negative exponent";
+    if e = 0 then one
+    else begin
+      let g = to_mont c b in
+      let result = ref (Array.copy g) in
+      let rec top_bit n = if n <= 1 then 0 else 1 + top_bit (n lsr 1) in
+      for j = top_bit e - 1 downto 0 do
+        result := mont_mul c !result !result;
+        if (e lsr j) land 1 = 1 then result := mont_mul c !result g
+      done;
+      from_mont c !result
+    end
+end
+
+(* Montgomery-backed [mod_pow] for odd moduli > 1, falling back to the
+   naive ladder otherwise (the RSA hot path always has an odd modulus). *)
+let mod_pow_fast (b : t) (e : t) (m : t) : t =
+  if (not (is_zero m)) && (not (is_even m)) && not (equal m one) then
+    Mont.mod_pow (Mont.ctx m) b e
+  else mod_pow b e m
+
 let pow (b : t) (e : int) : t =
   if e < 0 then invalid_arg "Nat.pow";
   let rec go acc b e =

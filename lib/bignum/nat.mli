@@ -55,6 +55,33 @@ val mod_pow : t -> t -> t -> t
 
 val gcd : t -> t -> t
 
+val mod_pow_fast : t -> t -> t -> t
+(** [mod_pow_fast b e m] equals {!mod_pow} but runs through {!Mont}
+    when [m] is odd and [> 1] (precomputed per-modulus constants, no
+    per-step division); even moduli fall back to the naive ladder. *)
+
+(** Montgomery modular arithmetic for a fixed odd modulus: the
+    per-modulus constants ([-m^-1] mod base, [R^2] mod m) are computed
+    once, after which modular exponentiation needs no division at
+    all — the fast path under RSA sign/verify. *)
+module Mont : sig
+  type ctx
+
+  val ctx : t -> ctx
+  (** Precompute the constants for one modulus.
+      @raise Invalid_argument unless the modulus is odd and [> 1]. *)
+
+  val modulus : ctx -> t
+
+  val mod_pow : ctx -> t -> t -> t
+  (** [mod_pow c b e] is [b^e mod (modulus c)] by sliding-window
+      exponentiation in the Montgomery domain. *)
+
+  val mod_pow_int : ctx -> t -> int -> t
+  (** Same with a small machine-int exponent (RSA's e = 65537), with no
+      [t]-valued exponent walk.  @raise Invalid_argument if [e < 0]. *)
+end
+
 val pow : t -> int -> t
 (** [pow b e] with a machine-integer exponent [e >= 0]. *)
 

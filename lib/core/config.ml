@@ -61,6 +61,10 @@ type t = {
   use_indexes : bool;
       (* secondary hash indexes on the per-node stores; off forces the
          evaluator onto full-relation scans (bench ablation) *)
+  use_crypto_fastpath : bool;
+      (* CRT/Montgomery RSA plus the sender-side signature cache; off
+         forces naive full-width modular exponentiation per tuple
+         (bench ablation; signatures are byte-identical either way) *)
   cost_model : cost_model;
 }
 
@@ -76,6 +80,7 @@ let default =
     rsa_bits = 384;
     verify_signatures = true;
     use_indexes = true;
+    use_crypto_fastpath = true;
     cost_model = default_cost_model }
 
 (* The paper's three evaluation configurations. *)

@@ -107,6 +107,11 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   ignore (Obs.Metrics.counter reg "db.full_scans");
   ignore (Obs.Metrics.histogram reg "crypto.sign_seconds");
   ignore (Obs.Metrics.histogram reg "crypto.verify_seconds");
+  ignore (Obs.Metrics.counter reg "crypto.sign_cache_hits");
+  ignore (Obs.Metrics.counter reg "crypto.sign_cache_misses");
+  (* Fresh run: reused principals must not carry signatures (or their
+     cost savings) over from a previous runtime. *)
+  Sendlog.Principal.clear_sign_caches directory;
   { cfg;
     sim = Net.Event_sim.create ();
     topo;
@@ -190,7 +195,8 @@ let capture_derivation (t : t) (n : node) (deriv : Eval.derivation) :
     let signature, signer =
       if t.cfg.sign_provenance then begin
         t.stats.signatures_generated <- t.stats.signatures_generated + 1;
-        ( Sendlog.Auth.sign_provenance_node t.cfg.auth n.n_principal ~node_repr,
+        ( Sendlog.Auth.sign_provenance_node ~fastpath:t.cfg.use_crypto_fastpath
+            t.cfg.auth n.n_principal ~node_repr,
           Some n.n_addr )
       end
       else (None, None)
@@ -260,7 +266,10 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
   if not (Hashtbl.mem sender.n_sent_cache cache_key) then begin
     Hashtbl.add sender.n_sent_cache cache_key ();
     let bytes = Net.Wire.signed_bytes ~src:sender.n_addr ~dst:emit.e_dest tuple in
-    let auth = Sendlog.Auth.make_auth t.cfg.auth sender.n_principal bytes in
+    let auth =
+      Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+        sender.n_principal bytes
+    in
     (match t.cfg.auth with
     | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
     | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
@@ -396,7 +405,10 @@ and handle_message_body (t : t) (receiver : node) (msg : Net.Wire.message) : uni
       | Net.Wire.A_hmac { principal = p; _ }
       | Net.Wire.A_signature { principal = p; _ } -> Some (Value.V_str p)
     else begin
-      match Sendlog.Auth.verify t.cfg.auth t.directory msg.msg_auth bytes with
+      match
+        Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth t.directory
+          msg.msg_auth bytes
+      with
       | Sendlog.Auth.Verified p ->
         (match t.cfg.auth with
         | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->

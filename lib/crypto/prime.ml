@@ -34,9 +34,11 @@ let divisible_by_small_prime (n : Nat.t) : bool =
       r = 0 && not (Nat.equal n (Nat.of_int p)))
     small_primes
 
-(* One Miller-Rabin round with witness [a]; [n - 1 = d * 2^s]. *)
-let miller_rabin_round n d s a =
-  let x = ref (Nat.mod_pow a d n) in
+(* One Miller-Rabin round with witness [a]; [n - 1 = d * 2^s].  [mctx]
+   is a Montgomery context for the (odd) candidate, shared across
+   rounds so the per-modulus precomputation is paid once. *)
+let miller_rabin_round mctx n d s a =
+  let x = ref (Nat.Mont.mod_pow mctx a d) in
   let n1 = Nat.sub n Nat.one in
   if Nat.equal !x Nat.one || Nat.equal !x n1 then true
   else begin
@@ -61,13 +63,14 @@ let is_probable_prime ?(rounds = 24) (rng : Rng.t) (n : Nat.t) : bool =
     (* Write n - 1 = d * 2^s with d odd. *)
     let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
     let d, s = split n1 0 in
+    let mctx = Nat.Mont.ctx n in
     let rand = Rng.nat_rand rng in
     let rec rounds_ok i =
       if i = 0 then true
       else begin
         (* Witness in [2, n-2]. *)
         let a = Nat.add (Nat.random_below ~rand (Nat.sub n (Nat.of_int 3))) Nat.two in
-        miller_rabin_round n d s a && rounds_ok (i - 1)
+        miller_rabin_round mctx n d s a && rounds_ok (i - 1)
       end
     in
     rounds_ok rounds

@@ -6,17 +6,54 @@
    0x00 || digest) but without the DER DigestInfo header; this is a
    simulation-grade scheme whose *cost profile* (one mod-exp per sign /
    verify, signature as wide as the modulus) matches real RSA, which is
-   all the paper's evaluation depends on. *)
+   all the paper's evaluation depends on.
+
+   Two execution paths produce byte-identical signatures:
+   - the naive path: one full-width [Nat.mod_pow] (square-and-multiply
+     with a Knuth divmod reduction per step), kept as the ablation
+     baseline;
+   - the fast path (default): CRT signing — two half-width
+     Montgomery exponentiations mod p and q plus Garner recombination —
+     and small-exponent Montgomery verification (e = 65537 walked as a
+     machine int).  Toggled globally with [set_fastpath] or per call
+     with [?fastpath] (the runtime threads [Config.use_crypto_fastpath]
+     through). *)
 
 open Bignum
 
 type public_key = { n : Nat.t; e : Nat.t; key_bits : int }
 
-type private_key = { pub : public_key; d : Nat.t }
+(* CRT private material retained by [generate]: exponents reduced mod
+   p-1 / q-1 and the Garner coefficient q^-1 mod p. *)
+type crt = { p : Nat.t; q : Nat.t; d_p : Nat.t; d_q : Nat.t; q_inv : Nat.t }
+
+type private_key = { pub : public_key; d : Nat.t; crt : crt option }
 
 type keypair = { public : public_key; private_ : private_key }
 
 let public_exponent = Nat.of_int 65537
+
+(* Default for calls that don't pass [?fastpath] explicitly. *)
+let fastpath_default = ref true
+
+let set_fastpath (b : bool) : unit = fastpath_default := b
+
+let fastpath_enabled () : bool = !fastpath_default
+
+(* Montgomery contexts per modulus: a public key arrives many times
+   (every verified message), so the per-modulus precomputation (n',
+   R^2) is shared across calls.  Keys are [Nat.t] values (int arrays,
+   hashed structurally); the table is bounded defensively. *)
+let mont_cache : (Nat.t, Nat.Mont.ctx) Hashtbl.t = Hashtbl.create 16
+
+let mont_ctx_of (m : Nat.t) : Nat.Mont.ctx =
+  match Hashtbl.find_opt mont_cache m with
+  | Some c -> c
+  | None ->
+    if Hashtbl.length mont_cache > 128 then Hashtbl.reset mont_cache;
+    let c = Nat.Mont.ctx m in
+    Hashtbl.replace mont_cache m c;
+    c
 
 (* Sign/verify wall-clock histograms (crypto.*_seconds in the shared
    registry): per-operation cost is what Section 6 attributes the
@@ -43,8 +80,20 @@ let generate (rng : Rng.t) ~(bits : int) : keypair =
       with
       | None -> go () (* e not coprime with phi; extremely rare *)
       | Some d ->
+        let d = Bigint.to_nat_exn d in
+        let crt =
+          match Bigint.mod_inverse (Bigint.of_nat q) (Bigint.of_nat p) with
+          | None -> None (* p = q is excluded above, so unreachable *)
+          | Some q_inv ->
+            Some
+              { p;
+                q;
+                d_p = Nat.rem d (Nat.sub p Nat.one);
+                d_q = Nat.rem d (Nat.sub q Nat.one);
+                q_inv = Bigint.to_nat_exn q_inv }
+        in
         let pub = { n; e = public_exponent; key_bits = bits } in
-        { public = pub; private_ = { pub; d = Bigint.to_nat_exn d } }
+        { public = pub; private_ = { pub; d; crt } }
     end
   in
   go ()
@@ -60,22 +109,51 @@ let encode_digest (pub : public_key) (digest : string) : Nat.t =
   let padding = String.make (k - dlen - 3) '\xFF' in
   Nat.of_bytes_be ("\x00\x01" ^ padding ^ "\x00" ^ digest)
 
-let sign (priv : private_key) (message : string) : string =
+(* m^d mod n by CRT: half-width exponentiations mod p and q, then
+   Garner recombination s = s_q + q * (q_inv (s_p - s_q) mod p). *)
+let crt_power (c : crt) (m : Nat.t) : Nat.t =
+  let s_p = Nat.Mont.mod_pow (mont_ctx_of c.p) m c.d_p in
+  let s_q = Nat.Mont.mod_pow (mont_ctx_of c.q) m c.d_q in
+  let s_q_mod_p = Nat.rem s_q c.p in
+  let diff =
+    if Nat.compare s_p s_q_mod_p >= 0 then Nat.sub s_p s_q_mod_p
+    else Nat.sub (Nat.add s_p c.p) s_q_mod_p
+  in
+  let h = Nat.rem (Nat.mul c.q_inv diff) c.p in
+  Nat.add s_q (Nat.mul h c.q)
+
+let sign ?fastpath (priv : private_key) (message : string) : string =
+  let fastpath = Option.value fastpath ~default:!fastpath_default in
   Obs.Metrics.timed (Lazy.force sign_hist) @@ fun () ->
   let m = encode_digest priv.pub (Sha256.digest message) in
-  let s = Nat.mod_pow m priv.d priv.pub.n in
+  let s =
+    match (fastpath, priv.crt) with
+    | true, Some c -> crt_power c m
+    | true, None -> Nat.Mont.mod_pow (mont_ctx_of priv.pub.n) m priv.d
+    | false, _ -> Nat.mod_pow m priv.d priv.pub.n
+  in
   let raw = Nat.to_bytes_be s in
   (* Left-pad to the full modulus width so signatures have fixed size. *)
   let k = signature_size priv.pub in
   String.make (k - String.length raw) '\000' ^ raw
 
-let verify (pub : public_key) ~(signature : string) (message : string) : bool =
+let verify ?fastpath (pub : public_key) ~(signature : string) (message : string) :
+    bool =
+  let fastpath = Option.value fastpath ~default:!fastpath_default in
   Obs.Metrics.timed (Lazy.force verify_hist) @@ fun () ->
   String.length signature = signature_size pub
   && begin
        let s = Nat.of_bytes_be signature in
        Nat.compare s pub.n < 0
-       && Nat.equal (Nat.mod_pow s pub.e pub.n) (encode_digest pub (Sha256.digest message))
+       &&
+       let recovered =
+         if fastpath then
+           match Nat.to_int_opt pub.e with
+           | Some e -> Nat.Mont.mod_pow_int (mont_ctx_of pub.n) s e
+           | None -> Nat.Mont.mod_pow (mont_ctx_of pub.n) s pub.e
+         else Nat.mod_pow s pub.e pub.n
+       in
+       Nat.equal recovered (encode_digest pub (Sha256.digest message))
      end
 
 (* Serialized public key, also used for fingerprints in wire messages. *)

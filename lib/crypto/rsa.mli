@@ -7,29 +7,53 @@
     the DER DigestInfo header, no blinding, no constant-time
     guarantees.  The cost profile (one modular exponentiation per
     sign/verify, signature as wide as the modulus) matches real RSA,
-    which is what the paper's evaluation depends on. *)
+    which is what the paper's evaluation depends on.
+
+    Signing and verification each have two paths producing
+    byte-identical results: the naive full-width [Nat.mod_pow]
+    baseline, and the default fast path — CRT signing (two half-width
+    Montgomery exponentiations plus Garner recombination) and
+    small-exponent Montgomery verification. *)
 
 type public_key = { n : Bignum.Nat.t; e : Bignum.Nat.t; key_bits : int }
 
-type private_key = { pub : public_key; d : Bignum.Nat.t }
+type crt = {
+  p : Bignum.Nat.t;
+  q : Bignum.Nat.t;
+  d_p : Bignum.Nat.t; (** d mod (p-1) *)
+  d_q : Bignum.Nat.t; (** d mod (q-1) *)
+  q_inv : Bignum.Nat.t; (** q^-1 mod p (Garner coefficient) *)
+}
+
+type private_key = { pub : public_key; d : Bignum.Nat.t; crt : crt option }
 
 type keypair = { public : public_key; private_ : private_key }
 
 val public_exponent : Bignum.Nat.t
 (** 65537. *)
 
+val set_fastpath : bool -> unit
+(** Default for calls that omit [?fastpath]; [true] initially.  The
+    runtime sets this from [Config.use_crypto_fastpath]; the bench
+    crypto ablation flips it to time the naive baseline. *)
+
+val fastpath_enabled : unit -> bool
+
 val generate : Rng.t -> bits:int -> keypair
-(** Deterministic given the generator state.  The modulus must leave
+(** Deterministic given the generator state.  The private key retains
+    the CRT material (p, q, d_p, d_q, q_inv).  The modulus must leave
     room for the padded digest: [bits >= 344] in practice for SHA-256.
     @raise Invalid_argument when [bits < 64]. *)
 
 val signature_size : public_key -> int
 (** Signature width in bytes (the modulus width). *)
 
-val sign : private_key -> string -> string
-(** Sign the SHA-256 digest of the message; fixed-width output. *)
+val sign : ?fastpath:bool -> private_key -> string -> string
+(** Sign the SHA-256 digest of the message; fixed-width output.
+    [?fastpath] selects CRT/Montgomery vs the naive exponentiation
+    (identical bytes either way); defaults to {!set_fastpath}'s value. *)
 
-val verify : public_key -> signature:string -> string -> bool
+val verify : ?fastpath:bool -> public_key -> signature:string -> string -> bool
 
 val public_to_string : public_key -> string
 val public_of_string : string -> public_key option

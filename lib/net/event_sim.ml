@@ -22,7 +22,9 @@ module Pq = struct
 
   let dummy = { ev_time = 0.0; ev_seq = 0; ev_action = (fun () -> ()) }
 
-  let create () = { heap = Array.make 64 dummy; size = 0 }
+  let min_capacity = 64
+
+  let create () = { heap = Array.make min_capacity dummy; size = 0 }
 
   let lt a b = a.ev_time < b.ev_time || (a.ev_time = b.ev_time && a.ev_seq < b.ev_seq)
 
@@ -44,6 +46,18 @@ module Pq = struct
       i := parent
     done
 
+  (* Release heap memory once occupancy falls below a quarter of
+     capacity, so a burst early in a long-lived simulation doesn't pin
+     its peak array for the rest of the run.  Halving (not shrinking to
+     fit) keeps push/pop cost amortized O(1) under oscillation. *)
+  let maybe_shrink (q : t) : unit =
+    let cap = Array.length q.heap in
+    if cap > min_capacity && q.size * 4 < cap then begin
+      let smaller = Array.make (max min_capacity (cap / 2)) dummy in
+      Array.blit q.heap 0 smaller 0 q.size;
+      q.heap <- smaller
+    end
+
   let pop (q : t) : event option =
     if q.size = 0 then None
     else begin
@@ -51,6 +65,7 @@ module Pq = struct
       q.size <- q.size - 1;
       q.heap.(0) <- q.heap.(q.size);
       q.heap.(q.size) <- dummy;
+      maybe_shrink q;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -72,6 +87,7 @@ module Pq = struct
 
   let is_empty q = q.size = 0
   let length q = q.size
+  let capacity q = Array.length q.heap
 end
 
 type t = {
@@ -80,23 +96,30 @@ type t = {
   mutable processed : int;
   queue : Pq.t;
   g_depth_max : Obs.Metrics.gauge; (* queue depth high-water mark *)
+  g_capacity : Obs.Metrics.gauge; (* current heap array capacity *)
   c_scheduled : Obs.Metrics.counter;
   c_processed : Obs.Metrics.counter;
 }
 
 let create () =
   let reg = Obs.Metrics.default in
-  { now = 0.0;
-    seq = 0;
-    processed = 0;
-    queue = Pq.create ();
-    g_depth_max = Obs.Metrics.gauge reg "sim.queue_depth_max";
-    c_scheduled = Obs.Metrics.counter reg "sim.events_scheduled";
-    c_processed = Obs.Metrics.counter reg "sim.events_processed" }
+  let t =
+    { now = 0.0;
+      seq = 0;
+      processed = 0;
+      queue = Pq.create ();
+      g_depth_max = Obs.Metrics.gauge reg "sim.queue_depth_max";
+      g_capacity = Obs.Metrics.gauge reg "sim.queue_capacity";
+      c_scheduled = Obs.Metrics.counter reg "sim.events_scheduled";
+      c_processed = Obs.Metrics.counter reg "sim.events_processed" }
+  in
+  Obs.Metrics.set t.g_capacity (float_of_int (Pq.capacity t.queue));
+  t
 
 let note_scheduled (t : t) : unit =
   Obs.Metrics.inc t.c_scheduled;
-  Obs.Metrics.set_max t.g_depth_max (float_of_int (Pq.length t.queue))
+  Obs.Metrics.set_max t.g_depth_max (float_of_int (Pq.length t.queue));
+  Obs.Metrics.set t.g_capacity (float_of_int (Pq.capacity t.queue))
 
 let now (t : t) : float = t.now
 
@@ -115,6 +138,8 @@ let schedule_at (t : t) ~(time : float) (action : unit -> unit) : unit =
   note_scheduled t
 
 let pending (t : t) : int = Pq.length t.queue
+
+let queue_capacity (t : t) : int = Pq.capacity t.queue
 
 let events_processed (t : t) : int = t.processed
 
@@ -141,4 +166,6 @@ let run ?(until = Float.infinity) ?(max_events = max_int) (t : t) : int =
       end
   done;
   Obs.Metrics.inc ~by:!count t.c_processed;
+  (* Pops may have shrunk the heap; record the settled capacity. *)
+  Obs.Metrics.set t.g_capacity (float_of_int (Pq.capacity t.queue));
   !count

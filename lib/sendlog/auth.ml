@@ -23,8 +23,43 @@ let mode_to_string = function
   | Auth_hmac -> "hmac"
   | Auth_rsa -> "rsa"
 
-(* Sign (or just attribute) [bytes] on behalf of [principal]. *)
-let make_auth (mode : mode) (sender : Principal.t) (bytes : string) : Net.Wire.auth =
+(* Sender-side signature cache counters.  [Net.Wire.signed_bytes]
+   deliberately excludes the sequence number so identical payloads can
+   share signature work; the cache below realizes that sharing. *)
+let c_cache_hits =
+  lazy (Obs.Metrics.counter Obs.Metrics.default "crypto.sign_cache_hits")
+
+let c_cache_misses =
+  lazy (Obs.Metrics.counter Obs.Metrics.default "crypto.sign_cache_misses")
+
+let sign_cache_max = 8192 (* per-principal bound; reset on overflow *)
+
+(* RSA-sign [bytes] as [sender], consulting the principal's signature
+   cache (keyed by payload digest).  Signatures are deterministic, so a
+   hit is byte-identical to a cold signing. *)
+let rsa_sign_cached ~(fastpath : bool) (sender : Principal.t) (bytes : string) : string
+    =
+  if not fastpath then Crypto.Rsa.sign ~fastpath sender.keypair.private_ bytes
+  else begin
+    let digest = Crypto.Sha256.digest bytes in
+    match Hashtbl.find_opt sender.sig_cache digest with
+    | Some s ->
+      Obs.Metrics.inc (Lazy.force c_cache_hits);
+      s
+    | None ->
+      Obs.Metrics.inc (Lazy.force c_cache_misses);
+      let s = Crypto.Rsa.sign ~fastpath sender.keypair.private_ bytes in
+      if Hashtbl.length sender.sig_cache >= sign_cache_max then
+        Hashtbl.reset sender.sig_cache;
+      Hashtbl.add sender.sig_cache digest s;
+      s
+  end
+
+(* Sign (or just attribute) [bytes] on behalf of [principal].
+   [?fastpath] gates both the CRT/Montgomery exponentiation and the
+   signature cache (Config.use_crypto_fastpath). *)
+let make_auth ?(fastpath = true) (mode : mode) (sender : Principal.t) (bytes : string)
+    : Net.Wire.auth =
   match mode with
   | Auth_none -> Net.Wire.A_none
   | Auth_cleartext -> Net.Wire.A_principal sender.name
@@ -33,8 +68,7 @@ let make_auth (mode : mode) (sender : Principal.t) (bytes : string) : Net.Wire.a
       { principal = sender.name; tag = Crypto.Hmac.sha256 ~key:sender.hmac_key bytes }
   | Auth_rsa ->
     Net.Wire.A_signature
-      { principal = sender.name;
-        signature = Crypto.Rsa.sign sender.keypair.private_ bytes }
+      { principal = sender.name; signature = rsa_sign_cached ~fastpath sender bytes }
 
 type verdict =
   | Verified of string (* principal whose assertion checked out *)
@@ -44,8 +78,8 @@ type verdict =
 (* Verify an incoming message's authentication against the directory.
    Cleartext headers are accepted at face value (that is the point of
    the benign mode); HMAC and RSA are cryptographically checked. *)
-let verify (mode : mode) (directory : Principal.directory) (auth : Net.Wire.auth)
-    (bytes : string) : verdict =
+let verify ?(fastpath = true) (mode : mode) (directory : Principal.directory)
+    (auth : Net.Wire.auth) (bytes : string) : verdict =
   match (mode, auth) with
   | Auth_none, _ -> Unsigned
   | Auth_cleartext, Net.Wire.A_principal p -> Verified p
@@ -61,8 +95,8 @@ let verify (mode : mode) (directory : Principal.directory) (auth : Net.Wire.auth
     match Principal.find directory principal with
     | None -> Forged (Printf.sprintf "unknown principal %s" principal)
     | Some sender ->
-      if Crypto.Rsa.verify (Principal.public_key sender) ~signature bytes then
-        Verified principal
+      if Crypto.Rsa.verify ~fastpath (Principal.public_key sender) ~signature bytes
+      then Verified principal
       else Forged (Printf.sprintf "bad signature from %s" principal))
   | Auth_rsa, _ -> Forged "missing signature"
 
@@ -70,12 +104,12 @@ let verify (mode : mode) (directory : Principal.directory) (auth : Net.Wire.auth
    Section 4.3: "individual nodes in the provenance tree need to have
    digital signatures to validate the authenticity of the computed
    provenance"). *)
-let sign_provenance_node (mode : mode) (sender : Principal.t) ~(node_repr : string) :
-    string option =
+let sign_provenance_node ?(fastpath = true) (mode : mode) (sender : Principal.t)
+    ~(node_repr : string) : string option =
   match mode with
   | Auth_none | Auth_cleartext -> None
   | Auth_hmac -> Some (Crypto.Hmac.sha256 ~key:sender.hmac_key node_repr)
-  | Auth_rsa -> Some (Crypto.Rsa.sign sender.keypair.private_ node_repr)
+  | Auth_rsa -> Some (Crypto.Rsa.sign ~fastpath sender.keypair.private_ node_repr)
 
 let verify_provenance_node (mode : mode) (directory : Principal.directory)
     ~(principal : string) ~(node_repr : string) ~(signature : string) : bool =

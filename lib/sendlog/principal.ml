@@ -12,6 +12,10 @@ type t = {
   keypair : Crypto.Rsa.keypair;
   hmac_key : string;
   level : int;
+  sig_cache : (string, string) Hashtbl.t;
+      (* payload digest -> RSA signature: the sender-side cache
+         [Auth.make_auth] consults (signatures are deterministic, so a
+         hit returns bytes identical to a cold signing) *)
 }
 
 (* Deterministic keys derived from the given generator; key size is a
@@ -19,7 +23,7 @@ type t = {
 let create (rng : Crypto.Rng.t) ~(name : string) ?(level = 1) ~(rsa_bits : int) () : t =
   let keypair = Crypto.Rsa.generate rng ~bits:rsa_bits in
   let hmac_key = Crypto.Rng.bytes rng 32 in
-  { name; keypair; hmac_key; level }
+  { name; keypair; hmac_key; level; sig_cache = Hashtbl.create 64 }
 
 let public_key (p : t) : Crypto.Rsa.public_key = p.keypair.public
 
@@ -46,12 +50,25 @@ let level_of (d : directory) (name : string) : int =
 let names (d : directory) : string list =
   Hashtbl.fold (fun k _ acc -> k :: acc) d.principals [] |> List.sort String.compare
 
+(* Create and register principals for any of [node_names] not already
+   present; existing principals (and their keypairs) are reused, so a
+   shared directory amortizes RSA key generation across runs. *)
+let ensure_registered (d : directory) (rng : Crypto.Rng.t) ~(rsa_bits : int)
+    ?(level_of_name = fun _ -> 1) (node_names : string list) : unit =
+  List.iter
+    (fun name ->
+      if find d name = None then
+        register d (create rng ~name ~level:(level_of_name name) ~rsa_bits ()))
+    node_names
+
 (* Create and register one principal per node name. *)
 let directory_for (rng : Crypto.Rng.t) ~(rsa_bits : int) ?(level_of_name = fun _ -> 1)
     (node_names : string list) : directory =
   let d = empty_directory () in
-  List.iter
-    (fun name ->
-      register d (create rng ~name ~level:(level_of_name name) ~rsa_bits ()))
-    node_names;
+  ensure_registered d rng ~rsa_bits ~level_of_name node_names;
   d
+
+(* Drop all cached signatures (a fresh run should pay its own signing
+   cost even when the keypairs are reused). *)
+let clear_sign_caches (d : directory) : unit =
+  Hashtbl.iter (fun _ p -> Hashtbl.reset p.sig_cache) d.principals

@@ -107,6 +107,32 @@ let test_pow () =
   check_nat "x^0" Nat.one (Nat.pow (Nat.of_int 99) 0);
   check_nat "10^30" (Nat.of_string ("1" ^ String.make 30 '0')) (Nat.pow (Nat.of_int 10) 30)
 
+(* --- Montgomery fast path ---------------------------------------------- *)
+
+let test_mont_rejects_bad_modulus () =
+  List.iter
+    (fun m ->
+      Alcotest.check_raises "odd modulus required"
+        (Invalid_argument "Nat.Mont.ctx: modulus must be odd and > 1")
+        (fun () -> ignore (Nat.Mont.ctx m)))
+    [ Nat.zero; Nat.one; Nat.two; Nat.of_int 4096 ]
+
+let test_mont_known_values () =
+  let p = Nat.of_int 1000000007 in
+  let c = Nat.Mont.ctx p in
+  check_nat "modulus" p (Nat.Mont.modulus c);
+  check_nat "fermat" Nat.one
+    (Nat.Mont.mod_pow c (Nat.of_int 123456) (Nat.sub p Nat.one));
+  check_nat "e=0" Nat.one (Nat.Mont.mod_pow c (Nat.of_int 5) Nat.zero);
+  check_nat "b=0" Nat.zero (Nat.Mont.mod_pow c Nat.zero (Nat.of_int 17));
+  check_nat "b=1" Nat.one (Nat.Mont.mod_pow c Nat.one (Nat.of_int 99));
+  check_nat "int exponent"
+    (Nat.mod_pow (Nat.of_int 3) (Nat.of_int 65537) p)
+    (Nat.Mont.mod_pow_int c (Nat.of_int 3) 65537);
+  check_nat "fast = naive (even modulus fallback)"
+    (Nat.mod_pow (Nat.of_int 7) (Nat.of_int 130) (Nat.of_int 4096))
+    (Nat.mod_pow_fast (Nat.of_int 7) (Nat.of_int 130) (Nat.of_int 4096))
+
 (* --- Bigint ----------------------------------------------------------- *)
 
 let bigint = Alcotest.testable Bigint.pp Bigint.equal
@@ -229,6 +255,35 @@ let prop_mod_pow_mul =
       let rhs = Nat.rem (Nat.mul (Nat.mod_pow a (Nat.of_int x) m) (Nat.mod_pow a (Nat.of_int y) m)) m in
       Nat.equal lhs rhs)
 
+let odd_modulus_gen =
+  (* odd moduli >= 3 of up to ~300 bits, the Montgomery domain *)
+  QCheck.map ~rev:Fun.id
+    (fun n ->
+      let n = if Nat.is_even n then Nat.add n Nat.one else n in
+      if Nat.compare n (Nat.of_int 3) < 0 then Nat.of_int 3 else n)
+    big_nat_gen
+
+let prop_mont_matches_naive =
+  QCheck.Test.make ~name:"Montgomery mod_pow = naive mod_pow" ~count:150
+    QCheck.(triple big_nat_gen big_nat_gen odd_modulus_gen)
+    (fun (b, e, m) ->
+      Nat.equal (Nat.Mont.mod_pow (Nat.Mont.ctx m) b e) (Nat.mod_pow b e m))
+
+let prop_mod_pow_fast_matches_naive =
+  QCheck.Test.make ~name:"mod_pow_fast = mod_pow (any modulus)" ~count:150
+    QCheck.(triple big_nat_gen big_nat_gen big_nat_gen)
+    (fun (b, e, m) ->
+      QCheck.assume (not (Nat.is_zero m));
+      Nat.equal (Nat.mod_pow_fast b e m) (Nat.mod_pow b e m))
+
+let prop_mont_int_exponent =
+  QCheck.Test.make ~name:"Montgomery int exponent = Nat exponent" ~count:150
+    QCheck.(triple big_nat_gen (int_bound 200_000) odd_modulus_gen)
+    (fun (b, e, m) ->
+      Nat.equal
+        (Nat.Mont.mod_pow_int (Nat.Mont.ctx m) b e)
+        (Nat.mod_pow b (Nat.of_int e) m))
+
 let prop_compare_total_order =
   QCheck.Test.make ~name:"compare antisymmetric" ~count:200
     QCheck.(pair big_nat_gen big_nat_gen)
@@ -249,6 +304,8 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "byte strings" `Quick test_bytes_roundtrip;
     Alcotest.test_case "gcd" `Quick test_gcd;
     Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "montgomery rejects bad moduli" `Quick test_mont_rejects_bad_modulus;
+    Alcotest.test_case "montgomery known values" `Quick test_mont_known_values;
     Alcotest.test_case "bigint signs" `Quick test_bigint_signs;
     Alcotest.test_case "bigint truncated divmod" `Quick test_bigint_divmod_truncated;
     Alcotest.test_case "bigint egcd" `Quick test_bigint_egcd;
@@ -264,4 +321,7 @@ let suite : unit Alcotest.test_case list =
         prop_shift_consistent;
         prop_gcd_divides;
         prop_mod_pow_mul;
+        prop_mont_matches_naive;
+        prop_mod_pow_fast_matches_naive;
+        prop_mont_int_exponent;
         prop_compare_total_order ]

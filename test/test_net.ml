@@ -53,6 +53,29 @@ let test_sim_negative_delay_rejected () =
     (Invalid_argument "Event_sim.schedule: negative delay") (fun () ->
       Net.Event_sim.schedule sim ~delay:(-1.0) (fun () -> ()))
 
+let test_sim_heap_shrinks () =
+  (* a burst of 10k events grows the heap; draining releases it back
+     toward the 64-slot floor instead of pinning the peak array *)
+  let sim = Net.Event_sim.create () in
+  let base = Net.Event_sim.queue_capacity sim in
+  Alcotest.(check int) "initial capacity" 64 base;
+  for i = 1 to 10_000 do
+    Net.Event_sim.schedule sim ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Alcotest.(check bool) "grew" true (Net.Event_sim.queue_capacity sim >= 10_000);
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check int) "shrank back to floor" 64 (Net.Event_sim.queue_capacity sim);
+  Alcotest.(check (float 0.5)) "capacity gauge tracks" 64.0
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge Obs.Metrics.default "sim.queue_capacity"));
+  (* ordering still holds across shrinks *)
+  let log = ref [] in
+  List.iter
+    (fun d -> Net.Event_sim.schedule sim ~delay:d (fun () -> log := d :: !log))
+    [ 0.5; 0.2; 0.9; 0.1 ];
+  ignore (Net.Event_sim.run sim);
+  Alcotest.(check (list (float 1e-9))) "still ordered" [ 0.1; 0.2; 0.5; 0.9 ]
+    (List.rev !log)
+
 let prop_sim_heap_order =
   (* any schedule order drains in nondecreasing timestamp order *)
   QCheck.Test.make ~name:"heap drains in order" ~count:100
@@ -247,6 +270,7 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "sim cascading" `Quick test_sim_cascading;
     Alcotest.test_case "sim horizon" `Quick test_sim_until_horizon;
     Alcotest.test_case "sim rejects negative delay" `Quick test_sim_negative_delay_rejected;
+    Alcotest.test_case "sim heap shrinks after burst" `Quick test_sim_heap_shrinks;
     Alcotest.test_case "message sizes" `Quick test_message_roundtrip_sizes;
     Alcotest.test_case "auth size ordering" `Quick test_auth_ordering_sizes;
     Alcotest.test_case "signed bytes bind endpoints" `Quick test_signed_bytes_binds_endpoints;

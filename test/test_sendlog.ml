@@ -99,6 +99,48 @@ let test_provenance_node_signing () =
   Alcotest.(check bool) "cleartext does not sign" true
     (Sendlog.Auth.sign_provenance_node Sendlog.Auth.Auth_cleartext p ~node_repr:"n" = None)
 
+(* --- signature cache -------------------------------------------------------- *)
+
+let cache_counter name = Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default name)
+
+let test_sign_cache_hit_identical () =
+  (* Signing the same payload twice: one miss then one hit, and the
+     cached signature is byte-identical both to the cold one and to a
+     naive (non-fastpath) signing. *)
+  Obs.Metrics.reset Obs.Metrics.default;
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a" ] in
+  let sender = Sendlog.Principal.find_exn d "a" in
+  let bytes = "payload-to-cache" in
+  let hits0 = cache_counter "crypto.sign_cache_hits" in
+  let misses0 = cache_counter "crypto.sign_cache_misses" in
+  let sig_of = function
+    | Net.Wire.A_signature { signature; _ } -> signature
+    | _ -> Alcotest.fail "expected an RSA signature"
+  in
+  let cold = sig_of (Sendlog.Auth.make_auth Sendlog.Auth.Auth_rsa sender bytes) in
+  Alcotest.(check int) "one miss" (misses0 + 1) (cache_counter "crypto.sign_cache_misses");
+  let cached = sig_of (Sendlog.Auth.make_auth Sendlog.Auth.Auth_rsa sender bytes) in
+  Alcotest.(check int) "one hit" (hits0 + 1) (cache_counter "crypto.sign_cache_hits");
+  Alcotest.(check string) "cache hit byte-identical to cold" cold cached;
+  Alcotest.(check string) "identical to naive signing" cold
+    (Crypto.Rsa.sign ~fastpath:false sender.keypair.private_ bytes);
+  (* clearing the cache forces a fresh signing, still identical *)
+  Sendlog.Principal.clear_sign_caches d;
+  let recomputed = sig_of (Sendlog.Auth.make_auth Sendlog.Auth.Auth_rsa sender bytes) in
+  Alcotest.(check int) "miss after clear" (misses0 + 2)
+    (cache_counter "crypto.sign_cache_misses");
+  Alcotest.(check string) "recomputed identical" cold recomputed
+
+let test_sign_cache_bypassed_without_fastpath () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let d = Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 [ "a" ] in
+  let sender = Sendlog.Principal.find_exn d "a" in
+  for _ = 1 to 3 do
+    ignore (Sendlog.Auth.make_auth ~fastpath:false Sendlog.Auth.Auth_rsa sender "b")
+  done;
+  Alcotest.(check int) "no hits" 0 (cache_counter "crypto.sign_cache_hits");
+  Alcotest.(check int) "no misses" 0 (cache_counter "crypto.sign_cache_misses")
+
 (* --- compilation ----------------------------------------------------------- *)
 
 let test_compile_ndlog_localizes () =
@@ -149,6 +191,9 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "unknown principal" `Quick test_auth_unknown_principal;
     Alcotest.test_case "impersonation" `Quick test_auth_impersonation_detected;
     Alcotest.test_case "provenance node signatures" `Quick test_provenance_node_signing;
+    Alcotest.test_case "sign cache hit identical" `Quick test_sign_cache_hit_identical;
+    Alcotest.test_case "sign cache off with naive path" `Quick
+      test_sign_cache_bypassed_without_fastpath;
     Alcotest.test_case "compile localizes NDlog" `Quick test_compile_ndlog_localizes;
     Alcotest.test_case "compile detects SeNDlog" `Quick test_compile_sendlog_detected;
     Alcotest.test_case "compile rejects unsafe" `Quick test_compile_rejects_bad_program;
