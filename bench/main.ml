@@ -10,13 +10,17 @@
      dune exec bench/main.exe -- --rsa-bits 512
      dune exec bench/main.exe -- --smoke      CI gate: tiny sweep + index
                                               ablation + a small SeNDLog
-                                              (Auth_rsa) crypto ablation;
-                                              exits nonzero when indexed
-                                              joins stop beating scans, when
-                                              the crypto fast path stops
-                                              beating naive exponentiation,
-                                              or when fast-path signatures
-                                              are not byte-identical
+                                              (Auth_rsa) crypto ablation + a
+                                              lossy fault ablation; exits
+                                              nonzero when indexed joins stop
+                                              beating scans, when the crypto
+                                              fast path stops beating naive
+                                              exponentiation, when fast-path
+                                              signatures are not
+                                              byte-identical, or when
+                                              reliable delivery under loss
+                                              stops reaching the fault-free
+                                              fixpoint
 
    Output sections:
      Figure 3  query completion time (s) per configuration
@@ -24,6 +28,7 @@
      Section 6 overhead summary (the paper's +53%/+36%/+41%/+54% text)
      Index ablation  hash-indexed joins vs full-relation scans
      Crypto ablation Montgomery/CRT + signature cache vs naive mod-pow
+     Fault ablation  loss x {best-effort, reliable} delivery + mid-run crash
      Ablation A  local vs distributed provenance
      Ablation B  proactive vs reactive maintenance
      Ablation C  sampling and Bloom digests
@@ -40,12 +45,30 @@ type options = {
   mutable micro_only : bool;
   mutable skip_micro : bool;
   mutable smoke : bool;
+  mutable base_cfg : Core.Config.t;
+      (* ablation/fault toggles from the shared flag parser; every
+         phase derives its configurations from this base *)
 }
 
 let parse_args () =
   let o =
     { ns = default_ns; runs = 1; rsa_bits = 384; figures_only = false;
-      micro_only = false; skip_micro = false; smoke = false }
+      micro_only = false; skip_micro = false; smoke = false;
+      base_cfg = Core.Config.default }
+  in
+  (* Config-level flags (--rsa-bits, --no-indexes, --no-crypto-fastpath,
+     --loss/--dup/--crash/--reliable/...) go through the same
+     [Core.Config.of_args] parser psn uses; whatever it doesn't
+     recognize is handled here. *)
+  let leftover =
+    match Core.Config.of_args (List.tl (Array.to_list Sys.argv)) with
+    | Ok (cfg, leftover) ->
+      o.base_cfg <- cfg;
+      o.rsa_bits <- cfg.Core.Config.rsa_bits;
+      leftover
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
   in
   let rec go = function
     | [] -> ()
@@ -74,14 +97,11 @@ let parse_args () =
     | "--runs" :: v :: rest ->
       o.runs <- int_of_string v;
       go rest
-    | "--rsa-bits" :: v :: rest ->
-      o.rsa_bits <- int_of_string v;
-      go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  go (List.tl (Array.to_list Sys.argv));
+  go leftover;
   o
 
 let hr title =
@@ -113,7 +133,7 @@ let phase_metrics (phase : string) : unit =
    metrics snapshot, for tracking the perf trajectory across PRs. *)
 let write_results_json (o : options) (points : Core.Bestpath_workload.point list)
     ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t)
-    ~(crypto_ablation : Obs.Json.t) : unit =
+    ~(crypto_ablation : Obs.Json.t) ~(fault_ablation : Obs.Json.t) : unit =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
@@ -123,6 +143,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
         ("points", Obs.Json.List (List.map Core.Bestpath_workload.point_to_json points));
         ("index_ablation", index_ablation);
         ("crypto_ablation", crypto_ablation);
+        ("fault_ablation", fault_ablation);
         ("metrics", figure_metrics) ]
   in
   let oc = open_out "BENCH_results.json" in
@@ -132,7 +153,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
       output_string oc (Obs.Json.to_string doc);
       output_char oc '\n');
   Printf.printf
-    "\nwrote BENCH_results.json (%d points + index/crypto ablations + metrics snapshot)\n"
+    "\nwrote BENCH_results.json (%d points + index/crypto/fault ablations + metrics snapshot)\n"
     (List.length points)
 
 (* --- Index ablation: hash-indexed joins vs full-relation scans ----------- *)
@@ -309,6 +330,114 @@ let crypto_ablation (o : options) : Obs.Json.t * float =
         ("signatures_byte_identical", Obs.Json.Bool true);
         ("best_paths", Obs.Json.Int fast_best) ],
     speedup )
+
+(* --- Fault ablation: loss x {best-effort, reliable} delivery ------------- *)
+
+(* The reliable-delivery comparison: the same Best-Path run over a
+   lossy, duplicating network with one mid-run fail-stop crash, with
+   the seq/ACK/retransmit layer off vs on.  The reliable runs must
+   reach exactly the fault-free fixpoint (the layer's whole point);
+   best-effort runs show what the losses cost.  Returns the JSON
+   record and whether every reliable cell converged. *)
+let fault_ablation (o : options) : Obs.Json.t * bool =
+  hr "Fault ablation: loss x {best-effort, reliable} delivery";
+  let n = if o.smoke then 8 else 16 in
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2028) ~n () in
+  let directory =
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
+  in
+  (* Canonical fixpoint: every node's bestPathCost contents plus the
+     bestPath cardinality.  The witness path inside bestPath is *not*
+     compared: equal-cost ties resolve by arrival order (same caveat as
+     the index ablation), so the costs are the deterministic result. *)
+  let fixpoint t =
+    ( List.sort_uniq compare
+        (List.map
+           (fun (at, tu) -> at ^ "|" ^ Engine.Tuple.to_string tu)
+           (Core.Runtime.query_all t "bestPathCost")),
+      List.length (Core.Runtime.query_all t "bestPath") )
+  in
+  let measure cfg =
+    phase_reset ();
+    let t =
+      Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+        ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    let r = Core.Runtime.run t in
+    (t, r)
+  in
+  let base_cfg = Core.Config.with_rsa_bits Core.Config.ndlog o.rsa_bits in
+  let t0, r0 = measure base_cfg in
+  let baseline = fixpoint t0 in
+  (* One node fails a quarter of the way through the fault-free run's
+     virtual duration and is back up at the halfway mark, so the crash
+     lands mid-fixpoint whatever the topology's timing. *)
+  let crash_at = max 0.01 (0.25 *. r0.sim_seconds) in
+  let crash =
+    { Net.Fault.cr_node = "n1"; cr_at = crash_at; cr_restart = Some (2.0 *. crash_at) }
+  in
+  Printf.printf
+    "workload: Best-Path, N=%d, NDLog config; dup=0.05, crash %s, fault seed 2028\n\
+     fault-free baseline: %d bestPath tuples, %.3fs virtual\n\n"
+    n
+    (Net.Fault.crash_to_string crash)
+    (snd baseline) r0.sim_seconds;
+  Printf.printf "%-6s %-12s %14s %10s %8s %8s %12s %8s %10s\n" "loss" "delivery"
+    "sim (s)" "messages" "drops" "dups" "retransmits" "acks" "fixpoint";
+  let rows = ref [] in
+  let reliable_ok = ref true in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun reliable ->
+          let cfg =
+            Core.Config.with_reliable
+              (Core.Config.with_crash
+                 (Core.Config.with_fault_seed
+                    (Core.Config.with_dup (Core.Config.with_loss base_cfg loss) 0.05)
+                    2028)
+                 crash)
+              reliable
+          in
+          let t, r = measure cfg in
+          let matches = fixpoint t = baseline in
+          if reliable && not matches then reliable_ok := false;
+          let st = Core.Runtime.stats t in
+          Printf.printf "%-6g %-12s %14.3f %10d %8d %8d %12d %8d %10s\n" loss
+            (if reliable then "reliable" else "best-effort")
+            r.sim_seconds st.Net.Stats.messages st.Net.Stats.drops st.Net.Stats.dups
+            st.Net.Stats.retransmits st.Net.Stats.acks
+            (if matches then "exact" else "DIVERGED");
+          rows :=
+            Obs.Json.Obj
+              [ ("loss", Obs.Json.Float loss);
+                ("dup", Obs.Json.Float 0.05);
+                ("crash", Obs.Json.Str (Net.Fault.crash_to_string crash));
+                ("reliable", Obs.Json.Bool reliable);
+                ("sim_seconds", Obs.Json.Float r.sim_seconds);
+                ("messages", Obs.Json.Int st.Net.Stats.messages);
+                ("drops", Obs.Json.Int st.Net.Stats.drops);
+                ("dups", Obs.Json.Int st.Net.Stats.dups);
+                ("retransmits", Obs.Json.Int st.Net.Stats.retransmits);
+                ("acks", Obs.Json.Int st.Net.Stats.acks);
+                ("retry_exhausted", Obs.Json.Int st.Net.Stats.retry_exhausted);
+                ("best_paths", Obs.Json.Int (snd (fixpoint t)));
+                ("fixpoint_matches_fault_free", Obs.Json.Bool matches) ]
+            :: !rows)
+        [ false; true ])
+    [ 0.1; 0.2 ];
+  Printf.printf
+    "\nexpected: every reliable row reads \"exact\" (retransmission spans the losses\n\
+     and the outage); best-effort rows may diverge, which is the layer's motivation.\n";
+  ( Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path, one topology, NDLog config");
+        ("n", Obs.Json.Int n);
+        ("fault_seed", Obs.Json.Int 2028);
+        ("baseline_best_paths", Obs.Json.Int (snd baseline));
+        ("baseline_sim_seconds", Obs.Json.Float r0.sim_seconds);
+        ("rows", Obs.Json.List (List.rev !rows)) ],
+    !reliable_ok )
 
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
 
@@ -619,8 +748,9 @@ let () =
     let points, figure_metrics = figures o in
     let abl_json, speedup = index_ablation o in
     let crypto_json, crypto_speedup = crypto_ablation o in
+    let fault_json, reliable_ok = fault_ablation o in
     write_results_json o points ~figure_metrics ~index_ablation:abl_json
-      ~crypto_ablation:crypto_json;
+      ~crypto_ablation:crypto_json ~fault_ablation:fault_json;
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
       phase_metrics "ablation A";
@@ -644,6 +774,12 @@ let () =
         "SMOKE FAILURE: the crypto fast path is no longer beating naive \
          exponentiation (speedup %.2fx < 1.50x)\n"
         crypto_speedup;
+      exit 1
+    end;
+    if o.smoke && not reliable_ok then begin
+      Printf.eprintf
+        "SMOKE FAILURE: reliable delivery no longer converges to the \
+         fault-free fixpoint under loss\n";
       exit 1
     end
   end;

@@ -83,6 +83,52 @@ let run_cmd =
          & info [ "config" ] ~doc:"ndlog | sendlog | sendlogprov")
   in
   let rsa_bits = Arg.(value & opt int 384 & info [ "rsa-bits" ] ~doc:"RSA modulus size") in
+  let no_indexes =
+    Arg.(value & flag & info [ "no-indexes" ] ~doc:"Disable secondary hash indexes (ablation)")
+  in
+  let no_fastpath =
+    Arg.(value & flag
+         & info [ "no-crypto-fastpath" ]
+             ~doc:"Disable CRT/Montgomery RSA and the signature cache (ablation)")
+  in
+  let loss =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-message drop probability on every link")
+  in
+  let dup =
+    Arg.(value & opt float 0.0
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability")
+  in
+  let reorder =
+    Arg.(value & opt float 0.0
+         & info [ "reorder" ] ~docv:"P" ~doc:"Per-message reorder (extra-delay) probability")
+  in
+  let jitter =
+    Arg.(value & opt float 0.05
+         & info [ "jitter" ] ~docv:"SECONDS" ~doc:"Maximum extra delay for reordered messages")
+  in
+  let crashes =
+    Arg.(value & opt_all string []
+         & info [ "crash" ] ~docv:"NODE@AT[+DUR]"
+             ~doc:"Fail-stop NODE at virtual time AT, restarting after DUR (repeatable)")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ]
+             ~doc:"Seed for fault verdicts (defaults to --seed); same seed, same faults")
+  in
+  let reliable =
+    Arg.(value & flag
+         & info [ "reliable" ] ~doc:"Enable the seq/ACK/retransmit reliable-delivery layer")
+  in
+  let retries =
+    Arg.(value & opt int 8 & info [ "retries" ] ~doc:"Retransmission attempts before giving up")
+  in
+  let ack_timeout =
+    Arg.(value & opt float 0.25
+         & info [ "ack-timeout" ] ~docv:"SECONDS"
+             ~doc:"Base retransmission timeout (doubles per attempt)")
+  in
   let with_links =
     Arg.(value & flag & info [ "links" ] ~doc:"Insert the topology's link(src,dst,cost) facts")
   in
@@ -108,12 +154,42 @@ let run_cmd =
          & info [ "events" ] ~docv:"FILE"
              ~doc:"Write the structured event log (JSON lines) to FILE")
   in
-  let run file nodes seed cfg rsa_bits with_links show metrics_out metrics_format
-      trace_out events_out =
+  let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
+      crashes fault_seed reliable retries ack_timeout with_links show metrics_out
+      metrics_format trace_out events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
-    let cfg = { cfg with Core.Config.rsa_bits } in
+    (* All knobs flow through the shared Config builders so psn and the
+       bench build identical configurations from identical spellings. *)
+    let cfg =
+      try
+        let c = Core.Config.with_rsa_bits cfg rsa_bits in
+        let c = Core.Config.with_indexes c (not no_indexes) in
+        let c = Core.Config.with_crypto_fastpath c (not no_fastpath) in
+        let c = Core.Config.with_loss c loss in
+        let c = Core.Config.with_dup c dup in
+        let c = Core.Config.with_reorder c reorder in
+        let c = Core.Config.with_jitter c jitter in
+        let c =
+          Core.Config.with_fault_seed c (Option.value fault_seed ~default:seed)
+        in
+        let c =
+          List.fold_left
+            (fun c spec ->
+              match Net.Fault.crash_of_string spec with
+              | Ok crash -> Core.Config.with_crash c crash
+              | Error e ->
+                Printf.eprintf "--crash %s: %s\n" spec e;
+                exit 1)
+            c crashes
+        in
+        let c = Core.Config.with_reliable c reliable in
+        Core.Config.with_retry c ~limit:retries ~ack_timeout ()
+      with Invalid_argument e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+    in
     (* The snapshot should cover this run only, not process history
        (key generation during setup still shows in crypto.keygen). *)
     Obs.Metrics.reset Obs.Metrics.default;
@@ -132,6 +208,13 @@ let run_cmd =
     in
     Printf.fprintf human "completion: %.3fs (virtual), %.3fs (cpu), %d events\n"
       r.sim_seconds r.wall_seconds r.events;
+    if not (Net.Fault.is_ideal cfg.Core.Config.fault) then
+      Printf.fprintf human "faults: %s, delivery=%s\n"
+        (Net.Fault.describe cfg.Core.Config.fault)
+        (if cfg.Core.Config.reliable then
+           Printf.sprintf "reliable (retries=%d, ack-timeout=%.3fs)"
+             cfg.Core.Config.retry_limit cfg.Core.Config.ack_timeout
+         else "best-effort");
     Printf.fprintf human "%s\n" (Net.Stats.to_string (Core.Runtime.stats t));
     List.iter
       (fun rel ->
@@ -160,8 +243,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program over a simulated network")
-    Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ with_links $ show
-          $ metrics_out $ metrics_format $ trace_out $ events_out)
+    Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ no_indexes $ no_fastpath
+          $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
+          $ ack_timeout $ with_links $ show $ metrics_out $ metrics_format $ trace_out
+          $ events_out)
 
 (* --- psn stats -------------------------------------------------------- *)
 

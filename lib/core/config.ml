@@ -66,6 +66,12 @@ type t = {
          forces naive full-width modular exponentiation per tuple
          (bench ablation; signatures are byte-identical either way) *)
   cost_model : cost_model;
+  fault : Net.Fault.model; (* how the simulated network misbehaves *)
+  reliable : bool; (* per-channel seq/ACK/retransmit delivery layer *)
+  retry_limit : int; (* retransmission attempts before giving up *)
+  ack_timeout : float;
+      (* base retransmission timeout in virtual seconds; doubles on
+         each unacknowledged attempt (exponential backoff) *)
 }
 
 let default =
@@ -81,7 +87,11 @@ let default =
     verify_signatures = true;
     use_indexes = true;
     use_crypto_fastpath = true;
-    cost_model = default_cost_model }
+    cost_model = default_cost_model;
+    fault = Net.Fault.ideal;
+    reliable = false;
+    retry_limit = 8;
+    ack_timeout = 0.25 }
 
 (* The paper's three evaluation configurations. *)
 let ndlog = default
@@ -106,3 +116,149 @@ let name (c : t) : string =
       | Prov_off -> "off"
       | Prov_local -> "local"
       | Prov_distributed -> "distributed")
+
+(* --- builders ---------------------------------------------------------
+   Shared construction API so [bin/psn.ml] and [bench/main.ml] build
+   identical configurations from identical flag spellings instead of
+   maintaining two divergent hand-rolled parsers. *)
+
+let of_name (s : string) : (t, string) result =
+  match String.lowercase_ascii s with
+  | "ndlog" -> Ok ndlog
+  | "sendlog" -> Ok sendlog
+  | "sendlogprov" | "sendlog_prov" | "sendlog-prov" -> Ok sendlog_prov
+  | _ -> Error (Printf.sprintf "unknown config %S (ndlog|sendlog|sendlogprov)" s)
+
+let with_rsa_bits (c : t) (rsa_bits : int) : t =
+  if rsa_bits < 128 then invalid_arg "Config.with_rsa_bits: need >= 128 bits";
+  { c with rsa_bits }
+
+let with_indexes (c : t) (use_indexes : bool) : t = { c with use_indexes }
+
+let with_crypto_fastpath (c : t) (use_crypto_fastpath : bool) : t =
+  { c with use_crypto_fastpath }
+
+let with_fault (c : t) (fault : Net.Fault.model) : t = { c with fault }
+
+let with_fault_seed (c : t) (seed : int) : t =
+  { c with fault = Net.Fault.with_seed c.fault seed }
+
+(* Rebuild the default link spec through [Fault.uniform] so each
+   setter re-validates the whole spec. *)
+let update_spec (c : t) (f : Net.Fault.spec -> Net.Fault.spec) : t =
+  let m = c.fault in
+  let s = f m.Net.Fault.default_spec in
+  let s =
+    Net.Fault.uniform ~drop:s.Net.Fault.drop ~duplicate:s.Net.Fault.duplicate
+      ~reorder:s.Net.Fault.reorder ~jitter:s.Net.Fault.jitter ()
+  in
+  { c with fault = { m with Net.Fault.default_spec = s } }
+
+let with_loss (c : t) (p : float) : t =
+  update_spec c (fun s -> { s with Net.Fault.drop = p })
+
+let with_dup (c : t) (p : float) : t =
+  update_spec c (fun s -> { s with Net.Fault.duplicate = p })
+
+let with_reorder (c : t) (p : float) : t =
+  update_spec c (fun s -> { s with Net.Fault.reorder = p })
+
+let with_jitter (c : t) (j : float) : t =
+  update_spec c (fun s -> { s with Net.Fault.jitter = j })
+
+let with_crash (c : t) (crash : Net.Fault.crash) : t =
+  let m = c.fault in
+  let fault =
+    Net.Fault.make ~seed:m.Net.Fault.seed ~default_spec:m.Net.Fault.default_spec
+      ~link_specs:m.Net.Fault.link_specs
+      ~crashes:(m.Net.Fault.crashes @ [ crash ])
+      ()
+  in
+  { c with fault }
+
+let with_reliable (c : t) (reliable : bool) : t = { c with reliable }
+
+let with_retry (c : t) ?(limit = 8) ?(ack_timeout = 0.25) () : t =
+  if limit < 0 then invalid_arg "Config.with_retry: negative retry limit";
+  if ack_timeout <= 0.0 then
+    invalid_arg "Config.with_retry: ack_timeout must be positive";
+  { c with retry_limit = limit; ack_timeout }
+
+(* Argv-style construction: consume the flags this module understands
+   and hand everything else back to the caller's own parser.  Both
+   binaries route their command line through here so ablation and
+   fault toggles stay uniform. *)
+let of_args ?(base = default) (args : string list) : (t * string list, string) result
+    =
+  let float_arg flag v k =
+    match float_of_string_opt v with
+    | Some f -> k f
+    | None -> Error (Printf.sprintf "%s: expected a number, got %S" flag v)
+  in
+  let int_arg flag v k =
+    match int_of_string_opt v with
+    | Some i -> k i
+    | None -> Error (Printf.sprintf "%s: expected an integer, got %S" flag v)
+  in
+  let rec go cfg leftover = function
+    | [] -> Ok (cfg, List.rev leftover)
+    | "--config" :: v :: rest -> (
+      match of_name v with
+      (* Preserve knobs already accumulated on [cfg] that the preset
+         doesn't speak to. *)
+      | Ok preset ->
+        go
+          { preset with
+            rsa_bits = cfg.rsa_bits;
+            use_indexes = cfg.use_indexes;
+            use_crypto_fastpath = cfg.use_crypto_fastpath;
+            fault = cfg.fault;
+            reliable = cfg.reliable;
+            retry_limit = cfg.retry_limit;
+            ack_timeout = cfg.ack_timeout }
+          leftover rest
+      | Error e -> Error e)
+    | "--rsa-bits" :: v :: rest ->
+      int_arg "--rsa-bits" v (fun b ->
+          try go (with_rsa_bits cfg b) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--no-indexes" :: rest -> go (with_indexes cfg false) leftover rest
+    | "--no-crypto-fastpath" :: rest ->
+      go (with_crypto_fastpath cfg false) leftover rest
+    | "--loss" :: v :: rest ->
+      float_arg "--loss" v (fun p ->
+          try go (with_loss cfg p) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--dup" :: v :: rest ->
+      float_arg "--dup" v (fun p ->
+          try go (with_dup cfg p) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--reorder" :: v :: rest ->
+      float_arg "--reorder" v (fun p ->
+          try go (with_reorder cfg p) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--jitter" :: v :: rest ->
+      float_arg "--jitter" v (fun j ->
+          try go (with_jitter cfg j) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--crash" :: v :: rest -> (
+      match Net.Fault.crash_of_string v with
+      | Ok crash -> go (with_crash cfg crash) leftover rest
+      | Error e -> Error e)
+    | "--fault-seed" :: v :: rest ->
+      int_arg "--fault-seed" v (fun s -> go (with_fault_seed cfg s) leftover rest)
+    | "--reliable" :: rest -> go (with_reliable cfg true) leftover rest
+    | "--retries" :: v :: rest ->
+      int_arg "--retries" v (fun n ->
+          try go (with_retry cfg ~limit:n ~ack_timeout:cfg.ack_timeout ()) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--ack-timeout" :: v :: rest ->
+      float_arg "--ack-timeout" v (fun s ->
+          try go (with_retry cfg ~limit:cfg.retry_limit ~ack_timeout:s ()) leftover rest
+          with Invalid_argument e -> Error e)
+    | (("--config" | "--rsa-bits" | "--loss" | "--dup" | "--reorder" | "--jitter"
+       | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout") as flag)
+      :: [] -> Error (Printf.sprintf "%s: missing value" flag)
+    | other :: rest -> go cfg (other :: leftover) rest
+  in
+  go base [] args

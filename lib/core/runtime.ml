@@ -39,7 +39,14 @@ type t = {
   h_compute : Obs.Metrics.histogram; (* measured CPU per handler *)
   c_flushes : Obs.Metrics.counter;
   c_buffered : Obs.Metrics.counter;
-  mutable seq : int;
+  g_crashed : Obs.Metrics.gauge; (* nodes currently failed-stop *)
+  mutable crashed_now : int;
+  chan_seq : (string * string, int) Hashtbl.t;
+      (* next data sequence number per (src,dst) channel *)
+  pending : (string * string * int, unit) Hashtbl.t;
+      (* reliable layer: data sends awaiting an ACK, keyed (src,dst,seq) *)
+  seen : (string * string * int, int) Hashtbl.t;
+      (* receiver-side dedup: processed-delivery count per (src,dst,seq) *)
   mutable log_derivations : bool;
   mutable derivation_log : Eval.derivation list;
   mutable on_message : (float -> Net.Wire.message -> unit) option;
@@ -109,29 +116,52 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   ignore (Obs.Metrics.histogram reg "crypto.verify_seconds");
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_hits");
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_misses");
+  ignore (Obs.Metrics.counter reg "traceback.partial_results");
   (* Fresh run: reused principals must not carry signatures (or their
      cost savings) over from a previous runtime. *)
   Sendlog.Principal.clear_sign_caches directory;
-  { cfg;
-    sim = Net.Event_sim.create ();
-    topo;
-    stats = Net.Stats.create ();
-    directory;
-    compiled;
-    nodes;
-    prov_ctx = Provenance.Condense.create_ctx ();
-    obs_events = Obs.Events.create ~capacity:8192 ();
-    tracer = None;
-    h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
-    h_compute = Obs.Metrics.histogram reg "runtime.handler_compute_seconds";
-    c_flushes = Obs.Metrics.counter reg "runtime.out_buffer_flushes";
-    c_buffered = Obs.Metrics.counter reg "runtime.messages_buffered";
-    seq = 0;
-    log_derivations = false;
-    derivation_log = [];
-    on_message = None;
-    extra_charge = 0.0;
-    out_buffer = [] }
+  let t =
+    { cfg;
+      sim = Net.Event_sim.create ();
+      topo;
+      stats = Net.Stats.create ();
+      directory;
+      compiled;
+      nodes;
+      prov_ctx = Provenance.Condense.create_ctx ();
+      obs_events = Obs.Events.create ~capacity:8192 ();
+      tracer = None;
+      h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
+      h_compute = Obs.Metrics.histogram reg "runtime.handler_compute_seconds";
+      c_flushes = Obs.Metrics.counter reg "runtime.out_buffer_flushes";
+      c_buffered = Obs.Metrics.counter reg "runtime.messages_buffered";
+      g_crashed = Obs.Metrics.gauge reg "sim.crashed_nodes";
+      crashed_now = 0;
+      chan_seq = Hashtbl.create 64;
+      pending = Hashtbl.create 256;
+      seen = Hashtbl.create 256;
+      log_derivations = false;
+      derivation_log = [];
+      on_message = None;
+      extra_charge = 0.0;
+      out_buffer = [] }
+  in
+  Obs.Metrics.set t.g_crashed 0.0;
+  (* Marker events keep the sim.crashed_nodes gauge current as the
+     fault model's fail-stop schedule plays out. *)
+  List.iter
+    (fun (c : Net.Fault.crash) ->
+      Net.Event_sim.schedule_at t.sim ~time:c.Net.Fault.cr_at (fun () ->
+          t.crashed_now <- t.crashed_now + 1;
+          Obs.Metrics.set t.g_crashed (float_of_int t.crashed_now));
+      match c.Net.Fault.cr_restart with
+      | Some r ->
+        Net.Event_sim.schedule_at t.sim ~time:r (fun () ->
+            t.crashed_now <- t.crashed_now - 1;
+            Obs.Metrics.set t.g_crashed (float_of_int t.crashed_now))
+      | None -> ())
+    cfg.Config.fault.Net.Fault.crashes;
+  t
 
 (* --- provenance capture ---------------------------------------------- *)
 
@@ -241,6 +271,88 @@ let decode_prov (t : t) (block : string) : Provenance.Prov_expr.t =
 let deliver : (t -> node -> Net.Wire.message -> unit) ref =
   ref (fun _ _ _ -> assert false)
 
+(* Per-(src,dst) channel sequence numbers: the reliable layer keys its
+   pending table and the receiver's dedup table by (src, dst, seq), so
+   sequence numbers must be unique per channel, not globally. *)
+let next_seq (t : t) ~(src : string) ~(dst : string) : int =
+  let key = (src, dst) in
+  let s = Option.value (Hashtbl.find_opt t.chan_seq key) ~default:0 in
+  Hashtbl.replace t.chan_seq key (s + 1);
+  s
+
+(* --- faulty transport ------------------------------------------------ *)
+
+(* One transmission attempt over the (possibly faulty) network: asks
+   the fault model how many copies arrive and with what extra delay.
+   ACK verdicts hash a complemented sequence number so an ACK's fate is
+   independent of the data message on the reverse channel that happens
+   to share its seq. *)
+let transmit (t : t) ~(delay : float) (receiver : node) (msg : Net.Wire.message)
+    ~(attempt : int) : unit =
+  let seq =
+    match msg.Net.Wire.msg_kind with
+    | Net.Wire.K_data -> msg.Net.Wire.msg_seq
+    | Net.Wire.K_ack -> lnot msg.Net.Wire.msg_seq
+  in
+  let deliveries =
+    Net.Fault.decide t.cfg.Config.fault ~src:msg.Net.Wire.msg_src
+      ~dst:msg.Net.Wire.msg_dst ~seq ~attempt
+  in
+  (match deliveries with
+  | [] -> Net.Stats.record_drop t.stats
+  | _ :: extras -> List.iter (fun _ -> Net.Stats.record_dup t.stats) extras);
+  List.iter
+    (fun extra ->
+      Net.Event_sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
+          !deliver t receiver msg))
+    deliveries
+
+(* Reliable delivery: transmit, then arm a retransmission timer with
+   exponential backoff.  The timer is a no-op once the ACK has cleared
+   the pending entry; a timer that fires while its sender is
+   fail-stopped parks itself until the sender restarts (the pending
+   table is the sender's stable storage). *)
+let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
+    ~(delay : float) ~(latency : float) ~(attempt : int) : unit =
+  transmit t ~delay receiver msg ~attempt;
+  let key = (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq) in
+  let timeout = t.cfg.Config.ack_timeout *. (2.0 ** float_of_int attempt) in
+  let rec on_timer () =
+    if Hashtbl.mem t.pending key then begin
+      let now = Net.Event_sim.now t.sim in
+      let fault = t.cfg.Config.fault in
+      if Net.Fault.is_down fault ~now msg.Net.Wire.msg_src then
+        match Net.Fault.restart_after fault ~now msg.Net.Wire.msg_src with
+        | Some at -> Net.Event_sim.schedule_at t.sim ~time:at on_timer
+        | None ->
+          (* The sender never comes back; nobody will retransmit. *)
+          Hashtbl.remove t.pending key;
+          Net.Stats.record_retry_exhausted t.stats
+      else if attempt >= t.cfg.Config.retry_limit then begin
+        Hashtbl.remove t.pending key;
+        Net.Stats.record_retry_exhausted t.stats
+      end
+      else begin
+        Net.Stats.record_retransmit t.stats;
+        (* The retransmitted copy costs real bandwidth. *)
+        Net.Stats.record_message t.stats msg;
+        reliable_send t receiver msg ~delay:latency ~latency ~attempt:(attempt + 1)
+      end
+    end
+  in
+  Net.Event_sim.schedule t.sim ~delay:(delay +. timeout) on_timer
+
+(* Entry point for a freshly produced data message leaving its node. *)
+let dispatch (t : t) (receiver : node) (msg : Net.Wire.message) ~(delay : float)
+    ~(latency : float) : unit =
+  if t.cfg.Config.reliable then begin
+    Hashtbl.replace t.pending
+      (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
+      ();
+    reliable_send t receiver msg ~delay ~latency ~attempt:0
+  end
+  else transmit t ~delay receiver msg ~attempt:0
+
 let send (t : t) (sender : node) (emit : Eval.emit) : unit =
   let tuple = emit.e_tuple in
   (* Record the derivation at the sender (distributed traceback walks
@@ -274,14 +386,14 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
     | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
     | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
     let msg =
-      { Net.Wire.msg_src = sender.n_addr;
+      { Net.Wire.msg_kind = Net.Wire.K_data;
+        msg_src = sender.n_addr;
         msg_dst = emit.e_dest;
-        msg_seq = t.seq;
+        msg_seq = next_seq t ~src:sender.n_addr ~dst:emit.e_dest;
         msg_tuple = tuple;
         msg_auth = auth;
         msg_provenance = prov_block }
     in
-    t.seq <- t.seq + 1;
     Net.Stats.record_message t.stats msg;
     let at = Net.Event_sim.now t.sim in
     Obs.Events.emit t.obs_events ~at
@@ -296,7 +408,7 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
     (match t.on_message with
     | Some tap -> tap (Net.Event_sim.now t.sim) msg
     | None -> ());
-    let latency = Net.Topology.latency_between t.topo ~src:sender.n_addr ~dst:emit.e_dest in
+    let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:emit.e_dest in
     let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
     t.out_buffer <- (latency, receiver, msg) :: t.out_buffer
   end
@@ -368,31 +480,80 @@ let with_processing (t : t) (n : node) ~(incoming_bytes : int) (work : unit -> u
     (fun (latency, receiver, msg) ->
       match receiver with
       | None -> () (* destination outside the simulation: counted, dropped *)
-      | Some r ->
-        Net.Event_sim.schedule t.sim ~delay:(depart +. latency) (fun () ->
-            !deliver t r msg))
+      | Some r -> dispatch t r msg ~delay:(depart +. latency) ~latency)
     outgoing
 
 (* Handle a delivered message: verify, record provenance, insert, and
    continue the fixpoint. *)
 let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
-  (* If the receiver's CPU is still busy with earlier work, the
-     message waits in its queue. *)
   let now = Net.Event_sim.now t.sim in
-  if receiver.n_free_at > now +. 1e-9 then
-    Net.Event_sim.schedule_at t.sim ~time:receiver.n_free_at (fun () ->
-        !deliver t receiver msg)
-  else begin
-    receiver.n_msgs_received <- receiver.n_msgs_received + 1;
-    Net.Stats.record_received t.stats msg;
-    Obs.Events.emit t.obs_events ~at:now
-      (Obs.Events.E_msg_received
-         { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
-    with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun () ->
-        (* [Exit] aborts processing of a forged message; the work done
-           so far (verification) is still charged to the node. *)
-        try handle_message_body t receiver msg with Exit -> ())
-  end
+  (* Fail-stop: a crashed node neither consumes ACKs nor processes
+     data; the copy is simply lost (the reliable layer's retransmits
+     outlive the outage). *)
+  if Net.Fault.is_down t.cfg.Config.fault ~now receiver.n_addr then
+    Net.Stats.record_drop t.stats
+  else
+    match msg.Net.Wire.msg_kind with
+    | Net.Wire.K_ack ->
+      (* Consumed by the sender-side reliable layer: clears the pending
+         entry so the retransmission timer stands down.  No dataflow
+         work, so no CPU charge or busy-queue wait. *)
+      Hashtbl.remove t.pending
+        (msg.Net.Wire.msg_dst, msg.Net.Wire.msg_src, msg.Net.Wire.msg_seq)
+    | Net.Wire.K_data ->
+      (* If the receiver's CPU is still busy with earlier work, the
+         message waits in its queue. *)
+      if receiver.n_free_at > now +. 1e-9 then
+        Net.Event_sim.schedule_at t.sim ~time:receiver.n_free_at (fun () ->
+            !deliver t receiver msg)
+      else begin
+        (* Reliable delivery: every copy is acknowledged (the first ACK
+           may have been lost), but only the first is processed. *)
+        let fresh =
+          (not t.cfg.Config.reliable)
+          || begin
+               let key =
+                 (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
+               in
+               let count = Option.value (Hashtbl.find_opt t.seen key) ~default:0 in
+               Hashtbl.replace t.seen key (count + 1);
+               send_ack t receiver msg ~attempt:count;
+               count = 0
+             end
+        in
+        if fresh then begin
+          receiver.n_msgs_received <- receiver.n_msgs_received + 1;
+          Net.Stats.record_received t.stats msg;
+          Obs.Events.emit t.obs_events ~at:now
+            (Obs.Events.E_msg_received
+               { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
+          with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun () ->
+              (* [Exit] aborts processing of a forged message; the work done
+                 so far (verification) is still charged to the node. *)
+              try handle_message_body t receiver msg with Exit -> ())
+        end
+      end
+
+(* Acknowledge a data message back to its sender.  ACKs ride the same
+   faulty network but are never themselves retransmitted: a lost ACK
+   surfaces as a data retransmission, which is re-acknowledged with a
+   fresh fault verdict ([attempt] counts the deliveries seen). *)
+and send_ack (t : t) (receiver : node) (data : Net.Wire.message) ~(attempt : int) :
+    unit =
+  match Hashtbl.find_opt t.nodes data.Net.Wire.msg_src with
+  | None -> ()
+  | Some orig ->
+    let ack =
+      Net.Wire.ack ~src:receiver.n_addr ~dst:data.Net.Wire.msg_src
+        ~seq:data.Net.Wire.msg_seq
+    in
+    Net.Stats.record_ack t.stats;
+    Net.Stats.record_message t.stats ack;
+    let latency =
+      Net.Topology.delivery_latency t.topo ~src:receiver.n_addr
+        ~dst:data.Net.Wire.msg_src
+    in
+    transmit t ~delay:latency orig ack ~attempt
 
 and handle_message_body (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
   let tuple = msg.msg_tuple in
@@ -528,6 +689,25 @@ let condensed_annotation (t : t) ~(at : string) (tuple : Tuple.t) : string =
 let stats (t : t) : Net.Stats.t = t.stats
 
 let dropped_forged (t : t) : int = t.stats.Net.Stats.dropped_forged
+
+let config (t : t) : Config.t = t.cfg
+
+let topology (t : t) : Net.Topology.t = t.topo
+
+let sim (t : t) : Net.Event_sim.t = t.sim
+
+let directory (t : t) : Sendlog.Principal.directory = t.directory
+
+(* Whether [addr] is fail-stopped at the current virtual time; the
+   basis for traceback's graceful degradation. *)
+let is_node_down (t : t) (addr : string) : bool =
+  Net.Fault.is_down t.cfg.Config.fault ~now:(Net.Event_sim.now t.sim) addr
+
+(* Swap a node's signing identity (adversary simulation in tests: a
+   rogue principal whose signatures the directory can't verify). *)
+let replace_principal (t : t) ~(at : string) (p : Sendlog.Principal.t) : unit =
+  let n = node t at in
+  Hashtbl.replace t.nodes at { n with n_principal = p }
 
 (* --- telemetry -------------------------------------------------------- *)
 

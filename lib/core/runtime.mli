@@ -1,0 +1,123 @@
+(** The provenance-aware secure networking runtime: the paper's
+    modified P2 system.
+
+    Every simulated node runs the same compiled SeNDlog/NDlog program
+    over its own database.  Locally derived tuples addressed at
+    another node become wire messages: encoded, authenticated
+    according to the configuration (Section 2.2's [says]
+    implementations), and — in the provenance-shipping configurations
+    — annotated with the tuple's (condensed) provenance.  Receivers
+    verify authentication, fold shipped provenance into their stores,
+    and continue the distributed fixpoint; quiescence of the event
+    queue is the paper's "query completion time".
+
+    The runtime state is abstract: the per-channel sequence counters,
+    the reliable layer's pending/dedup tables, and the out-buffer of
+    the currently executing handler are all invariants of the
+    message path, and mutating them from outside would break
+    at-most-once processing.  Fault injection is configured through
+    [Config.t] (see [Net.Fault]); with [reliable = true] every data
+    message is ACKed and retransmitted with exponential backoff until
+    acknowledged or the retry limit is reached, so a lossy run
+    converges to the fault-free fixpoint. *)
+
+open Engine
+
+(** One simulated node.  The record is exposed read-only (traceback
+    walks [n_prov]/[n_db] directly); use {!replace_principal} to swap
+    a node's signing identity rather than mutating the table. *)
+type node = {
+  n_addr : string;
+  n_principal : Sendlog.Principal.t;
+  n_db : Db.t;
+  n_prov : Prov_store.t;
+  n_sent_cache : (string, unit) Hashtbl.t;
+      (** dedup of identical sends *)
+  mutable n_msgs_received : int;
+  mutable n_free_at : float;
+      (** virtual time until which this node's CPU is busy *)
+}
+
+type t
+
+val create :
+  ?directory:Sendlog.Principal.directory ->
+  rng:Crypto.Rng.t ->
+  cfg:Config.t ->
+  topo:Net.Topology.t ->
+  program:Ndlog.Ast.program ->
+  unit ->
+  t
+(** Build a runtime: one node (database, provenance store, principal)
+    per topology node.  Crash/restart markers from [cfg.fault] are
+    pre-scheduled so the [sim.crashed_nodes] gauge tracks the
+    fail-stop schedule. *)
+
+val node : t -> string -> node
+(** Raises [Invalid_argument] for an unknown address. *)
+
+val nodes : t -> node list
+
+(** {1 Driving a run} *)
+
+val install_fact : t -> at:string -> Tuple.t -> unit
+val install_program_facts : t -> unit
+val install_links : ?with_cost:bool -> t -> unit
+
+type run_result = {
+  wall_seconds : float;
+      (** real CPU time: the paper's completion time *)
+  sim_seconds : float;  (** simulated network time at quiescence *)
+  events : int;
+}
+
+val run : ?until:float -> t -> run_result
+(** Run to distributed fixpoint (event-queue quiescence) or until the
+    virtual-time horizon. *)
+
+val advance : t -> seconds:float -> unit
+(** Advance simulated time and evict expired soft state, retiring its
+    provenance to the offline stores. *)
+
+(** {1 Queries} *)
+
+val query : t -> at:string -> string -> Tuple.t list
+val query_all : t -> string -> (string * Tuple.t) list
+val provenance_of : t -> at:string -> Tuple.t -> Provenance.Prov_expr.t
+val condensed_annotation : t -> at:string -> Tuple.t -> string
+
+(** {1 Accessors} *)
+
+val stats : t -> Net.Stats.t
+val dropped_forged : t -> int
+val config : t -> Config.t
+val topology : t -> Net.Topology.t
+val sim : t -> Net.Event_sim.t
+val directory : t -> Sendlog.Principal.directory
+
+val is_node_down : t -> string -> bool
+(** Whether the node is fail-stopped at the current virtual time; the
+    basis for traceback's graceful degradation. *)
+
+val replace_principal : t -> at:string -> Sendlog.Principal.t -> unit
+(** Swap a node's signing identity (adversary simulation in tests: a
+    rogue principal whose signatures the directory can't verify). *)
+
+(** {1 Telemetry} *)
+
+val event_log : t -> Obs.Events.log
+val tracer : t -> Obs.Trace.t option
+val set_tracer : t -> Obs.Trace.t -> unit
+
+val enable_tracing : t -> Obs.Trace.t
+(** Attach a tracer whose primary clock is the simulator's virtual
+    clock (wall-clock durations are recorded alongside). *)
+
+val enable_derivation_log : t -> unit
+val derivation_log : t -> Eval.derivation list
+
+val set_message_tap : t -> (float -> Net.Wire.message -> unit) -> unit
+(** Audit tap: sees every outgoing wire message (Accountability). *)
+
+val total_storage : t -> Prov_store.storage
+(** Total provenance storage across nodes, for the ablations. *)

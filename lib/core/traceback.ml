@@ -21,7 +21,13 @@ type result = {
   tree : Provenance.Derivation.t;
   expr : Provenance.Prov_expr.t;
   cost : cost;
+  partial : bool;
+      (* true when the tree contains [Unreachable] stubs: some node on
+         the derivation chain was fail-stopped when queried *)
 }
+
+let c_partial =
+  lazy (Obs.Metrics.counter Obs.Metrics.default "traceback.partial_results")
 
 (* Approximate wire cost of one remote provenance query: a request
    naming the tuple plus a response carrying the remote subtree
@@ -39,10 +45,19 @@ let max_depth = 64
 let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
   let cost = { remote_queries = 0; query_bytes = 0; nodes_visited = 1 } in
   let visited = Hashtbl.create 64 in
+  let partial = ref false in
   let rec walk (addr : string) (tuple : Tuple.t) (depth : int) : Provenance.Derivation.t =
     let key = addr ^ "|" ^ Tuple.identity tuple in
-    let node = Runtime.node t addr in
     let ident = Tuple.identity tuple in
+    (* Graceful degradation: a crashed node can't answer a provenance
+       query, so its subtree becomes an explicit [Unreachable] stub
+       instead of hanging the traceback or raising. *)
+    if Runtime.is_node_down t addr then begin
+      partial := true;
+      Provenance.Derivation.Unreachable { tuple = ident; location = addr }
+    end
+    else
+    let node = Runtime.node t addr in
     if depth > max_depth || Hashtbl.mem visited key then
       Provenance.Derivation.Leaf
         { tuple = ident; ann = Provenance.Derivation.annot addr }
@@ -110,7 +125,8 @@ let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
     end
   in
   let tree = walk at tuple 0 in
-  { tree; expr = Provenance.Derivation.to_expr tree; cost }
+  if !partial then Obs.Metrics.inc (Lazy.force c_partial);
+  { tree; expr = Provenance.Derivation.to_expr tree; cost; partial = !partial }
 
 (* The source principals/nodes a tuple ultimately depends on - the
    "trace the origins of its data" primitive of the trust-management

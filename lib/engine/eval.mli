@@ -1,0 +1,70 @@
+(** Semi-naive bottom-up evaluation of localized NDlog / SeNDlog rules
+    at one node.
+
+    The evaluator is provenance-agnostic: every successful derivation
+    is reported through the [on_derive] callback, and the caller
+    ([Core.Runtime]) decides how to record provenance, sign tuples,
+    and so on.  Derived tuples whose head location is not the local
+    address are returned as {!emit}s for the network layer instead of
+    being inserted.
+
+    Invariant the fault/reliable layer relies on: the fixpoint is
+    insensitive to the arrival order and multiplicity of frontier
+    tuples — a re-inserted tuple reports [Refreshed] and never
+    re-enters the frontier — so deliveries reordered or duplicated by
+    a faulty network converge to the same database as a fault-free
+    run. *)
+
+(** One derivation step: [d_head] was produced by rule [d_rule] from
+    the positive body matches [d_body]; each body entry carries the
+    asserting principal consumed by a [says] literal, if any. *)
+type derivation = {
+  d_rule : string;
+  d_head : Tuple.t;
+  d_body : (Tuple.t * Value.t option) list;
+}
+
+(** A tuple addressed to another node. *)
+type emit = {
+  e_dest : string;
+  e_tuple : Tuple.t;
+  e_deriv : derivation;
+}
+
+type frontier_item = {
+  f_tuple : Tuple.t;
+  f_asserter : Value.t option;
+}
+
+exception Rule_error of string
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int;
+  mutable inserted : int;
+}
+
+val run_fixpoint :
+  Db.t ->
+  now:float ->
+  rules:Ndlog.Ast.rule list ->
+  local:string option ->
+  ?self_principal:Value.t ->
+  pending:frontier_item list ->
+  on_derive:(derivation -> unit) ->
+  unit ->
+  emit list * stats
+(** Insert [pending] and apply [rules] to a local fixpoint.
+
+    - [local]: this node's address; derived tuples addressed elsewhere
+      become {!emit}s.  [None] runs single-site (everything local).
+    - [self_principal]: the asserting principal recorded for locally
+      derived tuples (SeNDlog context; [None] in plain NDlog).
+    - [on_derive] fires exactly once per distinct derivation found,
+      including re-derivations of existing tuples, so the caller can
+      accumulate alternative provenance (Plus in the semiring). *)
+
+val run_single_site : ?on_derive:(derivation -> unit) -> Ndlog.Ast.program -> Db.t
+(** Run a whole program (facts + rules) to fixpoint in one database,
+    ignoring distribution.  Raises {!Rule_error} if any derived tuple
+    is addressed to another node. *)

@@ -85,7 +85,6 @@ module Pq = struct
       Some top
     end
 
-  let is_empty q = q.size = 0
   let length q = q.size
   let capacity q = Array.length q.heap
 end

@@ -1,0 +1,83 @@
+(** Deterministic fault injection for the simulated network.
+
+    A {!model} describes how links misbehave (loss, duplication,
+    reordering jitter) and which nodes fail-stop and when.  Every
+    per-message verdict is computed by hashing (model seed, src, dst,
+    seq, attempt) into a private {!Crypto.Rng}; no shared RNG stream is
+    consumed, so verdicts are independent of event interleaving and a
+    faulty run is reproducible from its seed even though handler
+    durations include measured wall CPU. *)
+
+type spec = {
+  drop : float;  (** P(message lost in transit), per attempt *)
+  duplicate : float;  (** P(one extra copy delivered) *)
+  reorder : float;  (** P(a copy is delayed by extra jitter) *)
+  jitter : float;  (** max extra delay in seconds, drawn uniformly *)
+}
+
+val no_faults : spec
+
+val uniform :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?jitter:float ->
+  unit ->
+  spec
+(** Build a spec, validating that probabilities lie in [0,1] and
+    jitter is non-negative.  Raises [Invalid_argument] otherwise. *)
+
+type crash = {
+  cr_node : string;
+  cr_at : float;  (** virtual time the node goes down *)
+  cr_restart : float option;  (** back up at this time; [None] = forever *)
+}
+(** Fail-stop with state retained: during [cr_at, cr_restart) the node
+    neither receives nor processes messages, but its database and
+    provenance store survive, so the fixpoint resumes from
+    retransmissions after restart. *)
+
+type model = {
+  seed : int;
+  default_spec : spec;
+  link_specs : ((string * string) * spec) list;  (** (src,dst) overrides *)
+  crashes : crash list;
+}
+
+val ideal : model
+(** No faults at all; the default in {!Core.Config}. *)
+
+val make :
+  ?seed:int ->
+  ?default_spec:spec ->
+  ?link_specs:((string * string) * spec) list ->
+  ?crashes:crash list ->
+  unit ->
+  model
+(** Raises [Invalid_argument] on negative crash times or restarts that
+    do not come after their crash. *)
+
+val with_seed : model -> int -> model
+val is_ideal : model -> bool
+val spec_for : model -> src:string -> dst:string -> spec
+
+val decide :
+  model -> src:string -> dst:string -> seq:int -> attempt:int -> float list
+(** The network's verdict on one transmission attempt: one extra-delay
+    value per copy actually delivered.  [[]] means dropped; two
+    elements mean duplicated.  Deterministic in its arguments. *)
+
+val is_down : model -> now:float -> string -> bool
+(** Whether [node] is crashed at virtual time [now]. *)
+
+val restart_after : model -> now:float -> string -> float option
+(** When a node that is down at [now] comes back up: [Some t] with
+    [t > now], or [None] if the node is up already or down forever. *)
+
+val crash_of_string : string -> (crash, string) result
+(** Parse ["node@at"] (down forever) or ["node@at+duration"]. *)
+
+val crash_to_string : crash -> string
+
+val describe : model -> string
+(** One-line human-readable summary (["ideal"] when {!is_ideal}). *)

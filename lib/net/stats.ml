@@ -26,6 +26,12 @@ type t = {
   mutable signatures_verified : int;
   mutable verification_failures : int;
   mutable dropped_forged : int; (* forged messages discarded by receivers *)
+  (* Fault-injection / reliable-delivery accounting. *)
+  mutable drops : int; (* messages lost in transit (faults or crashed dst) *)
+  mutable dups : int; (* extra copies the faulty network delivered *)
+  mutable retransmits : int; (* data messages re-sent by the reliable layer *)
+  mutable acks : int; (* acknowledgements sent *)
+  mutable retry_exhausted : int; (* sends abandoned after the retry cap *)
   per_node_sent : (string, int) Hashtbl.t; (* bytes sent per node *)
   per_node_msgs : (string, int) Hashtbl.t;
   per_node_recv : (string, int) Hashtbl.t; (* bytes received per node *)
@@ -39,6 +45,11 @@ type t = {
   c_verifs : Obs.Metrics.counter;
   c_verif_failures : Obs.Metrics.counter;
   c_dropped_forged : Obs.Metrics.counter;
+  c_drops : Obs.Metrics.counter;
+  c_dups : Obs.Metrics.counter;
+  c_retransmits : Obs.Metrics.counter;
+  c_acks : Obs.Metrics.counter;
+  c_retry_exhausted : Obs.Metrics.counter;
 }
 
 let create () =
@@ -55,6 +66,11 @@ let create () =
     signatures_verified = 0;
     verification_failures = 0;
     dropped_forged = 0;
+    drops = 0;
+    dups = 0;
+    retransmits = 0;
+    acks = 0;
+    retry_exhausted = 0;
     per_node_sent = Hashtbl.create 64;
     per_node_msgs = Hashtbl.create 64;
     per_node_recv = Hashtbl.create 64;
@@ -67,7 +83,12 @@ let create () =
     c_sigs = Obs.Metrics.counter reg "crypto.signatures_generated";
     c_verifs = Obs.Metrics.counter reg "crypto.signatures_verified";
     c_verif_failures = Obs.Metrics.counter reg "crypto.verification_failures";
-    c_dropped_forged = Obs.Metrics.counter reg "wire.dropped_forged" }
+    c_dropped_forged = Obs.Metrics.counter reg "wire.dropped_forged";
+    c_drops = Obs.Metrics.counter reg "net.drops";
+    c_dups = Obs.Metrics.counter reg "net.dups";
+    c_retransmits = Obs.Metrics.counter reg "net.retransmits";
+    c_acks = Obs.Metrics.counter reg "net.acks";
+    c_retry_exhausted = Obs.Metrics.counter reg "net.retry_exhausted" }
 
 let bump tbl key n =
   Hashtbl.replace tbl key (Option.value (Hashtbl.find_opt tbl key) ~default:0 + n)
@@ -113,6 +134,26 @@ let record_forged (t : t) =
   t.dropped_forged <- t.dropped_forged + 1;
   Obs.Metrics.inc t.c_dropped_forged
 
+let record_drop (t : t) =
+  t.drops <- t.drops + 1;
+  Obs.Metrics.inc t.c_drops
+
+let record_dup (t : t) =
+  t.dups <- t.dups + 1;
+  Obs.Metrics.inc t.c_dups
+
+let record_retransmit (t : t) =
+  t.retransmits <- t.retransmits + 1;
+  Obs.Metrics.inc t.c_retransmits
+
+let record_ack (t : t) =
+  t.acks <- t.acks + 1;
+  Obs.Metrics.inc t.c_acks
+
+let record_retry_exhausted (t : t) =
+  t.retry_exhausted <- t.retry_exhausted + 1;
+  Obs.Metrics.inc t.c_retry_exhausted
+
 let bytes_sent_by (t : t) (node : string) : int =
   Option.value (Hashtbl.find_opt t.per_node_sent node) ~default:0
 
@@ -134,6 +175,11 @@ let to_string (t : t) : string =
     t.messages t.bytes_total t.bytes_header t.bytes_payload t.bytes_auth
     t.bytes_provenance t.messages_received t.bytes_received t.signatures_generated
     t.signatures_verified t.verification_failures t.dropped_forged
+  ^
+  if t.drops + t.dups + t.retransmits + t.acks + t.retry_exhausted = 0 then ""
+  else
+    Printf.sprintf " drops=%d dups=%d retransmits=%d acks=%d retry_exhausted=%d"
+      t.drops t.dups t.retransmits t.acks t.retry_exhausted
 
 let per_node_json (sent_b : (string, int) Hashtbl.t) (sent_m : (string, int) Hashtbl.t)
     (recv_b : (string, int) Hashtbl.t) (recv_m : (string, int) Hashtbl.t) : Obs.Json.t =
@@ -168,6 +214,11 @@ let to_json (t : t) : Obs.Json.t =
       ("signatures_verified", Obs.Json.Int t.signatures_verified);
       ("verification_failures", Obs.Json.Int t.verification_failures);
       ("dropped_forged", Obs.Json.Int t.dropped_forged);
+      ("drops", Obs.Json.Int t.drops);
+      ("dups", Obs.Json.Int t.dups);
+      ("retransmits", Obs.Json.Int t.retransmits);
+      ("acks", Obs.Json.Int t.acks);
+      ("retry_exhausted", Obs.Json.Int t.retry_exhausted);
       ("per_node",
        per_node_json t.per_node_sent t.per_node_msgs t.per_node_recv
          t.per_node_msgs_recv) ]

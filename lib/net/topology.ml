@@ -23,6 +23,23 @@ let node_name i = Printf.sprintf "n%d" i
 
 let nodes_of_count n = List.init n node_name
 
+(* All constructors funnel through here so no topology can carry two
+   links with the same (src, dst): the fault layer keys per-link specs
+   and the reliable-delivery layer keys channels by that pair, and a
+   duplicate would make [latency_between] ambiguous. *)
+let validated ~(nodes : string list) ~(links : link list)
+    ~(as_of : (string, int) Hashtbl.t) : t =
+  let seen = Hashtbl.create (List.length links) in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen (l.l_src, l.l_dst) then
+        invalid_arg
+          (Printf.sprintf "Topology: duplicate directed link %s -> %s" l.l_src
+             l.l_dst);
+      Hashtbl.add seen (l.l_src, l.l_dst) ())
+    links;
+  { nodes; links; as_of }
+
 (* Assign nodes round-robin to [n_as] autonomous systems. *)
 let assign_as (nodes : string list) ~(n_as : int) : (string, int) Hashtbl.t =
   let tbl = Hashtbl.create (List.length nodes) in
@@ -71,7 +88,8 @@ let random (rng : Crypto.Rng.t) ~(n : int) ?(outdegree = 3) ?(max_cost = 10)
       end
     done
   done;
-  { nodes; links = List.rev !links; as_of = assign_as nodes ~n_as:(max 1 (n / 10)) }
+  validated ~nodes ~links:(List.rev !links)
+    ~as_of:(assign_as nodes ~n_as:(max 1 (n / 10)))
 
 (* Small fixed topologies for tests and examples. *)
 
@@ -79,9 +97,9 @@ let random (rng : Crypto.Rng.t) ~(n : int) ?(outdegree = 3) ?(max_cost = 10)
    b->c, unit costs. *)
 let paper_example () : t =
   let mk (s, d) = { l_src = s; l_dst = d; l_cost = 1; l_latency = 0.01 } in
-  { nodes = [ "a"; "b"; "c" ];
-    links = List.map mk [ ("a", "b"); ("a", "c"); ("b", "c") ];
-    as_of = assign_as [ "a"; "b"; "c" ] ~n_as:1 }
+  validated ~nodes:[ "a"; "b"; "c" ]
+    ~links:(List.map mk [ ("a", "b"); ("a", "c"); ("b", "c") ])
+    ~as_of:(assign_as [ "a"; "b"; "c" ] ~n_as:1)
 
 let line ~(n : int) ?(cost = 1) () : t =
   let nodes = nodes_of_count n in
@@ -91,7 +109,7 @@ let line ~(n : int) ?(cost = 1) () : t =
           { l_src = node_name (i + 1); l_dst = node_name i; l_cost = cost; l_latency = 0.01 } ])
     |> List.concat
   in
-  { nodes; links; as_of = assign_as nodes ~n_as:1 }
+  validated ~nodes ~links ~as_of:(assign_as nodes ~n_as:1)
 
 let ring ~(n : int) ?(cost = 1) () : t =
   let nodes = nodes_of_count n in
@@ -102,7 +120,7 @@ let ring ~(n : int) ?(cost = 1) () : t =
           l_cost = cost;
           l_latency = 0.01 })
   in
-  { nodes; links; as_of = assign_as nodes ~n_as:1 }
+  validated ~nodes ~links ~as_of:(assign_as nodes ~n_as:1)
 
 let star ~(n : int) ?(cost = 1) () : t =
   let nodes = nodes_of_count n in
@@ -112,7 +130,7 @@ let star ~(n : int) ?(cost = 1) () : t =
            [ { l_src = node_name 0; l_dst = node_name (i + 1); l_cost = cost; l_latency = 0.01 };
              { l_src = node_name (i + 1); l_dst = node_name 0; l_cost = cost; l_latency = 0.01 } ]))
   in
-  { nodes; links; as_of = assign_as nodes ~n_as:1 }
+  validated ~nodes ~links ~as_of:(assign_as nodes ~n_as:1)
 
 (* Convert links into `link` facts for a program: link(@src, dst) or
    link(@src, dst, cost). *)
@@ -127,13 +145,31 @@ let link_facts ?(with_cost = true) (t : t) : Engine.Tuple.t list =
       Engine.Tuple.make "link" args)
     t.links
 
-let out_links (t : t) (node : string) : link list =
-  List.filter (fun l -> String.equal l.l_src node) t.links
+let find_link (t : t) ~(src : string) ~(dst : string) : link option =
+  List.find_opt (fun l -> l.l_src = src && l.l_dst = dst) t.links
 
+let has_link (t : t) ~(src : string) ~(dst : string) : bool =
+  find_link t ~src ~dst <> None
+
+(* Latency of a *directed physical link*; raises on a missing one so
+   callers can't silently confuse overlay reachability with adjacency. *)
 let latency_between (t : t) ~(src : string) ~(dst : string) : float =
-  match List.find_opt (fun l -> l.l_src = src && l.l_dst = dst) t.links with
+  match find_link t ~src ~dst with
   | Some l -> l.l_latency
-  | None -> 0.02 (* default delay for non-adjacent sends (e.g. traceback) *)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Topology.latency_between: no directed link %s -> %s" src
+         dst)
+
+(* Delivery delay for the runtime's message path: link latency when the
+   nodes are physically adjacent, otherwise a fixed overlay delay
+   (non-adjacent sends happen in e.g. the chord overlay and traceback). *)
+let overlay_latency = 0.02
+
+let delivery_latency (t : t) ~(src : string) ~(dst : string) : float =
+  match find_link t ~src ~dst with
+  | Some l -> l.l_latency
+  | None -> overlay_latency
 
 let avg_outdegree (t : t) : float =
   float_of_int (List.length t.links) /. float_of_int (List.length t.nodes)

@@ -13,10 +13,18 @@ type auth =
   | A_hmac of { principal : string; tag : string }
   | A_signature of { principal : string; signature : string }
 
+(* Data messages carry tuples; ACKs acknowledge a data message's
+   per-channel sequence number for the reliable-delivery layer.  An
+   ACK's [msg_seq] is the acknowledged data sequence number. *)
+type kind =
+  | K_data
+  | K_ack
+
 type message = {
+  msg_kind : kind;
   msg_src : string;
   msg_dst : string;
-  msg_seq : int;
+  msg_seq : int; (* per-(src,dst) channel sequence number *)
   msg_tuple : Engine.Tuple.t;
   msg_auth : auth;
   msg_provenance : string option; (* serialized condensed provenance *)
@@ -125,6 +133,7 @@ let signed_bytes ~(src : string) ~(dst : string) (tuple : Engine.Tuple.t) : stri
 
 let encode_message (m : message) : string =
   let buf = Buffer.create 128 in
+  Buffer.add_char buf (match m.msg_kind with K_data -> 'D' | K_ack -> 'A');
   put_string buf m.msg_src;
   put_string buf m.msg_dst;
   put_u32 buf m.msg_seq;
@@ -161,7 +170,7 @@ type size_breakdown = {
 }
 
 let size_breakdown (m : message) : size_breakdown =
-  let header = 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 in
+  let header = 1 + 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 in
   let payload = 4 + String.length (encode_tuple m.msg_tuple) in
   let auth =
     match m.msg_auth with
@@ -178,3 +187,16 @@ let size_breakdown (m : message) : size_breakdown =
 
 let total (sb : size_breakdown) : int =
   sb.sb_header + sb.sb_payload + sb.sb_auth + sb.sb_provenance
+
+(* A minimal acknowledgement for the reliable-delivery layer.  ACKs
+   are unauthenticated (they carry no tuple an adversary could smuggle
+   into a database) and provenance-free; [seq] names the acknowledged
+   data message on the (dst -> src) channel. *)
+let ack ~(src : string) ~(dst : string) ~(seq : int) : message =
+  { msg_kind = K_ack;
+    msg_src = src;
+    msg_dst = dst;
+    msg_seq = seq;
+    msg_tuple = Engine.Tuple.make "ack" [];
+    msg_auth = A_none;
+    msg_provenance = None }

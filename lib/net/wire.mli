@@ -1,0 +1,73 @@
+(** Wire format for inter-node messages, with byte-accurate encoding.
+
+    The bandwidth numbers of Figure 4 are computed from the encoded
+    size of every message a run ships: a fixed header, the tuple
+    payload, and — depending on the configuration — an authentication
+    block (cleartext principal, HMAC tag, or RSA signature) and a
+    condensed-provenance block.  RSA signatures are computed over the
+    canonical {!signed_bytes} encoding.
+
+    The primitive put/get codecs and the reader state are internal;
+    the public surface is whole-tuple and whole-message codecs. *)
+
+type auth =
+  | A_none
+  | A_principal of string
+      (** benign world: cleartext principal header *)
+  | A_hmac of { principal : string; tag : string }
+  | A_signature of { principal : string; signature : string }
+
+(** Data messages carry tuples; ACKs acknowledge a data message's
+    per-channel sequence number for the reliable-delivery layer. *)
+type kind =
+  | K_data
+  | K_ack
+
+type message = {
+  msg_kind : kind;
+  msg_src : string;
+  msg_dst : string;
+  msg_seq : int;  (** per-(src,dst) channel sequence number; for an
+                      ACK, the acknowledged data sequence number *)
+  msg_tuple : Engine.Tuple.t;
+  msg_auth : auth;
+  msg_provenance : string option;  (** serialized condensed provenance *)
+}
+
+val encode_tuple : Engine.Tuple.t -> string
+
+exception Decode_error of string
+
+val decode_tuple : string -> Engine.Tuple.t
+(** Raises {!Decode_error} on truncated or malformed input. *)
+
+val signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
+(** Canonical bytes that authentication covers: source, destination
+    and the tuple payload.  Deliberately *excludes* the sequence
+    number, so a retransmitted message carries the identical signature
+    as the original (and identical tuples can share signature work via
+    the sender-side sign cache).  Changing this breaks reliable
+    delivery under signatures — retransmits would need re-signing. *)
+
+val encode_message : message -> string
+
+val size : message -> int
+(** [String.length (encode_message m)]. *)
+
+(** Size breakdown for the bandwidth accounting: how many bytes are
+    base header/payload vs authentication vs provenance. *)
+type size_breakdown = {
+  sb_header : int;
+  sb_payload : int;
+  sb_auth : int;
+  sb_provenance : int;
+}
+
+val size_breakdown : message -> size_breakdown
+val total : size_breakdown -> int
+
+val ack : src:string -> dst:string -> seq:int -> message
+(** A minimal acknowledgement for the reliable-delivery layer.  ACKs
+    are unauthenticated (they carry no tuple an adversary could
+    smuggle into a database) and provenance-free; [seq] names the
+    acknowledged data message on the (dst -> src) channel. *)

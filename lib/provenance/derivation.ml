@@ -26,32 +26,49 @@ type t =
   | Leaf of { tuple : string; ann : annotation }
   | Rule of { rule : string; tuple : string; ann : annotation; children : t list }
   | Union of { tuple : string; alternatives : t list }
+  | Unreachable of { tuple : string; location : string }
+      (* traceback could not reach [location] (crashed node, exhausted
+         retries): the subtree rooted here is unknown (Section 4.1's
+         graceful degradation under partial failure) *)
 
 let tuple_of = function
-  | Leaf { tuple; _ } | Rule { tuple; _ } | Union { tuple; _ } -> tuple
+  | Leaf { tuple; _ } | Rule { tuple; _ } | Union { tuple; _ }
+  | Unreachable { tuple; _ } ->
+    tuple
 
 (* Base tuples at the leaves: "one can use this tree to figure out the
-   initial input base tuples". *)
+   initial input base tuples".  An [Unreachable] stub contributes no
+   base tuples - its subtree is unknown, not empty. *)
 let rec leaves = function
   | Leaf { tuple; _ } -> [ tuple ]
   | Rule { children; _ } -> List.concat_map leaves children
   | Union { alternatives; _ } -> List.concat_map leaves alternatives
+  | Unreachable _ -> []
 
 let rec depth = function
-  | Leaf _ -> 1
+  | Leaf _ | Unreachable _ -> 1
   | Rule { children; _ } ->
     1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
   | Union { alternatives; _ } ->
     List.fold_left (fun acc c -> max acc (depth c)) 0 alternatives
 
 let rec node_count = function
-  | Leaf _ -> 1
+  | Leaf _ | Unreachable _ -> 1
   | Rule { children; _ } -> 1 + List.fold_left (fun acc c -> acc + node_count c) 0 children
   | Union { alternatives; _ } ->
     1 + List.fold_left (fun acc c -> acc + node_count c) 0 alternatives
 
+let rec unreachable_leaves = function
+  | Leaf _ -> []
+  | Rule { children; _ } -> List.concat_map unreachable_leaves children
+  | Union { alternatives; _ } -> List.concat_map unreachable_leaves alternatives
+  | Unreachable { location; _ } -> [ location ]
+
 (* The provenance expression of the tree: leaves are base keys, rule
-   nodes multiply children, unions add alternatives (Section 4.4). *)
+   nodes multiply children, unions add alternatives (Section 4.4).  An
+   unreachable subtree maps to zero, which annihilates the product it
+   sits in (that derivation cannot be confirmed) while leaving sibling
+   alternatives in a union intact. *)
 let rec to_expr = function
   | Leaf { tuple; ann } -> (
     match ann.a_says with
@@ -59,6 +76,7 @@ let rec to_expr = function
     | None -> Prov_expr.base tuple)
   | Rule { children; _ } -> Prov_expr.times_list (List.map to_expr children)
   | Union { alternatives; _ } -> Prov_expr.plus_list (List.map to_expr alternatives)
+  | Unreachable _ -> Prov_expr.zero
 
 (* Keyed by base tuple identity instead of principal. *)
 let rec to_expr_by_tuple = function
@@ -66,6 +84,7 @@ let rec to_expr_by_tuple = function
   | Rule { children; _ } -> Prov_expr.times_list (List.map to_expr_by_tuple children)
   | Union { alternatives; _ } ->
     Prov_expr.plus_list (List.map to_expr_by_tuple alternatives)
+  | Unreachable _ -> Prov_expr.zero
 
 (* All locations that took part in the derivation; used for
    AS-granularity aggregation (Section 5). *)
@@ -74,6 +93,7 @@ let rec locations = function
   | Rule { ann; children; _ } ->
     ann.a_location :: List.concat_map locations children
   | Union { alternatives; _ } -> List.concat_map locations alternatives
+  | Unreachable { location; _ } -> [ location ]
 
 (* Are all signatures present and all nodes attributed?  The runtime
    performs real verification; this checks structural completeness of
@@ -82,6 +102,7 @@ let rec fully_attributed = function
   | Leaf { ann; _ } -> ann.a_says <> None
   | Rule { ann; children; _ } -> ann.a_says <> None && List.for_all fully_attributed children
   | Union { alternatives; _ } -> List.for_all fully_attributed alternatives
+  | Unreachable _ -> false
 
 (* ASCII rendering in the spirit of Figures 1-2. *)
 let to_string (t : t) : string =
@@ -99,7 +120,10 @@ let to_string (t : t) : string =
       List.iter (go (indent + 2)) children
     | Union { tuple; alternatives } ->
       Buffer.add_string buf (Printf.sprintf "%s%s  <- union\n" pad tuple);
-      List.iter (go (indent + 2)) alternatives);
+      List.iter (go (indent + 2)) alternatives
+    | Unreachable { tuple; location } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  <- unreachable@%s\n" pad tuple location));
   in
   go 0 t;
   Buffer.contents buf

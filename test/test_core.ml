@@ -162,9 +162,7 @@ let test_forged_messages_dropped () =
   (* corrupt n1's signing key so its signatures no longer match the
      directory's public key *)
   let rogue = Sendlog.Principal.create (Crypto.Rng.create ~seed:33) ~name:"n1" ~rsa_bits () in
-  let n1 = Core.Runtime.node t "n1" in
-  let n1' = { n1 with Core.Runtime.n_principal = rogue } in
-  Hashtbl.replace t.Core.Runtime.nodes "n1" n1';
+  Core.Runtime.replace_principal t ~at:"n1" rogue;
   run_links t;
   Alcotest.(check bool) "forged messages dropped" true (Core.Runtime.dropped_forged t > 0);
   let st = Core.Runtime.stats t in
@@ -481,6 +479,126 @@ let test_virtual_clock_monotone_in_costs () =
   let slow = run 0.02 and fast = run 0.002 in
   Alcotest.(check bool) (Printf.sprintf "%.3f > %.3f" slow fast) true (slow > fast)
 
+(* --- fault injection and reliable delivery ------------------------------- *)
+
+(* The deterministic part of the Best-Path fixpoint: the witness path
+   inside bestPath can tie-break differently across orderings, the
+   minimum costs cannot. *)
+let cost_fixpoint t =
+  List.sort_uniq compare
+    (List.map
+       (fun (at, tu) -> at ^ "|" ^ Tuple.to_string tu)
+       (Core.Runtime.query_all t "bestPathCost"))
+
+let faulty_cfg ?(base = Core.Config.ndlog) ?(loss = 0.2) ?(dup = 0.05)
+    ?(fault_seed = 99) ?crash ~reliable () =
+  let c = Core.Config.with_loss base loss in
+  let c = Core.Config.with_dup c dup in
+  let c = Core.Config.with_fault_seed c fault_seed in
+  let c = match crash with Some cr -> Core.Config.with_crash c cr | None -> c in
+  Core.Config.with_reliable c reliable
+
+let test_faulty_runs_reproducible () =
+  (* two runs with identical seeds agree on the final fixpoint and on
+     the fault layer engaging: per-message verdicts are pinned by the
+     fault seed (hashed per message), not by event interleaving *)
+  let crash = { Net.Fault.cr_node = "n2"; cr_at = 0.05; cr_restart = Some 0.15 } in
+  let measure () =
+    let t, _ = mk_runtime ~cfg:(faulty_cfg ~crash ~reliable:true ()) ~n:6 () in
+    run_links t;
+    let st = Core.Runtime.stats t in
+    ( cost_fixpoint t,
+      List.length (Core.Runtime.query_all t "bestPath"),
+      st.Net.Stats.drops > 0,
+      st.Net.Stats.retransmits > 0 )
+  in
+  let fp1, n1, engaged1, retrans1 = measure () in
+  let fp2, n2, engaged2, retrans2 = measure () in
+  Alcotest.(check (list string)) "fixpoints identical" fp1 fp2;
+  Alcotest.(check int) "bestPath cardinality identical" n1 n2;
+  Alcotest.(check bool) "faults engaged both runs" true (engaged1 && engaged2);
+  Alcotest.(check bool) "retransmissions both runs" true (retrans1 && retrans2)
+
+let test_reliable_converges_to_fault_free () =
+  (* 20% loss, 5% duplication, one mid-run crash-and-restart: with the
+     reliable layer on, the distributed fixpoint must be exactly the
+     fault-free one *)
+  let t0, _ = mk_runtime ~n:6 () in
+  run_links t0;
+  let baseline = cost_fixpoint t0 in
+  let crash = { Net.Fault.cr_node = "n1"; cr_at = 0.05; cr_restart = Some 0.15 } in
+  let t, _ = mk_runtime ~cfg:(faulty_cfg ~crash ~reliable:true ()) ~n:6 () in
+  run_links t;
+  let st = Core.Runtime.stats t in
+  Alcotest.(check bool) "losses occurred" true (st.Net.Stats.drops > 0);
+  Alcotest.(check bool) "duplicates occurred" true (st.Net.Stats.dups > 0);
+  Alcotest.(check bool) "ACKs flowed" true (st.Net.Stats.acks > 0);
+  Alcotest.(check int) "no send abandoned" 0 st.Net.Stats.retry_exhausted;
+  Alcotest.(check (list string)) "fault-free fixpoint reached" baseline (cost_fixpoint t)
+
+let test_retransmits_reuse_signatures () =
+  (* RSA-authenticated run under loss: retransmitted copies carry the
+     original signature (signed bytes exclude the sequence number), so
+     receivers verify them without any re-signing and without forgery
+     drops *)
+  let t0, _ = mk_runtime ~cfg:Core.Config.sendlog ~n:5 () in
+  run_links t0;
+  let baseline = cost_fixpoint t0 in
+  let t, _ =
+    mk_runtime ~cfg:(faulty_cfg ~base:Core.Config.sendlog ~reliable:true ()) ~n:5 ()
+  in
+  run_links t;
+  let st = Core.Runtime.stats t in
+  Alcotest.(check bool) "retransmissions happened" true (st.Net.Stats.retransmits > 0);
+  (* every wire message is an original signed send, a signature-reusing
+     retransmit, or an unauthenticated ACK: exact accounting shows no
+     signature was generated for a retransmitted copy *)
+  Alcotest.(check int) "signatures only for original sends" st.Net.Stats.messages
+    (st.Net.Stats.signatures_generated + st.Net.Stats.retransmits + st.Net.Stats.acks);
+  Alcotest.(check int) "no forged drops" 0 st.Net.Stats.dropped_forged;
+  Alcotest.(check int) "no verification failures" 0 st.Net.Stats.verification_failures;
+  Alcotest.(check (list string)) "fault-free fixpoint reached" baseline (cost_fixpoint t)
+
+let test_traceback_partial_across_crashed_node () =
+  (* node b fails (forever) after the fixpoint completes; tracing
+     reachable(a,c) from a crosses b, so the derivation tree degrades
+     to an explicit Unreachable stub instead of raising *)
+  let topo = Net.Topology.paper_example () in
+  let cfg =
+    Core.Config.with_crash
+      { Core.Config.sendlog_prov with rsa_bits; prov = Core.Config.Prov_distributed }
+      { Net.Fault.cr_node = "b"; cr_at = 100.0; cr_restart = None }
+  in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:41) ~cfg ~topo
+      ~program:(Ndlog.Programs.reachable ()) ()
+  in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      Core.Runtime.install_fact t ~at:l.l_src
+        (Tuple.make "link" [ Value.V_str l.l_src; Value.V_str l.l_dst ]))
+    topo.links;
+  ignore (Core.Runtime.run t);
+  Alcotest.(check bool) "b is down at query time" true (Core.Runtime.is_node_down t "b");
+  Alcotest.(check (float 1e-9)) "crash gauge tracks the outage" 1.0
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge Obs.Metrics.default "sim.crashed_nodes"));
+  let r = Core.Traceback.query t ~at:"a" reachable_ac in
+  Alcotest.(check bool) "result is partial" true r.partial;
+  Alcotest.(check (list string)) "unreachable stub names b" [ "b" ]
+    (List.sort_uniq compare (Provenance.Derivation.unreachable_leaves r.tree));
+  (* the reachable part of the tree still attributes to a *)
+  Alcotest.(check bool) "a still attributed" true
+    (List.mem "a" (Provenance.Prov_expr.bases r.expr));
+  (* healthy control: the same query without the crash is complete *)
+  let t2 =
+    paper_topology_runtime
+      { Core.Config.sendlog_prov with prov = Core.Config.Prov_distributed }
+  in
+  let r2 = Core.Traceback.query t2 ~at:"a" reachable_ac in
+  Alcotest.(check bool) "complete without crash" false r2.partial;
+  Alcotest.(check (list string)) "no stubs without crash" []
+    (Provenance.Derivation.unreachable_leaves r2.tree)
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "distributed NDlog = dijkstra" `Quick test_distributed_ndlog_correct;
     Alcotest.test_case "distributed SeNDlog = dijkstra" `Quick test_distributed_sendlog_correct;
@@ -507,7 +625,13 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "prov store aging" `Quick test_prov_store_aging;
     Alcotest.test_case "metrics overheads" `Quick test_metrics_overheads;
     Alcotest.test_case "metrics shape checks" `Quick test_metrics_shape_checks;
-    Alcotest.test_case "virtual clock monotone" `Quick test_virtual_clock_monotone_in_costs ]
+    Alcotest.test_case "virtual clock monotone" `Quick test_virtual_clock_monotone_in_costs;
+    Alcotest.test_case "faulty runs reproducible" `Quick test_faulty_runs_reproducible;
+    Alcotest.test_case "reliable delivery converges under faults" `Quick
+      test_reliable_converges_to_fault_free;
+    Alcotest.test_case "retransmits reuse signatures" `Quick test_retransmits_reuse_signatures;
+    Alcotest.test_case "traceback partial across crashed node" `Quick
+      test_traceback_partial_across_crashed_node ]
 
 (* --- Chord (paper's future work) -------------------------------------------- *)
 

@@ -127,7 +127,7 @@ let prop_tuple_codec_roundtrip =
 let test_message_roundtrip_sizes () =
   let tuple = Tuple.make "path" [ Value.V_str "a"; Value.V_list [ Value.V_str "a"; Value.V_str "b" ]; Value.V_int 3 ] in
   let mk auth prov =
-    { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 7; msg_tuple = tuple;
+    { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 7; msg_tuple = tuple;
       msg_auth = auth; msg_provenance = prov }
   in
   List.iter
@@ -148,7 +148,7 @@ let test_auth_ordering_sizes () =
   let tuple = Tuple.make "p" [ Value.V_int 1 ] in
   let size auth =
     Net.Wire.size
-      { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
+      { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
         msg_auth = auth; msg_provenance = None }
   in
   let none = size Net.Wire.A_none in
@@ -175,7 +175,7 @@ let test_stats_accounting () =
   let stats = Net.Stats.create () in
   let tuple = Tuple.make "p" [ Value.V_int 1 ] in
   let msg =
-    { Net.Wire.msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
+    { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
       msg_auth = Net.Wire.A_none; msg_provenance = None }
   in
   Net.Stats.record_message stats msg;
@@ -264,6 +264,137 @@ let test_link_facts () =
   Alcotest.(check int) "arity 3" 3 (Tuple.arity (List.hd with_cost));
   Alcotest.(check int) "arity 2" 2 (Tuple.arity (List.hd without))
 
+(* --- fault model ------------------------------------------------------- *)
+
+let test_fault_decide_deterministic () =
+  let m =
+    Net.Fault.make ~seed:42
+      ~default_spec:(Net.Fault.uniform ~drop:0.3 ~duplicate:0.2 ~reorder:0.5 ())
+      ()
+  in
+  let verdicts m =
+    List.init 200 (fun seq ->
+        Net.Fault.decide m ~src:"n0" ~dst:"n1" ~seq ~attempt:0)
+  in
+  Alcotest.(check bool) "same seed, same verdicts" true (verdicts m = verdicts m);
+  Alcotest.(check bool) "different seed, different verdicts" false
+    (verdicts m = verdicts (Net.Fault.with_seed m 43));
+  (* a retransmission attempt rolls fresh dice for the same seq *)
+  Alcotest.(check bool) "attempts are independent" false
+    (List.init 200 (fun seq -> Net.Fault.decide m ~src:"n0" ~dst:"n1" ~seq ~attempt:1)
+    = verdicts m)
+
+let test_fault_rates_sane () =
+  let m =
+    Net.Fault.make ~seed:7
+      ~default_spec:(Net.Fault.uniform ~drop:0.2 ~duplicate:0.1 ())
+      ()
+  in
+  let n = 2000 in
+  let dropped = ref 0 and dup = ref 0 in
+  for seq = 0 to n - 1 do
+    match Net.Fault.decide m ~src:"a" ~dst:"b" ~seq ~attempt:0 with
+    | [] -> incr dropped
+    | [ _; _ ] -> incr dup
+    | _ -> ()
+  done;
+  let frac r = float_of_int !r /. float_of_int n in
+  Alcotest.(check bool) "drop rate near 0.2" true (abs_float (frac dropped -. 0.2) < 0.05);
+  Alcotest.(check bool) "dup rate near 0.1" true (abs_float (frac dup -. 0.1) < 0.05);
+  (* an ideal model never misbehaves *)
+  Alcotest.(check bool) "ideal delivers exactly once" true
+    (List.init 100 (fun seq ->
+         Net.Fault.decide Net.Fault.ideal ~src:"a" ~dst:"b" ~seq ~attempt:0)
+    |> List.for_all (fun v -> v = [ 0.0 ]))
+
+let test_fault_crash_schedule () =
+  let c = { Net.Fault.cr_node = "n2"; cr_at = 1.0; cr_restart = Some 3.0 } in
+  let m = Net.Fault.make ~crashes:[ c ] () in
+  Alcotest.(check bool) "up before" false (Net.Fault.is_down m ~now:0.5 "n2");
+  Alcotest.(check bool) "down during" true (Net.Fault.is_down m ~now:2.0 "n2");
+  Alcotest.(check bool) "up after restart" false (Net.Fault.is_down m ~now:3.0 "n2");
+  Alcotest.(check bool) "other nodes unaffected" false (Net.Fault.is_down m ~now:2.0 "n1");
+  Alcotest.(check (option (float 1e-9))) "restart time" (Some 3.0)
+    (Net.Fault.restart_after m ~now:2.0 "n2");
+  Alcotest.(check (option (float 1e-9))) "no restart when up" None
+    (Net.Fault.restart_after m ~now:0.5 "n2")
+
+let test_fault_crash_spec_syntax () =
+  (match Net.Fault.crash_of_string "n3@1.5+2" with
+  | Ok c ->
+    Alcotest.(check string) "node" "n3" c.Net.Fault.cr_node;
+    Alcotest.(check (float 1e-9)) "at" 1.5 c.Net.Fault.cr_at;
+    Alcotest.(check (option (float 1e-9))) "restart" (Some 3.5) c.Net.Fault.cr_restart
+  | Error e -> Alcotest.fail e);
+  (match Net.Fault.crash_of_string "n3@2" with
+  | Ok c -> Alcotest.(check (option (float 1e-9))) "down forever" None c.Net.Fault.cr_restart
+  | Error e -> Alcotest.fail e);
+  (match Net.Fault.crash_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted bogus crash spec"
+  | Error _ -> ());
+  (* round trip through the printer *)
+  match Net.Fault.crash_of_string "n1@0.5+1" with
+  | Ok c -> (
+    match Net.Fault.crash_of_string (Net.Fault.crash_to_string c) with
+    | Ok c' -> Alcotest.(check bool) "round trip" true (c = c')
+    | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+(* --- topology link validation ------------------------------------------ *)
+
+let test_topology_rejects_duplicate_links () =
+  let link s d =
+    { Net.Topology.l_src = s; l_dst = d; l_cost = 1; l_latency = 0.01 }
+  in
+  Alcotest.check_raises "duplicate directed link"
+    (Invalid_argument "Topology: duplicate directed link a -> b") (fun () ->
+      ignore
+        (Net.Topology.validated ~nodes:[ "a"; "b" ]
+           ~links:[ link "a" "b"; link "a" "b" ]
+           ~as_of:(Hashtbl.create 2)));
+  (* opposite directions are two distinct links *)
+  let t =
+    Net.Topology.validated ~nodes:[ "a"; "b" ]
+      ~links:[ link "a" "b"; link "b" "a" ]
+      ~as_of:(Hashtbl.create 2)
+  in
+  Alcotest.(check int) "both directions kept" 2 (List.length t.Net.Topology.links)
+
+let test_topology_latency_between () =
+  let t = Net.Topology.paper_example () in
+  Alcotest.(check (float 1e-9)) "adjacent link" 0.01
+    (Net.Topology.latency_between t ~src:"a" ~dst:"b");
+  Alcotest.check_raises "missing link is an error"
+    (Invalid_argument "Topology.latency_between: no directed link c -> a") (fun () ->
+      ignore (Net.Topology.latency_between t ~src:"c" ~dst:"a"));
+  (* the runtime's delivery path falls back to the overlay default *)
+  Alcotest.(check (float 1e-9)) "overlay fallback" Net.Topology.overlay_latency
+    (Net.Topology.delivery_latency t ~src:"c" ~dst:"a");
+  Alcotest.(check (float 1e-9)) "adjacent delivery" 0.01
+    (Net.Topology.delivery_latency t ~src:"a" ~dst:"b")
+
+(* --- wire kinds and ACKs ----------------------------------------------- *)
+
+let test_wire_ack_and_kinds () =
+  let tuple = Tuple.make "ping" [ Value.V_int 1 ] in
+  let data =
+    { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 5;
+      msg_tuple = tuple; msg_auth = Net.Wire.A_none; msg_provenance = None }
+  in
+  let ack = Net.Wire.ack ~src:"b" ~dst:"a" ~seq:5 in
+  Alcotest.(check bool) "ack kind" true (ack.Net.Wire.msg_kind = Net.Wire.K_ack);
+  Alcotest.(check int) "ack seq names the data seq" 5 ack.Net.Wire.msg_seq;
+  (* kinds are distinguished on the wire *)
+  let enc_data = Net.Wire.encode_message data in
+  let enc_ack = Net.Wire.encode_message ack in
+  Alcotest.(check char) "data kind byte" 'D' enc_data.[0];
+  Alcotest.(check char) "ack kind byte" 'A' enc_ack.[0];
+  (* ACKs are small: no payload args, no auth, no provenance *)
+  Alcotest.(check bool) "ack smaller than data" true
+    (Net.Wire.size ack < Net.Wire.size data);
+  let sb = Net.Wire.size_breakdown ack in
+  Alcotest.(check int) "breakdown totals" (Net.Wire.size ack) (Net.Wire.total sb)
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "sim ordering" `Quick test_sim_ordering;
     Alcotest.test_case "sim FIFO ties" `Quick test_sim_fifo_ties;
@@ -282,5 +413,13 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "topology costs" `Quick test_topology_costs_in_range;
     Alcotest.test_case "fixed shapes" `Quick test_topology_fixed_shapes;
     Alcotest.test_case "AS assignment" `Quick test_topology_as_assignment;
-    Alcotest.test_case "link facts" `Quick test_link_facts ]
+    Alcotest.test_case "link facts" `Quick test_link_facts;
+    Alcotest.test_case "fault verdicts deterministic" `Quick test_fault_decide_deterministic;
+    Alcotest.test_case "fault rates sane" `Quick test_fault_rates_sane;
+    Alcotest.test_case "fault crash schedule" `Quick test_fault_crash_schedule;
+    Alcotest.test_case "fault crash spec syntax" `Quick test_fault_crash_spec_syntax;
+    Alcotest.test_case "topology rejects duplicate links" `Quick
+      test_topology_rejects_duplicate_links;
+    Alcotest.test_case "topology latency_between" `Quick test_topology_latency_between;
+    Alcotest.test_case "wire ACKs and kinds" `Quick test_wire_ack_and_kinds ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_sim_heap_order; prop_tuple_codec_roundtrip ]
