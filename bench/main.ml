@@ -17,10 +17,16 @@
                                               fast path stops beating naive
                                               exponentiation, when fast-path
                                               signatures are not
-                                              byte-identical, or when
+                                              byte-identical, when
                                               reliable delivery under loss
                                               stops reaching the fault-free
-                                              fixpoint
+                                              fixpoint (or takes longer than
+                                              the capped-backoff convergence
+                                              bound), when the batched
+                                              fixpoint engine (jobs=4) stops
+                                              beating the sequential loop, or
+                                              when it changes the fixpoint or
+                                              recorded provenance
 
    Output sections:
      Figure 3  query completion time (s) per configuration
@@ -133,7 +139,8 @@ let phase_metrics (phase : string) : unit =
    metrics snapshot, for tracking the perf trajectory across PRs. *)
 let write_results_json (o : options) (points : Core.Bestpath_workload.point list)
     ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t)
-    ~(crypto_ablation : Obs.Json.t) ~(fault_ablation : Obs.Json.t) : unit =
+    ~(crypto_ablation : Obs.Json.t) ~(fault_ablation : Obs.Json.t)
+    ~(jobs_ablation : Obs.Json.t) : unit =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
@@ -144,6 +151,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
         ("index_ablation", index_ablation);
         ("crypto_ablation", crypto_ablation);
         ("fault_ablation", fault_ablation);
+        ("jobs_ablation", jobs_ablation);
         ("metrics", figure_metrics) ]
   in
   let oc = open_out "BENCH_results.json" in
@@ -153,7 +161,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
       output_string oc (Obs.Json.to_string doc);
       output_char oc '\n');
   Printf.printf
-    "\nwrote BENCH_results.json (%d points + index/crypto/fault ablations + metrics snapshot)\n"
+    "\nwrote BENCH_results.json (%d points + index/crypto/fault/jobs ablations + metrics snapshot)\n"
     (List.length points)
 
 (* --- Index ablation: hash-indexed joins vs full-relation scans ----------- *)
@@ -338,8 +346,12 @@ let crypto_ablation (o : options) : Obs.Json.t * float =
    the seq/ACK/retransmit layer off vs on.  The reliable runs must
    reach exactly the fault-free fixpoint (the layer's whole point);
    best-effort runs show what the losses cost.  Returns the JSON
-   record and whether every reliable cell converged. *)
-let fault_ablation (o : options) : Obs.Json.t * bool =
+   record, whether every reliable cell converged, and the worst
+   reliable-cell completion time (the capped-backoff convergence bound
+   the smoke gate asserts: with the exponential backoff capped at
+   Config.max_backoff, even the loss=0.2 cell converges in simulated
+   seconds rather than the minute-plus an uncapped schedule burns). *)
+let fault_ablation (o : options) : Obs.Json.t * bool * float =
   hr "Fault ablation: loss x {best-effort, reliable} delivery";
   let n = if o.smoke then 8 else 16 in
   let topo = Net.Topology.random (Crypto.Rng.create ~seed:2028) ~n () in
@@ -387,6 +399,7 @@ let fault_ablation (o : options) : Obs.Json.t * bool =
     "sim (s)" "messages" "drops" "dups" "retransmits" "acks" "fixpoint";
   let rows = ref [] in
   let reliable_ok = ref true in
+  let reliable_max_sim = ref 0.0 in
   List.iter
     (fun loss ->
       List.iter
@@ -403,6 +416,7 @@ let fault_ablation (o : options) : Obs.Json.t * bool =
           let t, r = measure cfg in
           let matches = fixpoint t = baseline in
           if reliable && not matches then reliable_ok := false;
+          if reliable then reliable_max_sim := Float.max !reliable_max_sim r.sim_seconds;
           let st = Core.Runtime.stats t in
           Printf.printf "%-6g %-12s %14.3f %10d %8d %8d %12d %8d %10s\n" loss
             (if reliable then "reliable" else "best-effort")
@@ -429,15 +443,153 @@ let fault_ablation (o : options) : Obs.Json.t * bool =
     [ 0.1; 0.2 ];
   Printf.printf
     "\nexpected: every reliable row reads \"exact\" (retransmission spans the losses\n\
-     and the outage); best-effort rows may diverge, which is the layer's motivation.\n";
+     and the outage); best-effort rows may diverge, which is the layer's motivation.\n\
+     worst reliable completion: %.3fs simulated (backoff capped at %.1fs)\n"
+    !reliable_max_sim base_cfg.Core.Config.max_backoff;
   ( Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path, one topology, NDLog config");
         ("n", Obs.Json.Int n);
         ("fault_seed", Obs.Json.Int 2028);
+        ("max_backoff_seconds", Obs.Json.Float base_cfg.Core.Config.max_backoff);
         ("baseline_best_paths", Obs.Json.Int (snd baseline));
         ("baseline_sim_seconds", Obs.Json.Float r0.sim_seconds);
+        ("reliable_max_sim_seconds", Obs.Json.Float !reliable_max_sim);
         ("rows", Obs.Json.List (List.rev !rows)) ],
-    !reliable_ok )
+    !reliable_ok,
+    !reliable_max_sim )
+
+(* --- Jobs ablation: domain-parallel batch engine vs event loop ----------- *)
+
+(* The tentpole comparison: the same Best-Path run with the batched
+   fixpoint engine (jobs=4: timestamp batches, per-node grouping, one
+   combined semi-naive fixpoint per node per batch, evaluated on the
+   domain pool) vs the sequential event loop (jobs=1, one fixpoint per
+   delivery).  The distributed fixpoint must be byte-identical; a
+   provenance-shipping pair additionally asserts AC-canonical
+   provenance identity.  Wire message counts legitimately differ:
+   coalescing same-timestamp deliveries suppresses transient best-path
+   improvements (see test_par.ml for the envelope the drift stays
+   inside).  Exits nonzero on any fixpoint or provenance mismatch. *)
+let jobs_ablation (o : options) : Obs.Json.t * float * bool =
+  hr "Jobs ablation: batched fixpoint engine (jobs=4) vs sequential event loop";
+  let n = 80 in
+  Printf.printf
+    "workload: Best-Path over one random topology, N=%d, NDLog config\n\
+     (wall seconds are real evaluator CPU; the batch engine's win on one core is\n\
+     algorithmic - one combined fixpoint per node per timestamp batch instead of\n\
+     one per delivered message - so the speedup does not require parallel hardware)\n\n"
+    n;
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2029) ~n () in
+  let directory =
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
+  in
+  let fixpoint t =
+    List.map
+      (fun (at, tu) -> at ^ "|" ^ Engine.Tuple.identity tu)
+      (Core.Runtime.query_all t "bestPathCost")
+    |> List.sort compare
+  in
+  let measure jobs =
+    phase_reset ();
+    let cfg =
+      Core.Config.with_jobs { Core.Config.ndlog with rsa_bits = o.rsa_bits } jobs
+    in
+    let t =
+      Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+        ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    let r = Core.Runtime.run t in
+    let fp = fixpoint t in
+    let best = List.length (Core.Runtime.query_all t "bestPath") in
+    let st = Core.Runtime.stats t in
+    let c name = Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default name) in
+    let batches = c "par.batches" and items = c "par.batch_items" in
+    Core.Runtime.shutdown t;
+    (r.Core.Runtime.wall_seconds, fp, best, st.Net.Stats.messages, batches, items)
+  in
+  let seq_wall, seq_fp, seq_best, seq_msgs, _, _ = measure 1 in
+  let par_wall, par_fp, par_best, par_msgs, batches, items = measure 4 in
+  let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+  let fixpoint_equal = seq_fp = par_fp && seq_best = par_best in
+  Printf.printf "%-10s %14s %14s %10s %10s %12s\n" "engine" "wall (s)" "best paths"
+    "messages" "batches" "batch items";
+  Printf.printf "%-10s %14.3f %14d %10d %10s %12s\n" "jobs=1" seq_wall seq_best seq_msgs
+    "-" "-";
+  Printf.printf "%-10s %14.3f %14d %10d %10d %12d\n" "jobs=4" par_wall par_best par_msgs
+    batches items;
+  Printf.printf "\nspeedup (jobs=1 / jobs=4): %.2fx  fixpoint: %s\n" speedup
+    (if fixpoint_equal then "byte-identical" else "DIVERGED");
+  if not fixpoint_equal then begin
+    Printf.eprintf
+      "FAILURE: the batch engine changed the distributed fixpoint \
+       (%d bestPath tuples seq vs %d par)\n"
+      seq_best par_best;
+    exit 1
+  end;
+  (* Provenance identity: a smaller SeNDLogProv pair (RSA + shipped
+     provenance), compared through the AC-canonical rendering so the
+     commutative regrouping the batch engine performs cannot hide a
+     real difference.  The pair is deliberately modest: recorded
+     provenance accumulates one Plus-alternative per arriving
+     derivation, and on large topologies coalescing can suppress a
+     transient message whose provenance block was the only carrier of
+     an alternative — the fixpoint tuples still match but their
+     annotations lose that alternative.  At this size no transient
+     carries a unique alternative, so the canonical forms must agree
+     exactly (verified stable across repeated runs). *)
+  let prov_n = 12 in
+  let prov_topo = Net.Topology.random (Crypto.Rng.create ~seed:2030) ~n:prov_n () in
+  let prov_directory =
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits
+      prov_topo.Net.Topology.nodes
+  in
+  let prov_run jobs =
+    phase_reset ();
+    let cfg =
+      Core.Config.with_jobs { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits } jobs
+    in
+    let t =
+      Core.Runtime.create ~directory:prov_directory ~rng:(Crypto.Rng.create ~seed:1)
+        ~cfg ~topo:prov_topo ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    ignore (Core.Runtime.run t);
+    let prov =
+      List.map
+        (fun (at, tu) ->
+          at ^ "|" ^ Engine.Tuple.identity tu ^ "|"
+          ^ Provenance.Prov_expr.canonical_string (Core.Runtime.provenance_of t ~at tu))
+        (Core.Runtime.query_all t "bestPathCost")
+      |> List.sort compare
+    in
+    Core.Runtime.shutdown t;
+    prov
+  in
+  let prov_equal = prov_run 1 = prov_run 4 in
+  Printf.printf "provenance (SeNDLogProv, N=%d): %s\n" prov_n
+    (if prov_equal then "canonical forms identical" else "DIVERGED");
+  if not prov_equal then begin
+    Printf.eprintf "FAILURE: the batch engine changed recorded provenance\n";
+    exit 1
+  end;
+  ( Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path, one topology, NDLog config");
+        ("n", Obs.Json.Int n);
+        ("seq_wall_seconds", Obs.Json.Float seq_wall);
+        ("par_wall_seconds", Obs.Json.Float par_wall);
+        ("jobs", Obs.Json.Int 4);
+        ("speedup", Obs.Json.Float speedup);
+        ("best_paths", Obs.Json.Int seq_best);
+        ("messages_seq", Obs.Json.Int seq_msgs);
+        ("messages_par", Obs.Json.Int par_msgs);
+        ("batches", Obs.Json.Int batches);
+        ("batch_items", Obs.Json.Int items);
+        ("fixpoint_identical", Obs.Json.Bool fixpoint_equal);
+        ("provenance_identical", Obs.Json.Bool prov_equal);
+        ("provenance_pair_n", Obs.Json.Int prov_n) ],
+    speedup,
+    fixpoint_equal && prov_equal )
 
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
 
@@ -748,9 +900,10 @@ let () =
     let points, figure_metrics = figures o in
     let abl_json, speedup = index_ablation o in
     let crypto_json, crypto_speedup = crypto_ablation o in
-    let fault_json, reliable_ok = fault_ablation o in
+    let fault_json, reliable_ok, reliable_max_sim = fault_ablation o in
+    let jobs_json, jobs_speedup, _jobs_ok = jobs_ablation o in
     write_results_json o points ~figure_metrics ~index_ablation:abl_json
-      ~crypto_ablation:crypto_json ~fault_ablation:fault_json;
+      ~crypto_ablation:crypto_json ~fault_ablation:fault_json ~jobs_ablation:jobs_json;
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
       phase_metrics "ablation A";
@@ -780,6 +933,25 @@ let () =
       Printf.eprintf
         "SMOKE FAILURE: reliable delivery no longer converges to the \
          fault-free fixpoint under loss\n";
+      exit 1
+    end;
+    (* Capped-backoff convergence bound: with max_backoff in force, the
+       worst reliable cell (loss=0.2 plus a mid-run crash) must finish
+       in simulated seconds, not the minute-plus an uncapped
+       exponential schedule burns idling between retransmissions. *)
+    let backoff_bound = 30.0 in
+    if o.smoke && reliable_max_sim > backoff_bound then begin
+      Printf.eprintf
+        "SMOKE FAILURE: reliable delivery under loss took %.1f simulated seconds \
+         (bound %.1f) - is the retransmission backoff cap still in force?\n"
+        reliable_max_sim backoff_bound;
+      exit 1
+    end;
+    if o.smoke && jobs_speedup < 1.5 then begin
+      Printf.eprintf
+        "SMOKE FAILURE: the batched fixpoint engine is no longer beating the \
+         sequential event loop (speedup %.2fx < 1.50x)\n"
+        jobs_speedup;
       exit 1
     end
   end;

@@ -129,6 +129,16 @@ let run_cmd =
          & info [ "ack-timeout" ] ~docv:"SECONDS"
              ~doc:"Base retransmission timeout (doubles per attempt)")
   in
+  let max_backoff =
+    Arg.(value & opt float 2.0
+         & info [ "max-backoff" ] ~docv:"SECONDS"
+             ~doc:"Cap on the exponential retransmission backoff")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the batch engine (1 = sequential event loop)")
+  in
   let with_links =
     Arg.(value & flag & info [ "links" ] ~doc:"Insert the topology's link(src,dst,cost) facts")
   in
@@ -155,8 +165,8 @@ let run_cmd =
              ~doc:"Write the structured event log (JSON lines) to FILE")
   in
   let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
-      crashes fault_seed reliable retries ack_timeout with_links show metrics_out
-      metrics_format trace_out events_out =
+      crashes fault_seed reliable retries ack_timeout max_backoff jobs with_links show
+      metrics_out metrics_format trace_out events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
@@ -185,7 +195,9 @@ let run_cmd =
             c crashes
         in
         let c = Core.Config.with_reliable c reliable in
-        Core.Config.with_retry c ~limit:retries ~ack_timeout ()
+        let c = Core.Config.with_retry c ~limit:retries ~ack_timeout () in
+        let c = Core.Config.with_max_backoff c max_backoff in
+        Core.Config.with_jobs c jobs
       with Invalid_argument e ->
         Printf.eprintf "%s\n" e;
         exit 1
@@ -239,14 +251,16 @@ let run_cmd =
     | _ -> ());
     (match events_out with
     | Some path -> write_output path (Obs.Events.to_json_lines (Core.Runtime.event_log t))
-    | None -> ())
+    | None -> ());
+    (* Join the worker domains (jobs > 1) before exiting. *)
+    Core.Runtime.shutdown t
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program over a simulated network")
     Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ no_indexes $ no_fastpath
           $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
-          $ ack_timeout $ with_links $ show $ metrics_out $ metrics_format $ trace_out
-          $ events_out)
+          $ ack_timeout $ max_backoff $ jobs $ with_links $ show $ metrics_out
+          $ metrics_format $ trace_out $ events_out)
 
 (* --- psn stats -------------------------------------------------------- *)
 

@@ -15,11 +15,31 @@ type t = node
 
 let id = function False -> 0 | True -> 1 | Node { id; _ } -> id
 
+(* The unique table and apply caches are the hottest lookups in
+   condensation.  Their keys are small int triples/pairs; dedicated
+   hash functions over the fields beat the generic polymorphic hash
+   (which walks the boxed tuple) on every probe. *)
+module Triple_tbl = Hashtbl.Make (struct
+  type t = int * int * int
+
+  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+  let hash (a, b, c) = (((a * 31) + b) * 31) + c
+end)
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 31) + b
+end)
+
+module Int_tbl = Hashtbl.Make (Int)
+
 type manager = {
-  unique : (int * int * int, node) Hashtbl.t; (* (var, lo id, hi id) -> node *)
-  and_cache : (int * int, node) Hashtbl.t;
-  or_cache : (int * int, node) Hashtbl.t;
-  not_cache : (int, node) Hashtbl.t;
+  unique : node Triple_tbl.t; (* (var, lo id, hi id) -> node *)
+  and_cache : node Pair_tbl.t;
+  or_cache : node Pair_tbl.t;
+  not_cache : node Int_tbl.t;
   mutable next_id : int;
   var_names : (int, string) Hashtbl.t;
   var_ids : (string, int) Hashtbl.t;
@@ -27,19 +47,19 @@ type manager = {
 }
 
 let create_manager () =
-  { unique = Hashtbl.create 1024;
-    and_cache = Hashtbl.create 1024;
-    or_cache = Hashtbl.create 1024;
-    not_cache = Hashtbl.create 256;
+  { unique = Triple_tbl.create 1024;
+    and_cache = Pair_tbl.create 1024;
+    or_cache = Pair_tbl.create 1024;
+    not_cache = Int_tbl.create 256;
     next_id = 2;
     var_names = Hashtbl.create 64;
     var_ids = Hashtbl.create 64;
     next_var = 0 }
 
 let clear_caches (m : manager) =
-  Hashtbl.reset m.and_cache;
-  Hashtbl.reset m.or_cache;
-  Hashtbl.reset m.not_cache
+  Pair_tbl.reset m.and_cache;
+  Pair_tbl.reset m.or_cache;
+  Int_tbl.reset m.not_cache
 
 let bot : t = False
 let top : t = True
@@ -50,12 +70,12 @@ let mk (m : manager) ~var ~lo ~hi : t =
   if id lo = id hi then lo
   else begin
     let key = (var, id lo, id hi) in
-    match Hashtbl.find_opt m.unique key with
+    match Triple_tbl.find_opt m.unique key with
     | Some n -> n
     | None ->
       let n = Node { id = m.next_id; var; lo; hi } in
       m.next_id <- m.next_id + 1;
-      Hashtbl.add m.unique key n;
+      Triple_tbl.add m.unique key n;
       n
   end
 
@@ -89,11 +109,11 @@ let rec bdd_not (m : manager) (a : t) : t =
   | False -> True
   | True -> False
   | Node { id = aid; var; lo; hi } -> (
-    match Hashtbl.find_opt m.not_cache aid with
+    match Int_tbl.find_opt m.not_cache aid with
     | Some r -> r
     | None ->
       let r = mk m ~var ~lo:(bdd_not m lo) ~hi:(bdd_not m hi) in
-      Hashtbl.add m.not_cache aid r;
+      Int_tbl.add m.not_cache aid r;
       r)
 
 (* Binary apply for a specific operation, with memoisation keyed on the
@@ -106,14 +126,14 @@ let rec apply_and (m : manager) (a : t) (b : t) : t =
     if na.id = nb.id then a
     else begin
       let key = if na.id <= nb.id then (na.id, nb.id) else (nb.id, na.id) in
-      match Hashtbl.find_opt m.and_cache key with
+      match Pair_tbl.find_opt m.and_cache key with
       | Some r -> r
       | None ->
         let v = min na.var nb.var in
         let alo, ahi = if na.var = v then (na.lo, na.hi) else (a, a) in
         let blo, bhi = if nb.var = v then (nb.lo, nb.hi) else (b, b) in
         let r = mk m ~var:v ~lo:(apply_and m alo blo) ~hi:(apply_and m ahi bhi) in
-        Hashtbl.add m.and_cache key r;
+        Pair_tbl.add m.and_cache key r;
         r
     end
 
@@ -125,14 +145,14 @@ let rec apply_or (m : manager) (a : t) (b : t) : t =
     if na.id = nb.id then a
     else begin
       let key = if na.id <= nb.id then (na.id, nb.id) else (nb.id, na.id) in
-      match Hashtbl.find_opt m.or_cache key with
+      match Pair_tbl.find_opt m.or_cache key with
       | Some r -> r
       | None ->
         let v = min na.var nb.var in
         let alo, ahi = if na.var = v then (na.lo, na.hi) else (a, a) in
         let blo, bhi = if nb.var = v then (nb.lo, nb.hi) else (b, b) in
         let r = mk m ~var:v ~lo:(apply_or m alo blo) ~hi:(apply_or m ahi bhi) in
-        Hashtbl.add m.or_cache key r;
+        Pair_tbl.add m.or_cache key r;
         r
     end
 

@@ -72,6 +72,13 @@ type t = {
   ack_timeout : float;
       (* base retransmission timeout in virtual seconds; doubles on
          each unacknowledged attempt (exponential backoff) *)
+  max_backoff : float;
+      (* cap on the backoff interval: without it a lossy channel's
+         retransmission gaps grow past a minute and dominate simulated
+         convergence time *)
+  jobs : int;
+      (* worker domains for the parallel batch engine; 1 = the
+         sequential event loop *)
 }
 
 let default =
@@ -91,7 +98,9 @@ let default =
     fault = Net.Fault.ideal;
     reliable = false;
     retry_limit = 8;
-    ack_timeout = 0.25 }
+    ack_timeout = 0.25;
+    max_backoff = 2.0;
+    jobs = 1 }
 
 (* The paper's three evaluation configurations. *)
 let ndlog = default
@@ -184,6 +193,15 @@ let with_retry (c : t) ?(limit = 8) ?(ack_timeout = 0.25) () : t =
     invalid_arg "Config.with_retry: ack_timeout must be positive";
   { c with retry_limit = limit; ack_timeout }
 
+let with_max_backoff (c : t) (max_backoff : float) : t =
+  if max_backoff <= 0.0 then
+    invalid_arg "Config.with_max_backoff: must be positive";
+  { c with max_backoff }
+
+let with_jobs (c : t) (jobs : int) : t =
+  if jobs < 1 then invalid_arg "Config.with_jobs: need at least 1 job";
+  { c with jobs }
+
 (* Argv-style construction: consume the flags this module understands
    and hand everything else back to the caller's own parser.  Both
    binaries route their command line through here so ablation and
@@ -215,7 +233,9 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
             fault = cfg.fault;
             reliable = cfg.reliable;
             retry_limit = cfg.retry_limit;
-            ack_timeout = cfg.ack_timeout }
+            ack_timeout = cfg.ack_timeout;
+            max_backoff = cfg.max_backoff;
+            jobs = cfg.jobs }
           leftover rest
       | Error e -> Error e)
     | "--rsa-bits" :: v :: rest ->
@@ -256,8 +276,17 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
       float_arg "--ack-timeout" v (fun s ->
           try go (with_retry cfg ~limit:cfg.retry_limit ~ack_timeout:s ()) leftover rest
           with Invalid_argument e -> Error e)
+    | "--max-backoff" :: v :: rest ->
+      float_arg "--max-backoff" v (fun s ->
+          try go (with_max_backoff cfg s) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--jobs" :: v :: rest ->
+      int_arg "--jobs" v (fun n ->
+          try go (with_jobs cfg n) leftover rest
+          with Invalid_argument e -> Error e)
     | (("--config" | "--rsa-bits" | "--loss" | "--dup" | "--reorder" | "--jitter"
-       | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout") as flag)
+       | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout" | "--max-backoff"
+       | "--jobs") as flag)
       :: [] -> Error (Printf.sprintf "%s: missing value" flag)
     | other :: rest -> go cfg (other :: leftover) rest
   in

@@ -94,7 +94,7 @@ let record_derivation (t : t) (head : Tuple.t) ~(record : deriv_record)
     ^ String.concat ";"
         (List.map
            (fun (b, _, says) ->
-             Tuple.identity b ^ Option.fold ~none:"" ~some:(fun s -> "/" ^ s) says)
+             Tuple.interned_identity b ^ Option.fold ~none:"" ~some:(fun s -> "/" ^ s) says)
            record.dr_body)
   in
   let e = entry t head in

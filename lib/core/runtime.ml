@@ -24,6 +24,35 @@ type node = {
   mutable n_free_at : float; (* virtual time until which this node's CPU is busy *)
 }
 
+(* One unit of node-level work inside a timestamp batch: a delivered
+   data message accepted for processing, or a base-fact installation. *)
+type work_item =
+  | W_msg of Net.Wire.message
+  | W_fact of Tuple.t
+
+(* A fully prepared outgoing message, minus its channel sequence
+   number.  Signing happens at preparation ([Wire.signed_bytes]
+   excludes the seq), so worker domains can sign concurrently; the seq
+   is assigned at commit, in canonical order, so per-channel numbering
+   is identical to the sequential schedule. *)
+type outgoing = {
+  o_dest : string;
+  o_receiver : node option;
+  o_latency : float;
+  o_tuple : Tuple.t;
+  o_auth : Net.Wire.auth;
+  o_prov : string option;
+}
+
+(* Per-handler execution context: cost-model charges and prepared
+   sends accumulated while a node's handler runs.  One per handler
+   invocation (and per worker task in batch mode), so handlers on
+   different domains never share it. *)
+type exec_ctx = {
+  mutable xc_charge : float;
+  mutable xc_out : outgoing list; (* reversed *)
+}
+
 type t = {
   cfg : Config.t;
   sim : Net.Event_sim.t;
@@ -33,12 +62,25 @@ type t = {
   compiled : Sendlog.Compile.compiled;
   nodes : (string, node) Hashtbl.t;
   prov_ctx : Provenance.Condense.ctx;
+  prov_mu : Mutex.t;
+      (* guards the shared condense context (BDD manager + wire cache)
+         against concurrent encode/decode from worker domains *)
+  log_mu : Mutex.t; (* guards [derivation_log] appends *)
+  pool : Par.Pool.t option; (* worker domains when [cfg.jobs > 1] *)
+  mutable batching : bool;
+      (* true while a timestamp batch's events are being drained:
+         accepted deliveries collect into [batch_inbox] instead of
+         executing their handler inline *)
+  mutable batch_inbox : (node * work_item) list; (* reversed arrival order *)
   obs_events : Obs.Events.log; (* bounded structured event log *)
   mutable tracer : Obs.Trace.t option; (* span tree, when tracing is on *)
   h_handler : Obs.Metrics.histogram; (* modeled per-handler duration *)
   h_compute : Obs.Metrics.histogram; (* measured CPU per handler *)
   c_flushes : Obs.Metrics.counter;
   c_buffered : Obs.Metrics.counter;
+  c_batches : Obs.Metrics.counter; (* timestamp batches executed *)
+  c_batch_items : Obs.Metrics.counter; (* work items across all batches *)
+  g_group_max : Obs.Metrics.gauge; (* largest per-node group coalesced *)
   g_crashed : Obs.Metrics.gauge; (* nodes currently failed-stop *)
   mutable crashed_now : int;
   chan_seq : (string * string, int) Hashtbl.t;
@@ -51,13 +93,6 @@ type t = {
   mutable derivation_log : Eval.derivation list;
   mutable on_message : (float -> Net.Wire.message -> unit) option;
       (* audit tap: sees every wire message (Accountability) *)
-  mutable extra_charge : float;
-      (* cost-model seconds accumulated by the handler currently
-         executing (e.g. provenance-operator charges) *)
-  mutable out_buffer : (float * node option * Net.Wire.message) list;
-      (* messages produced by the handler currently executing; flushed
-         once the handler's processing duration is known, so outgoing
-         sends depart only after the node finishes processing *)
 }
 
 let node (t : t) (addr : string) : node =
@@ -129,12 +164,20 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       compiled;
       nodes;
       prov_ctx = Provenance.Condense.create_ctx ();
+      prov_mu = Mutex.create ();
+      log_mu = Mutex.create ();
+      pool = (if cfg.jobs > 1 then Some (Par.Pool.create ~jobs:cfg.jobs) else None);
+      batching = false;
+      batch_inbox = [];
       obs_events = Obs.Events.create ~capacity:8192 ();
       tracer = None;
       h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
       h_compute = Obs.Metrics.histogram reg "runtime.handler_compute_seconds";
       c_flushes = Obs.Metrics.counter reg "runtime.out_buffer_flushes";
       c_buffered = Obs.Metrics.counter reg "runtime.messages_buffered";
+      c_batches = Obs.Metrics.counter reg "par.batches";
+      c_batch_items = Obs.Metrics.counter reg "par.batch_items";
+      g_group_max = Obs.Metrics.gauge reg "par.group_items_max";
       g_crashed = Obs.Metrics.gauge reg "sim.crashed_nodes";
       crashed_now = 0;
       chan_seq = Hashtbl.create 64;
@@ -142,11 +185,10 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       seen = Hashtbl.create 256;
       log_derivations = false;
       derivation_log = [];
-      on_message = None;
-      extra_charge = 0.0;
-      out_buffer = [] }
+      on_message = None }
   in
   Obs.Metrics.set t.g_crashed 0.0;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "par.jobs") (float_of_int cfg.jobs);
   (* Marker events keep the sim.crashed_nodes gauge current as the
      fault model's fail-stop schedule plays out. *)
   List.iter
@@ -171,7 +213,7 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
 let sampled (t : t) (tuple : Tuple.t) : bool =
   t.cfg.sample_rate >= 1.0
   || begin
-       let h = Crypto.Sha256.digest (Tuple.identity tuple) in
+       let h = Crypto.Sha256.digest (Tuple.interned_identity tuple) in
        let v = (Char.code h.[0] lsl 16) lor (Char.code h.[1] lsl 8) lor Char.code h.[2] in
        float_of_int v /. float_of_int 0xFFFFFF < t.cfg.sample_rate
      end
@@ -219,12 +261,13 @@ let capture_derivation (t : t) (n : node) (deriv : Eval.derivation) :
           (List.map (fun (b, _) -> body_expr t n b) deriv.d_body)
     in
     let node_repr =
-      Printf.sprintf "%s<-%s[%s]" (Tuple.identity deriv.d_head) deriv.d_rule
-        (String.concat ";" (List.map (fun (b, _) -> Tuple.identity b) deriv.d_body))
+      Printf.sprintf "%s<-%s[%s]" (Tuple.interned_identity deriv.d_head) deriv.d_rule
+        (String.concat ";"
+           (List.map (fun (b, _) -> Tuple.interned_identity b) deriv.d_body))
     in
     let signature, signer =
       if t.cfg.sign_provenance then begin
-        t.stats.signatures_generated <- t.stats.signatures_generated + 1;
+        Net.Stats.record_signature t.stats;
         ( Sendlog.Auth.sign_provenance_node ~fastpath:t.cfg.use_crypto_fastpath
             t.cfg.auth n.n_principal ~node_repr,
           Some n.n_addr )
@@ -248,13 +291,28 @@ let capture_derivation (t : t) (n : node) (deriv : Eval.derivation) :
     combined
   end
 
+(* Run [f] with [mu] held; used for the few pieces of genuinely shared
+   mutable state the worker domains touch. *)
+let locked (mu : Mutex.t) (f : unit -> 'a) : 'a =
+  Mutex.lock mu;
+  match f () with
+  | r ->
+    Mutex.unlock mu;
+    r
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
 (* Wire block for a shipped provenance expression.  Condensed mode
    ships the serialized BDD itself, as the paper's modified P2 does;
-   raw mode ships the expression tree. *)
+   raw mode ships the expression tree.  The condense context (BDD
+   manager, memoized wire cache) is shared across nodes, so access is
+   serialized under [prov_mu]. *)
 let encode_prov (t : t) (e : Provenance.Prov_expr.t) : string =
   match t.cfg.repr with
   | Config.Repr_raw -> Provenance.Prov_expr.encode e
-  | Config.Repr_condensed -> Provenance.Condense.to_wire t.prov_ctx e
+  | Config.Repr_condensed ->
+    locked t.prov_mu (fun () -> Provenance.Condense.to_wire t.prov_ctx e)
 
 let decode_prov (t : t) (block : string) : Provenance.Prov_expr.t =
   match t.cfg.repr with
@@ -262,7 +320,7 @@ let decode_prov (t : t) (block : string) : Provenance.Prov_expr.t =
     try Provenance.Prov_expr.decode block
     with Provenance.Prov_expr.Decode_error _ -> Provenance.Prov_expr.zero)
   | Config.Repr_condensed -> (
-    try Provenance.Condense.of_wire t.prov_ctx block
+    try locked t.prov_mu (fun () -> Provenance.Condense.of_wire t.prov_ctx block)
     with Bdd.Deserialize_error _ | Provenance.Condense.Wire_error _ ->
       Provenance.Prov_expr.zero)
 
@@ -316,7 +374,14 @@ let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
     ~(delay : float) ~(latency : float) ~(attempt : int) : unit =
   transmit t ~delay receiver msg ~attempt;
   let key = (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq) in
-  let timeout = t.cfg.Config.ack_timeout *. (2.0 ** float_of_int attempt) in
+  (* Exponential backoff, capped: without the cap a run at 20% loss
+     spends most of its simulated time inside minute-long retransmit
+     gaps (the convergence-time grid in BENCH_results.json is recorded
+     with the cap). *)
+  let timeout =
+    Float.min t.cfg.Config.max_backoff
+      (t.cfg.Config.ack_timeout *. (2.0 ** float_of_int attempt))
+  in
   let rec on_timer () =
     if Hashtbl.mem t.pending key then begin
       let now = Net.Event_sim.now t.sim in
@@ -353,7 +418,13 @@ let dispatch (t : t) (receiver : node) (msg : Net.Wire.message) ~(delay : float)
   end
   else transmit t ~delay receiver msg ~attempt:0
 
-let send (t : t) (sender : node) (emit : Eval.emit) : unit =
+(* Prepare an emitted tuple for the wire: capture provenance, dedup
+   against the sender's sent cache, and sign.  Everything here is
+   either per-node state or mutex-guarded, so worker domains prepare
+   (and in particular sign) concurrently.  The message is *not*
+   released: it joins [xc.xc_out] and is committed in canonical order
+   once the handler's duration is known. *)
+let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
   let tuple = emit.e_tuple in
   (* Record the derivation at the sender (distributed traceback walks
      these pointers back through the node that derived the tuple) and
@@ -366,13 +437,13 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
     | Config.Prov_local, Config.Proactive when sampled t tuple ->
       if Provenance.Prov_expr.equal combined Provenance.Prov_expr.zero then None
       else begin
-        t.extra_charge <- t.extra_charge +. t.cfg.cost_model.per_provenance_seconds;
+        xc.xc_charge <- xc.xc_charge +. t.cfg.cost_model.per_provenance_seconds;
         Some (encode_prov t combined)
       end
     | _ -> None
   in
   let cache_key =
-    emit.e_dest ^ "|" ^ Tuple.identity tuple ^ "|"
+    emit.e_dest ^ "|" ^ Tuple.interned_identity tuple ^ "|"
     ^ Option.value prov_block ~default:""
   in
   if not (Hashtbl.mem sender.n_sent_cache cache_key) then begin
@@ -385,44 +456,30 @@ let send (t : t) (sender : node) (emit : Eval.emit) : unit =
     (match t.cfg.auth with
     | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
     | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
-    let msg =
-      { Net.Wire.msg_kind = Net.Wire.K_data;
-        msg_src = sender.n_addr;
-        msg_dst = emit.e_dest;
-        msg_seq = next_seq t ~src:sender.n_addr ~dst:emit.e_dest;
-        msg_tuple = tuple;
-        msg_auth = auth;
-        msg_provenance = prov_block }
-    in
-    Net.Stats.record_message t.stats msg;
-    let at = Net.Event_sim.now t.sim in
-    Obs.Events.emit t.obs_events ~at
-      (Obs.Events.E_msg_sent
-         { src = sender.n_addr; dst = emit.e_dest; bytes = Net.Wire.size msg });
-    (match msg.Net.Wire.msg_provenance with
-    | Some block ->
-      Obs.Events.emit t.obs_events ~at
-        (Obs.Events.E_prov_condensed
-           { node = sender.n_addr; bytes = String.length block })
-    | None -> ());
-    (match t.on_message with
-    | Some tap -> tap (Net.Event_sim.now t.sim) msg
-    | None -> ());
     let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:emit.e_dest in
     let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
-    t.out_buffer <- (latency, receiver, msg) :: t.out_buffer
+    xc.xc_out <-
+      { o_dest = emit.e_dest;
+        o_receiver = receiver;
+        o_latency = latency;
+        o_tuple = tuple;
+        o_auth = auth;
+        o_prov = prov_block }
+      :: xc.xc_out
   end
 
-(* Run the local fixpoint at [n] with [pending] insertions and ship
+(* Run the local fixpoint at [n] with [pending] insertions and prepare
    whatever is derived for other nodes. *)
-let process (t : t) (n : node) (pending : Eval.frontier_item list) : unit =
+let process (t : t) (xc : exec_ctx) (n : node) (pending : Eval.frontier_item list) :
+    unit =
   let self_principal =
     match t.cfg.auth with
     | Sendlog.Auth.Auth_none -> None
     | _ -> Some (Value.V_str n.n_addr)
   in
   let on_derive deriv =
-    if t.log_derivations then t.derivation_log <- deriv :: t.derivation_log;
+    if t.log_derivations then
+      locked t.log_mu (fun () -> t.derivation_log <- deriv :: t.derivation_log);
     let at = Net.Event_sim.now t.sim in
     Obs.Events.emit t.obs_events ~at
       (Obs.Events.E_rule_fired
@@ -437,31 +494,26 @@ let process (t : t) (n : node) (pending : Eval.frontier_item list) : unit =
       ~rules:t.compiled.c_rules ~local:(Some n.n_addr) ?self_principal ~pending
       ~on_derive ()
   in
-  List.iter (send t n) emits
+  List.iter (send t xc n) emits
 
-(* Execute [work] as node [n]'s CPU: measure its real duration, add
-   the cost-model charges, advance the node's busy horizon, and only
-   then release the messages the work produced (they depart when the
-   node finishes processing, as they would on a real host). *)
-let with_processing (t : t) (n : node) ~(incoming_bytes : int) (work : unit -> unit) :
-    unit =
+(* Commit a finished handler: from its measured compute time and
+   accumulated charges derive the modeled duration, advance the node's
+   busy horizon, and release the prepared messages in order — each is
+   assigned its channel seq here, so numbering matches the sequential
+   schedule regardless of which domain prepared it. *)
+let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : int)
+    ~(compute : float) (xc : exec_ctx) : unit =
   let cm = t.cfg.cost_model in
-  assert (t.out_buffer = []);
-  t.extra_charge <- 0.0;
-  let t0 = Unix.gettimeofday () in
-  work ();
-  let compute = Unix.gettimeofday () -. t0 in
   let duration =
-    compute +. t.extra_charge
-    +. (if incoming_bytes > 0 then cm.per_message_seconds else 0.0)
+    compute +. xc.xc_charge
+    +. (float_of_int incoming_msgs *. cm.per_message_seconds)
     +. (float_of_int incoming_bytes /. cm.throughput_bytes_per_sec)
   in
-  t.extra_charge <- 0.0;
   let now = Net.Event_sim.now t.sim in
   n.n_free_at <- max n.n_free_at now +. duration;
   let depart = n.n_free_at -. now in
-  let outgoing = List.rev t.out_buffer in
-  t.out_buffer <- [];
+  let outgoing = List.rev xc.xc_out in
+  xc.xc_out <- [];
   Obs.Metrics.observe t.h_handler duration;
   Obs.Metrics.observe t.h_compute compute;
   if outgoing <> [] then begin
@@ -477,14 +529,107 @@ let with_processing (t : t) (n : node) ~(incoming_bytes : int) (work : unit -> u
       ~dur:duration ~wall_dur:compute
   | None -> ());
   List.iter
-    (fun (latency, receiver, msg) ->
-      match receiver with
+    (fun o ->
+      let msg =
+        { Net.Wire.msg_kind = Net.Wire.K_data;
+          msg_src = n.n_addr;
+          msg_dst = o.o_dest;
+          msg_seq = next_seq t ~src:n.n_addr ~dst:o.o_dest;
+          msg_tuple = o.o_tuple;
+          msg_auth = o.o_auth;
+          msg_provenance = o.o_prov }
+      in
+      Net.Stats.record_message t.stats msg;
+      Obs.Events.emit t.obs_events ~at:now
+        (Obs.Events.E_msg_sent
+           { src = n.n_addr; dst = o.o_dest; bytes = Net.Wire.size msg });
+      (match o.o_prov with
+      | Some block ->
+        Obs.Events.emit t.obs_events ~at:now
+          (Obs.Events.E_prov_condensed
+             { node = n.n_addr; bytes = String.length block })
+      | None -> ());
+      (match t.on_message with
+      | Some tap -> tap now msg
+      | None -> ());
+      match o.o_receiver with
       | None -> () (* destination outside the simulation: counted, dropped *)
-      | Some r -> dispatch t r msg ~delay:(depart +. latency) ~latency)
+      | Some r -> dispatch t r msg ~delay:(depart +. o.o_latency) ~latency:o.o_latency)
     outgoing
+
+(* Execute [work] as node [n]'s CPU: measure its real duration, then
+   commit (the messages the work produced depart only when the node
+   finishes processing, as they would on a real host). *)
+let with_processing (t : t) (n : node) ~(incoming_bytes : int)
+    (work : exec_ctx -> unit) : unit =
+  let xc = { xc_charge = 0.0; xc_out = [] } in
+  let t0 = Unix.gettimeofday () in
+  work xc;
+  let compute = Unix.gettimeofday () -. t0 in
+  commit_handler t n
+    ~incoming_msgs:(if incoming_bytes > 0 then 1 else 0)
+    ~incoming_bytes ~compute xc
 
 (* Handle a delivered message: verify, record provenance, insert, and
    continue the fixpoint. *)
+(* Authenticate an incoming data message and record its shipped
+   provenance, returning the frontier item for the receiver's local
+   fixpoint.  Raises [Exit] on a forged message (the verification work
+   is still charged to the node).  Touches only per-node or
+   mutex-guarded state, so the batch engine calls it from worker
+   domains. *)
+let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
+    Eval.frontier_item =
+  let tuple = msg.Net.Wire.msg_tuple in
+  let bytes =
+    Net.Wire.signed_bytes ~src:msg.Net.Wire.msg_src ~dst:msg.Net.Wire.msg_dst tuple
+  in
+  let asserter =
+    if not t.cfg.verify_signatures then
+      match msg.Net.Wire.msg_auth with
+      | Net.Wire.A_none -> None
+      | Net.Wire.A_principal p
+      | Net.Wire.A_hmac { principal = p; _ }
+      | Net.Wire.A_signature { principal = p; _ } -> Some (Value.V_str p)
+    else begin
+      match
+        Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth t.directory
+          msg.Net.Wire.msg_auth bytes
+      with
+      | Sendlog.Auth.Verified p ->
+        (match t.cfg.auth with
+        | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
+          Net.Stats.record_verification t.stats ~ok:true;
+          Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
+            (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
+        | _ -> ());
+        Some (Value.V_str p)
+      | Sendlog.Auth.Unsigned -> None
+      | Sendlog.Auth.Forged _ ->
+        Net.Stats.record_verification t.stats ~ok:false;
+        Net.Stats.record_forged t.stats;
+        let at = Net.Event_sim.now t.sim in
+        Obs.Events.emit t.obs_events ~at
+          (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
+        Obs.Events.emit t.obs_events ~at
+          (Obs.Events.E_forged_dropped
+             { node = receiver.n_addr; src = msg.Net.Wire.msg_src });
+        raise Exit
+    end
+  in
+  (* Record shipped provenance (and the sender pointer for distributed
+     traceback) before evaluation so downstream derivations can fold
+     it in. *)
+  if prov_enabled t then begin
+    let expr =
+      match msg.Net.Wire.msg_provenance with
+      | Some block -> decode_prov t block
+      | None -> Provenance.Prov_expr.zero
+    in
+    Prov_store.record_received receiver.n_prov tuple ~from:msg.Net.Wire.msg_src ~expr
+  end;
+  { Eval.f_tuple = tuple; f_asserter = asserter }
+
 let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
   let now = Net.Event_sim.now t.sim in
   (* Fail-stop: a crashed node neither consumes ACKs nor processes
@@ -527,10 +672,17 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
           Obs.Events.emit t.obs_events ~at:now
             (Obs.Events.E_msg_received
                { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
-          with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun () ->
-              (* [Exit] aborts processing of a forged message; the work done
-                 so far (verification) is still charged to the node. *)
-              try handle_message_body t receiver msg with Exit -> ())
+          if t.batching then
+            (* Batch engine: defer verification + fixpoint to the
+               grouped per-node computation for this timestamp. *)
+            t.batch_inbox <- (receiver, W_msg msg) :: t.batch_inbox
+          else
+            with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun xc ->
+                (* [Exit] aborts processing of a forged message; the work
+                   done so far (verification) is still charged to the
+                   node. *)
+                try process t xc receiver [ accept_message t receiver msg ]
+                with Exit -> ())
         end
       end
 
@@ -555,55 +707,6 @@ and send_ack (t : t) (receiver : node) (data : Net.Wire.message) ~(attempt : int
     in
     transmit t ~delay:latency orig ack ~attempt
 
-and handle_message_body (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
-  let tuple = msg.msg_tuple in
-  let bytes = Net.Wire.signed_bytes ~src:msg.msg_src ~dst:msg.msg_dst tuple in
-  let asserter =
-    if not t.cfg.verify_signatures then
-      match msg.msg_auth with
-      | Net.Wire.A_none -> None
-      | Net.Wire.A_principal p
-      | Net.Wire.A_hmac { principal = p; _ }
-      | Net.Wire.A_signature { principal = p; _ } -> Some (Value.V_str p)
-    else begin
-      match
-        Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth t.directory
-          msg.msg_auth bytes
-      with
-      | Sendlog.Auth.Verified p ->
-        (match t.cfg.auth with
-        | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
-          Net.Stats.record_verification t.stats ~ok:true;
-          Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
-            (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
-        | _ -> ());
-        Some (Value.V_str p)
-      | Sendlog.Auth.Unsigned -> None
-      | Sendlog.Auth.Forged _ ->
-        Net.Stats.record_verification t.stats ~ok:false;
-        Net.Stats.record_forged t.stats;
-        let at = Net.Event_sim.now t.sim in
-        Obs.Events.emit t.obs_events ~at
-          (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
-        Obs.Events.emit t.obs_events ~at
-          (Obs.Events.E_forged_dropped
-             { node = receiver.n_addr; src = msg.Net.Wire.msg_src });
-        raise Exit
-    end
-  in
-  (* Record shipped provenance (and the sender pointer for
-     distributed traceback) before evaluation so downstream
-     derivations can fold it in. *)
-  if prov_enabled t then begin
-    let expr =
-      match msg.msg_provenance with
-      | Some block -> decode_prov t block
-      | None -> Provenance.Prov_expr.zero
-    in
-    Prov_store.record_received receiver.n_prov tuple ~from:msg.msg_src ~expr
-  end;
-  process t receiver [ { Eval.f_tuple = tuple; f_asserter = asserter } ]
-
 let () = deliver := handle_message
 
 (* --- public operations ----------------------------------------------- *)
@@ -612,10 +715,12 @@ let () = deliver := handle_message
 let install_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
   let n = node t at in
   Net.Event_sim.schedule t.sim ~delay:0.0 (fun () ->
-      with_processing t n ~incoming_bytes:0 (fun () ->
-          if prov_enabled t && sampled t tuple then
-            Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
-          process t n [ { Eval.f_tuple = tuple; f_asserter = None } ]))
+      if t.batching then t.batch_inbox <- (n, W_fact tuple) :: t.batch_inbox
+      else
+        with_processing t n ~incoming_bytes:0 (fun xc ->
+            if prov_enabled t && sampled t tuple then
+              Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+            process t xc n [ { Eval.f_tuple = tuple; f_asserter = None } ]))
 
 (* Install program facts at the location given by their location
    specifier (or first address argument). *)
@@ -637,6 +742,91 @@ let install_links ?(with_cost = true) (t : t) : unit =
     (fun tuple -> install_fact t ~at:(Value.to_addr (Tuple.arg tuple 0)) tuple)
     (Net.Topology.link_facts ~with_cost t.topo)
 
+(* --- batch engine (jobs > 1) ------------------------------------------ *)
+
+(* Drain the deferred inbox into per-node work lists, in first-arrival
+   order both across nodes and within each node's list.  That order is
+   the canonical commit order: it makes seq assignment (and hence the
+   whole schedule) independent of which domain computed what. *)
+let group_inbox (t : t) : (node * work_item list) list =
+  let items = List.rev t.batch_inbox in
+  t.batch_inbox <- [];
+  let order = ref [] in
+  let tbl : (string, work_item list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((n : node), item) ->
+      match Hashtbl.find_opt tbl n.n_addr with
+      | Some r -> r := item :: !r
+      | None ->
+        Hashtbl.add tbl n.n_addr (ref [ item ]);
+        order := n :: !order)
+    items;
+  List.rev_map (fun (n : node) -> (n, List.rev !(Hashtbl.find tbl n.n_addr))) !order
+
+(* Evaluate one node's share of a timestamp batch: authenticate every
+   queued message, then run a single combined semi-naive fixpoint over
+   the whole frontier.  Runs on a pool worker; only per-node and
+   mutex-guarded state is touched, and nothing is committed here. *)
+let node_compute (t : t) ((n, items) : node * work_item list) :
+    node * exec_ctx * float * int * int =
+  let t0 = Unix.gettimeofday () in
+  let xc = { xc_charge = 0.0; xc_out = [] } in
+  let nmsgs = ref 0 in
+  let bytes = ref 0 in
+  let frontier =
+    List.filter_map
+      (fun item ->
+        match item with
+        | W_fact tuple ->
+          if prov_enabled t && sampled t tuple then
+            Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+          Some { Eval.f_tuple = tuple; Eval.f_asserter = None }
+        | W_msg msg ->
+          incr nmsgs;
+          bytes := !bytes + Net.Wire.size msg;
+          (try Some (accept_message t n msg) with Exit -> None))
+      items
+  in
+  if frontier <> [] then process t xc n frontier;
+  let compute = Unix.gettimeofday () -. t0 in
+  (n, xc, compute, !nmsgs, !bytes)
+
+(* One batch step: pop all events sharing the next timestamp, let them
+   park their dataflow work in the inbox (ACKs, timers and fault
+   verdicts still execute inline — they are cheap and order-
+   sensitive), evaluate the per-node groups on the pool, and commit
+   results in canonical group order. *)
+let run_batched (t : t) (pool : Par.Pool.t) ~(until : float) : int =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Net.Event_sim.peek_time t.sim with
+    | None -> continue := false
+    | Some ts when ts > until -> continue := false
+    | Some _ ->
+      let actions = Net.Event_sim.next_batch t.sim in
+      count := !count + List.length actions;
+      t.batching <- true;
+      List.iter (fun act -> act ()) actions;
+      t.batching <- false;
+      let groups = group_inbox t in
+      if groups <> [] then begin
+        Obs.Metrics.inc t.c_batches;
+        List.iter
+          (fun (_, items) ->
+            let len = List.length items in
+            Obs.Metrics.inc ~by:len t.c_batch_items;
+            Obs.Metrics.set_max t.g_group_max (float_of_int len))
+          groups;
+        let results = Par.Pool.parallel_map pool (node_compute t) (Array.of_list groups) in
+        Array.iter
+          (fun (n, xc, compute, nmsgs, bytes) ->
+            commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute xc)
+          results
+      end
+  done;
+  !count
+
 type run_result = {
   wall_seconds : float; (* real CPU time: the paper's completion time *)
   sim_seconds : float; (* simulated network time at quiescence *)
@@ -646,17 +836,28 @@ type run_result = {
 (* Run to distributed fixpoint (event-queue quiescence).  Under
    tracing, the whole run is one root span on the virtual clock, so
    its [dur] is the query-completion time and the per-message
-   "handle" spans nest beneath it. *)
+   "handle" spans nest beneath it.  With [Config.jobs > 1] the batch
+   engine executes timestamp groups on the domain pool; with the
+   default [jobs = 1] the classic one-event-at-a-time loop runs. *)
 let run ?(until = Float.infinity) (t : t) : run_result =
   let go () =
     let t0 = Unix.gettimeofday () in
-    let events = Net.Event_sim.run ~until t.sim in
+    let events =
+      match t.pool with
+      | Some pool -> run_batched t pool ~until
+      | None -> Net.Event_sim.run ~until t.sim
+    in
     let wall = Unix.gettimeofday () -. t0 in
     { wall_seconds = wall; sim_seconds = Net.Event_sim.now t.sim; events }
   in
   match t.tracer with
   | Some tr -> Obs.Trace.with_span tr ~attrs:[ ("config", Config.name t.cfg) ] "run" go
   | None -> go ()
+
+(* Join the worker domains (OCaml caps live domains, so long-lived
+   processes that create many runtimes must release them). *)
+let shutdown (t : t) : unit =
+  match t.pool with Some pool -> Par.Pool.shutdown pool | None -> ()
 
 (* Advance simulated time and evict expired soft state, retiring its
    provenance to the offline stores. *)

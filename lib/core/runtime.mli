@@ -73,7 +73,18 @@ type run_result = {
 
 val run : ?until:float -> t -> run_result
 (** Run to distributed fixpoint (event-queue quiescence) or until the
-    virtual-time horizon. *)
+    virtual-time horizon.  With [Config.jobs > 1] the domain-parallel
+    batch engine pops all events sharing the next timestamp, groups
+    deferred dataflow work per destination node, evaluates each
+    node's combined fixpoint on the pool, and commits observable
+    effects (sequence numbers, stats, dispatch) in canonical
+    first-arrival order; with the default [jobs = 1] the classic
+    one-event-at-a-time loop runs. *)
+
+val shutdown : t -> unit
+(** Join the worker domains of the [jobs > 1] pool (no-op otherwise).
+    OCaml caps live domains, so call this when discarding a runtime in
+    a long-lived process (the bench harness and tests do). *)
 
 val advance : t -> seconds:float -> unit
 (** Advance simulated time and evict expired soft state, retiring its

@@ -47,8 +47,8 @@ let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
   let visited = Hashtbl.create 64 in
   let partial = ref false in
   let rec walk (addr : string) (tuple : Tuple.t) (depth : int) : Provenance.Derivation.t =
-    let key = addr ^ "|" ^ Tuple.identity tuple in
-    let ident = Tuple.identity tuple in
+    let key = addr ^ "|" ^ Tuple.interned_identity tuple in
+    let ident = Tuple.interned_identity tuple in
     (* Graceful degradation: a crashed node can't answer a provenance
        query, so its subtree becomes an explicit [Unreachable] stub
        instead of hanging the traceback or raising. *)

@@ -43,17 +43,25 @@ let fastpath_enabled () : bool = !fastpath_default
 (* Montgomery contexts per modulus: a public key arrives many times
    (every verified message), so the per-modulus precomputation (n',
    R^2) is shared across calls.  Keys are [Nat.t] values (int arrays,
-   hashed structurally); the table is bounded defensively. *)
+   hashed structurally); the table is bounded defensively, and
+   mutex-guarded because sign/verify run concurrently on the parallel
+   batch engine's worker domains. *)
+let mont_mu = Mutex.create ()
 let mont_cache : (Nat.t, Nat.Mont.ctx) Hashtbl.t = Hashtbl.create 16
 
 let mont_ctx_of (m : Nat.t) : Nat.Mont.ctx =
-  match Hashtbl.find_opt mont_cache m with
-  | Some c -> c
-  | None ->
-    if Hashtbl.length mont_cache > 128 then Hashtbl.reset mont_cache;
-    let c = Nat.Mont.ctx m in
-    Hashtbl.replace mont_cache m c;
-    c
+  Mutex.lock mont_mu;
+  let c =
+    match Hashtbl.find_opt mont_cache m with
+    | Some c -> c
+    | None ->
+      if Hashtbl.length mont_cache > 128 then Hashtbl.reset mont_cache;
+      let c = Nat.Mont.ctx m in
+      Hashtbl.replace mont_cache m c;
+      c
+  in
+  Mutex.unlock mont_mu;
+  c
 
 (* Sign/verify wall-clock histograms (crypto.*_seconds in the shared
    registry): per-operation cost is what Section 6 attributes the

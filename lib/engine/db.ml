@@ -26,17 +26,28 @@ type meta = {
      neighbours, and a `W says p(...)` literal enumerates them. *)
 }
 
-(* Column-subset keys.  Equality follows [Value.equal] (numeric values
-   compare across representations), not structural equality, so an
-   index probe finds exactly the tuples a full-scan match would. *)
+(* Column-subset keys: arrays of hash-consed {!Value.id}s, so key
+   equality and hashing are machine-int loops instead of structural
+   value walks.  [Value.id] interns through [Value.equal]/[Value.hash]
+   (numeric values compare across representations), so an index probe
+   still finds exactly the tuples a full-scan match would. *)
 module Key = struct
-  type t = Value.t list
+  type t = int array
 
-  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
-  let hash (k : t) = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+  let equal (a : t) (b : t) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (k : t) = Array.fold_left (fun acc i -> (acc * 31) + i) 7 k
 end
 
 module Key_tbl = Hashtbl.Make (Key)
+
+let key_ids (vs : Value.t list) : int array =
+  Array.of_list (List.map Value.id vs)
 
 type rel_store = {
   tuples : meta Tuple.Table.t;
@@ -87,6 +98,7 @@ let index_add (idx : Tuple.t list ref Key_tbl.t) (cols : int list) (t : Tuple.t)
   match Tuple.key_opt t cols with
   | None -> () (* tuple of a different arity: unreachable via these columns *)
   | Some k -> (
+    let k = key_ids k in
     match Key_tbl.find_opt idx k with
     | Some bucket -> bucket := t :: !bucket
     | None -> Key_tbl.replace idx k (ref [ t ]))
@@ -96,6 +108,7 @@ let index_remove (idx : Tuple.t list ref Key_tbl.t) (cols : int list) (t : Tuple
   match Tuple.key_opt t cols with
   | None -> ()
   | Some k -> (
+    let k = key_ids k in
     match Key_tbl.find_opt idx k with
     | None -> ()
     | Some bucket -> (
@@ -179,7 +192,7 @@ let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
       add_new ();
       Added)
   | Replace { key; prefer } -> (
-    let k = Tuple.key_of tuple key in
+    let k = key_ids (Tuple.key_of tuple key) in
     match Key_tbl.find_opt store.by_key k with
     | None ->
       add_new ();
@@ -223,7 +236,7 @@ let remove (db : t) (tuple : Tuple.t) : unit =
     (match store.policy with
     | Set -> ()
     | Replace { key; _ } ->
-      let k = Tuple.key_of tuple key in
+      let k = key_ids (Tuple.key_of tuple key) in
       (match Key_tbl.find_opt store.by_key k with
       | Some t when Tuple.equal t tuple -> Key_tbl.remove store.by_key k
       | Some _ | None -> ()))
@@ -257,7 +270,7 @@ let probe (db : t) (name : string) ~(cols : int list) ~(key : Value.t list) :
     end
     else begin
       Obs.Metrics.inc (Lazy.force c_probes);
-      match Key_tbl.find_opt (index_for store cols) key with
+      match Key_tbl.find_opt (index_for store cols) (key_ids key) with
       | Some bucket ->
         Obs.Metrics.inc (Lazy.force c_hits);
         !bucket
@@ -302,7 +315,7 @@ let evict_expired (db : t) ~(now : float) : Tuple.t list =
           (match store.policy with
           | Set -> ()
           | Replace { key; _ } -> (
-            let k = Tuple.key_of t key in
+            let k = key_ids (Tuple.key_of t key) in
             match Key_tbl.find_opt store.by_key k with
             | Some cur when Tuple.equal cur t -> Key_tbl.remove store.by_key k
             | Some _ | None -> ()));

@@ -42,6 +42,21 @@ type frontier_item = {
 
 exception Rule_error of string
 
+(* Per-round derivation dedup keys: flat arrays of hash-consed ids
+   (see [deriv_key] in [run_fixpoint]). *)
+module Deriv_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (k : int array) = Array.fold_left (fun acc i -> (acc * 31) + i) 7 k
+end)
+
 (* --- body matching -------------------------------------------------- *)
 
 (* Enumerate matches of one positive predicate literal against a list
@@ -431,23 +446,39 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
      (rule, head, body-with-asserters) identity.  The delta-position
      ordering prevents most duplicates; this catches the remainder
      (e.g. several new asserters of existing tuples in one round) so
-     [on_derive] fires exactly once per distinct derivation. *)
-  let round_seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+     [on_derive] fires exactly once per distinct derivation.  Keys are
+     arrays of hash-consed ids ([Tuple.id]/[Value.id] plus a per-run
+     rule-name id) rather than the concatenated identity strings they
+     used to be — the former hottest allocation site of the fixpoint. *)
+  let round_seen : unit Deriv_tbl.t = Deriv_tbl.create 256 in
+  let rule_ids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let rule_id name =
+    match Hashtbl.find_opt rule_ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length rule_ids in
+      Hashtbl.add rule_ids name i;
+      i
+  in
   let deriv_key rule_name (tuple : Tuple.t) body =
-    String.concat "\x00"
-      (rule_name :: Tuple.identity tuple
-      :: List.map
-           (fun (t, asserter) ->
-             Tuple.identity t
-             ^ match asserter with Some p -> "@" ^ Value.to_string p | None -> "")
-           body)
+    (* -1 marks "no asserter"; real [Value.id]s are non-negative. *)
+    let key = Array.make (2 + (2 * List.length body)) (-1) in
+    key.(0) <- rule_id rule_name;
+    key.(1) <- Tuple.id tuple;
+    List.iteri
+      (fun i (t, asserter) ->
+        key.(2 + (2 * i)) <- Tuple.id t;
+        key.(3 + (2 * i)) <-
+          (match asserter with Some p -> Value.id p | None -> -1))
+      body;
+    key
   in
   let delta_new : unit Tuple.Table.t = Tuple.Table.create 64 in
   let process_derivation rule_name (tuple, dest, body) next_frontier =
     let key = deriv_key rule_name tuple body in
-    if Hashtbl.mem round_seen key then next_frontier
+    if Deriv_tbl.mem round_seen key then next_frontier
     else begin
-      Hashtbl.add round_seen key ();
+      Deriv_tbl.add round_seen key ();
       stats.derivations <- stats.derivations + 1;
       Obs.Metrics.inc (rule_counter rule_name);
       let deriv = { d_rule = rule_name; d_head = tuple; d_body = body } in
@@ -479,7 +510,7 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
     List.iter
       (fun (fi, fresh) -> if fresh then Tuple.Table.replace delta_new fi.f_tuple ())
       !frontier;
-    Hashtbl.reset round_seen;
+    Deriv_tbl.reset round_seen;
     let next = ref [] in
     (* Plain (and MIN/MAX) rules: one pass per positive body literal
        seeded from the delta. *)

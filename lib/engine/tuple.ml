@@ -75,3 +75,43 @@ module Hashed = struct
 end
 
 module Table = Hashtbl.Make (Hashed)
+
+(* Hash-consing: tuples intern into dense ids, with the identity
+   string rendered once and cached alongside.  Replaces the former hot
+   path where every dedup/index/Bloom key re-ran [to_string].  Global,
+   append-only and mutex-guarded for the same reasons as [Value.id];
+   the parallel batch engine's worker domains intern newly derived
+   tuples under this lock while the table's existing entries stay
+   immutable ("frozen") for lock-free reads of cached records already
+   in hand. *)
+type interned = {
+  it_id : int;
+  it_identity : string;
+}
+
+let intern_mu = Mutex.create ()
+let intern_tbl : interned Table.t = Table.create 4096
+let intern_next = ref 0
+
+let interned (t : t) : interned =
+  Mutex.lock intern_mu;
+  let r =
+    match Table.find_opt intern_tbl t with
+    | Some r -> r
+    | None ->
+      let r = { it_id = !intern_next; it_identity = to_string t } in
+      incr intern_next;
+      Table.add intern_tbl t r;
+      r
+  in
+  Mutex.unlock intern_mu;
+  r
+
+let id (t : t) : int = (interned t).it_id
+let interned_identity (t : t) : string = (interned t).it_identity
+
+let interned_count () : int =
+  Mutex.lock intern_mu;
+  let n = !intern_next in
+  Mutex.unlock intern_mu;
+  n

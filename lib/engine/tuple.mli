@@ -45,3 +45,22 @@ val wire_size : t -> int
 
 module Hashed : Hashtbl.HashedType with type t = t
 module Table : Hashtbl.S with type key = t
+
+(** {1 Hash-consing}
+
+    Tuples intern into dense integer ids (with the {!identity} string
+    rendered once and cached), so dedup tables, index keys and
+    Bloom-filter keys compare machine ints instead of re-stringifying
+    the tuple.  The interner is global, append-only, and mutex-guarded:
+    worker domains of the parallel batch engine may intern newly
+    derived tuples concurrently. *)
+
+val id : t -> int
+(** [equal a b] iff [id a = id b]; distinct tuples get distinct ids. *)
+
+val interned_identity : t -> string
+(** Same string as {!identity}, but rendered once per distinct tuple
+    and cached in the interner. *)
+
+val interned_count : unit -> int
+(** Number of distinct tuples interned so far (diagnostics/tests). *)

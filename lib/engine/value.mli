@@ -41,3 +41,12 @@ val to_addr : t -> string
 val wire_size : t -> int
 (** Serialized size in bytes, matching [Net.Wire]'s encoding (1 tag
     byte plus payload); the basis of the bandwidth accounting. *)
+
+val id : t -> int
+(** Hash-consed id: equal values (including cross-representation
+    numeric equals) always intern to the same dense id, distinct
+    values to distinct ids.  The interner is global, append-only and
+    mutex-guarded (safe to call from worker domains). *)
+
+val interned_count : unit -> int
+(** Number of distinct values interned so far (diagnostics/tests). *)

@@ -138,6 +138,41 @@ let schedule_at (t : t) ~(time : float) (action : unit -> unit) : unit =
 
 let pending (t : t) : int = Pq.length t.queue
 
+(* Timestamp of the earliest queued event, without executing it.  The
+   batch engine peeks to decide whether the next batch lies within the
+   horizon. *)
+let peek_time (t : t) : float option =
+  if Pq.length t.queue = 0 then None else Some t.queue.Pq.heap.(0).ev_time
+
+(* Pop every event sharing the minimal timestamp, in scheduling-seq
+   order (the heap pops them in exactly that order), advance the clock
+   to it, and return their actions unexecuted.  This is the batch
+   engine's unit of work: all same-timestamp events are causally
+   independent — an event can only schedule strictly later work once
+   executed — so the caller may group and reorder their *evaluation*
+   freely as long as observable effects are committed in the returned
+   (seq) order. *)
+let next_batch (t : t) : (unit -> unit) list =
+  match Pq.pop t.queue with
+  | None -> []
+  | Some first ->
+    t.now <- max t.now first.ev_time;
+    let batch = ref [ first.ev_action ] in
+    let continue = ref true in
+    while !continue do
+      if Pq.length t.queue > 0 && t.queue.Pq.heap.(0).ev_time = first.ev_time then begin
+        match Pq.pop t.queue with
+        | Some e -> batch := e.ev_action :: !batch
+        | None -> continue := false
+      end
+      else continue := false
+    done;
+    let actions = List.rev !batch in
+    let n = List.length actions in
+    t.processed <- t.processed + n;
+    Obs.Metrics.inc ~by:n t.c_processed;
+    actions
+
 let queue_capacity (t : t) : int = Pq.capacity t.queue
 
 let events_processed (t : t) : int = t.processed

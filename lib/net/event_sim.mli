@@ -33,6 +33,19 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events still queued. *)
 
+val peek_time : t -> float option
+(** Timestamp of the earliest queued event, or [None] when the queue
+    is empty.  Does not execute anything. *)
+
+val next_batch : t -> (unit -> unit) list
+(** Pop {e all} events sharing the earliest timestamp, advance the
+    clock to it, and return their actions {e unexecuted}, in
+    scheduling-sequence order.  Same-timestamp events are causally
+    independent (an event only schedules strictly later work once
+    executed), so the parallel batch engine may evaluate them
+    concurrently, provided observable effects are committed in the
+    returned order.  Counts the popped events as processed. *)
+
 val queue_capacity : t -> int
 (** Current heap array capacity (the queue shrinks after bursts; the
     memory tests observe this). *)

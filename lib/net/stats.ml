@@ -50,11 +50,16 @@ type t = {
   c_retransmits : Obs.Metrics.counter;
   c_acks : Obs.Metrics.counter;
   c_retry_exhausted : Obs.Metrics.counter;
+  mu : Mutex.t;
+      (* record_* calls race between the parallel batch engine's
+         worker domains (signing/verification accounting happens
+         inside node handlers); readers run between batches *)
 }
 
 let create () =
   let reg = Obs.Metrics.default in
-  { messages = 0;
+  { mu = Mutex.create ();
+    messages = 0;
     bytes_total = 0;
     bytes_header = 0;
     bytes_payload = 0;
@@ -96,6 +101,7 @@ let bump tbl key n =
 let record_message (t : t) (m : Wire.message) : unit =
   let sb = Wire.size_breakdown m in
   let total = Wire.total sb in
+  Mutex.lock t.mu;
   t.messages <- t.messages + 1;
   t.bytes_header <- t.bytes_header + sb.sb_header;
   t.bytes_payload <- t.bytes_payload + sb.sb_payload;
@@ -104,6 +110,7 @@ let record_message (t : t) (m : Wire.message) : unit =
   t.bytes_total <- t.bytes_total + total;
   bump t.per_node_sent m.msg_src total;
   bump t.per_node_msgs m.msg_src 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_messages;
   Obs.Metrics.inc ~by:total t.c_bytes;
   Obs.Metrics.inc ~by:sb.sb_auth t.c_bytes_auth;
@@ -112,46 +119,62 @@ let record_message (t : t) (m : Wire.message) : unit =
 (* Called when a receiver actually processes a delivered message. *)
 let record_received (t : t) (m : Wire.message) : unit =
   let total = Wire.total (Wire.size_breakdown m) in
+  Mutex.lock t.mu;
   t.messages_received <- t.messages_received + 1;
   t.bytes_received <- t.bytes_received + total;
   bump t.per_node_recv m.msg_dst total;
   bump t.per_node_msgs_recv m.msg_dst 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_received
 
 let record_signature (t : t) =
+  Mutex.lock t.mu;
   t.signatures_generated <- t.signatures_generated + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_sigs
 
 let record_verification (t : t) ~ok =
+  Mutex.lock t.mu;
   t.signatures_verified <- t.signatures_verified + 1;
+  if not ok then t.verification_failures <- t.verification_failures + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_verifs;
-  if not ok then begin
-    t.verification_failures <- t.verification_failures + 1;
-    Obs.Metrics.inc t.c_verif_failures
-  end
+  if not ok then Obs.Metrics.inc t.c_verif_failures
 
 let record_forged (t : t) =
+  Mutex.lock t.mu;
   t.dropped_forged <- t.dropped_forged + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_dropped_forged
 
 let record_drop (t : t) =
+  Mutex.lock t.mu;
   t.drops <- t.drops + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_drops
 
 let record_dup (t : t) =
+  Mutex.lock t.mu;
   t.dups <- t.dups + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_dups
 
 let record_retransmit (t : t) =
+  Mutex.lock t.mu;
   t.retransmits <- t.retransmits + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_retransmits
 
 let record_ack (t : t) =
+  Mutex.lock t.mu;
   t.acks <- t.acks + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_acks
 
 let record_retry_exhausted (t : t) =
+  Mutex.lock t.mu;
   t.retry_exhausted <- t.retry_exhausted + 1;
+  Mutex.unlock t.mu;
   Obs.Metrics.inc t.c_retry_exhausted
 
 let bytes_sent_by (t : t) (node : string) : int =

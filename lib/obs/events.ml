@@ -29,18 +29,29 @@ type log = {
   mutable next : int; (* slot the next entry lands in *)
   mutable seq : int;
   mutable dropped : int;
+  mu : Mutex.t;
+      (* emits can race between the parallel batch engine's worker
+         domains; reads happen only from the orchestrator between
+         batches, so guarding [emit] alone keeps the ring coherent *)
 }
 
 let create ?(capacity = 4096) () : log =
   if capacity <= 0 then invalid_arg "Events.create: capacity must be positive";
-  { buf = Array.make capacity None; capacity; next = 0; seq = 0; dropped = 0 }
+  { buf = Array.make capacity None;
+    capacity;
+    next = 0;
+    seq = 0;
+    dropped = 0;
+    mu = Mutex.create () }
 
 let emit (log : log) ~(at : float) (event : event) : unit =
+  Mutex.lock log.mu;
   let slot = log.next mod log.capacity in
   if log.buf.(slot) <> None then log.dropped <- log.dropped + 1;
   log.buf.(slot) <- Some { en_at = at; en_seq = log.seq; en_event = event };
   log.seq <- log.seq + 1;
-  log.next <- log.next + 1
+  log.next <- log.next + 1;
+  Mutex.unlock log.mu
 
 let length (log : log) : int = min log.next log.capacity
 

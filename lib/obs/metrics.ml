@@ -44,6 +44,26 @@ type metric =
 
 type registry = { tbl : (string, metric) Hashtbl.t }
 
+(* One process-wide lock covers every registry: lookup/creation, all
+   mutations, and snapshot iteration.  The parallel batch engine's
+   worker domains record into the shared default registry, and OCaml 5
+   Hashtbls are not safe under concurrent mutation.  A single global
+   mutex (rather than per-registry) keeps handle mutation safe even
+   when a handle outlives a registry reference; the sections are a few
+   instructions, so uncontended cost is negligible next to the rule
+   evaluation they instrument. *)
+let mu = Mutex.create ()
+
+let locked (f : unit -> 'a) : 'a =
+  Mutex.lock mu;
+  match f () with
+  | r ->
+    Mutex.unlock mu;
+    r
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
 let create () : registry = { tbl = Hashtbl.create 64 }
 
 (* Shared default registry: the low-level layers (Engine.Eval,
@@ -63,12 +83,13 @@ let key (name : string) (labels : (string * string) list) : string =
 let find_or_create (reg : registry) ~(name : string)
     ~(labels : (string * string) list) (make : unit -> metric) : metric =
   let k = key name labels in
-  match Hashtbl.find_opt reg.tbl k with
-  | Some m -> m
-  | None ->
-    let m = make () in
-    Hashtbl.replace reg.tbl k m;
-    m
+  locked (fun () ->
+      match Hashtbl.find_opt reg.tbl k with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace reg.tbl k m;
+        m)
 
 (* --- counters --------------------------------------------------------- *)
 
@@ -80,7 +101,10 @@ let counter (reg : registry) ?(labels = []) (name : string) : counter =
   | M_counter c -> c
   | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %s is not a counter" name)
 
-let inc ?(by = 1) (c : counter) : unit = c.c_value <- c.c_value + by
+let inc ?(by = 1) (c : counter) : unit =
+  Mutex.lock mu;
+  c.c_value <- c.c_value + by;
+  Mutex.unlock mu
 
 let value (c : counter) : int = c.c_value
 
@@ -94,10 +118,16 @@ let gauge (reg : registry) ?(labels = []) (name : string) : gauge =
   | M_gauge g -> g
   | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
 
-let set (g : gauge) (v : float) : unit = g.g_value <- v
+let set (g : gauge) (v : float) : unit =
+  Mutex.lock mu;
+  g.g_value <- v;
+  Mutex.unlock mu
 
 (* High-water mark (e.g. maximum event-queue depth). *)
-let set_max (g : gauge) (v : float) : unit = if v > g.g_value then g.g_value <- v
+let set_max (g : gauge) (v : float) : unit =
+  Mutex.lock mu;
+  if v > g.g_value then g.g_value <- v;
+  Mutex.unlock mu
 
 let gauge_value (g : gauge) : float = g.g_value
 
@@ -134,14 +164,16 @@ let bucket_upper_bound (b : int) : float =
   if b = nonpositive_bucket then 0.0 else Float.ldexp 1.0 b
 
 let observe (h : histogram) (v : float) : unit =
+  Mutex.lock mu;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
   let b = bucket_of v in
-  match Hashtbl.find_opt h.h_buckets b with
+  (match Hashtbl.find_opt h.h_buckets b with
   | Some r -> incr r
-  | None -> Hashtbl.replace h.h_buckets b (ref 1)
+  | None -> Hashtbl.replace h.h_buckets b (ref 1));
+  Mutex.unlock mu
 
 (* Time [f] on the wall clock into histogram [h]. *)
 let timed (h : histogram) (f : unit -> 'a) : 'a =
@@ -155,21 +187,23 @@ let hist_sum (h : histogram) : float = h.h_sum
 (* --- registry-wide operations ----------------------------------------- *)
 
 let reset (reg : registry) : unit =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | M_counter c -> c.c_value <- 0
-      | M_gauge g -> g.g_value <- 0.0
-      | M_histogram h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- Float.infinity;
-        h.h_max <- Float.neg_infinity;
-        Hashtbl.reset h.h_buckets)
-    reg.tbl
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> c.c_value <- 0
+          | M_gauge g -> g.g_value <- 0.0
+          | M_histogram h ->
+            h.h_count <- 0;
+            h.h_sum <- 0.0;
+            h.h_min <- Float.infinity;
+            h.h_max <- Float.neg_infinity;
+            Hashtbl.reset h.h_buckets)
+        reg.tbl)
 
 let sorted_metrics (reg : registry) : (string * metric) list =
-  Hashtbl.fold (fun k m acc -> (k, m) :: acc) reg.tbl []
+  locked (fun () ->
+      Hashtbl.fold (fun k m acc -> (k, m) :: acc) reg.tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let sorted_buckets (h : histogram) : (int * int) list =

@@ -14,19 +14,28 @@ type ctx = {
       (* memo of [to_wire]: identical expressions recur every time a
          tuple is re-shipped, so the encode-serialize pipeline is a
          cache lookup on the steady state *)
+  wire_limit : int;
+      (* bound on memoized encodings; a long-lived runtime re-ships an
+         unbounded stream of distinct expressions, so beyond the bound
+         the cache restarts cold and the discarded entries are counted
+         as evictions *)
   c_hits : Obs.Metrics.counter;
   c_misses : Obs.Metrics.counter;
+  c_evictions : Obs.Metrics.counter;
 }
 
-(* Bound on memoized encodings; beyond it the cache restarts cold. *)
-let wire_cache_limit = 16_384
+let default_wire_cache_limit = 16_384
 
-let create_ctx () =
+let create_ctx ?(wire_cache_limit = default_wire_cache_limit) () =
+  if wire_cache_limit < 1 then
+    invalid_arg "Condense.create_ctx: wire_cache_limit must be >= 1";
   let reg = Obs.Metrics.default in
   { manager = Bdd.create_manager ();
     wire_cache = Hashtbl.create 256;
+    wire_limit = wire_cache_limit;
     c_hits = Obs.Metrics.counter reg "prov.condense_hits";
-    c_misses = Obs.Metrics.counter reg "prov.condense_misses" }
+    c_misses = Obs.Metrics.counter reg "prov.condense_misses";
+    c_evictions = Obs.Metrics.counter reg "prov.condense_evictions" }
 
 (* Encode an expression; Zero/One map to the BDD constants, base keys
    to named variables. *)
@@ -111,8 +120,10 @@ let rec to_wire (ctx : ctx) (e : Prov_expr.t) : string =
   | None ->
     Obs.Metrics.inc ctx.c_misses;
     let encoded = to_wire_uncached ctx e in
-    if Hashtbl.length ctx.wire_cache >= wire_cache_limit then
-      Hashtbl.reset ctx.wire_cache;
+    if Hashtbl.length ctx.wire_cache >= ctx.wire_limit then begin
+      Obs.Metrics.inc ~by:(Hashtbl.length ctx.wire_cache) ctx.c_evictions;
+      Hashtbl.reset ctx.wire_cache
+    end;
     Hashtbl.replace ctx.wire_cache e encoded;
     encoded
 

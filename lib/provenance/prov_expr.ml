@@ -87,6 +87,42 @@ let to_string (e : t) : string =
 
 let to_annotation (e : t) : string = "<" ^ to_string e ^ ">"
 
+(* AC-canonical rendering.  [Plus] and [Times] are commutative and
+   associative, but evaluation order leaks into the tree shape, so two
+   semantically equal annotations can print differently under
+   {!to_string} (e.g. <a*b> vs <b*a> when derivations are discovered
+   in a different order).  Flatten each operator's operand list and
+   sort the rendered operands, recursively, for an order-insensitive
+   form; the parallel batch engine's equivalence tests compare
+   these. *)
+let canonical_string (e : t) : string =
+  let rec plus_terms = function
+    | Plus (a, b) -> plus_terms a @ plus_terms b
+    | e -> [ e ]
+  in
+  let rec times_terms = function
+    | Times (a, b) -> times_terms a @ times_terms b
+    | e -> [ e ]
+  in
+  let rec go ~parent e =
+    match e with
+    | Zero -> "0"
+    | One -> "1"
+    | Base k -> k
+    | Plus _ ->
+      let s =
+        plus_terms e
+        |> List.map (go ~parent:`Plus)
+        |> List.sort String.compare |> String.concat "+"
+      in
+      if parent = `Times then "(" ^ s ^ ")" else s
+    | Times _ ->
+      times_terms e
+      |> List.map (go ~parent:`Times)
+      |> List.sort String.compare |> String.concat "*"
+  in
+  go ~parent:`Top e
+
 (* Wire size in bytes when shipped uncondensed: a flattened prefix
    encoding with one byte per operator and length-prefixed keys. *)
 let rec wire_size = function

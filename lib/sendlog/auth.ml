@@ -24,8 +24,16 @@ let mode_to_string = function
   | Auth_rsa -> "rsa"
 
 (* Sender-side signature cache counters.  [Net.Wire.signed_bytes]
-   deliberately excludes the sequence number so identical payloads can
-   share signature work; the cache below realizes that sharing. *)
+   deliberately excludes the sequence number and the provenance block,
+   so identical payloads can share signature work.  The runtime's
+   per-node sent cache keys on (dest, tuple, provenance block) and only
+   signs on a miss, and retransmissions reuse the already-signed
+   message — so on workloads without shipped provenance every signed
+   payload is unique by construction and hits read 0 (the crypto
+   ablation's steady state).  The cache earns hits when the same tuple
+   is re-shipped to the same destination under a *different* provenance
+   block: the sent cache misses but the signed bytes recur (covered by
+   the live-path fixture in test_sendlog.ml). *)
 let c_cache_hits =
   lazy (Obs.Metrics.counter Obs.Metrics.default "crypto.sign_cache_hits")
 
@@ -33,6 +41,12 @@ let c_cache_misses =
   lazy (Obs.Metrics.counter Obs.Metrics.default "crypto.sign_cache_misses")
 
 let sign_cache_max = 8192 (* per-principal bound; reset on overflow *)
+
+(* One lock for every principal's sig_cache: nodes sign concurrently
+   on the parallel batch engine's worker domains, and distinct
+   principals never contend for long (the critical sections exclude
+   the RSA exponentiation itself). *)
+let sign_cache_mu = Mutex.create ()
 
 (* RSA-sign [bytes] as [sender], consulting the principal's signature
    cache (keyed by payload digest).  Signatures are deterministic, so a
@@ -42,16 +56,21 @@ let rsa_sign_cached ~(fastpath : bool) (sender : Principal.t) (bytes : string) :
   if not fastpath then Crypto.Rsa.sign ~fastpath sender.keypair.private_ bytes
   else begin
     let digest = Crypto.Sha256.digest bytes in
-    match Hashtbl.find_opt sender.sig_cache digest with
+    Mutex.lock sign_cache_mu;
+    let cached = Hashtbl.find_opt sender.sig_cache digest in
+    Mutex.unlock sign_cache_mu;
+    match cached with
     | Some s ->
       Obs.Metrics.inc (Lazy.force c_cache_hits);
       s
     | None ->
       Obs.Metrics.inc (Lazy.force c_cache_misses);
       let s = Crypto.Rsa.sign ~fastpath sender.keypair.private_ bytes in
+      Mutex.lock sign_cache_mu;
       if Hashtbl.length sender.sig_cache >= sign_cache_max then
         Hashtbl.reset sender.sig_cache;
-      Hashtbl.add sender.sig_cache digest s;
+      Hashtbl.replace sender.sig_cache digest s;
+      Mutex.unlock sign_cache_mu;
       s
   end
 

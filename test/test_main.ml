@@ -11,4 +11,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("sendlog", Test_sendlog.suite);
       ("core", Test_core.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite) ]

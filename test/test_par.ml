@@ -1,0 +1,232 @@
+(* Tests for the domain-parallel batch engine (lib/par) and the
+   hash-consed value/tuple interners: pool semantics, interning laws,
+   and the seq-vs-par equivalence property on the distributed
+   Best-Path fixpoint (identical fixpoints, provenance, and message
+   counts across seeds, including a lossy/reliable run). *)
+
+open Engine
+
+let rsa_bits = 384
+
+(* --- pool ------------------------------------------------------------- *)
+
+let test_pool_map () =
+  let pool = Par.Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "jobs" 4 (Par.Pool.jobs pool);
+      Alcotest.(check int) "empty input" 0
+        (Array.length (Par.Pool.parallel_map pool (fun i -> i) [||]));
+      let input = Array.init 1003 (fun i -> i) in
+      let got = Par.Pool.parallel_map pool (fun i -> (i * 2) + 1) input in
+      Alcotest.(check bool) "results in input order" true
+        (got = Array.map (fun i -> (i * 2) + 1) input);
+      Alcotest.(check bool) "singleton" true
+        (Par.Pool.parallel_map pool string_of_int [| 9 |] = [| "9" |]))
+
+let test_pool_exception () =
+  let pool = Par.Pool.create ~jobs:3 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+          ignore
+            (Par.Pool.parallel_map pool
+               (fun i -> if i = 7 then failwith "boom" else i)
+               (Array.init 32 (fun i -> i))));
+      (* the pool settles and stays usable after a failed map *)
+      let got = Par.Pool.parallel_map pool (fun i -> i + 1) [| 1; 2; 3 |] in
+      Alcotest.(check bool) "usable after failure" true (got = [| 2; 3; 4 |]))
+
+let test_pool_invalid () =
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Par.Pool.create ~jobs:0))
+
+(* --- hash-consing laws ------------------------------------------------ *)
+
+let sample_values =
+  [ Value.V_int 0;
+    Value.V_int 2;
+    Value.V_float 2.0 (* numerically equal to [V_int 2] *);
+    Value.V_float 2.5;
+    Value.V_bool true;
+    Value.V_bool false;
+    Value.V_str "2";
+    Value.V_str "node3";
+    Value.V_list [ Value.V_str "a"; Value.V_int 1 ];
+    Value.V_list [] ]
+
+let test_value_interning_laws () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let same_id = Value.id a = Value.id b in
+          Alcotest.(check bool)
+            (Printf.sprintf "id agrees with equal: %s vs %s" (Value.to_string a)
+               (Value.to_string b))
+            (Value.equal a b) same_id;
+          Alcotest.(check bool) "id agrees with compare" (Value.compare a b = 0) same_id;
+          if Value.equal a b then
+            Alcotest.(check int) "hash respects equality" (Value.hash a) (Value.hash b))
+        sample_values)
+    sample_values;
+  (* interning is stable across structurally fresh copies *)
+  Alcotest.(check int) "stable id"
+    (Value.id (Value.V_list [ Value.V_str "stable"; Value.V_int 42 ]))
+    (Value.id (Value.V_list [ Value.V_str "stable"; Value.V_int 42 ]));
+  (* cross-representation numeric equality shares an id *)
+  Alcotest.(check int) "2 and 2.0 share an id" (Value.id (Value.V_int 2))
+    (Value.id (Value.V_float 2.0));
+  let before = Value.interned_count () in
+  ignore (Value.id (Value.V_str (Printf.sprintf "fresh-%d" before)));
+  Alcotest.(check int) "interner grows by one" (before + 1) (Value.interned_count ())
+
+let sample_tuples =
+  [ Tuple.make "link" [ Value.V_str "a"; Value.V_str "b"; Value.V_int 3 ];
+    Tuple.make "link" [ Value.V_str "a"; Value.V_str "b"; Value.V_int 4 ];
+    Tuple.make "link" [ Value.V_str "a"; Value.V_str "b"; Value.V_float 3.0 ];
+    Tuple.make "path" [ Value.V_str "a"; Value.V_str "b"; Value.V_int 3 ];
+    Tuple.make "path" [] ]
+
+let test_tuple_interning_laws () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let same_id = Tuple.id a = Tuple.id b in
+          Alcotest.(check bool)
+            (Printf.sprintf "id agrees with equal: %s vs %s" (Tuple.to_string a)
+               (Tuple.to_string b))
+            (Tuple.equal a b) same_id;
+          (* equal tuples share one canonical identity rendering *)
+          if same_id then
+            Alcotest.(check string) "shared identity" (Tuple.interned_identity a)
+              (Tuple.interned_identity b))
+        sample_tuples)
+    sample_tuples;
+  (* a first-interned tuple's cached identity is its own rendering *)
+  let fresh = Tuple.make "internFreshRel" [ Value.V_int (Tuple.interned_count ()) ] in
+  Alcotest.(check string) "identity of representative" (Tuple.identity fresh)
+    (Tuple.interned_identity fresh);
+  List.iter
+    (fun t ->
+      (* wire round-trip re-interns to the same id *)
+      let t' = Net.Wire.decode_tuple (Net.Wire.encode_tuple t) in
+      Alcotest.(check int)
+        (Printf.sprintf "wire round-trip id: %s" (Tuple.to_string t))
+        (Tuple.id t) (Tuple.id t'))
+    sample_tuples;
+  let before = Tuple.interned_count () in
+  ignore (Tuple.id (Tuple.make "internFreshRel2" [ Value.V_int before ]));
+  Alcotest.(check bool) "interner grows" true (Tuple.interned_count () > before)
+
+(* --- seq vs par equivalence ------------------------------------------- *)
+
+(* Fingerprint of a finished Best-Path run: the sorted bestPathCost and
+   bestPath fixpoints, the provenance of every bestPathCost tuple, and
+   the total wire message count.  The batch engine must reproduce all
+   four exactly. *)
+type fingerprint = {
+  fp_cost : string list;
+  fp_best : string list;
+  fp_prov : string list;
+  fp_msgs : int;
+}
+
+let fingerprint t =
+  let sorted rel =
+    List.map
+      (fun (at, tu) -> at ^ "|" ^ Tuple.identity tu)
+      (Core.Runtime.query_all t rel)
+    |> List.sort compare
+  in
+  let prov =
+    List.map
+      (fun (at, tu) ->
+        at ^ "|" ^ Tuple.identity tu ^ "|"
+        ^ Provenance.Prov_expr.canonical_string (Core.Runtime.provenance_of t ~at tu))
+      (Core.Runtime.query_all t "bestPathCost")
+    |> List.sort compare
+  in
+  let st = Core.Runtime.stats t in
+  { fp_cost = sorted "bestPathCost";
+    fp_best = sorted "bestPath";
+    fp_prov = prov;
+    fp_msgs = st.Net.Stats.messages }
+
+let run_once ~cfg ~topo ~directory ~seed =
+  let t =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed) ~cfg ~topo
+      ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  Core.Runtime.install_links t;
+  ignore (Core.Runtime.run t);
+  let fp = fingerprint t in
+  Core.Runtime.shutdown t;
+  fp
+
+(* Message-count policy.  The distributed fixpoint and its provenance
+   are always identical between modes.  Wire message counts are
+   identical whenever the virtual schedule gives the batch engine only
+   singleton groups (then it degenerates to the sequential path);
+   [`Exact] asserts that.  When several same-timestamp deliveries to
+   one node coalesce into a single combined fixpoint, transient
+   best-path improvements can be suppressed (or, with shipped
+   provenance, regrouped into differently-keyed blocks), so counts
+   legitimately drift by a few messages; [`Envelope] bounds the drift
+   instead. *)
+let check_seq_par_equal ~name ?(msgs = `Exact) ~cfg ~seed ~n () =
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed) ~n () in
+  let directory =
+    Sendlog.Principal.directory_for
+      (Crypto.Rng.create ~seed:(seed + 1))
+      ~rsa_bits topo.nodes
+  in
+  let cfg = { cfg with Core.Config.rsa_bits } in
+  let seq = run_once ~cfg:(Core.Config.with_jobs cfg 1) ~topo ~directory ~seed:(seed + 2) in
+  let par = run_once ~cfg:(Core.Config.with_jobs cfg 4) ~topo ~directory ~seed:(seed + 2) in
+  Alcotest.(check (list string)) (name ^ ": bestPathCost fixpoint") seq.fp_cost par.fp_cost;
+  Alcotest.(check (list string)) (name ^ ": bestPath fixpoint") seq.fp_best par.fp_best;
+  Alcotest.(check (list string)) (name ^ ": provenance") seq.fp_prov par.fp_prov;
+  match msgs with
+  | `Exact -> Alcotest.(check int) (name ^ ": message count") seq.fp_msgs par.fp_msgs
+  | `Envelope ->
+    let bound = max 5 (seq.fp_msgs / 10) in
+    if abs (seq.fp_msgs - par.fp_msgs) > bound then
+      Alcotest.failf "%s: message counts diverged: seq=%d par=%d (bound %d)" name
+        seq.fp_msgs par.fp_msgs bound
+
+let test_seq_par_ndlog () =
+  List.iter
+    (fun seed ->
+      check_seq_par_equal ~name:(Printf.sprintf "ndlog seed %d" seed) ~msgs:`Envelope
+        ~cfg:Core.Config.ndlog ~seed ~n:7 ())
+    [ 501; 502; 503 ]
+
+let test_seq_par_sendlog_prov () =
+  check_seq_par_equal ~name:"sendlogprov seed 604" ~msgs:`Envelope
+    ~cfg:Core.Config.sendlog_prov ~seed:604 ~n:6 ()
+
+(* Retransmission backoff staggers deliveries, so the batch schedule
+   degenerates to singleton groups and the message count must match
+   the sequential run exactly. *)
+let test_seq_par_lossy_reliable () =
+  let cfg =
+    Core.Config.with_fault_seed
+      (Core.Config.with_reliable (Core.Config.with_loss Core.Config.sendlog 0.15) true)
+      71
+  in
+  check_seq_par_equal ~name:"lossy reliable seed 705" ~msgs:`Exact ~cfg ~seed:705 ~n:6 ()
+
+let suite : unit Alcotest.test_case list =
+  [ Alcotest.test_case "pool map order + chunking" `Quick test_pool_map;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool rejects jobs < 1" `Quick test_pool_invalid;
+    Alcotest.test_case "value interning laws" `Quick test_value_interning_laws;
+    Alcotest.test_case "tuple interning laws" `Quick test_tuple_interning_laws;
+    Alcotest.test_case "seq = par: ndlog seeds" `Quick test_seq_par_ndlog;
+    Alcotest.test_case "seq = par: provenance shipping" `Quick test_seq_par_sendlog_prov;
+    Alcotest.test_case "seq = par: lossy + reliable" `Quick test_seq_par_lossy_reliable ]

@@ -297,6 +297,34 @@ let test_wire_name_too_long () =
     | _ -> false
     | exception Condense.Wire_error _ -> true)
 
+(* The [to_wire] memo cache is size-bounded: filling it past the limit
+   resets it cold, counts the discarded entries as evictions, and
+   keeps producing correct encodings. *)
+let test_wire_cache_bounded () =
+  let evictions = Obs.Metrics.counter Obs.Metrics.default "prov.condense_evictions" in
+  let before = Obs.Metrics.value evictions in
+  let ctx = Condense.create_ctx ~wire_cache_limit:4 () in
+  let exprs =
+    List.init 10 (fun i ->
+        Prov_expr.times
+          (Prov_expr.base (Printf.sprintf "cacheN%d" i))
+          (Prov_expr.base "cacheShared"))
+  in
+  let first = List.map (Condense.to_wire ctx) exprs in
+  let evicted = Obs.Metrics.value evictions - before in
+  Alcotest.(check bool) "evictions counted" true (evicted >= 4);
+  (* encodings stay byte-stable and decodable across evictions *)
+  List.iter2
+    (fun e w ->
+      Alcotest.(check string) "stable encoding" w (Condense.to_wire ctx e);
+      let decoded = Condense.of_wire (Condense.create_ctx ()) w in
+      Alcotest.(check (list string)) "round trip bases" (Prov_expr.bases e)
+        (Prov_expr.bases decoded))
+    exprs first;
+  Alcotest.check_raises "limit must be positive"
+    (Invalid_argument "Condense.create_ctx: wire_cache_limit must be >= 1") (fun () ->
+      ignore (Condense.create_ctx ~wire_cache_limit:0 ()))
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "paper condensation <a+a*b> -> <a>" `Quick test_paper_condensation;
     Alcotest.test_case "wire: >255 support variables" `Quick test_wire_over_255_variables;
@@ -313,7 +341,8 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "trust policies" `Quick test_trust_policies;
     Alcotest.test_case "tropical semiring" `Quick test_tropical_semiring;
     Alcotest.test_case "lineage semiring" `Quick test_lineage_semiring;
-    Alcotest.test_case "compression ratio" `Quick test_compression_ratio_grows ]
+    Alcotest.test_case "compression ratio" `Quick test_compression_ratio_grows;
+    Alcotest.test_case "wire cache bounded + evictions" `Quick test_wire_cache_bounded ]
   @ List.map QCheck_alcotest.to_alcotest
       (semiring_laws "boolean" (module Semiring.Boolean) bool_gen
       @ semiring_laws "counting" (module Semiring.Counting) count_gen

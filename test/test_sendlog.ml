@@ -141,6 +141,70 @@ let test_sign_cache_bypassed_without_fastpath () =
   Alcotest.(check int) "no hits" 0 (cache_counter "crypto.sign_cache_hits");
   Alcotest.(check int) "no misses" 0 (cache_counter "crypto.sign_cache_misses")
 
+(* End-to-end characterization of when the sender sign cache can fire.
+   The runtime signs only on sent-cache misses, and the sent cache keys
+   on (dest, tuple, provenance block) while the signed payload is
+   (src, dst, tuple) — so the one data path that re-signs an identical
+   payload is the same tuple re-shipped with a *different* provenance
+   block.  Retransmissions reuse the already-signed message and the
+   SeNDLog (no-provenance) configuration dedups identical payloads
+   before signing, which is why crypto.sign_cache_hits reads 0 on the
+   Best-Path workloads: each signed payload there is unique by
+   construction.  This fixture builds the live path explicitly: node n1
+   derives out(@n2, x) once from a local base (provenance <n1>) and
+   once from a relayed body (provenance involving n0), forcing two
+   signatures over identical bytes. *)
+let sign_cache_fixture_program =
+  Ndlog.Parser.parse_program_exn
+    {|
+x1 out(@D, X) :- local(@S, D, X).
+x2 out(@D, X) :- relay(@S, D, X).
+x3 relay(@Z, D, X) :- seed(@C, Z, D, X).
+|}
+
+let run_sign_cache_fixture cfg =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let topo = Net.Topology.line ~n:3 () in
+  let directory =
+    Sendlog.Principal.directory_for (rng ()) ~rsa_bits:384 topo.Net.Topology.nodes
+  in
+  let t =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:5) ~cfg ~topo
+      ~program:sign_cache_fixture_program ()
+  in
+  let v s = Engine.Value.V_str s in
+  (* first derivation of out(n2,x): local base at n1, provenance <n1> *)
+  Core.Runtime.install_fact t ~at:"n1"
+    (Engine.Tuple.make "local" [ v "n1"; v "n2"; v "x" ]);
+  ignore (Core.Runtime.run t);
+  let hits_before = cache_counter "crypto.sign_cache_hits" in
+  (* second derivation via the relay: same head tuple, same destination,
+     different provenance block *)
+  Core.Runtime.install_fact t ~at:"n0"
+    (Engine.Tuple.make "seed" [ v "n0"; v "n1"; v "n2"; v "x" ]);
+  ignore (Core.Runtime.run t);
+  let st = Core.Runtime.stats t in
+  Core.Runtime.shutdown t;
+  (hits_before, cache_counter "crypto.sign_cache_hits", st)
+
+let test_sign_cache_live_path () =
+  let cfg = { Core.Config.sendlog_prov with rsa_bits = 384 } in
+  let hits_before, hits_after, st = run_sign_cache_fixture cfg in
+  Alcotest.(check int) "no hit from the first emission" 0 hits_before;
+  Alcotest.(check bool) "re-shipment with new provenance hits the cache" true
+    (hits_after > hits_before);
+  Alcotest.(check int) "cached signatures verify at the receiver" 0
+    st.Net.Stats.dropped_forged
+
+let test_sign_cache_dead_without_provenance () =
+  (* Same scenario without shipped provenance: the sent cache dedups the
+     re-emission before signing, so the sign cache structurally cannot
+     hit — the documented reason the crypto ablation reports 0 hits. *)
+  let cfg = { Core.Config.sendlog with rsa_bits = 384 } in
+  let _, hits_after, st = run_sign_cache_fixture cfg in
+  Alcotest.(check int) "no hits without provenance" 0 hits_after;
+  Alcotest.(check int) "nothing forged" 0 st.Net.Stats.dropped_forged
+
 (* --- compilation ----------------------------------------------------------- *)
 
 let test_compile_ndlog_localizes () =
@@ -194,6 +258,10 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "sign cache hit identical" `Quick test_sign_cache_hit_identical;
     Alcotest.test_case "sign cache off with naive path" `Quick
       test_sign_cache_bypassed_without_fastpath;
+    Alcotest.test_case "sign cache live path (prov re-shipment)" `Quick
+      test_sign_cache_live_path;
+    Alcotest.test_case "sign cache dead without provenance" `Quick
+      test_sign_cache_dead_without_provenance;
     Alcotest.test_case "compile localizes NDlog" `Quick test_compile_ndlog_localizes;
     Alcotest.test_case "compile detects SeNDlog" `Quick test_compile_sendlog_detected;
     Alcotest.test_case "compile rejects unsafe" `Quick test_compile_rejects_bad_program;
