@@ -8,6 +8,12 @@
      dune exec bench/main.exe -- --ns 10,20   custom sweep sizes
      dune exec bench/main.exe -- --runs 3     runs averaged per size
      dune exec bench/main.exe -- --rsa-bits 512
+     dune exec bench/main.exe -- --compare BASELINE.json
+                                              diff the fresh results against a
+                                              committed baseline (calibration-
+                                              normalized walls, speedups,
+                                              fixpoint sizes); exits nonzero
+                                              on regression
      dune exec bench/main.exe -- --smoke      CI gate: tiny sweep + index
                                               ablation + a small SeNDLog
                                               (Auth_rsa) crypto ablation + a
@@ -51,6 +57,9 @@ type options = {
   mutable micro_only : bool;
   mutable skip_micro : bool;
   mutable smoke : bool;
+  mutable compare_file : string option;
+      (* baseline BENCH_results.json to diff against; regressions exit
+         nonzero (see Core.Metrics.compare_bench) *)
   mutable base_cfg : Core.Config.t;
       (* ablation/fault toggles from the shared flag parser; every
          phase derives its configurations from this base *)
@@ -59,7 +68,7 @@ type options = {
 let parse_args () =
   let o =
     { ns = default_ns; runs = 1; rsa_bits = 384; figures_only = false;
-      micro_only = false; skip_micro = false; smoke = false;
+      micro_only = false; skip_micro = false; smoke = false; compare_file = None;
       base_cfg = Core.Config.default }
   in
   (* Config-level flags (--rsa-bits, --no-indexes, --no-crypto-fastpath,
@@ -103,6 +112,9 @@ let parse_args () =
     | "--runs" :: v :: rest ->
       o.runs <- int_of_string v;
       go rest
+    | "--compare" :: v :: rest ->
+      o.compare_file <- Some v;
+      go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
@@ -118,6 +130,18 @@ let hr title =
    numbers attribute to that phase alone. *)
 let phase_reset () = Obs.Metrics.reset Obs.Metrics.default
 
+(* Percentile summary of the phase's headline latency histograms
+   (estimated from the log-scale buckets; see Obs.Profile). *)
+let phase_percentiles (phase : string) : unit =
+  let reg = Obs.Metrics.default in
+  List.iter
+    (fun name ->
+      let h = Obs.Metrics.histogram reg name in
+      if Obs.Metrics.hist_count h > 0 then
+        Printf.printf "[%s percentiles] %s: %s\n" phase name
+          (Obs.Profile.summary_string (Obs.Profile.summary h)))
+    [ "runtime.handler_seconds"; "crypto.sign_seconds"; "crypto.verify_seconds" ]
+
 let phase_metrics (phase : string) : unit =
   let reg = Obs.Metrics.default in
   let c name = Obs.Metrics.value (Obs.Metrics.counter reg name) in
@@ -132,21 +156,51 @@ let phase_metrics (phase : string) : unit =
     (Obs.Metrics.gauge_value (Obs.Metrics.gauge reg "sim.queue_depth_max"))
     (Obs.Metrics.hist_count sign) (Obs.Metrics.hist_sum sign)
     (Obs.Metrics.hist_count handler) (Obs.Metrics.hist_sum handler)
-    (c "prov.condense_hits") (c "prov.condense_misses")
+    (c "prov.condense_hits") (c "prov.condense_misses");
+  phase_percentiles phase
+
+(* Fixed CPU-speed probe for cross-machine comparison: SHA-256 over a
+   256-byte message, spun for ~50ms after a short warmup.  Both sides
+   of a [--compare] carry this number, and Core.Metrics.compare_bench
+   scales wall seconds by the ratio so the regression gate tracks the
+   code, not the host. *)
+let calibration_ops_per_sec () : float =
+  let msg = String.make 256 'x' in
+  for _ = 1 to 2_000 do
+    ignore (Crypto.Sha256.digest msg)
+  done;
+  let window () =
+    let start = Unix.gettimeofday () in
+    let ops = ref 0 in
+    let elapsed = ref 0.0 in
+    while !elapsed < 0.05 do
+      for _ = 1 to 1_000 do
+        ignore (Crypto.Sha256.digest msg)
+      done;
+      ops := !ops + 1_000;
+      elapsed := Unix.gettimeofday () -. start
+    done;
+    float_of_int !ops /. !elapsed
+  in
+  (* Best of three windows: the max is the least-interrupted sample,
+     which is the machine's actual speed. *)
+  List.fold_left Float.max (window ()) [ window (); window () ]
 
 (* Machine-readable companion to the human tables: the sweep points,
    the index- and crypto-ablation comparisons, and the figure phase's
-   metrics snapshot, for tracking the perf trajectory across PRs. *)
+   metrics snapshot, for tracking the perf trajectory across PRs.
+   Returns the document so main can hand it to the [--compare] gate. *)
 let write_results_json (o : options) (points : Core.Bestpath_workload.point list)
     ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t)
     ~(crypto_ablation : Obs.Json.t) ~(fault_ablation : Obs.Json.t)
-    ~(jobs_ablation : Obs.Json.t) : unit =
+    ~(jobs_ablation : Obs.Json.t) : Obs.Json.t =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
         ("ns", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) o.ns));
         ("runs", Obs.Json.Int o.runs);
         ("rsa_bits", Obs.Json.Int o.rsa_bits);
+        ("calibration_ops_per_sec", Obs.Json.Float (calibration_ops_per_sec ()));
         ("points", Obs.Json.List (List.map Core.Bestpath_workload.point_to_json points));
         ("index_ablation", index_ablation);
         ("crypto_ablation", crypto_ablation);
@@ -162,7 +216,31 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
       output_char oc '\n');
   Printf.printf
     "\nwrote BENCH_results.json (%d points + index/crypto/fault/jobs ablations + metrics snapshot)\n"
-    (List.length points)
+    (List.length points);
+  doc
+
+(* The [--compare BASELINE.json] regression gate: diff the fresh
+   results document against a committed baseline and fail loudly on
+   any regression beyond the thresholds in Core.Metrics.compare_bench. *)
+let run_compare (baseline_path : string) (current : Obs.Json.t) : unit =
+  let baseline =
+    let ic = open_in baseline_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline =
+    try Obs.Json.parse baseline
+    with Obs.Json.Parse_error e ->
+      Printf.eprintf "COMPARE FAILURE: cannot parse baseline %s: %s\n" baseline_path e;
+      exit 1
+  in
+  match Core.Metrics.compare_bench ~baseline ~current with
+  | [] -> Printf.printf "\ncompare vs %s: OK (no regressions)\n" baseline_path
+  | issues ->
+    Printf.eprintf "\nCOMPARE FAILURE vs %s:\n" baseline_path;
+    List.iter (fun i -> Printf.eprintf "  - %s\n" i) issues;
+    exit 1
 
 (* --- Index ablation: hash-indexed joins vs full-relation scans ----------- *)
 
@@ -902,8 +980,14 @@ let () =
     let crypto_json, crypto_speedup = crypto_ablation o in
     let fault_json, reliable_ok, reliable_max_sim = fault_ablation o in
     let jobs_json, jobs_speedup, _jobs_ok = jobs_ablation o in
-    write_results_json o points ~figure_metrics ~index_ablation:abl_json
-      ~crypto_ablation:crypto_json ~fault_ablation:fault_json ~jobs_ablation:jobs_json;
+    let results_doc =
+      write_results_json o points ~figure_metrics ~index_ablation:abl_json
+        ~crypto_ablation:crypto_json ~fault_ablation:fault_json
+        ~jobs_ablation:jobs_json
+    in
+    (match o.compare_file with
+    | Some path -> run_compare path results_doc
+    | None -> ());
     if not o.figures_only then begin
       ablation_local_vs_distributed o;
       phase_metrics "ablation A";

@@ -159,6 +159,12 @@ let run_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Write the run's span tree (JSON lines, virtual-clock durations) to FILE")
   in
+  let chrome_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run's causal trace as Chrome trace-event JSON \
+                   (loadable in Perfetto / chrome://tracing) to FILE")
+  in
   let events_out =
     Arg.(value & opt (some string) None
          & info [ "events" ] ~docv:"FILE"
@@ -166,7 +172,7 @@ let run_cmd =
   in
   let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
       crashes fault_seed reliable retries ack_timeout max_backoff jobs with_links show
-      metrics_out metrics_format trace_out events_out =
+      metrics_out metrics_format trace_out chrome_out events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
@@ -207,7 +213,9 @@ let run_cmd =
     Obs.Metrics.reset Obs.Metrics.default;
     let t = Core.Runtime.create ~rng ~cfg ~topo ~program () in
     let tracer =
-      if trace_out <> None then Some (Core.Runtime.enable_tracing t) else None
+      if trace_out <> None || chrome_out <> None then
+        Some (Core.Runtime.enable_tracing t)
+      else None
     in
     if with_links then Core.Runtime.install_links t;
     Core.Runtime.install_program_facts t;
@@ -215,7 +223,8 @@ let run_cmd =
     (* Keep stdout clean for the snapshot when any telemetry target is
        "-", so `psn run --metrics - | psn stats -` pipes cleanly. *)
     let human =
-      if List.mem (Some "-") [ metrics_out; trace_out; events_out ] then stderr
+      if List.mem (Some "-") [ metrics_out; trace_out; chrome_out; events_out ] then
+        stderr
       else stdout
     in
     Printf.fprintf human "completion: %.3fs (virtual), %.3fs (cpu), %d events\n"
@@ -249,6 +258,9 @@ let run_cmd =
     (match (trace_out, tracer) with
     | Some path, Some tr -> write_output path (Obs.Trace.to_json_lines tr)
     | _ -> ());
+    (match (chrome_out, tracer) with
+    | Some path, Some tr -> write_output path (Obs.Export.chrome_trace tr)
+    | _ -> ());
     (match events_out with
     | Some path -> write_output path (Obs.Events.to_json_lines (Core.Runtime.event_log t))
     | None -> ());
@@ -260,7 +272,7 @@ let run_cmd =
     Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ no_indexes $ no_fastpath
           $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
           $ ack_timeout $ max_backoff $ jobs $ with_links $ show $ metrics_out
-          $ metrics_format $ trace_out $ events_out)
+          $ metrics_format $ trace_out $ chrome_out $ events_out)
 
 (* --- psn stats -------------------------------------------------------- *)
 
@@ -270,6 +282,16 @@ let stats_cmd =
   let file =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"SNAPSHOT" ~doc:"Metrics snapshot JSON file (\"-\" for stdin)")
+  in
+  let rules_flag =
+    Arg.(value & flag
+         & info [ "rules" ]
+             ~doc:"Render the per-rule profile (time, derivations, rounds, index \
+                   probes/hits per rule) instead of the raw series table")
+  in
+  let top =
+    Arg.(value & opt int 20
+         & info [ "top" ] ~docv:"N" ~doc:"Rows to show in the --rules table")
   in
   let render_labels (j : Obs.Json.t) : string =
     match j with
@@ -292,7 +314,95 @@ let stats_cmd =
     | Some Obs.Json.Null | None -> "-"
     | Some _ -> "?"
   in
-  let run file =
+  (* Per-bucket counts parsed back out of the snapshot, feeding the
+     same percentile estimator the bench sections use. *)
+  let parsed_buckets (m : Obs.Json.t) : (float * int) list =
+    match Obs.Json.member "buckets" m with
+    | Some (Obs.Json.List bs) ->
+      List.filter_map
+        (fun b ->
+          match
+            ( Option.bind (Obs.Json.member "le" b) Obs.Json.to_float_opt,
+              Option.bind (Obs.Json.member "count" b) Obs.Json.to_int_opt )
+          with
+          | Some le, Some n -> Some (le, n)
+          | _ -> None)
+        bs
+      |> List.sort compare
+    | _ -> []
+  in
+  let float_member key m =
+    Option.value ~default:0.0
+      (Option.bind (Obs.Json.member key m) Obs.Json.to_float_opt)
+  in
+  let int_member key m =
+    Option.value ~default:0 (Option.bind (Obs.Json.member key m) Obs.Json.to_int_opt)
+  in
+  let hist_percentile (m : Obs.Json.t) (q : float) : float =
+    Obs.Profile.percentile_of_buckets ~buckets:(parsed_buckets m)
+      ~min_v:(float_member "min" m) ~max_v:(float_member "max" m) q
+  in
+  (* Join the eval.rule_* series by their "rule" label into one row
+     per rule and render the profile, hottest rule first. *)
+  let render_rules (metrics : Obs.Json.t list) (top : int) : unit =
+    let rule_of m =
+      match Obs.Json.member "labels" m with
+      | Some (Obs.Json.Obj fields) ->
+        Option.bind (List.assoc_opt "rule" fields) Obs.Json.to_string_opt
+      | _ -> None
+    in
+    let name_of m =
+      Option.value ~default:"?"
+        (Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt)
+    in
+    let rows : (string, float * int * int * int * int) Hashtbl.t = Hashtbl.create 16 in
+    let update rule f =
+      let cur =
+        Option.value (Hashtbl.find_opt rows rule) ~default:(0.0, 0, 0, 0, 0)
+      in
+      Hashtbl.replace rows rule (f cur)
+    in
+    List.iter
+      (fun m ->
+        match rule_of m with
+        | None -> ()
+        | Some rule -> (
+          match name_of m with
+          | "eval.rule_seconds" ->
+            update rule (fun (_, d, r, p, h) -> (float_member "sum" m, d, r, p, h))
+          | "eval.rule_derivations" ->
+            update rule (fun (s, _, r, p, h) -> (s, int_member "value" m, r, p, h))
+          | "eval.rule_rounds" ->
+            update rule (fun (s, d, _, p, h) -> (s, d, int_member "value" m, p, h))
+          | "eval.rule_index_probes" ->
+            update rule (fun (s, d, r, _, h) -> (s, d, r, int_member "value" m, h))
+          | "eval.rule_index_hits" ->
+            update rule (fun (s, d, r, p, _) -> (s, d, r, p, int_member "value" m))
+          | _ -> ()))
+      metrics;
+    let sorted =
+      Hashtbl.fold (fun rule row acc -> (rule, row) :: acc) rows []
+      |> List.sort (fun (_, (s1, _, _, _, _)) (_, (s2, _, _, _, _)) ->
+             compare s2 s1)
+    in
+    if sorted = [] then
+      print_endline
+        "no per-rule series in this snapshot (produced before profiling, or no \
+         rules fired)"
+    else begin
+      Printf.printf "%-24s %12s %12s %8s %12s %12s\n" "RULE" "SECONDS" "DERIVATIONS"
+        "ROUNDS" "PROBES" "HITS";
+      List.iteri
+        (fun i (rule, (s, d, r, p, h)) ->
+          if i < top then
+            Printf.printf "%-24s %12.6f %12d %8d %12d %12d\n" rule s d r p h)
+        sorted;
+      if List.length sorted > top then
+        Printf.printf "(%d more rules; raise --top to see them)\n"
+          (List.length sorted - top)
+    end
+  in
+  let run file rules_flag top =
     let content =
       if file = "-" then In_channel.input_all In_channel.stdin
       else
@@ -308,42 +418,49 @@ let stats_cmd =
     | doc -> (
       match Obs.Json.member "metrics" doc with
       | Some (Obs.Json.List metrics) ->
-        Printf.printf "%-10s %-44s %s\n" "TYPE" "METRIC" "VALUE";
-        List.iter
-          (fun m ->
-            let name =
-              Option.value
-                (Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt)
-                ~default:"?"
-            in
-            let labels =
-              Option.value (Option.map render_labels (Obs.Json.member "labels" m))
-                ~default:""
-            in
-            let kind =
-              Option.value
-                (Option.bind (Obs.Json.member "type" m) Obs.Json.to_string_opt)
-                ~default:"?"
-            in
-            match kind with
-            | "histogram" ->
-              Printf.printf "%-10s %-44s count=%s sum=%s min=%s max=%s\n" kind
-                (name ^ labels)
-                (num (Obs.Json.member "count" m))
-                (num (Obs.Json.member "sum" m))
-                (num (Obs.Json.member "min" m))
-                (num (Obs.Json.member "max" m))
-            | _ ->
-              Printf.printf "%-10s %-44s %s\n" kind (name ^ labels)
-                (num (Obs.Json.member "value" m)))
-          metrics
+        if rules_flag then render_rules metrics top
+        else begin
+          Printf.printf "%-10s %-44s %s\n" "TYPE" "METRIC" "VALUE";
+          List.iter
+            (fun m ->
+              let name =
+                Option.value
+                  (Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt)
+                  ~default:"?"
+              in
+              let labels =
+                Option.value (Option.map render_labels (Obs.Json.member "labels" m))
+                  ~default:""
+              in
+              let kind =
+                Option.value
+                  (Option.bind (Obs.Json.member "type" m) Obs.Json.to_string_opt)
+                  ~default:"?"
+              in
+              match kind with
+              | "histogram" ->
+                Printf.printf
+                  "%-10s %-44s count=%s sum=%s min=%s p50=%.3g p90=%.3g p99=%.3g \
+                   max=%s\n"
+                  kind (name ^ labels)
+                  (num (Obs.Json.member "count" m))
+                  (num (Obs.Json.member "sum" m))
+                  (num (Obs.Json.member "min" m))
+                  (hist_percentile m 0.5) (hist_percentile m 0.9)
+                  (hist_percentile m 0.99)
+                  (num (Obs.Json.member "max" m))
+              | _ ->
+                Printf.printf "%-10s %-44s %s\n" kind (name ^ labels)
+                  (num (Obs.Json.member "value" m)))
+            metrics
+        end
       | _ ->
         Printf.eprintf "not a metrics snapshot (no \"metrics\" array)\n";
         exit 1)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Pretty-print a metrics snapshot from run --metrics")
-    Term.(const run $ file)
+    Term.(const run $ file $ rules_flag $ top)
 
 (* --- psn sweep -------------------------------------------------------- *)
 

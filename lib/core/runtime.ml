@@ -382,6 +382,20 @@ let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
     Float.min t.cfg.Config.max_backoff
       (t.cfg.Config.ack_timeout *. (2.0 ** float_of_int attempt))
   in
+  (* Audit-stream counterpart of [Net.Stats.record_retry_exhausted]:
+     a delivery giving up is a security-relevant outcome (a partition
+     or a suppression attack looks exactly like this), so it must
+     appear in the event log, not only in a counter. *)
+  let emit_retry_exhausted ~at ~reason =
+    Obs.Events.emit t.obs_events ~at
+      (Obs.Events.E_custom
+         { kind = "retry_exhausted";
+           attrs =
+             [ ("src", msg.Net.Wire.msg_src);
+               ("dst", msg.Net.Wire.msg_dst);
+               ("seq", string_of_int msg.Net.Wire.msg_seq);
+               ("reason", reason) ] })
+  in
   let rec on_timer () =
     if Hashtbl.mem t.pending key then begin
       let now = Net.Event_sim.now t.sim in
@@ -392,10 +406,12 @@ let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
         | None ->
           (* The sender never comes back; nobody will retransmit. *)
           Hashtbl.remove t.pending key;
-          Net.Stats.record_retry_exhausted t.stats
+          Net.Stats.record_retry_exhausted t.stats;
+          emit_retry_exhausted ~at:now ~reason:"sender_failed"
       else if attempt >= t.cfg.Config.retry_limit then begin
         Hashtbl.remove t.pending key;
-        Net.Stats.record_retry_exhausted t.stats
+        Net.Stats.record_retry_exhausted t.stats;
+        emit_retry_exhausted ~at:now ~reason:"retry_limit"
       end
       else begin
         Net.Stats.record_retransmit t.stats;
@@ -502,7 +518,7 @@ let process (t : t) (xc : exec_ctx) (n : node) (pending : Eval.frontier_item lis
    assigned its channel seq here, so numbering matches the sequential
    schedule regardless of which domain prepared it. *)
 let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : int)
-    ~(compute : float) (xc : exec_ctx) : unit =
+    ~(compute : float) ?(trace_parent : (int * int) option) (xc : exec_ctx) : unit =
   let cm = t.cfg.cost_model in
   let duration =
     compute +. xc.xc_charge
@@ -520,14 +536,33 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
     Obs.Metrics.inc t.c_flushes;
     Obs.Metrics.inc ~by:(List.length outgoing) t.c_buffered
   end;
-  (match t.tracer with
-  | Some tr ->
-    (* The span's primary duration is the *modeled* handler time (CPU
-       + cost-model charges), which is what advances the virtual clock
-       and hence the paper's completion time. *)
-    Obs.Trace.record tr ~attrs:[ ("node", n.n_addr) ] "handle" ~start:now
-      ~dur:duration ~wall_dur:compute
-  | None -> ());
+  let trace_ctx =
+    match t.tracer with
+    | Some tr ->
+      (* The span's primary duration is the *modeled* handler time (CPU
+         + cost-model charges), which is what advances the virtual clock
+         and hence the paper's completion time.  The parent is the
+         *sending* node's handle span when the triggering message
+         carried a trace context from this trace (cross-node causal
+         link); otherwise the domain's enclosing span (the "run" root). *)
+      let parent =
+        match trace_parent with
+        | Some (tid, sp) when tid = Obs.Trace.id tr -> Some sp
+        | _ -> None
+      in
+      let attrs = [ ("node", n.n_addr) ] in
+      let sid =
+        match parent with
+        | Some p ->
+          Obs.Trace.record tr ~attrs ~parent:p "handle" ~start:now ~dur:duration
+            ~wall_dur:compute
+        | None ->
+          Obs.Trace.record tr ~attrs "handle" ~start:now ~dur:duration
+            ~wall_dur:compute
+      in
+      Some (Obs.Trace.id tr, sid)
+    | None -> None
+  in
   List.iter
     (fun o ->
       let msg =
@@ -537,7 +572,8 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
           msg_seq = next_seq t ~src:n.n_addr ~dst:o.o_dest;
           msg_tuple = o.o_tuple;
           msg_auth = o.o_auth;
-          msg_provenance = o.o_prov }
+          msg_provenance = o.o_prov;
+          msg_trace = trace_ctx }
       in
       Net.Stats.record_message t.stats msg;
       Obs.Events.emit t.obs_events ~at:now
@@ -561,14 +597,14 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
    commit (the messages the work produced depart only when the node
    finishes processing, as they would on a real host). *)
 let with_processing (t : t) (n : node) ~(incoming_bytes : int)
-    (work : exec_ctx -> unit) : unit =
+    ?(trace_parent : (int * int) option) (work : exec_ctx -> unit) : unit =
   let xc = { xc_charge = 0.0; xc_out = [] } in
   let t0 = Unix.gettimeofday () in
   work xc;
   let compute = Unix.gettimeofday () -. t0 in
   commit_handler t n
     ~incoming_msgs:(if incoming_bytes > 0 then 1 else 0)
-    ~incoming_bytes ~compute xc
+    ~incoming_bytes ~compute ?trace_parent xc
 
 (* Handle a delivered message: verify, record provenance, insert, and
    continue the fixpoint. *)
@@ -677,7 +713,8 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
                grouped per-node computation for this timestamp. *)
             t.batch_inbox <- (receiver, W_msg msg) :: t.batch_inbox
           else
-            with_processing t receiver ~incoming_bytes:(Net.Wire.size msg) (fun xc ->
+            with_processing t receiver ~incoming_bytes:(Net.Wire.size msg)
+              ?trace_parent:msg.Net.Wire.msg_trace (fun xc ->
                 (* [Exit] aborts processing of a forged message; the work
                    done so far (verification) is still charged to the
                    node. *)
@@ -768,11 +805,16 @@ let group_inbox (t : t) : (node * work_item list) list =
    the whole frontier.  Runs on a pool worker; only per-node and
    mutex-guarded state is touched, and nothing is committed here. *)
 let node_compute (t : t) ((n, items) : node * work_item list) :
-    node * exec_ctx * float * int * int =
+    node * exec_ctx * float * int * int * (int * int) option =
   let t0 = Unix.gettimeofday () in
   let xc = { xc_charge = 0.0; xc_out = [] } in
   let nmsgs = ref 0 in
   let bytes = ref 0 in
+  (* Causal parent for the group's combined handle span: the first
+     queued message's trace context (the group coalesces several
+     triggers into one handler, so one representative parent is the
+     best a single span can record). *)
+  let tparent = ref None in
   let frontier =
     List.filter_map
       (fun item ->
@@ -784,12 +826,13 @@ let node_compute (t : t) ((n, items) : node * work_item list) :
         | W_msg msg ->
           incr nmsgs;
           bytes := !bytes + Net.Wire.size msg;
+          if !tparent = None then tparent := msg.Net.Wire.msg_trace;
           (try Some (accept_message t n msg) with Exit -> None))
       items
   in
   if frontier <> [] then process t xc n frontier;
   let compute = Unix.gettimeofday () -. t0 in
-  (n, xc, compute, !nmsgs, !bytes)
+  (n, xc, compute, !nmsgs, !bytes, !tparent)
 
 (* One batch step: pop all events sharing the next timestamp, let them
    park their dataflow work in the inbox (ACKs, timers and fault
@@ -820,8 +863,9 @@ let run_batched (t : t) (pool : Par.Pool.t) ~(until : float) : int =
           groups;
         let results = Par.Pool.parallel_map pool (node_compute t) (Array.of_list groups) in
         Array.iter
-          (fun (n, xc, compute, nmsgs, bytes) ->
-            commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute xc)
+          (fun (n, xc, compute, nmsgs, bytes, tparent) ->
+            commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute
+              ?trace_parent:tparent xc)
           results
       end
   done;

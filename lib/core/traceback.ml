@@ -128,6 +128,22 @@ let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
   if !partial then Obs.Metrics.inc (Lazy.force c_partial);
   { tree; expr = Provenance.Derivation.to_expr tree; cost; partial = !partial }
 
+(* Latency-annotated view of a traceback result: the derivation tree's
+   [a_created] stamps are virtual-clock times (Prov_store records them
+   at [Net.Event_sim.now]), so the tree doubles as a profile of when
+   each step of the derivation chain landed, with the chain that gated
+   the root tuple marked as the critical path.  This is the
+   provenance-side complement of the span trace: the trace shows where
+   time went per handler, this shows *which derivation* the completion
+   time waited on. *)
+let latency_tree (r : result) : string =
+  Provenance.Derivation.to_latency_string r.tree
+
+let completion_time (r : result) : float = Provenance.Derivation.completion r.tree
+
+let critical_path (r : result) : Provenance.Derivation.t list =
+  Provenance.Derivation.critical_path r.tree
+
 (* The source principals/nodes a tuple ultimately depends on - the
    "trace the origins of its data" primitive of the trust-management
    use case. *)

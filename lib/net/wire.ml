@@ -28,6 +28,13 @@ type message = {
   msg_tuple : Engine.Tuple.t;
   msg_auth : auth;
   msg_provenance : string option; (* serialized condensed provenance *)
+  msg_trace : (int * int) option;
+      (* causal trace context (trace id, sending span id).  Like the
+         sequence number it rides *outside* the signed bytes; unlike
+         everything else it is an observability side channel, excluded
+         from the modeled [size]/[size_breakdown] so a traced run's
+         virtual timeline (and hence its fixpoint) is identical to the
+         untraced run's. *)
 }
 
 (* --- primitive encoders --------------------------------------------- *)
@@ -156,9 +163,22 @@ let encode_message (m : message) : string =
   | Some p ->
     Buffer.add_char buf '\001';
     put_string buf p);
+  (match m.msg_trace with
+  | None -> Buffer.add_char buf '\000'
+  | Some (trace_id, span_id) ->
+    Buffer.add_char buf '\001';
+    put_u32 buf trace_id;
+    put_u32 buf span_id);
   Buffer.contents buf
 
-let size (m : message) : int = String.length (encode_message m)
+(* Encoded bytes of the trace context beyond its always-present
+   presence tag; subtracted from [size] so the modeled bandwidth (and
+   the cost model's throughput charge) is independent of whether
+   tracing is on. *)
+let trace_bytes (m : message) : int =
+  match m.msg_trace with None -> 0 | Some _ -> 8
+
+let size (m : message) : int = String.length (encode_message m) - trace_bytes m
 
 (* Size breakdown for the bandwidth accounting: how many bytes are
    base payload vs authentication vs provenance. *)
@@ -170,7 +190,9 @@ type size_breakdown = {
 }
 
 let size_breakdown (m : message) : size_breakdown =
-  let header = 1 + 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 in
+  (* The trailing +1 is the absent-trace tag; a present trace context's
+     id bytes are excluded (see [trace_bytes]). *)
+  let header = 1 + 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 + 1 in
   let payload = 4 + String.length (encode_tuple m.msg_tuple) in
   let auth =
     match m.msg_auth with
@@ -199,4 +221,5 @@ let ack ~(src : string) ~(dst : string) ~(seq : int) : message =
     msg_seq = seq;
     msg_tuple = Engine.Tuple.make "ack" [];
     msg_auth = A_none;
-    msg_provenance = None }
+    msg_provenance = None;
+    msg_trace = None }

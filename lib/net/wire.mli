@@ -32,6 +32,14 @@ type message = {
   msg_tuple : Engine.Tuple.t;
   msg_auth : auth;
   msg_provenance : string option;  (** serialized condensed provenance *)
+  msg_trace : (int * int) option;
+      (** causal trace context (trace id, sending span id).  Rides
+          outside {!signed_bytes} like [msg_seq], so enabling tracing
+          never invalidates signatures; it is an observability side
+          channel excluded from the modeled {!size} and
+          {!size_breakdown}, so a traced run's virtual timeline — and
+          therefore its fixpoint — is byte-identical to the untraced
+          run's.  See DESIGN.md §9. *)
 }
 
 val encode_tuple : Engine.Tuple.t -> string
@@ -51,8 +59,15 @@ val signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
 
 val encode_message : message -> string
 
+val trace_bytes : message -> int
+(** Encoded bytes the trace context adds beyond its presence tag
+    (0 when absent, 8 when present). *)
+
 val size : message -> int
-(** [String.length (encode_message m)]. *)
+(** The *modeled* message size:
+    [String.length (encode_message m) - trace_bytes m].  Bandwidth
+    accounting and the cost model charge this size, so the trace
+    context never perturbs the simulated run it observes. *)
 
 (** Size breakdown for the bandwidth accounting: how many bytes are
     base header/payload vs authentication vs provenance. *)

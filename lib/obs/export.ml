@@ -1,0 +1,122 @@
+(* Chrome trace-event JSON export of a span tree.
+
+   The output loads directly into Perfetto / chrome://tracing: every
+   finished span becomes a complete ("ph":"X") event with timestamps
+   and durations in microseconds of the tracer's *primary* clock (the
+   virtual simulator clock for a traced run, so the timeline is the
+   paper's query-completion time), the wall-clock duration riding
+   along in [args].  Spans are laid out one track ("tid") per value of
+   their "node" attribute — one lane per simulated node — with
+   thread-name metadata events labelling the lanes.
+
+   Cross-node causality is rendered with flow events: whenever a
+   span's parent lives on a *different* track (the receive handler
+   parented under the remote sender's span via the wire trace
+   context), a "s"/"f" flow pair connects the parent's end to the
+   child's start, which Perfetto draws as an arrow across the lanes. *)
+
+let us (seconds : float) : float = seconds *. 1e6
+
+(* Stable track id per node name; track 0 is the unattributed lane
+   (the root "run" span). *)
+let track_of (tracks : (string, int) Hashtbl.t) (s : Trace.span) : int =
+  match List.assoc_opt "node" s.Trace.sp_attrs with
+  | None -> 0
+  | Some node -> (
+    match Hashtbl.find_opt tracks node with
+    | Some tid -> tid
+    | None ->
+      let tid = Hashtbl.length tracks + 1 in
+      Hashtbl.add tracks node tid;
+      tid)
+
+let span_event (tid : int) (s : Trace.span) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str s.Trace.sp_name);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us s.Trace.sp_start));
+      ("dur", Json.Float (us s.Trace.sp_dur));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args",
+       Json.Obj
+         (("span_id", Json.Int s.Trace.sp_id)
+         :: ( "parent",
+              match s.Trace.sp_parent with Some p -> Json.Int p | None -> Json.Null )
+         :: ("wall_dur_us", Json.Float (us s.Trace.sp_wall_dur))
+         :: List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.sp_attrs)) ]
+
+let flow_pair ~(id : int) ~(src_tid : int) ~(src_ts : float) ~(dst_tid : int)
+    ~(dst_ts : float) : Json.t list =
+  let common name ph tid ts extra =
+    Json.Obj
+      ([ ("name", Json.Str name);
+         ("cat", Json.Str "causal");
+         ("ph", Json.Str ph);
+         ("id", Json.Int id);
+         ("ts", Json.Float ts);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int tid) ]
+      @ extra)
+  in
+  [ common "hop" "s" src_tid src_ts [];
+    (* "bp":"e" binds the arrow to the enclosing slice. *)
+    common "hop" "f" dst_tid dst_ts [ ("bp", Json.Str "e") ] ]
+
+let thread_name_event (name : string) (tid : int) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let chrome_trace (t : Trace.t) : string =
+  let spans = Trace.finished_spans t in
+  let tracks : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let tid_of_span : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let end_of_span : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let events = ref [] in
+  List.iter
+    (fun s ->
+      let tid = track_of tracks s in
+      Hashtbl.replace tid_of_span s.Trace.sp_id tid;
+      Hashtbl.replace end_of_span s.Trace.sp_id (s.Trace.sp_start +. s.Trace.sp_dur);
+      events := span_event tid s :: !events)
+    spans;
+  (* Cross-track parent links become flow arrows.  Same-track nesting
+     is already visible as slice containment, so no arrow is drawn. *)
+  List.iter
+    (fun s ->
+      match s.Trace.sp_parent with
+      | None -> ()
+      | Some p -> (
+        match (Hashtbl.find_opt tid_of_span p, Hashtbl.find_opt tid_of_span s.Trace.sp_id) with
+        | Some src_tid, Some dst_tid when src_tid <> dst_tid ->
+          let src_ts =
+            Option.value (Hashtbl.find_opt end_of_span p) ~default:s.Trace.sp_start
+          in
+          events :=
+            List.rev_append
+              (flow_pair ~id:s.Trace.sp_id ~src_tid ~src_ts:(us src_ts) ~dst_tid
+                 ~dst_ts:(us s.Trace.sp_start))
+              !events
+        | _ -> ()))
+    spans;
+  let names =
+    thread_name_event "run" 0
+    :: (Hashtbl.fold (fun name tid acc -> (name, tid) :: acc) tracks []
+       |> List.sort compare
+       |> List.map (fun (name, tid) -> thread_name_event name tid))
+  in
+  let doc =
+    Json.Obj
+      [ ("traceEvents", Json.List (names @ List.rev !events));
+        ("displayTimeUnit", Json.Str "ms");
+        ( "otherData",
+          Json.Obj
+            [ ("trace_id", Json.Int (Trace.id t));
+              ("clock", Json.Str "virtual (simulated seconds as us)");
+              ("dropped_spans", Json.Int (Trace.dropped t)) ] ) ]
+  in
+  Json.to_string doc ^ "\n"

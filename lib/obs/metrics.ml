@@ -260,12 +260,32 @@ let sanitize (name : string) : string =
       | _ -> '_')
     name
 
+(* Label values per the exposition format: only backslash, double
+   quote and newline are escaped.  OCaml's [%S] is wrong here — it
+   emits decimal escapes ([\123]) for bytes outside the printable
+   ASCII range, which a Prometheus parser takes literally, mangling
+   any UTF-8 label value. *)
+let escape_label_value (v : string) : string =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let prom_labels ?(extra = []) (labels : (string * string) list) : string =
   match List.sort compare labels @ extra with
   | [] -> ""
   | ls ->
     "{"
-    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) ls)
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+           ls)
     ^ "}"
 
 let prom_float (f : float) : string =

@@ -1,0 +1,78 @@
+(* Percentile estimation over the log-scale histograms.
+
+   The registry's histograms keep per-bucket counts keyed by binary
+   exponent (bucket [b] covers values in [2^(b-1), 2^b)), so quantiles
+   can only be estimated: the target rank is located in the cumulative
+   bucket walk and interpolated linearly inside its bucket.  The
+   relative error is bounded by the bucket width (a factor of two),
+   which is plenty for the p50/p90/p99 summaries the bench sections
+   and `psn stats` print; the estimate is clamped to the histogram's
+   observed [min, max] so tail quantiles never exaggerate beyond what
+   was actually seen.
+
+   The core walks a plain [(upper_bound, count)] list so the same code
+   serves live [Metrics.histogram]s and the per-bucket counts parsed
+   back out of a JSON snapshot. *)
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+(* Lower edge of the bucket whose upper bound is [ub]: half of it for
+   the log-scale buckets, 0 for the nonpositive bucket. *)
+let bucket_lower_bound (ub : float) : float = if ub <= 0.0 then 0.0 else ub /. 2.0
+
+(* Estimate the [q]-quantile (0 < q <= 1) from per-bucket counts
+   [(upper_bound, count)] sorted by upper bound.  [min_v]/[max_v]
+   clamp the interpolation to the observed range. *)
+let percentile_of_buckets ~(buckets : (float * int) list) ~(min_v : float)
+    ~(max_v : float) (q : float) : float =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then 0.0
+  else begin
+    let target = q *. float_of_int total in
+    let rec walk seen = function
+      | [] -> max_v
+      | (ub, n) :: rest ->
+        let seen' = seen + n in
+        if float_of_int seen' >= target && n > 0 then begin
+          let lo = bucket_lower_bound ub in
+          let frac = (target -. float_of_int seen) /. float_of_int n in
+          lo +. ((ub -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+        end
+        else walk seen' rest
+    in
+    let v = walk 0 buckets in
+    Float.max min_v (Float.min max_v v)
+  end
+
+let hist_buckets (h : Metrics.histogram) : (float * int) list =
+  List.map
+    (fun (b, n) -> (Metrics.bucket_upper_bound b, n))
+    (Metrics.sorted_buckets h)
+
+let percentile (h : Metrics.histogram) (q : float) : float =
+  if Metrics.hist_count h = 0 then 0.0
+  else
+    percentile_of_buckets ~buckets:(hist_buckets h) ~min_v:h.Metrics.h_min
+      ~max_v:h.Metrics.h_max q
+
+let summary (h : Metrics.histogram) : summary =
+  let count = Metrics.hist_count h in
+  { s_count = count;
+    s_sum = Metrics.hist_sum h;
+    s_min = (if count = 0 then 0.0 else h.Metrics.h_min);
+    s_max = (if count = 0 then 0.0 else h.Metrics.h_max);
+    s_p50 = percentile h 0.5;
+    s_p90 = percentile h 0.9;
+    s_p99 = percentile h 0.99 }
+
+let summary_string (s : summary) : string =
+  Printf.sprintf "n=%d sum=%.3fs p50=%.2gs p90=%.2gs p99=%.2gs max=%.2gs" s.s_count
+    s.s_sum s.s_p50 s.s_p90 s.s_p99 s.s_max

@@ -128,6 +128,98 @@ let to_string (t : t) : string =
   go 0 t;
   Buffer.contents buf
 
+(* --- derivation latency / critical path ------------------------------ *)
+
+(* When a tree's [a_created] stamps carry the virtual clock (as the
+   runtime's traceback trees do), the tree doubles as a latency
+   profile of the derivation chain: a tuple *completes* when its own
+   derivation step has executed and all its inputs are complete.
+
+   - A leaf completes at its creation time (base-fact installation).
+   - A rule node completes at the latest of its own stamp and its
+     children's completions (it could not fire before its last input).
+   - A union completes at the *earliest* alternative: the tuple exists
+     as soon as any one derivation lands (later alternatives only add
+     provenance).
+   - An unreachable stub contributes nothing (0.0): its subtree's
+     timing is unknown, so it never inflates the path. *)
+let rec completion = function
+  | Leaf { ann; _ } -> ann.a_created
+  | Rule { ann; children; _ } ->
+    List.fold_left (fun acc c -> Float.max acc (completion c)) ann.a_created children
+  | Union { alternatives; _ } ->
+    List.fold_left
+      (fun acc c -> Float.min acc (completion c))
+      Float.infinity alternatives
+    |> fun v -> if v = Float.infinity then 0.0 else v
+  | Unreachable _ -> 0.0
+
+(* The chain of tree nodes that determined the root's completion time:
+   at a rule node the slowest child, at a union the earliest
+   alternative.  Speeding up anything *on* this path moves the
+   completion time; anything off it has slack. *)
+let rec critical_path (t : t) : t list =
+  match t with
+  | Leaf _ | Unreachable _ -> [ t ]
+  | Rule { ann; children; _ } -> (
+    let slowest =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some best -> if completion c > completion best then Some c else acc)
+        None children
+    in
+    match slowest with
+    | Some c when completion c >= ann.a_created -> t :: critical_path c
+    | _ -> [ t ] (* own stamp dominates (or no children) *))
+  | Union { alternatives; _ } -> (
+    let earliest =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some best -> if completion c < completion best then Some c else acc)
+        None alternatives
+    in
+    match earliest with Some c -> t :: critical_path c | None -> [ t ])
+
+(* ASCII rendering of the latency profile: every node shows its
+   completion time (virtual seconds) and nodes on the critical path
+   are marked with [*].  The rendering is the causal complement of the
+   span trace: the trace shows where wall/virtual time went per
+   handler, this shows which derivation chain gated the tuple. *)
+let to_latency_string (t : t) : string =
+  let on_path =
+    (* Physical identity is enough: critical_path returns subterms of
+       [t] itself. *)
+    let path = critical_path t in
+    fun node -> List.memq node path
+  in
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    let pad = String.make indent ' ' in
+    let mark = if on_path node then "* " else "  " in
+    let at = completion node in
+    (match node with
+    | Leaf { tuple; ann } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s@%s  t=%.6f\n" pad mark tuple ann.a_location at)
+    | Rule { rule; tuple; ann; children } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  <- %s@%s  t=%.6f\n" pad mark tuple rule
+           ann.a_location at);
+      List.iter (go (indent + 2)) children
+    | Union { tuple; alternatives } ->
+      Buffer.add_string buf (Printf.sprintf "%s%s%s  <- union  t=%.6f\n" pad mark tuple at);
+      List.iter (go (indent + 2)) alternatives
+    | Unreachable { tuple; location } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  <- unreachable@%s  t=?\n" pad mark tuple location))
+  in
+  go 0 t;
+  Buffer.contents buf
+
 (* The Figure 1 tree: reachable(@a,c) over links a->b, a->c, b->c,
    derived both directly (r1 on link(a,c)) and transitively (r2 on
    link(a,b) and reachable(b,c)).  Used by tests and the quickstart. *)

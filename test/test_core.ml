@@ -599,6 +599,292 @@ let test_traceback_partial_across_crashed_node () =
   Alcotest.(check (list string)) "no stubs without crash" []
     (Provenance.Derivation.unreachable_leaves r2.tree)
 
+(* --- causal tracing, profiler, security events, regression gate ----------- *)
+
+let test_tracing_identical_fixpoint () =
+  (* The trace context rides outside the modeled message size, so a
+     traced run must produce byte-identical results to an untraced
+     one: same virtual timeline, same tie resolution, same fixpoint. *)
+  let measure trace =
+    let t, _ = mk_runtime ~cfg:Core.Config.sendlog ~n:6 () in
+    if trace then ignore (Core.Runtime.enable_tracing t);
+    run_links t;
+    let r = (cost_fixpoint t, List.length (Core.Runtime.query_all t "bestPath")) in
+    Core.Runtime.shutdown t;
+    r
+  in
+  let fp_plain, n_plain = measure false in
+  let fp_traced, n_traced = measure true in
+  Alcotest.(check (list string)) "fixpoint identical under tracing" fp_plain fp_traced;
+  Alcotest.(check int) "bestPath cardinality identical" n_plain n_traced
+
+let test_cross_node_trace_links () =
+  let t, _ = mk_runtime ~n:5 () in
+  let tr = Core.Runtime.enable_tracing t in
+  run_links t;
+  let spans = Obs.Trace.finished_spans tr in
+  let handles = List.filter (fun s -> s.Obs.Trace.sp_name = "handle") spans in
+  Alcotest.(check bool) "handle spans recorded" true (handles <> []);
+  let by_id = Hashtbl.create 1024 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.Trace.sp_id s) spans;
+  let node_of s = List.assoc_opt "node" s.Obs.Trace.sp_attrs in
+  (* The tentpole property: receive handlers parent under the *sending*
+     node's span, so the trace stitches the causal chain across nodes. *)
+  let cross_node =
+    List.filter
+      (fun s ->
+        match s.Obs.Trace.sp_parent with
+        | Some p -> (
+          match Hashtbl.find_opt by_id p with
+          | Some parent -> node_of parent <> None && node_of parent <> node_of s
+          | None -> false)
+        | None -> false)
+      handles
+  in
+  Alcotest.(check bool) "cross-node parent links present" true (cross_node <> []);
+  (* ...and the Chrome export draws one flow arrow per cross-*track*
+     link (a track per node, plus the unattributed run lane). *)
+  let cross_track =
+    List.filter
+      (fun s ->
+        match s.Obs.Trace.sp_parent with
+        | Some p -> (
+          match Hashtbl.find_opt by_id p with
+          | Some parent -> node_of parent <> node_of s
+          | None -> false)
+        | None -> false)
+      spans
+  in
+  let j = Obs.Json.parse (Obs.Export.chrome_trace tr) in
+  (match Obs.Json.member "traceEvents" j with
+  | Some (Obs.Json.List events) ->
+    let count ph =
+      List.length
+        (List.filter
+           (fun e -> Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_opt = Some ph)
+           events)
+    in
+    Alcotest.(check int) "one flow pair per cross-track link"
+      (List.length cross_track) (count "s");
+    Alcotest.(check int) "flow starts match finishes" (count "s") (count "f")
+  | _ -> Alcotest.fail "chrome export has no traceEvents")
+
+let test_traced_parallel_engine () =
+  (* The tracer is shared by the batch engine's worker domains; a
+     jobs=4 traced run must complete, record spans, and agree with the
+     sequential fixpoint. *)
+  let t0, _ = mk_runtime ~n:6 () in
+  run_links t0;
+  let baseline = cost_fixpoint t0 in
+  let t, _ = mk_runtime ~cfg:(Core.Config.with_jobs Core.Config.ndlog 4) ~n:6 () in
+  let tr = Core.Runtime.enable_tracing t in
+  run_links t;
+  Alcotest.(check (list string)) "parallel traced fixpoint matches" baseline
+    (cost_fixpoint t);
+  Alcotest.(check bool) "spans recorded under jobs=4" true
+    (Obs.Trace.finished_spans tr <> []);
+  Core.Runtime.shutdown t
+
+let test_per_rule_profiler_series () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let t, _ = mk_runtime ~n:6 () in
+  run_links t;
+  (* The evaluator flushes per-rule time/rounds/derivations as labeled
+     series; every rule of the Best-Path program must show up with
+     rounds > 0, and rule seconds must be recorded as histograms. *)
+  let j = Obs.Metrics.to_json Obs.Metrics.default in
+  let metrics =
+    match Obs.Json.member "metrics" j with Some (Obs.Json.List l) -> l | _ -> []
+  in
+  let named name =
+    List.filter
+      (fun m -> Option.bind (Obs.Json.member "name" m) Obs.Json.to_string_opt = Some name)
+      metrics
+  in
+  let rounds = named "eval.rule_rounds" in
+  Alcotest.(check bool) "per-rule rounds series exist" true (rounds <> []);
+  List.iter
+    (fun m ->
+      match Option.bind (Obs.Json.member "labels" m) (Obs.Json.member "rule") with
+      | Some (Obs.Json.Str _) -> ()
+      | _ -> Alcotest.fail "rule series missing rule label")
+    rounds;
+  (* The registry keeps zeroed series from other tests' programs after
+     a reset, so require positive counts to *exist*, not universally. *)
+  Alcotest.(check bool) "this run's rules have positive rounds" true
+    (List.exists
+       (fun m ->
+         match Option.bind (Obs.Json.member "value" m) Obs.Json.to_int_opt with
+         | Some v -> v > 0
+         | None -> false)
+       rounds);
+  let seconds = named "eval.rule_seconds" in
+  Alcotest.(check bool) "per-rule seconds histograms exist" true (seconds <> []);
+  Alcotest.(check bool) "derivations attributed to rules" true
+    (named "eval.rule_derivations" <> [])
+
+let test_security_events_emitted () =
+  (* Forged traffic: the event log must carry failed sig_verified and
+     forged_dropped entries naming the receiving node. *)
+  let topo = Net.Topology.line ~n:3 () in
+  let directory =
+    Sendlog.Principal.directory_for (Crypto.Rng.create ~seed:31) ~rsa_bits topo.nodes
+  in
+  let t =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:32)
+      ~cfg:{ Core.Config.sendlog with rsa_bits } ~topo
+      ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  let rogue = Sendlog.Principal.create (Crypto.Rng.create ~seed:33) ~name:"n1" ~rsa_bits () in
+  Core.Runtime.replace_principal t ~at:"n1" rogue;
+  run_links t;
+  let events = List.map (fun e -> e.Obs.Events.en_event) (Obs.Events.to_list (Core.Runtime.event_log t)) in
+  Alcotest.(check bool) "forged_dropped emitted" true
+    (List.exists (function Obs.Events.E_forged_dropped _ -> true | _ -> false) events);
+  Alcotest.(check bool) "failed sig_verified emitted" true
+    (List.exists
+       (function Obs.Events.E_sig_verified { ok = false; _ } -> true | _ -> false)
+       events)
+
+let test_retry_exhausted_event () =
+  (* Total loss with a tiny retry budget: reliable delivery gives up
+     and must say so in the event log, not just in a counter. *)
+  let cfg =
+    Core.Config.with_retry (faulty_cfg ~loss:1.0 ~dup:0.0 ~reliable:true ()) ~limit:2
+      ~ack_timeout:0.05 ()
+  in
+  let t, _ = mk_runtime ~cfg ~n:4 () in
+  run_links t;
+  let st = Core.Runtime.stats t in
+  Alcotest.(check bool) "sends abandoned" true (st.Net.Stats.retry_exhausted > 0);
+  let exhausted =
+    List.filter
+      (fun e ->
+        match e.Obs.Events.en_event with
+        | Obs.Events.E_custom { kind = "retry_exhausted"; _ } -> true
+        | _ -> false)
+      (Obs.Events.to_list (Core.Runtime.event_log t))
+  in
+  Alcotest.(check bool) "retry_exhausted events emitted" true (exhausted <> []);
+  List.iter
+    (fun e ->
+      match e.Obs.Events.en_event with
+      | Obs.Events.E_custom { attrs; _ } ->
+        Alcotest.(check bool) "reason attribute present" true
+          (List.mem_assoc "reason" attrs && List.mem_assoc "dst" attrs)
+      | _ -> ())
+    exhausted
+
+let test_critical_path_semantics () =
+  let open Provenance.Derivation in
+  let leaf created tuple = Leaf { tuple; ann = annot ~created "a" } in
+  let fast = leaf 1.0 "fast" in
+  let slow = leaf 5.0 "slow" in
+  let rule =
+    Rule { rule = "r"; tuple = "out"; ann = annot ~created:2.0 "a";
+           children = [ fast; slow ] }
+  in
+  (* A rule completes at its slowest input; the path goes through it. *)
+  Alcotest.(check (float 1e-9)) "rule completion = slowest child" 5.0 (completion rule);
+  (match critical_path rule with
+  | [ r; s ] ->
+    Alcotest.(check bool) "path starts at root" true (r == rule);
+    Alcotest.(check bool) "path ends at slow leaf" true (s == slow)
+  | p -> Alcotest.failf "expected 2-node path, got %d" (List.length p));
+  (* A union completes at its *earliest* alternative. *)
+  let alt = leaf 0.5 "alt" in
+  let union = Union { tuple = "out"; alternatives = [ rule; alt ] } in
+  Alcotest.(check (float 1e-9)) "union completion = earliest alternative" 0.5
+    (completion union);
+  (match critical_path union with
+  | [ u; a ] ->
+    Alcotest.(check bool) "union root" true (u == union);
+    Alcotest.(check bool) "earliest alternative chosen" true (a == alt)
+  | p -> Alcotest.failf "expected 2-node union path, got %d" (List.length p));
+  (* Unreachable stubs never inflate the path. *)
+  let stub = Unreachable { tuple = "x"; location = "b" } in
+  Alcotest.(check (float 1e-9)) "stub contributes nothing" 0.0 (completion stub);
+  (* Rendering marks the path and stamps every node. *)
+  let s = to_latency_string union in
+  Alcotest.(check bool) "latency tree marks the path" true
+    (String.length s > 0 && String.contains s '*');
+  Alcotest.(check bool) "latency tree stamps times" true
+    (let needle = "t=5.000000" in
+     let nl = String.length needle and tl = String.length s in
+     let rec go i = i + nl <= tl && (String.sub s i nl = needle || go (i + 1)) in
+     go 0)
+
+let test_traceback_latency_view () =
+  (* End to end: a real traceback's tree carries virtual-clock stamps,
+     so it has a positive completion time and a non-empty critical
+     path ending in the latency rendering. *)
+  let t = paper_topology_runtime Core.Config.sendlog_prov in
+  let r = Core.Traceback.query t ~at:"a" reachable_ac in
+  (* reachable(a,c) also derives locally from link(a,c) at t=0, and a
+     union completes at its earliest alternative — so the completion
+     time is 0.0 here; what must hold is that it is finite and the
+     path/rendering are well-formed. *)
+  Alcotest.(check bool) "completion time finite and non-negative" true
+    (let ct = Core.Traceback.completion_time r in
+     Float.is_finite ct && ct >= 0.0);
+  Alcotest.(check bool) "critical path non-empty" true
+    (Core.Traceback.critical_path r <> []);
+  let s = Core.Traceback.latency_tree r in
+  Alcotest.(check bool) "latency tree renders" true (String.length s > 0);
+  (* The transitive alternative (via b) did wait on the network: some
+     node of the tree completes strictly later than the union root. *)
+  let rec max_completion d =
+    let open Provenance.Derivation in
+    match d with
+    | Leaf { ann; _ } -> ann.a_created
+    | Rule { ann; children; _ } ->
+      List.fold_left (fun acc c -> Float.max acc (max_completion c)) ann.a_created children
+    | Union { alternatives; _ } ->
+      List.fold_left (fun acc c -> Float.max acc (max_completion c)) 0.0 alternatives
+    | Unreachable _ -> 0.0
+  in
+  Alcotest.(check bool) "a later alternative exists in the tree" true
+    (max_completion r.Core.Traceback.tree > Core.Traceback.completion_time r)
+
+let test_compare_bench_gate () =
+  let doc ?(cal = 1000.0) ~wall ~speedup ~best () =
+    Obs.Json.Obj
+      [ ("calibration_ops_per_sec", Obs.Json.Float cal);
+        ( "index_ablation",
+          Obs.Json.Obj
+            [ ("scan_wall_seconds", Obs.Json.Float wall);
+              ("speedup", Obs.Json.Float speedup);
+              ("best_paths", Obs.Json.Int best) ] ) ]
+  in
+  let base = doc ~wall:10.0 ~speedup:2.0 ~best:100 () in
+  Alcotest.(check (list string)) "identical documents pass" []
+    (Core.Metrics.compare_bench ~baseline:base ~current:base);
+  Alcotest.(check bool) "+20% wall regression flagged" true
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~wall:12.0 ~speedup:2.0 ~best:100 ())
+    <> []);
+  Alcotest.(check (list string)) "+10% wall inside threshold" []
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~wall:11.0 ~speedup:2.0 ~best:100 ()));
+  Alcotest.(check bool) "speedup collapse flagged" true
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~wall:10.0 ~speedup:1.2 ~best:100 ())
+    <> []);
+  Alcotest.(check bool) "fixpoint size change flagged" true
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~wall:10.0 ~speedup:2.0 ~best:99 ())
+    <> []);
+  (* Calibration normalization: a machine measured half as fast with
+     walls twice as long is the same code — no regression. *)
+  Alcotest.(check (list string)) "slow machine normalized away" []
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~cal:500.0 ~wall:20.0 ~speedup:2.0 ~best:100 ()));
+  (* ...and without the calibration credit the same walls would fail. *)
+  Alcotest.(check bool) "unnormalized doubling would fail" true
+    (Core.Metrics.compare_bench ~baseline:base
+       ~current:(doc ~wall:20.0 ~speedup:2.0 ~best:100 ())
+    <> [])
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "distributed NDlog = dijkstra" `Quick test_distributed_ndlog_correct;
     Alcotest.test_case "distributed SeNDlog = dijkstra" `Quick test_distributed_sendlog_correct;
@@ -631,7 +917,17 @@ let suite : unit Alcotest.test_case list =
       test_reliable_converges_to_fault_free;
     Alcotest.test_case "retransmits reuse signatures" `Quick test_retransmits_reuse_signatures;
     Alcotest.test_case "traceback partial across crashed node" `Quick
-      test_traceback_partial_across_crashed_node ]
+      test_traceback_partial_across_crashed_node;
+    Alcotest.test_case "tracing leaves fixpoint identical" `Quick
+      test_tracing_identical_fixpoint;
+    Alcotest.test_case "cross-node trace links" `Quick test_cross_node_trace_links;
+    Alcotest.test_case "traced parallel engine" `Quick test_traced_parallel_engine;
+    Alcotest.test_case "per-rule profiler series" `Quick test_per_rule_profiler_series;
+    Alcotest.test_case "security events emitted" `Quick test_security_events_emitted;
+    Alcotest.test_case "retry-exhausted event" `Quick test_retry_exhausted_event;
+    Alcotest.test_case "critical path semantics" `Quick test_critical_path_semantics;
+    Alcotest.test_case "traceback latency view" `Quick test_traceback_latency_view;
+    Alcotest.test_case "bench compare gate" `Quick test_compare_bench_gate ]
 
 (* --- Chord (paper's future work) -------------------------------------------- *)
 

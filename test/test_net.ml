@@ -128,7 +128,7 @@ let test_message_roundtrip_sizes () =
   let tuple = Tuple.make "path" [ Value.V_str "a"; Value.V_list [ Value.V_str "a"; Value.V_str "b" ]; Value.V_int 3 ] in
   let mk auth prov =
     { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 7; msg_tuple = tuple;
-      msg_auth = auth; msg_provenance = prov }
+      msg_auth = auth; msg_provenance = prov; msg_trace = None }
   in
   List.iter
     (fun m ->
@@ -142,6 +142,36 @@ let test_message_roundtrip_sizes () =
       mk (Net.Wire.A_signature { principal = "a"; signature = String.make 48 's' })
         (Some (String.make 20 'p')) ]
 
+let test_trace_context_excluded_from_size () =
+  (* The trace context is observability metadata, not protocol payload:
+     it rides in the encoding but is excluded from the modeled [size],
+     so a traced run and an untraced run see identical wire costs and
+     hence an identical virtual timeline. *)
+  let tuple = Tuple.make "p" [ Value.V_int 1 ] in
+  let mk trace =
+    { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 3;
+      msg_tuple = tuple; msg_auth = Net.Wire.A_principal "a"; msg_provenance = None;
+      msg_trace = trace }
+  in
+  let plain = mk None in
+  let traced = mk (Some (42, 1337)) in
+  Alcotest.(check int) "modeled size identical with and without context"
+    (Net.Wire.size plain) (Net.Wire.size traced);
+  Alcotest.(check int) "context costs 8 encoded bytes"
+    (String.length (Net.Wire.encode_message plain) + 8)
+    (String.length (Net.Wire.encode_message traced));
+  Alcotest.(check int) "trace_bytes none" 0 (Net.Wire.trace_bytes plain);
+  Alcotest.(check int) "trace_bytes some" 8 (Net.Wire.trace_bytes traced);
+  Alcotest.(check int) "breakdown still sums to modeled size"
+    (Net.Wire.size traced) (Net.Wire.total (Net.Wire.size_breakdown traced));
+  (* The encodings differ (the context is really there), and acks never
+     carry a context. *)
+  Alcotest.(check bool) "encodings differ" true
+    (Net.Wire.encode_message plain <> Net.Wire.encode_message traced);
+  let ack = Net.Wire.ack ~src:"b" ~dst:"a" ~seq:3 in
+  Alcotest.(check bool) "ack carries no trace context" true
+    (ack.Net.Wire.msg_trace = None)
+
 let test_auth_ordering_sizes () =
   (* the configurations must cost what the paper says: none <
      cleartext < hmac < rsa signature *)
@@ -149,7 +179,7 @@ let test_auth_ordering_sizes () =
   let size auth =
     Net.Wire.size
       { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
-        msg_auth = auth; msg_provenance = None }
+        msg_auth = auth; msg_provenance = None; msg_trace = None }
   in
   let none = size Net.Wire.A_none in
   let clear = size (Net.Wire.A_principal "alice") in
@@ -176,7 +206,7 @@ let test_stats_accounting () =
   let tuple = Tuple.make "p" [ Value.V_int 1 ] in
   let msg =
     { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 0; msg_tuple = tuple;
-      msg_auth = Net.Wire.A_none; msg_provenance = None }
+      msg_auth = Net.Wire.A_none; msg_provenance = None; msg_trace = None }
   in
   Net.Stats.record_message stats msg;
   Net.Stats.record_message stats msg;
@@ -379,7 +409,8 @@ let test_wire_ack_and_kinds () =
   let tuple = Tuple.make "ping" [ Value.V_int 1 ] in
   let data =
     { Net.Wire.msg_kind = Net.Wire.K_data; msg_src = "a"; msg_dst = "b"; msg_seq = 5;
-      msg_tuple = tuple; msg_auth = Net.Wire.A_none; msg_provenance = None }
+      msg_tuple = tuple; msg_auth = Net.Wire.A_none; msg_provenance = None;
+      msg_trace = None }
   in
   let ack = Net.Wire.ack ~src:"b" ~dst:"a" ~seq:5 in
   Alcotest.(check bool) "ack kind" true (ack.Net.Wire.msg_kind = Net.Wire.K_ack);
@@ -403,6 +434,8 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "sim rejects negative delay" `Quick test_sim_negative_delay_rejected;
     Alcotest.test_case "sim heap shrinks after burst" `Quick test_sim_heap_shrinks;
     Alcotest.test_case "message sizes" `Quick test_message_roundtrip_sizes;
+    Alcotest.test_case "trace context excluded from size" `Quick
+      test_trace_context_excluded_from_size;
     Alcotest.test_case "auth size ordering" `Quick test_auth_ordering_sizes;
     Alcotest.test_case "signed bytes bind endpoints" `Quick test_signed_bytes_binds_endpoints;
     Alcotest.test_case "decode garbage" `Quick test_decode_garbage;

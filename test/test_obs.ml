@@ -185,7 +185,7 @@ let test_span_nesting_mock_clock () =
         now := !now +. 1.0;
         Obs.Trace.with_span tr "round" (fun () ->
             now := !now +. 2.0;
-            Obs.Trace.record tr "handle" ~start:!now ~dur:0.5 ~wall_dur:0.001;
+            ignore (Obs.Trace.record tr "handle" ~start:!now ~dur:0.5 ~wall_dur:0.001);
             17))
   in
   Alcotest.(check int) "body result returned" 17 r;
@@ -262,6 +262,191 @@ let test_event_json_lines () =
       (Option.bind (Obs.Json.member "derivations" b) Obs.Json.to_int_opt)
   | l -> Alcotest.failf "expected 2 event lines, got %d" (List.length l)
 
+(* --- Prometheus label-value escaping ----------------------------------- *)
+
+let test_prom_label_escaping () =
+  (* Exposition format: exactly backslash, double quote and newline are
+     escaped; everything else (tabs, UTF-8 bytes) passes through raw. *)
+  Alcotest.(check string) "backslash" {|a\\b|} (Obs.Metrics.escape_label_value {|a\b|});
+  Alcotest.(check string) "quote" {|say \"hi\"|} (Obs.Metrics.escape_label_value {|say "hi"|});
+  Alcotest.(check string) "newline" {|l1\nl2|} (Obs.Metrics.escape_label_value "l1\nl2");
+  Alcotest.(check string) "utf-8 untouched" "caf\xc3\xa9" (Obs.Metrics.escape_label_value "caf\xc3\xa9");
+  Alcotest.(check string) "tab untouched" "a\tb" (Obs.Metrics.escape_label_value "a\tb");
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.inc
+    (Obs.Metrics.counter reg ~labels:[ ("rule", "p\\1 \"q\"\nz\xc3\xa9") ] "m");
+  let text = Obs.Metrics.to_prometheus reg in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rendered escaped label" true
+    (contains "m{rule=\"p\\\\1 \\\"q\\\"\\nz\xc3\xa9\"} 1")
+
+(* --- histogram bucket edges -------------------------------------------- *)
+
+let test_bucket_boundaries () =
+  (* Bucket [b] covers (2^(b-1), 2^b] by upper bound 2^b; exact powers
+     of two sit at the top of their bucket (frexp 1.0 = (0.5, 1)). *)
+  Alcotest.(check int) "1.0 -> bucket 1" 1 (Obs.Metrics.bucket_of 1.0);
+  Alcotest.(check int) "2.0 -> bucket 2" 2 (Obs.Metrics.bucket_of 2.0);
+  Alcotest.(check int) "0.5 -> bucket 0" 0 (Obs.Metrics.bucket_of 0.5);
+  Alcotest.(check int) "0.75 -> bucket 0" 0 (Obs.Metrics.bucket_of 0.75);
+  Alcotest.(check int) "just above 1.0 -> bucket 1" 1 (Obs.Metrics.bucket_of 1.0000001);
+  Alcotest.(check bool) "zero -> nonpositive bucket" true
+    (Obs.Metrics.bucket_of 0.0 = Obs.Metrics.nonpositive_bucket);
+  Alcotest.(check bool) "negative -> nonpositive bucket" true
+    (Obs.Metrics.bucket_of (-3.0) = Obs.Metrics.nonpositive_bucket);
+  Alcotest.(check (float 0.0)) "ub of bucket 1" 2.0 (Obs.Metrics.bucket_upper_bound 1);
+  Alcotest.(check (float 0.0)) "ub of nonpositive" 0.0
+    (Obs.Metrics.bucket_upper_bound Obs.Metrics.nonpositive_bucket)
+
+let test_cumulative_vs_per_bucket () =
+  (* The Prometheus rendering is cumulative, the JSON snapshot is
+     per-bucket: at every upper bound the cumulative count must equal
+     the sum of per-bucket JSON counts up to that bound. *)
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.0; 0.3; 0.6; 0.9; 1.5; 3.0; 3.5; 100.0 ];
+  let per_bucket =
+    List.map (fun (b, n) -> (Obs.Metrics.bucket_upper_bound b, n))
+      (Obs.Metrics.sorted_buckets h)
+  in
+  let text = Obs.Metrics.to_prometheus reg in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let cumulative = ref 0 in
+  List.iter
+    (fun (ub, n) ->
+      cumulative := !cumulative + n;
+      let line =
+        Printf.sprintf "lat_bucket{le=\"%.12g\"} %d" ub !cumulative
+      in
+      Alcotest.(check bool) (Printf.sprintf "cumulative at le=%g" ub) true (contains line))
+    per_bucket;
+  Alcotest.(check int) "cumulative reaches count" (Obs.Metrics.hist_count h) !cumulative;
+  Alcotest.(check bool) "+Inf equals count" true
+    (contains (Printf.sprintf "lat_bucket{le=\"+Inf\"} %d" (Obs.Metrics.hist_count h)))
+
+(* --- percentile estimation --------------------------------------------- *)
+
+let test_percentile_estimation () =
+  (* Synthetic buckets: 50 observations in (0.5,1], 50 in (1,2]. *)
+  let buckets = [ (1.0, 50); (2.0, 50) ] in
+  let p = Obs.Profile.percentile_of_buckets ~buckets ~min_v:0.6 ~max_v:2.0 in
+  Alcotest.(check (float 1e-9)) "p50 at first bucket top" 1.0 (p 0.5);
+  Alcotest.(check (float 1e-9)) "p90 interpolated" 1.8 (p 0.9);
+  Alcotest.(check bool) "p99 clamped to max" true (p 0.99 <= 2.0);
+  (* Live histogram: constant observations clamp to min=max. *)
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "const" in
+  for _ = 1 to 10 do Obs.Metrics.observe h 0.75 done;
+  let s = Obs.Profile.summary h in
+  Alcotest.(check (float 1e-9)) "constant p50" 0.75 s.Obs.Profile.s_p50;
+  Alcotest.(check (float 1e-9)) "constant p99" 0.75 s.Obs.Profile.s_p99;
+  (* Spread: quantiles are monotone and inside [min, max]. *)
+  let h2 = Obs.Metrics.histogram reg "spread" in
+  for i = 1 to 100 do Obs.Metrics.observe h2 (float_of_int i /. 10.0) done;
+  let s2 = Obs.Profile.summary h2 in
+  Alcotest.(check bool) "monotone quantiles" true
+    (s2.Obs.Profile.s_p50 <= s2.Obs.Profile.s_p90
+    && s2.Obs.Profile.s_p90 <= s2.Obs.Profile.s_p99
+    && s2.Obs.Profile.s_p99 <= s2.Obs.Profile.s_max);
+  Alcotest.(check bool) "p50 in range" true
+    (s2.Obs.Profile.s_p50 >= s2.Obs.Profile.s_min
+    && s2.Obs.Profile.s_p50 <= s2.Obs.Profile.s_max);
+  Alcotest.(check int) "empty histogram summary" 0
+    (Obs.Profile.summary (Obs.Metrics.histogram reg "empty")).Obs.Profile.s_count
+
+(* --- tracer under parallel domains ------------------------------------- *)
+
+let test_trace_multi_domain () =
+  let tr = Obs.Trace.create () in
+  let spawn () =
+    Domain.spawn (fun () ->
+        for i = 1 to 500 do
+          Obs.Trace.with_span tr "outer" (fun () ->
+              Obs.Trace.with_span tr "inner" (fun () -> ignore i))
+        done)
+  in
+  let ds = [ spawn (); spawn (); spawn (); spawn () ] in
+  List.iter Domain.join ds;
+  let spans = Obs.Trace.finished_spans tr in
+  Alcotest.(check int) "all spans recorded" 4000 (List.length spans);
+  let ids = List.map (fun s -> s.Obs.Trace.sp_id) spans in
+  Alcotest.(check int) "span ids unique" 4000
+    (List.length (List.sort_uniq compare ids));
+  (* Per-domain stacks: every "inner" parents under an "outer", never
+     under another domain's "inner". *)
+  let by_id = Hashtbl.create 4096 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.Trace.sp_id s) spans;
+  List.iter
+    (fun s ->
+      if s.Obs.Trace.sp_name = "inner" then
+        match s.Obs.Trace.sp_parent with
+        | Some p ->
+          let parent = Hashtbl.find by_id p in
+          Alcotest.(check string) "inner parents under outer" "outer"
+            parent.Obs.Trace.sp_name
+        | None -> Alcotest.fail "inner span lost its parent")
+    spans
+
+(* --- Chrome trace-event export ----------------------------------------- *)
+
+let test_chrome_export () =
+  let now = ref 0.0 in
+  let tr = Obs.Trace.create ~clock:(fun () -> !now) () in
+  let p =
+    Obs.Trace.record tr "handle" ~attrs:[ ("node", "n1") ] ~start:0.0 ~dur:0.5
+      ~wall_dur:0.001
+  in
+  (* Child on a different node, explicitly parented: must yield a flow
+     arrow between the two tracks. *)
+  ignore
+    (Obs.Trace.record tr "handle" ~attrs:[ ("node", "n2") ] ~parent:p ~start:0.6
+       ~dur:0.2 ~wall_dur:0.001);
+  let j = Obs.Json.parse (Obs.Export.chrome_trace tr) in
+  let events =
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  let phase e = Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_opt in
+  let count ph = List.length (List.filter (fun e -> phase e = Some ph) events) in
+  Alcotest.(check int) "two complete spans" 2 (count "X");
+  Alcotest.(check int) "one flow start" 1 (count "s");
+  Alcotest.(check int) "one flow finish" 1 (count "f");
+  (* run lane + two node lanes *)
+  Alcotest.(check int) "thread names" 3 (count "M");
+  (match Option.bind (Obs.Json.member "otherData" j) (Obs.Json.member "trace_id") with
+  | Some (Obs.Json.Int id) ->
+    Alcotest.(check int) "trace id round-trips" (Obs.Trace.id tr) id
+  | _ -> Alcotest.fail "no trace_id in otherData");
+  (* Same-track nesting draws no arrow. *)
+  let tr2 = Obs.Trace.create ~clock:(fun () -> !now) () in
+  let q =
+    Obs.Trace.record tr2 "a" ~attrs:[ ("node", "n1") ] ~start:0.0 ~dur:0.1
+      ~wall_dur:0.0
+  in
+  ignore
+    (Obs.Trace.record tr2 "b" ~attrs:[ ("node", "n1") ] ~parent:q ~start:0.1
+       ~dur:0.1 ~wall_dur:0.0);
+  let j2 = Obs.Json.parse (Obs.Export.chrome_trace tr2) in
+  (match Obs.Json.member "traceEvents" j2 with
+  | Some (Obs.Json.List l) ->
+    Alcotest.(check int) "no flow for same-track parent" 0
+      (List.length
+         (List.filter
+            (fun e ->
+              let ph = Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_opt in
+              ph = Some "s" || ph = Some "f")
+            l))
+  | _ -> Alcotest.fail "no traceEvents")
+
 let suite : unit Alcotest.test_case list =
   [ Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
     Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
@@ -274,4 +459,10 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "span nesting (mock clock)" `Quick test_span_nesting_mock_clock;
     Alcotest.test_case "span limit + json lines" `Quick test_span_limit_and_json_lines;
     Alcotest.test_case "event ring overflow" `Quick test_ring_overflow;
-    Alcotest.test_case "event json lines" `Quick test_event_json_lines ]
+    Alcotest.test_case "event json lines" `Quick test_event_json_lines;
+    Alcotest.test_case "prometheus label escaping" `Quick test_prom_label_escaping;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "cumulative vs per-bucket counts" `Quick test_cumulative_vs_per_bucket;
+    Alcotest.test_case "percentile estimation" `Quick test_percentile_estimation;
+    Alcotest.test_case "tracer under parallel domains" `Quick test_trace_multi_domain;
+    Alcotest.test_case "chrome trace export" `Quick test_chrome_export ]
