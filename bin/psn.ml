@@ -139,6 +139,26 @@ let run_cmd =
          & info [ "jobs" ] ~docv:"N"
              ~doc:"Worker domains for the batch engine (1 = sequential event loop)")
   in
+  let flap_rate =
+    Arg.(value & opt float 0.0
+         & info [ "flap-rate" ] ~docv:"RATE"
+             ~doc:"Poisson link-flap rate per link per virtual second; each flap \
+                   retracts or reinstalls a link fact and triggers incremental \
+                   (DRed) maintenance (requires --churn)")
+  in
+  let churn =
+    Arg.(value & opt float 0.0
+         & info [ "churn" ] ~docv:"SECONDS"
+             ~doc:"Churn window: after the initial fixpoint, play --flap-rate link \
+                   flaps for this many virtual seconds, then re-converge")
+  in
+  let advance =
+    Arg.(value & opt float 0.0
+         & info [ "advance" ] ~docv:"SECONDS"
+             ~doc:"After the run, advance virtual time by exactly this much and \
+                   evict expired soft state (dependents are incrementally \
+                   retracted), then run to quiescence again")
+  in
   let with_links =
     Arg.(value & flag & info [ "links" ] ~doc:"Insert the topology's link(src,dst,cost) facts")
   in
@@ -171,8 +191,9 @@ let run_cmd =
              ~doc:"Write the structured event log (JSON lines) to FILE")
   in
   let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
-      crashes fault_seed reliable retries ack_timeout max_backoff jobs with_links show
-      metrics_out metrics_format trace_out chrome_out events_out =
+      crashes fault_seed reliable retries ack_timeout max_backoff jobs flap_rate churn
+      advance with_links show metrics_out metrics_format trace_out chrome_out
+      events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
@@ -203,6 +224,8 @@ let run_cmd =
         let c = Core.Config.with_reliable c reliable in
         let c = Core.Config.with_retry c ~limit:retries ~ack_timeout () in
         let c = Core.Config.with_max_backoff c max_backoff in
+        let c = Core.Config.with_flap_rate c flap_rate in
+        let c = Core.Config.with_churn c churn in
         Core.Config.with_jobs c jobs
       with Invalid_argument e ->
         Printf.eprintf "%s\n" e;
@@ -236,6 +259,27 @@ let run_cmd =
            Printf.sprintf "reliable (retries=%d, ack-timeout=%.3fs)"
              cfg.Core.Config.retry_limit cfg.Core.Config.ack_timeout
          else "best-effort");
+    if cfg.Core.Config.churn > 0.0 && cfg.Core.Config.flap_rate > 0.0 then begin
+      let flaps =
+        Core.Runtime.schedule_flaps t ~rate:cfg.Core.Config.flap_rate
+          ~horizon:cfg.Core.Config.churn ()
+      in
+      let rc = Core.Runtime.run t in
+      Printf.fprintf human
+        "churn: %d link flaps over %.1fs (rate %.2f/s per link, fault seed %d); \
+         re-converged at %.3fs (virtual), %d tuples retracted\n"
+        (List.length flaps) cfg.Core.Config.churn cfg.Core.Config.flap_rate
+        cfg.Core.Config.fault.Net.Fault.seed rc.sim_seconds
+        (Core.Runtime.tuples_retracted t)
+    end;
+    if advance > 0.0 then begin
+      let before = Core.Runtime.tuples_retracted t in
+      Core.Runtime.advance t ~seconds:advance;
+      ignore (Core.Runtime.run t);
+      Printf.fprintf human
+        "advance: +%.1fs virtual; soft-state expiry retracted %d tuples\n" advance
+        (Core.Runtime.tuples_retracted t - before)
+    end;
     Printf.fprintf human "%s\n" (Net.Stats.to_string (Core.Runtime.stats t));
     List.iter
       (fun rel ->
@@ -271,8 +315,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a program over a simulated network")
     Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ no_indexes $ no_fastpath
           $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
-          $ ack_timeout $ max_backoff $ jobs $ with_links $ show $ metrics_out
-          $ metrics_format $ trace_out $ chrome_out $ events_out)
+          $ ack_timeout $ max_backoff $ jobs $ flap_rate $ churn $ advance $ with_links
+          $ show $ metrics_out $ metrics_format $ trace_out $ chrome_out $ events_out)
 
 (* --- psn stats -------------------------------------------------------- *)
 

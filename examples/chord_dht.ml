@@ -71,6 +71,43 @@ let () =
       (Core.Runtime.condensed_annotation t ~at:"n0" tuple)
   | [] -> ());
 
+  (* --- member churn: nodes leave and join the ring ------------------- *)
+  (* Two members leave and one rejoins.  [apply_ring_change] retracts
+     the departed members' ring facts (and every stale finger/succ the
+     reassignment shifted); the runtime's incremental deletion pass
+     then withdraws lookup results routed through stale state and
+     re-derives them over the new ring — no stale owners survive. *)
+  let members0 = List.map fst ring.members in
+  let leavers =
+    match List.filter (fun a -> a <> "n0") members0 with
+    | a :: b :: _ -> [ a; b ]
+    | _ -> []
+  in
+  Printf.printf "\n== churn: %s leave, %s rejoins ==\n"
+    (String.concat " and " leavers)
+    (match leavers with l :: _ -> l | [] -> "-");
+  let members1 = List.filter (fun a -> not (List.mem a leavers)) members0 in
+  let ring1 = Core.Chord.build_ring ~m:12 members1 in
+  Core.Chord.apply_ring_change t ~before:ring ~after:ring1;
+  ignore (Core.Runtime.run t);
+  let members2 = members1 @ (match leavers with l :: _ -> [ l ] | [] -> []) in
+  let ring2 = Core.Chord.build_ring ~m:12 members2 in
+  Core.Chord.apply_ring_change t ~before:ring1 ~after:ring2;
+  ignore (Core.Runtime.run t);
+
+  let results2 = Core.Chord.results t ~requester:"n0" in
+  let correct2 =
+    List.length
+      (List.filter
+         (fun (r : Core.Chord.lookup_result) ->
+           r.lr_owner = Core.Chord.true_owner ring2 r.lr_key)
+         results2)
+  in
+  Printf.printf "after churn: %d results at n0, owners correct for the new ring: %d/%d\n"
+    (List.length results2) correct2 (List.length results2);
+  Printf.printf "tuples retracted by incremental maintenance: %d\n"
+    (Core.Runtime.tuples_retracted t);
+
   let st = Core.Runtime.stats t in
   Printf.printf "\nall lookup traffic was authenticated: %s\n" (Net.Stats.to_string st);
   print_endline "\nchord example done."

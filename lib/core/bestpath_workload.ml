@@ -129,6 +129,129 @@ let sweep ?(opts = default_opts) ?(ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 10
     point list =
   List.concat_map (fun n -> measure_n ~opts n) ns
 
+(* --- churn: long-running Best-Path under link flaps ------------------- *)
+
+(* The churn ablation the incremental-maintenance work is gated on:
+   converge Best-Path, subject the network to a Poisson link-flap
+   process (every flap retracts or reinstalls a link fact, driving the
+   DRed-style deletion pass), let it re-converge, and compare both the
+   cost and the result against full recomputation — a from-scratch run
+   over the same (post-churn, i.e. static) topology. *)
+
+type churn_point = {
+  c_config : string;
+  c_n : int;
+  c_flap_rate : float;
+  c_horizon : float; (* churn window, virtual seconds *)
+  c_flaps : int; (* link transitions played *)
+  c_incremental_wall : float; (* churn + re-convergence, wall seconds *)
+  c_scratch_wall : float; (* full recomputation, wall seconds *)
+  c_reconverge_sim : float; (* virtual seconds from last flap to quiescence *)
+  c_updates : int; (* tuples retracted + re-derived during churn *)
+  c_updates_per_sec : float; (* updates / incremental wall *)
+  c_fixpoint_match : bool; (* post-churn fixpoint = from-scratch fixpoint *)
+  c_prov_match : bool; (* ... and so is every bestPath provenance *)
+}
+
+(* The queried fixpoint, normalized for comparison: sorted
+   (node, tuple identity) pairs. *)
+let fixpoint_snapshot (t : Runtime.t) (rel : string) : (string * string) list =
+  List.sort compare
+    (List.map
+       (fun (addr, tu) -> (addr, Engine.Tuple.interned_identity tu))
+       (Runtime.query_all t rel))
+
+(* Per-tuple provenance, keyed like the fixpoint snapshot.  The
+   AC-canonical rendering is the byte-identity the acceptance
+   criterion asks for: + and * are commutative (free commutative
+   semiring), and evaluation order — which differs between an
+   incremental run and a from-scratch run, e.g. in the first-seen
+   variable order of the condensed wire codec — leaks into the raw
+   tree shape without changing the annotation's meaning. *)
+let prov_snapshot (t : Runtime.t) (rel : string) : ((string * string) * string) list
+    =
+  List.sort compare
+    (List.map
+       (fun (addr, tu) ->
+         ( (addr, Engine.Tuple.interned_identity tu),
+           Provenance.Prov_expr.canonical_string (Runtime.provenance_of t ~at:addr tu)
+         ))
+       (Runtime.query_all t rel))
+
+let run_churn ?(cfg = Config.sendlog_prov) ?(seed = 2008) ?(n = 10)
+    ?(outdegree = 3) ?(rate = 0.4) ?(horizon = 5.0) () : churn_point =
+  let program = Ndlog.Programs.best_path () in
+  let topo_rng = Crypto.Rng.create ~seed:(seed + n) in
+  let topo = Net.Topology.random topo_rng ~n ~outdegree () in
+  let directory = shared_directory ~rsa_bits:cfg.Config.rsa_bits topo.Net.Topology.nodes in
+  (* Incremental run: converge, flap, re-converge in place. *)
+  let t =
+    Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed) ~cfg ~topo ~program ()
+  in
+  Runtime.install_links t;
+  ignore (Runtime.run t);
+  Runtime.enable_derivation_log t;
+  let derivs_before = List.length (Runtime.derivation_log t) in
+  let retracted_before = Runtime.tuples_retracted t in
+  let churn_start = Net.Event_sim.now (Runtime.sim t) in
+  let flaps = Runtime.schedule_flaps t ~rate ~horizon () in
+  let r1 = Runtime.run t in
+  let last_flap =
+    List.fold_left (fun acc (f : Net.Fault.flap) -> max acc f.Net.Fault.fl_at) 0.0 flaps
+  in
+  let reconverge_sim = r1.Runtime.sim_seconds -. (churn_start +. last_flap) in
+  let updates =
+    List.length (Runtime.derivation_log t) - derivs_before
+    + (Runtime.tuples_retracted t - retracted_before)
+  in
+  (* Full recomputation on the post-churn (= static) topology. *)
+  let t2 =
+    Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed) ~cfg ~topo ~program ()
+  in
+  Runtime.install_links t2;
+  let r2 = Runtime.run t2 in
+  let fixpoint_match = fixpoint_snapshot t "bestPath" = fixpoint_snapshot t2 "bestPath" in
+  let prov_match =
+    match cfg.Config.prov with
+    | Config.Prov_off -> fixpoint_match
+    | _ -> prov_snapshot t "bestPath" = prov_snapshot t2 "bestPath"
+  in
+  let point =
+    { c_config = Config.name cfg;
+      c_n = n;
+      c_flap_rate = rate;
+      c_horizon = horizon;
+      c_flaps = List.length flaps;
+      c_incremental_wall = r1.Runtime.wall_seconds;
+      c_scratch_wall = r2.Runtime.wall_seconds;
+      c_reconverge_sim = reconverge_sim;
+      c_updates = updates;
+      c_updates_per_sec =
+        (if r1.Runtime.wall_seconds > 0.0 then
+           float_of_int updates /. r1.Runtime.wall_seconds
+         else 0.0);
+      c_fixpoint_match = fixpoint_match;
+      c_prov_match = prov_match }
+  in
+  Runtime.shutdown t;
+  Runtime.shutdown t2;
+  point
+
+let churn_point_to_json (p : churn_point) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("config", Obs.Json.Str p.c_config);
+      ("n", Obs.Json.Int p.c_n);
+      ("flap_rate", Obs.Json.Float p.c_flap_rate);
+      ("horizon", Obs.Json.Float p.c_horizon);
+      ("flaps", Obs.Json.Int p.c_flaps);
+      ("incremental_wall_seconds", Obs.Json.Float p.c_incremental_wall);
+      ("scratch_wall_seconds", Obs.Json.Float p.c_scratch_wall);
+      ("reconverge_sim_seconds", Obs.Json.Float p.c_reconverge_sim);
+      ("updates", Obs.Json.Int p.c_updates);
+      ("updates_per_sec", Obs.Json.Float p.c_updates_per_sec);
+      ("fixpoint_match", Obs.Json.Bool p.c_fixpoint_match);
+      ("prov_match", Obs.Json.Bool p.c_prov_match) ]
+
 let point_to_json (p : point) : Obs.Json.t =
   Obs.Json.Obj
     [ ("config", Obs.Json.Str p.p_config);

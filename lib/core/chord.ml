@@ -74,21 +74,52 @@ let fingers (ring : ring) (addr : string) : (int * string) list =
   |> List.sort_uniq compare
   |> List.filter (fun (_, faddr) -> faddr <> addr)
 
+(* Every (node, fact) pair that materializes a ring: [self] / [succ] /
+   [finger] facts for each member.  Exposed so member churn can diff
+   two rings fact-by-fact. *)
+let ring_facts (ring : ring) : (string * Tuple.t) list =
+  List.concat_map
+    (fun (addr, id) ->
+      let saddr, sid = member_successor ring addr in
+      (addr, Tuple.make "self" [ Value.V_str addr; Value.V_int id; Value.V_int ring.modulus ])
+      :: ( addr,
+           Tuple.make "succ" [ Value.V_str addr; Value.V_int sid; Value.V_str saddr ] )
+      :: List.map
+           (fun (fid, faddr) ->
+             ( addr,
+               Tuple.make "finger" [ Value.V_str addr; Value.V_int fid; Value.V_str faddr ] ))
+           (fingers ring addr))
+    ring.members
+
 (* Install [self] / [succ] / [finger] facts for every ring member. *)
 let install_ring (t : Runtime.t) (ring : ring) : unit =
+  List.iter (fun (addr, tuple) -> Runtime.install_fact t ~at:addr tuple) (ring_facts ring)
+
+(* Member churn (node join/leave): retract exactly the facts the old
+   ring had and the new one lacks, install the reverse.  The runtime's
+   incremental deletion then retracts every routing tuple derived from
+   stale ring state (lookup results through a departed member, fingers
+   at a reassigned identifier) and re-derives what the new ring
+   supports. *)
+let apply_ring_change (t : Runtime.t) ~(before : ring) ~(after : ring) : unit =
+  let key (addr, tuple) = addr ^ "|" ^ Tuple.interned_identity tuple in
+  let index facts =
+    let h = Hashtbl.create 256 in
+    List.iter (fun f -> Hashtbl.replace h (key f) ()) facts;
+    h
+  in
+  let old_facts = ring_facts before in
+  let new_facts = ring_facts after in
+  let old_idx = index old_facts in
+  let new_idx = index new_facts in
   List.iter
-    (fun (addr, id) ->
-      Runtime.install_fact t ~at:addr
-        (Tuple.make "self" [ Value.V_str addr; Value.V_int id; Value.V_int ring.modulus ]);
-      let saddr, sid = member_successor ring addr in
-      Runtime.install_fact t ~at:addr
-        (Tuple.make "succ" [ Value.V_str addr; Value.V_int sid; Value.V_str saddr ]);
-      List.iter
-        (fun (fid, faddr) ->
-          Runtime.install_fact t ~at:addr
-            (Tuple.make "finger" [ Value.V_str addr; Value.V_int fid; Value.V_str faddr ]))
-        (fingers ring addr))
-    ring.members
+    (fun ((addr, tuple) as f) ->
+      if not (Hashtbl.mem new_idx (key f)) then Runtime.retract_fact t ~at:addr tuple)
+    old_facts;
+  List.iter
+    (fun ((addr, tuple) as f) ->
+      if not (Hashtbl.mem old_idx (key f)) then Runtime.install_fact t ~at:addr tuple)
+    new_facts
 
 (* Issue a lookup for key [key] starting at [from]; the initial path
    contains only the requester. *)

@@ -79,6 +79,15 @@ type t = {
   jobs : int;
       (* worker domains for the parallel batch engine; 1 = the
          sequential event loop *)
+  flap_rate : float;
+      (* link-flap rate for churn runs: mean flaps per second per
+         directed link of the Poisson flap process (0 = no flaps).
+         Flap histories derive from [fault.seed], so a churn run is
+         reproducible with --fault-seed *)
+  churn : float;
+      (* churn horizon in virtual seconds: how long the flap process
+         (or a workload's join/leave phase) runs before the network is
+         left to re-converge (0 = no churn phase) *)
 }
 
 let default =
@@ -100,7 +109,9 @@ let default =
     retry_limit = 8;
     ack_timeout = 0.25;
     max_backoff = 2.0;
-    jobs = 1 }
+    jobs = 1;
+    flap_rate = 0.0;
+    churn = 0.0 }
 
 (* The paper's three evaluation configurations. *)
 let ndlog = default
@@ -202,6 +213,14 @@ let with_jobs (c : t) (jobs : int) : t =
   if jobs < 1 then invalid_arg "Config.with_jobs: need at least 1 job";
   { c with jobs }
 
+let with_flap_rate (c : t) (flap_rate : float) : t =
+  if flap_rate < 0.0 then invalid_arg "Config.with_flap_rate: negative rate";
+  { c with flap_rate }
+
+let with_churn (c : t) (churn : float) : t =
+  if churn < 0.0 then invalid_arg "Config.with_churn: negative horizon";
+  { c with churn }
+
 (* Argv-style construction: consume the flags this module understands
    and hand everything else back to the caller's own parser.  Both
    binaries route their command line through here so ablation and
@@ -235,7 +254,9 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
             retry_limit = cfg.retry_limit;
             ack_timeout = cfg.ack_timeout;
             max_backoff = cfg.max_backoff;
-            jobs = cfg.jobs }
+            jobs = cfg.jobs;
+            flap_rate = cfg.flap_rate;
+            churn = cfg.churn }
           leftover rest
       | Error e -> Error e)
     | "--rsa-bits" :: v :: rest ->
@@ -284,9 +305,17 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
       int_arg "--jobs" v (fun n ->
           try go (with_jobs cfg n) leftover rest
           with Invalid_argument e -> Error e)
+    | "--flap-rate" :: v :: rest ->
+      float_arg "--flap-rate" v (fun r ->
+          try go (with_flap_rate cfg r) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--churn" :: v :: rest ->
+      float_arg "--churn" v (fun h ->
+          try go (with_churn cfg h) leftover rest
+          with Invalid_argument e -> Error e)
     | (("--config" | "--rsa-bits" | "--loss" | "--dup" | "--reorder" | "--jitter"
        | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout" | "--max-backoff"
-       | "--jobs") as flag)
+       | "--jobs" | "--flap-rate" | "--churn") as flag)
       :: [] -> Error (Printf.sprintf "%s: missing value" flag)
     | other :: rest -> go cfg (other :: leftover) rest
   in

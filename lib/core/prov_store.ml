@@ -12,7 +12,15 @@
    Re-derivations of the same tuple combine with [Plus]; duplicate
    derivations (the same rule over the same body tuples, which
    semi-naive evaluation can report more than once) are deduplicated
-   by a derivation key. *)
+   by a derivation key.
+
+   Storage is per-alternative: each Plus branch (base assertion,
+   local derivation, shipped provenance from a sender) keeps its own
+   expression, so incremental deletion can remove exactly the
+   alternatives a retraction invalidated and rebuild the combined
+   expression from the survivors — in the original arrival order, so
+   the rebuilt expression is byte-identical to what a run that never
+   saw the removed branch would have accumulated. *)
 
 open Engine
 
@@ -31,10 +39,21 @@ type deriv_record = {
   dr_signer : string option;
 }
 
+(* One Plus alternative of a tuple's provenance. *)
+type alt_kind =
+  | Alt_base (* locally asserted base fact *)
+  | Alt_deriv of deriv_record (* local rule firing *)
+  | Alt_recv of string (* provenance shipped by this sender *)
+
+type alt = {
+  a_key : string; (* dedup key; also the removal handle *)
+  a_expr : Provenance.Prov_expr.t;
+  a_kind : alt_kind;
+}
+
 type entry = {
-  mutable e_expr : Provenance.Prov_expr.t; (* accumulated expression *)
-  mutable e_derivs : deriv_record list;
-  mutable e_keys : string list; (* dedup keys of recorded derivations *)
+  mutable e_alts : alt list; (* newest first *)
+  mutable e_expr : Provenance.Prov_expr.t; (* cached fold of e_alts *)
   mutable e_received_from : string list; (* senders that shipped this tuple *)
 }
 
@@ -62,8 +81,7 @@ let entry (t : t) (tuple : Tuple.t) : entry =
   | Some e -> e
   | None ->
     let e =
-      { e_expr = Provenance.Prov_expr.zero; e_derivs = []; e_keys = [];
-        e_received_from = [] }
+      { e_alts = []; e_expr = Provenance.Prov_expr.zero; e_received_from = [] }
     in
     Tuple.Table.replace t.entries tuple e;
     e
@@ -71,38 +89,60 @@ let entry (t : t) (tuple : Tuple.t) : entry =
 let expr_of (t : t) (tuple : Tuple.t) : Provenance.Prov_expr.t =
   match find t tuple with Some e -> e.e_expr | None -> Provenance.Prov_expr.zero
 
+let alt_derivs (alts : alt list) : deriv_record list =
+  List.filter_map
+    (fun a -> match a.a_kind with Alt_deriv r -> Some r | Alt_base | Alt_recv _ -> None)
+    alts
+
 let derivs_of (t : t) (tuple : Tuple.t) : deriv_record list =
-  match find t tuple with Some e -> e.e_derivs | None -> []
+  match find t tuple with Some e -> alt_derivs e.e_alts | None -> []
+
+(* Plus-combine the alternatives in arrival order, matching the
+   expression an append-only run accumulates. *)
+let rebuild (e : entry) : unit =
+  e.e_expr <-
+    List.fold_left
+      (fun acc a -> Provenance.Prov_expr.plus acc a.a_expr)
+      Provenance.Prov_expr.zero (List.rev e.e_alts)
+
+let add_alt (e : entry) (a : alt) : unit =
+  if not (List.exists (fun a' -> String.equal a'.a_key a.a_key) e.e_alts) then begin
+    e.e_alts <- a :: e.e_alts;
+    e.e_expr <- Provenance.Prov_expr.plus e.e_expr a.a_expr
+  end
 
 (* Record a base tuple with its provenance key (principal, tuple id,
    or AS, depending on granularity). *)
 let record_base (t : t) (tuple : Tuple.t) ~(key : string) : unit =
-  let e = entry t tuple in
-  let base = Provenance.Prov_expr.base key in
-  if not (List.exists (String.equal key) e.e_keys) then begin
-    e.e_expr <- Provenance.Prov_expr.plus e.e_expr base;
-    e.e_keys <- key :: e.e_keys
-  end
+  add_alt (entry t tuple)
+    { a_key = key; a_expr = Provenance.Prov_expr.base key; a_kind = Alt_base }
 
-(* Record a local derivation; [body_exprs] are the (already known)
-   expressions of the body tuples.  Returns [true] when the
+(* Dedup/removal key of a local derivation: rule plus body identities
+   with the asserting principal a [says] literal consumed, if any.
+   Origins are excluded so a retraction (which only knows the body
+   tuples) can recompute the key. *)
+let deriv_key ~(rule : string) (body : (Tuple.t * string option) list) : string =
+  rule ^ "|"
+  ^ String.concat ";"
+      (List.map
+         (fun (b, says) ->
+           Tuple.interned_identity b
+           ^ Option.fold ~none:"" ~some:(fun s -> "/" ^ s) says)
+         body)
+
+(* Record a local derivation; [combined] is the (already computed)
+   Times-expression over the body provenance.  Returns [true] when the
    derivation was new. *)
 let record_derivation (t : t) (head : Tuple.t) ~(record : deriv_record)
     ~(combined : Provenance.Prov_expr.t) : bool =
   let key =
-    record.dr_rule ^ "|"
-    ^ String.concat ";"
-        (List.map
-           (fun (b, _, says) ->
-             Tuple.interned_identity b ^ Option.fold ~none:"" ~some:(fun s -> "/" ^ s) says)
-           record.dr_body)
+    deriv_key ~rule:record.dr_rule
+      (List.map (fun (b, _, says) -> (b, says)) record.dr_body)
   in
   let e = entry t head in
-  if List.exists (String.equal key) e.e_keys then false
+  if List.exists (fun a -> String.equal a.a_key key) e.e_alts then false
   else begin
-    e.e_keys <- key :: e.e_keys;
-    e.e_derivs <- record :: e.e_derivs;
-    e.e_expr <- Provenance.Prov_expr.plus e.e_expr combined;
+    add_alt e { a_key = key; a_expr = combined; a_kind = Alt_deriv record };
     true
   end
 
@@ -112,15 +152,102 @@ let record_received (t : t) (tuple : Tuple.t) ~(from : string)
     ~(expr : Provenance.Prov_expr.t) : unit =
   let e = entry t tuple in
   let key = "recv|" ^ from ^ "|" ^ Provenance.Prov_expr.to_string expr in
-  if not (List.exists (String.equal key) e.e_keys) then begin
-    e.e_keys <- key :: e.e_keys;
-    e.e_expr <- Provenance.Prov_expr.plus e.e_expr expr
-  end;
+  add_alt e { a_key = key; a_expr = expr; a_kind = Alt_recv from };
   if not (List.exists (String.equal from) e.e_received_from) then
     e.e_received_from <- from :: e.e_received_from
 
 let received_from (t : t) (tuple : Tuple.t) : string list =
   match find t tuple with Some e -> e.e_received_from | None -> []
+
+let drop_if_empty (t : t) (tuple : Tuple.t) (e : entry) : unit =
+  if e.e_alts = [] && e.e_received_from = [] then Tuple.Table.remove t.entries tuple
+
+(* Trim one invalidated derivation alternative (incremental deletion:
+   a body tuple died but the head survives through other branches).
+   The cached expression is rebuilt from the surviving alternatives. *)
+let remove_derivation (t : t) (head : Tuple.t) ~(rule : string)
+    ~(body : (Tuple.t * string option) list) : unit =
+  match find t head with
+  | None -> ()
+  | Some e ->
+    let key = deriv_key ~rule body in
+    let keep = List.filter (fun a -> not (String.equal a.a_key key)) e.e_alts in
+    if List.length keep <> List.length e.e_alts then begin
+      e.e_alts <- keep;
+      rebuild e;
+      drop_if_empty t head e
+    end
+
+(* Recompute local-derivation alternatives from the *current*
+   provenance of their body tuples.  Incremental deletion can prune an
+   alternative out of a body tuple's entry; derivations recorded
+   earlier hold a frozen copy of the body's old expression inside
+   their combined Times, so those copies go stale (e.g. a bestPath
+   still carrying a min-witness through a retracted link).  One sweep
+   recomputes every [Alt_deriv] expression via [expr_of]; callers
+   iterate sweeps to a fixpoint, propagating the repair up the
+   derivation DAG.  Bodies whose provenance reads [Zero] (unsampled or
+   capture-disabled) keep their recorded expression.  Returns [true]
+   when any expression changed. *)
+let refresh_derivations (t : t) ~(expr_of : Tuple.t -> Provenance.Prov_expr.t) :
+    bool =
+  let changed = ref false in
+  let work = Tuple.Table.fold (fun tu e acc -> (tu, e) :: acc) t.entries [] in
+  List.iter
+    (fun ((_ : Tuple.t), e) ->
+      let entry_changed = ref false in
+      let alts' =
+        List.map
+          (fun a ->
+            match a.a_kind with
+            | Alt_base | Alt_recv _ -> a
+            | Alt_deriv r ->
+              let exprs = List.map (fun (b, _, _) -> expr_of b) r.dr_body in
+              if
+                List.exists
+                  (Provenance.Prov_expr.equal Provenance.Prov_expr.zero)
+                  exprs
+              then a
+              else
+                let combined = Provenance.Prov_expr.times_list exprs in
+                if Provenance.Prov_expr.equal combined a.a_expr then a
+                else begin
+                  entry_changed := true;
+                  { a with a_expr = combined }
+                end)
+          e.e_alts
+      in
+      if !entry_changed then begin
+        e.e_alts <- alts';
+        rebuild e;
+        changed := true
+      end)
+    work;
+  !changed
+
+(* Forget everything a sender contributed to this tuple's provenance
+   (the sender retracted it). *)
+let remove_received (t : t) (tuple : Tuple.t) ~(from : string) : unit =
+  match find t tuple with
+  | None -> ()
+  | Some e ->
+    let keep =
+      List.filter
+        (fun a ->
+          match a.a_kind with
+          | Alt_recv f -> not (String.equal f from)
+          | Alt_base | Alt_deriv _ -> true)
+        e.e_alts
+    in
+    let changed = List.length keep <> List.length e.e_alts in
+    if changed then e.e_alts <- keep;
+    if List.exists (String.equal from) e.e_received_from then
+      e.e_received_from <-
+        List.filter (fun f -> not (String.equal f from)) e.e_received_from;
+    if changed then begin
+      rebuild e;
+      drop_if_empty t tuple e
+    end
 
 (* Move a tuple's provenance to the offline log (expiry / replacement;
    Section 4.2). *)
@@ -131,7 +258,7 @@ let retire (t : t) (tuple : Tuple.t) ~(now : float) : unit =
     Tuple.Table.remove t.entries tuple;
     if t.offline_enabled then begin
       let record =
-        { off_tuple = tuple; off_expr = e.e_expr; off_derivs = e.e_derivs;
+        { off_tuple = tuple; off_expr = e.e_expr; off_derivs = alt_derivs e.e_alts;
           off_expired_at = now }
       in
       t.offline <- record :: t.offline;
@@ -190,7 +317,7 @@ let storage (t : t) : storage =
                       acc + Tuple.wire_size b
                       + match o with O_local -> 1 | O_remote a -> 1 + String.length a)
                     0 r.dr_body)
-              0 e.e_derivs
+              0 (alt_derivs e.e_alts)
         in
         (eb, pb))
       t.entries (0, 0)

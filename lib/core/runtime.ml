@@ -19,16 +19,32 @@ type node = {
   n_principal : Sendlog.Principal.t;
   n_db : Db.t;
   n_prov : Prov_store.t;
-  n_sent_cache : (string, unit) Hashtbl.t; (* dedup of identical sends *)
+  n_support : Support.t;
+      (* support graph for incremental deletion; maintained
+         unconditionally (unlike the provenance store, whose capture is
+         gated by the configuration) so retraction correctness never
+         depends on provenance settings *)
+  n_base : unit Tuple.Table.t;
+      (* locally installed base facts: tuples with external support
+         that survives the loss of every recorded derivation *)
+  n_recv_from : string list ref Tuple.Table.t;
+      (* senders currently standing behind each received tuple;
+         trimmed by K_retract and by soft-state expiry *)
+  n_sent_cache : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* dedup of identical sends, keyed dest+tuple identity with the
+         provenance variant one level down, so a retraction notice can
+         drop every variant of one (dest, tuple) in O(1) *)
   mutable n_msgs_received : int;
   mutable n_free_at : float; (* virtual time until which this node's CPU is busy *)
 }
 
 (* One unit of node-level work inside a timestamp batch: a delivered
-   data message accepted for processing, or a base-fact installation. *)
+   data or retract message accepted for processing, a base-fact
+   installation, or a local base-fact retraction. *)
 type work_item =
   | W_msg of Net.Wire.message
   | W_fact of Tuple.t
+  | W_retract of Tuple.t
 
 (* A fully prepared outgoing message, minus its channel sequence
    number.  Signing happens at preparation ([Wire.signed_bytes]
@@ -36,6 +52,7 @@ type work_item =
    is assigned at commit, in canonical order, so per-channel numbering
    is identical to the sequential schedule. *)
 type outgoing = {
+  o_kind : Net.Wire.kind; (* K_data or K_retract *)
   o_dest : string;
   o_receiver : node option;
   o_latency : float;
@@ -89,6 +106,13 @@ type t = {
       (* reliable layer: data sends awaiting an ACK, keyed (src,dst,seq) *)
   seen : (string * string * int, int) Hashtbl.t;
       (* receiver-side dedup: processed-delivery count per (src,dst,seq) *)
+  mutable links_with_cost : bool;
+      (* how [install_links] rendered link facts, so churn operations
+         ([link_down]/[link_up]) can reconstruct the same tuples *)
+  mutable tuples_retracted : int;
+      (* monotone count of tuples deleted by retraction passes, across
+         all nodes (the churn ablation's update-rate numerator,
+         together with the derivation count) *)
   mutable log_derivations : bool;
   mutable derivation_log : Eval.derivation list;
   mutable on_message : (float -> Net.Wire.message -> unit) option;
@@ -133,6 +157,9 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
           n_principal = principal;
           n_db = db;
           n_prov = Prov_store.create ~offline_enabled:cfg.offline_store ();
+          n_support = Support.create ();
+          n_base = Tuple.Table.create 64;
+          n_recv_from = Tuple.Table.create 64;
           n_sent_cache = Hashtbl.create 256;
           n_msgs_received = 0;
           n_free_at = 0.0 })
@@ -183,6 +210,8 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       chan_seq = Hashtbl.create 64;
       pending = Hashtbl.create 256;
       seen = Hashtbl.create 256;
+      links_with_cost = true;
+      tuples_retracted = 0;
       log_derivations = false;
       derivation_log = [];
       on_message = None }
@@ -349,7 +378,7 @@ let transmit (t : t) ~(delay : float) (receiver : node) (msg : Net.Wire.message)
     ~(attempt : int) : unit =
   let seq =
     match msg.Net.Wire.msg_kind with
-    | Net.Wire.K_data -> msg.Net.Wire.msg_seq
+    | Net.Wire.K_data | Net.Wire.K_retract -> msg.Net.Wire.msg_seq
     | Net.Wire.K_ack -> lnot msg.Net.Wire.msg_seq
   in
   let deliveries =
@@ -458,12 +487,18 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
       end
     | _ -> None
   in
-  let cache_key =
-    emit.e_dest ^ "|" ^ Tuple.interned_identity tuple ^ "|"
-    ^ Option.value prov_block ~default:""
+  let cache_group = emit.e_dest ^ "|" ^ Tuple.interned_identity tuple in
+  let cache_variant = Option.value prov_block ~default:"" in
+  let variants =
+    match Hashtbl.find_opt sender.n_sent_cache cache_group with
+    | Some v -> v
+    | None ->
+      let v = Hashtbl.create 4 in
+      Hashtbl.add sender.n_sent_cache cache_group v;
+      v
   in
-  if not (Hashtbl.mem sender.n_sent_cache cache_key) then begin
-    Hashtbl.add sender.n_sent_cache cache_key ();
+  if not (Hashtbl.mem variants cache_variant) then begin
+    Hashtbl.add variants cache_variant ();
     let bytes = Net.Wire.signed_bytes ~src:sender.n_addr ~dst:emit.e_dest tuple in
     let auth =
       Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
@@ -475,7 +510,8 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
     let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:emit.e_dest in
     let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
     xc.xc_out <-
-      { o_dest = emit.e_dest;
+      { o_kind = Net.Wire.K_data;
+        o_dest = emit.e_dest;
         o_receiver = receiver;
         o_latency = latency;
         o_tuple = tuple;
@@ -484,33 +520,300 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
       :: xc.xc_out
   end
 
+let self_principal_of (t : t) (n : node) : Value.t option =
+  match t.cfg.auth with
+  | Sendlog.Auth.Auth_none -> None
+  | _ -> Some (Value.V_str n.n_addr)
+
+(* Derivation callback shared by the forward fixpoint and the
+   retraction pass's re-derivations, so a replayed derivation leaves
+   the same log entries, events and provenance as the original. *)
+let on_derive_for (t : t) (n : node) : Eval.derivation -> unit =
+ fun deriv ->
+  if t.log_derivations then
+    locked t.log_mu (fun () -> t.derivation_log <- deriv :: t.derivation_log);
+  let at = Net.Event_sim.now t.sim in
+  Obs.Events.emit t.obs_events ~at
+    (Obs.Events.E_rule_fired
+       { node = n.n_addr; rule = deriv.Eval.d_rule; derivations = 1 });
+  Obs.Events.emit t.obs_events ~at
+    (Obs.Events.E_tuple_derived
+       { node = n.n_addr; rel = deriv.Eval.d_head.Tuple.rel; rule = deriv.Eval.d_rule });
+  ignore (capture_derivation t n deriv)
+
+(* A replace policy displaced [old]: its provenance is historical state
+   now, so it moves to the offline store rather than lingering online
+   as if [old] were still live. *)
+let on_replace_for (t : t) (n : node) : Tuple.t -> unit =
+ fun old -> Prov_store.retire n.n_prov old ~now:(Net.Event_sim.now t.sim)
+
+(* --- incremental deletion (DRed) -------------------------------------- *)
+
+(* External (non-derived) support for a tuple at [n], as asserter
+   options for re-insertion: a locally installed base fact supports
+   itself with no asserter; every sender still standing behind a
+   received copy supports it under that sender's principal (or no
+   asserter when the run does not authenticate, matching what
+   [accept_message] would have recorded). *)
+let external_support (t : t) (n : node) (tuple : Tuple.t) : Value.t option list =
+  let base = if Tuple.Table.mem n.n_base tuple then [ None ] else [] in
+  let senders =
+    match Tuple.Table.find_opt n.n_recv_from tuple with
+    | None -> []
+    | Some srcs ->
+      let sorted = List.sort String.compare !srcs in
+      if t.cfg.auth = Sendlog.Auth.Auth_none then
+        if sorted = [] then [] else [ None ]
+      else List.map (fun src -> Some (Value.V_str src)) sorted
+  in
+  base @ senders
+
+(* Forget every cached send of [tuple] to [dest] (any provenance
+   variant), so a later re-derivation reaches the peer again after a
+   retraction notice was sent. *)
+(* Forget every cached send of [tuple] to [dest]; true when at least
+   one variant had actually been sent.  A retraction notice is only
+   worth a message when the peer got the assertion in the first place
+   (a support record whose emit was deduped, or a head retracted twice
+   with no re-send in between, has nothing to withdraw). *)
+let clear_sent (n : node) (dest : string) (tuple : Tuple.t) : bool =
+  let group = dest ^ "|" ^ Tuple.interned_identity tuple in
+  let was = Hashtbl.mem n.n_sent_cache group in
+  Hashtbl.remove n.n_sent_cache group;
+  was
+
+(* Prepare a retraction notice for a previously emitted tuple.  The
+   signature covers [Wire.retract_signed_bytes] — a distinct domain
+   from assertions, so a captured assertion signature cannot be
+   replayed as a retraction (or vice versa). *)
+let send_retract (t : t) (xc : exec_ctx) (sender : node) ~(dest : string)
+    (tuple : Tuple.t) : unit =
+  let bytes = Net.Wire.retract_signed_bytes ~src:sender.n_addr ~dst:dest tuple in
+  let auth =
+    Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+      sender.n_principal bytes
+  in
+  (match t.cfg.auth with
+  | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
+  | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
+  let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:dest in
+  xc.xc_out <-
+    { o_kind = Net.Wire.K_retract;
+      o_dest = dest;
+      o_receiver = Hashtbl.find_opt t.nodes dest;
+      o_latency = latency;
+      o_tuple = tuple;
+      o_auth = auth;
+      o_prov = None }
+    :: xc.xc_out
+
+(* Incrementally delete [lost] (and everything whose support dies with
+   it) from [n]'s database: the runtime face of [Eval.retract].  After
+   the pass, dead tuples' provenance is retired to the offline store,
+   invalidated alternatives are pruned from surviving entries, peers
+   that received now-dead tuples get retraction notices (prepared
+   before any re-assertions, so the wire order is retract-then-assert),
+   and fresh emissions from re-derivation are sent as usual.
+   Incumbents displaced by a replace policy during the pass's
+   re-derivations accumulate in [displaced] for a follow-up pass. *)
+
+(* Only incumbents of strictly-ordered replace policies (P_min/P_max)
+   are drained through retraction passes: re-deriving a displaced worse
+   value is Rejected by the policy, so the displacement chain
+   terminates.  P_last is arrival-order tie-breaking — a re-derived
+   displaced tuple would displace the incumbent right back, forever —
+   and its dependents are not stale in any order-independent sense, so
+   those relations rely on ordinary support-graph retraction alone. *)
+let displacement_may_drain (n : node) (old : Tuple.t) : bool =
+  match Db.policy n.n_db old.Tuple.rel with
+  | Db.Replace { prefer = Db.P_last; _ } | Db.Set -> false
+  | Db.Replace { prefer = Db.P_min _ | Db.P_max _; _ } -> true
+
+(* Forward convergence displaces aggregate winners constantly (every
+   better bestPathCost beats the last), and in the common case the
+   displaced value's dependent cone is already dead by the time the
+   fixpoint settles — its p4-style head was itself displaced moments
+   later by the rule re-firing with the better value — so a full
+   retraction pass would only shuffle hashtables.  Walk the cone at
+   drain time (never at displacement time, when the stale dependents
+   haven't been overwritten yet): a pass is needed only if some
+   dependent head is still live locally or was shipped to another
+   node. *)
+let displacement_drains (n : node) (old : Tuple.t) : bool =
+  let visited : unit Tuple.Table.t = Tuple.Table.create 8 in
+  let rec live_dependent (tup : Tuple.t) : bool =
+    (not (Tuple.Table.mem visited tup))
+    && begin
+      Tuple.Table.replace visited tup ();
+      List.exists
+        (fun (e : Engine.Support.entry) ->
+          e.Engine.Support.sp_dest <> None
+          || Db.mem n.n_db e.Engine.Support.sp_head
+          || live_dependent e.Engine.Support.sp_head)
+        (Engine.Support.dependents_of n.n_support tup)
+    end
+  in
+  live_dependent old
+
+let rec retract_pass (t : t) (xc : exec_ctx) (n : node) ~(lost : Tuple.t list)
+    ~(displaced : Tuple.t list ref) : unit =
+  let now = Net.Event_sim.now t.sim in
+  let self_principal = self_principal_of t n in
+  let on_replace old =
+    on_replace_for t n old;
+    if displacement_may_drain n old then displaced := old :: !displaced
+  in
+  let res =
+    Eval.retract n.n_db ~support:n.n_support ~now ~rules:t.compiled.c_rules
+      ~local:(Some n.n_addr) ?self_principal ~on_replace
+      ~lost ~external_support:(external_support t n)
+      ~on_derive:(on_derive_for t n) ()
+  in
+  (* Retire dead tuples first: pruning an alternative from an entry
+     that is about to be retired whole would lose offline records. *)
+  List.iter
+    (fun tuple ->
+      Tuple.Table.remove n.n_recv_from tuple;
+      Prov_store.retire n.n_prov tuple ~now)
+    res.Eval.rr_deleted;
+  List.iter
+    (fun (d : Eval.derivation) ->
+      Prov_store.remove_derivation n.n_prov d.Eval.d_head ~rule:d.Eval.d_rule
+        ~body:
+          (List.map
+             (fun (b, asserter) -> (b, Option.map Value.to_addr asserter))
+             d.Eval.d_body))
+    res.Eval.rr_invalidated;
+  (* Pruning an alternative from a body tuple's entry leaves frozen
+     copies of its old expression inside dependent derivations'
+     combined expressions; sweep until those are back in sync (the cap
+     bounds pathological cyclic programs). *)
+  if res.Eval.rr_deleted <> [] || res.Eval.rr_invalidated <> [] then begin
+    let expr_of b = Prov_store.expr_of n.n_prov b in
+    let rec refresh i =
+      if i < 8 && Prov_store.refresh_derivations n.n_prov ~expr_of then
+        refresh (i + 1)
+    in
+    refresh 0
+  end;
+  t.tuples_retracted <- t.tuples_retracted + List.length res.Eval.rr_deleted;
+  if res.Eval.rr_deleted <> [] then
+    Obs.Events.emit t.obs_events ~at:now
+      (Obs.Events.E_custom
+         { kind = "retracted";
+           attrs =
+             [ ("node", n.n_addr);
+               ("count", string_of_int (List.length res.Eval.rr_deleted)) ] });
+  List.iter
+    (fun (dest, tuple) ->
+      if clear_sent n dest tuple then send_retract t xc n ~dest tuple)
+    res.Eval.rr_remote_dead;
+  List.iter (send t xc n) res.Eval.rr_emits
+
+(* A replace policy displacing an incumbent is a deletion in disguise:
+   tuples derived from the displaced value (a MIN/MAX winner that just
+   changed) are stale the moment the better value wins, and must be
+   over-deleted and re-derived exactly like dependents of an explicit
+   retraction — otherwise e.g. a lookup forwarded along the old best
+   finger survives churn alongside the re-routed one.  Passes run until
+   none displaces anything further; the P_min/P_max orders are strict,
+   so the chain of displacements terminates (see
+   [displacement_drains]). *)
+and drain_displaced (t : t) (xc : exec_ctx) (n : node)
+    (displaced : Tuple.t list ref) : unit =
+  match !displaced with
+  | [] -> ()
+  | rev ->
+    displaced := [];
+    let seen : unit Tuple.Table.t = Tuple.Table.create 8 in
+    let lost =
+      List.filter
+        (fun old ->
+          (not (Tuple.Table.mem seen old))
+          && begin
+            Tuple.Table.replace seen old ();
+            displacement_drains n old
+          end)
+        (List.rev rev)
+    in
+    if lost <> [] then retract_pass t xc n ~lost ~displaced;
+    drain_displaced t xc n displaced
+
+let retract_local (t : t) (xc : exec_ctx) (n : node) ~(lost : Tuple.t list) : unit =
+  let displaced = ref [] in
+  retract_pass t xc n ~lost ~displaced;
+  drain_displaced t xc n displaced
+
 (* Run the local fixpoint at [n] with [pending] insertions and prepare
-   whatever is derived for other nodes. *)
+   whatever is derived for other nodes.  Displaced incumbents then get
+   their retraction passes, so no dependent of a replaced aggregate
+   winner outlives the replacement. *)
 let process (t : t) (xc : exec_ctx) (n : node) (pending : Eval.frontier_item list) :
     unit =
-  let self_principal =
-    match t.cfg.auth with
-    | Sendlog.Auth.Auth_none -> None
-    | _ -> Some (Value.V_str n.n_addr)
+  let displaced = ref [] in
+  let on_replace old =
+    on_replace_for t n old;
+    if displacement_may_drain n old then displaced := old :: !displaced
   in
-  let on_derive deriv =
-    if t.log_derivations then
-      locked t.log_mu (fun () -> t.derivation_log <- deriv :: t.derivation_log);
-    let at = Net.Event_sim.now t.sim in
-    Obs.Events.emit t.obs_events ~at
-      (Obs.Events.E_rule_fired
-         { node = n.n_addr; rule = deriv.Eval.d_rule; derivations = 1 });
-    Obs.Events.emit t.obs_events ~at
-      (Obs.Events.E_tuple_derived
-         { node = n.n_addr; rel = deriv.Eval.d_head.Tuple.rel; rule = deriv.Eval.d_rule });
-    ignore (capture_derivation t n deriv)
-  in
+  let self_principal = self_principal_of t n in
   let emits, _stats =
     Eval.run_fixpoint n.n_db ~now:(Net.Event_sim.now t.sim)
-      ~rules:t.compiled.c_rules ~local:(Some n.n_addr) ?self_principal ~pending
-      ~on_derive ()
+      ~rules:t.compiled.c_rules ~local:(Some n.n_addr) ?self_principal
+      ~support:n.n_support ~on_replace ~pending
+      ~on_derive:(on_derive_for t n) ()
   in
-  List.iter (send t xc n) emits
+  List.iter (send t xc n) emits;
+  drain_displaced t xc n displaced
+
+(* Receiver side of a retraction notice: verify it (same outcomes as a
+   data message), withdraw the sender from the tuple's external
+   support and provenance, and — if the tuple is live — run the
+   incremental deletion pass, which re-derives or reinstates anything
+   that survives on other support. *)
+let handle_retract (t : t) (xc : exec_ctx) (receiver : node)
+    (msg : Net.Wire.message) : unit =
+  let tuple = msg.Net.Wire.msg_tuple in
+  let src = msg.Net.Wire.msg_src in
+  let bytes =
+    Net.Wire.retract_signed_bytes ~src ~dst:msg.Net.Wire.msg_dst tuple
+  in
+  let ok =
+    (not t.cfg.verify_signatures)
+    ||
+    match
+      Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+        t.directory msg.Net.Wire.msg_auth bytes
+    with
+    | Sendlog.Auth.Verified _ ->
+      (match t.cfg.auth with
+      | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
+        Net.Stats.record_verification t.stats ~ok:true;
+        Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
+          (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
+      | _ -> ());
+      true
+    | Sendlog.Auth.Unsigned -> true
+    | Sendlog.Auth.Forged _ ->
+      Net.Stats.record_verification t.stats ~ok:false;
+      Net.Stats.record_forged t.stats;
+      let at = Net.Event_sim.now t.sim in
+      Obs.Events.emit t.obs_events ~at
+        (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
+      Obs.Events.emit t.obs_events ~at
+        (Obs.Events.E_forged_dropped
+           { node = receiver.n_addr; src });
+      false
+  in
+  if ok then begin
+    (match Tuple.Table.find_opt receiver.n_recv_from tuple with
+    | Some srcs ->
+      srcs := List.filter (fun s -> not (String.equal s src)) !srcs;
+      if !srcs = [] then Tuple.Table.remove receiver.n_recv_from tuple
+    | None -> ());
+    if prov_enabled t then
+      Prov_store.remove_received receiver.n_prov tuple ~from:src;
+    if Db.mem receiver.n_db tuple then retract_local t xc receiver ~lost:[ tuple ]
+  end
 
 (* Commit a finished handler: from its measured compute time and
    accumulated charges derive the modeled duration, advance the node's
@@ -566,7 +869,7 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
   List.iter
     (fun o ->
       let msg =
-        { Net.Wire.msg_kind = Net.Wire.K_data;
+        { Net.Wire.msg_kind = o.o_kind;
           msg_src = n.n_addr;
           msg_dst = o.o_dest;
           msg_seq = next_seq t ~src:n.n_addr ~dst:o.o_dest;
@@ -653,6 +956,15 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
         raise Exit
     end
   in
+  (* The sender now stands behind this tuple: external support that
+     keeps it alive through retraction passes until the sender
+     retracts it (or soft-state expiry withdraws it). *)
+  (match Tuple.Table.find_opt receiver.n_recv_from tuple with
+  | Some srcs ->
+    if not (List.mem msg.Net.Wire.msg_src !srcs) then
+      srcs := msg.Net.Wire.msg_src :: !srcs
+  | None ->
+    Tuple.Table.replace receiver.n_recv_from tuple (ref [ msg.Net.Wire.msg_src ]));
   (* Record shipped provenance (and the sender pointer for distributed
      traceback) before evaluation so downstream derivations can fold
      it in. *)
@@ -681,7 +993,7 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
          work, so no CPU charge or busy-queue wait. *)
       Hashtbl.remove t.pending
         (msg.Net.Wire.msg_dst, msg.Net.Wire.msg_src, msg.Net.Wire.msg_seq)
-    | Net.Wire.K_data ->
+    | Net.Wire.K_data | Net.Wire.K_retract ->
       (* If the receiver's CPU is still busy with earlier work, the
          message waits in its queue. *)
       if receiver.n_free_at > now +. 1e-9 then
@@ -689,7 +1001,9 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
             !deliver t receiver msg)
       else begin
         (* Reliable delivery: every copy is acknowledged (the first ACK
-           may have been lost), but only the first is processed. *)
+           may have been lost), but only the first is processed.
+           Retractions share the channel's sequence space, so the same
+           dedup covers them. *)
         let fresh =
           (not t.cfg.Config.reliable)
           || begin
@@ -715,11 +1029,14 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
           else
             with_processing t receiver ~incoming_bytes:(Net.Wire.size msg)
               ?trace_parent:msg.Net.Wire.msg_trace (fun xc ->
-                (* [Exit] aborts processing of a forged message; the work
-                   done so far (verification) is still charged to the
-                   node. *)
-                try process t xc receiver [ accept_message t receiver msg ]
-                with Exit -> ())
+                match msg.Net.Wire.msg_kind with
+                | Net.Wire.K_retract -> handle_retract t xc receiver msg
+                | _ ->
+                  (* [Exit] aborts processing of a forged message; the
+                     work done so far (verification) is still charged to
+                     the node. *)
+                  (try process t xc receiver [ accept_message t receiver msg ]
+                   with Exit -> ()))
         end
       end
 
@@ -757,6 +1074,7 @@ let install_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
         with_processing t n ~incoming_bytes:0 (fun xc ->
             if prov_enabled t && sampled t tuple then
               Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+            Tuple.Table.replace n.n_base tuple ();
             process t xc n [ { Eval.f_tuple = tuple; f_asserter = None } ]))
 
 (* Install program facts at the location given by their location
@@ -775,9 +1093,86 @@ let install_program_facts (t : t) : unit =
 
 (* Install the topology's link facts at their source nodes. *)
 let install_links ?(with_cost = true) (t : t) : unit =
+  t.links_with_cost <- with_cost;
   List.iter
     (fun tuple -> install_fact t ~at:(Value.to_addr (Tuple.arg tuple 0)) tuple)
     (Net.Topology.link_facts ~with_cost t.topo)
+
+(* Retract a base fact previously installed at a node (scheduled
+   immediately): withdraw its external support and run the incremental
+   deletion pass over everything derived from it. *)
+let retract_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
+  let n = node t at in
+  Net.Event_sim.schedule t.sim ~delay:0.0 (fun () ->
+      if t.batching then t.batch_inbox <- (n, W_retract tuple) :: t.batch_inbox
+      else
+        with_processing t n ~incoming_bytes:0 (fun xc ->
+            Tuple.Table.remove n.n_base tuple;
+            retract_local t xc n ~lost:[ tuple ]))
+
+(* --- link churn -------------------------------------------------------- *)
+
+(* The physical topology [t.topo] stays fixed (delivery latencies, the
+   flap process's link population); churn retracts and reinstalls the
+   *link facts* the program routes over, which is what the fixpoint
+   depends on.  The equivalent from-scratch run is a fresh runtime on
+   [Net.Topology.remove_link]-mutated topology. *)
+
+let link_tuple (t : t) (l : Net.Topology.link) : Tuple.t =
+  let args =
+    if t.links_with_cost then
+      [ Value.V_str l.Net.Topology.l_src;
+        Value.V_str l.Net.Topology.l_dst;
+        Value.V_int l.Net.Topology.l_cost ]
+    else [ Value.V_str l.Net.Topology.l_src; Value.V_str l.Net.Topology.l_dst ]
+  in
+  Tuple.make "link" args
+
+let find_physical_link (t : t) ~(src : string) ~(dst : string) ~(op : string) :
+    Net.Topology.link =
+  match Net.Topology.find_link t.topo ~src ~dst with
+  | Some l -> l
+  | None ->
+    invalid_arg (Printf.sprintf "Runtime.%s: no link %s -> %s" op src dst)
+
+let link_down (t : t) ~(src : string) ~(dst : string) : unit =
+  let l = find_physical_link t ~src ~dst ~op:"link_down" in
+  retract_fact t ~at:src (link_tuple t l)
+
+let link_up (t : t) ~(src : string) ~(dst : string) : unit =
+  let l = find_physical_link t ~src ~dst ~op:"link_up" in
+  install_fact t ~at:src (link_tuple t l)
+
+(* Schedule a seed-reproducible Poisson flap process over every
+   physical link (see [Net.Fault.flap_schedule]).  Flap times are
+   relative to the current virtual time, so a caller can first run to
+   the static fixpoint and then start the churn phase.  Returns the
+   schedule so callers can report or assert on it. *)
+let schedule_flaps (t : t) ~(rate : float) ?(mean_downtime = 0.5)
+    ~(horizon : float) () : Net.Fault.flap list =
+  let links =
+    List.map
+      (fun (l : Net.Topology.link) -> (l.Net.Topology.l_src, l.Net.Topology.l_dst))
+      t.topo.Net.Topology.links
+  in
+  let flaps =
+    Net.Fault.flap_schedule t.cfg.Config.fault ~links ~rate ~mean_downtime
+      ~horizon ()
+  in
+  let start = Net.Event_sim.now t.sim in
+  List.iter
+    (fun (f : Net.Fault.flap) ->
+      let time = start +. f.Net.Fault.fl_at in
+      Net.Event_sim.schedule_at t.sim ~time (fun () ->
+          Obs.Events.emit t.obs_events ~at:time
+            (Obs.Events.E_custom
+               { kind = (if f.Net.Fault.fl_down then "link_down" else "link_up");
+                 attrs = [ ("src", f.Net.Fault.fl_src); ("dst", f.Net.Fault.fl_dst) ] });
+          if f.Net.Fault.fl_down then
+            link_down t ~src:f.Net.Fault.fl_src ~dst:f.Net.Fault.fl_dst
+          else link_up t ~src:f.Net.Fault.fl_src ~dst:f.Net.Fault.fl_dst))
+    flaps;
+  flaps
 
 (* --- batch engine (jobs > 1) ------------------------------------------ *)
 
@@ -815,22 +1210,42 @@ let node_compute (t : t) ((n, items) : node * work_item list) :
      triggers into one handler, so one representative parent is the
      best a single span can record). *)
   let tparent = ref None in
-  let frontier =
-    List.filter_map
-      (fun item ->
-        match item with
-        | W_fact tuple ->
-          if prov_enabled t && sampled t tuple then
-            Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
-          Some { Eval.f_tuple = tuple; Eval.f_asserter = None }
-        | W_msg msg ->
-          incr nmsgs;
-          bytes := !bytes + Net.Wire.size msg;
-          if !tparent = None then tparent := msg.Net.Wire.msg_trace;
-          (try Some (accept_message t n msg) with Exit -> None))
-      items
+  (* Insertions coalesce into one combined frontier, but a retraction
+     is a barrier: the frontier accumulated so far must reach the
+     database before the deletion pass reads it, and later insertions
+     must see the post-deletion state. *)
+  let frontier = ref [] in
+  let flush () =
+    if !frontier <> [] then begin
+      process t xc n (List.rev !frontier);
+      frontier := []
+    end
   in
-  if frontier <> [] then process t xc n frontier;
+  List.iter
+    (fun item ->
+      match item with
+      | W_fact tuple ->
+        if prov_enabled t && sampled t tuple then
+          Prov_store.record_base n.n_prov tuple ~key:(base_key t n);
+        Tuple.Table.replace n.n_base tuple ();
+        frontier := { Eval.f_tuple = tuple; Eval.f_asserter = None } :: !frontier
+      | W_msg msg when msg.Net.Wire.msg_kind = Net.Wire.K_retract ->
+        incr nmsgs;
+        bytes := !bytes + Net.Wire.size msg;
+        if !tparent = None then tparent := msg.Net.Wire.msg_trace;
+        flush ();
+        handle_retract t xc n msg
+      | W_msg msg ->
+        incr nmsgs;
+        bytes := !bytes + Net.Wire.size msg;
+        if !tparent = None then tparent := msg.Net.Wire.msg_trace;
+        (try frontier := accept_message t n msg :: !frontier with Exit -> ())
+      | W_retract tuple ->
+        flush ();
+        Tuple.Table.remove n.n_base tuple;
+        retract_local t xc n ~lost:[ tuple ])
+    items;
+  flush ();
   let compute = Unix.gettimeofday () -. t0 in
   (n, xc, compute, !nmsgs, !bytes, !tparent)
 
@@ -903,17 +1318,43 @@ let run ?(until = Float.infinity) (t : t) : run_result =
 let shutdown (t : t) : unit =
   match t.pool with Some pool -> Par.Pool.shutdown pool | None -> ()
 
-(* Advance simulated time and evict expired soft state, retiring its
-   provenance to the offline stores. *)
+(* Advance simulated time by [seconds] — and no further.  (The
+   original implementation ran the queue without [~until], so any
+   event scheduled beyond the horizon fast-forwarded the clock past it
+   and expired every TTL on the spot; events beyond the horizon now
+   stay queued.)  Expired soft state is then evicted in deterministic
+   node order, its provenance retired to the offline store, and
+   everything derived from it incrementally retracted.  Retraction
+   fallout addressed to other nodes is queued and delivered by the
+   next [run] or [advance]. *)
 let advance (t : t) ~(seconds : float) : unit =
+  let horizon = Net.Event_sim.now t.sim +. seconds in
+  (* Marker event: carries the clock to the horizon even when the
+     queue drains early. *)
   Net.Event_sim.schedule t.sim ~delay:seconds (fun () -> ());
-  ignore (Net.Event_sim.run t.sim);
+  (match t.pool with
+  | Some pool -> ignore (run_batched t pool ~until:horizon)
+  | None -> ignore (Net.Event_sim.run ~until:horizon t.sim));
   let now = Net.Event_sim.now t.sim in
-  Hashtbl.iter
-    (fun _ n ->
+  List.iter
+    (fun n ->
       let evicted = Db.evict_expired n.n_db ~now in
-      List.iter (fun tuple -> Prov_store.retire n.n_prov tuple ~now) evicted)
-    t.nodes
+      if evicted <> [] then begin
+        (* Expiry withdraws a tuple's external support — the local
+           installation and any senders: soft state a peer does not
+           refresh within its TTL dies.  Tuples still derivable from
+           live state are reinstated by the retraction pass (with
+           freshly captured provenance). *)
+        List.iter
+          (fun tuple ->
+            Tuple.Table.remove n.n_base tuple;
+            Tuple.Table.remove n.n_recv_from tuple;
+            Prov_store.retire n.n_prov tuple ~now)
+          evicted;
+        with_processing t n ~incoming_bytes:0 (fun xc ->
+            retract_local t xc n ~lost:evicted)
+      end)
+    (nodes t)
 
 (* --- queries ---------------------------------------------------------- *)
 
@@ -932,6 +1373,8 @@ let condensed_annotation (t : t) ~(at : string) (tuple : Tuple.t) : string =
   Provenance.Condense.annotation t.prov_ctx (provenance_of t ~at tuple)
 
 let stats (t : t) : Net.Stats.t = t.stats
+
+let tuples_retracted (t : t) : int = t.tuples_retracted
 
 let dropped_forged (t : t) : int = t.stats.Net.Stats.dropped_forged
 

@@ -31,8 +31,17 @@ type node = {
   n_principal : Sendlog.Principal.t;
   n_db : Db.t;
   n_prov : Prov_store.t;
-  n_sent_cache : (string, unit) Hashtbl.t;
-      (** dedup of identical sends *)
+  n_support : Support.t;
+      (** support graph for incremental deletion; maintained
+          unconditionally, unlike provenance capture *)
+  n_base : unit Tuple.Table.t;
+      (** locally installed base facts (external support) *)
+  n_recv_from : string list ref Tuple.Table.t;
+      (** senders currently standing behind each received tuple *)
+  n_sent_cache : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (** dedup of identical sends, keyed dest+tuple identity with the
+          provenance variant one level down, so a retraction notice
+          can drop every variant of one (dest, tuple) in O(1) *)
   mutable n_msgs_received : int;
   mutable n_free_at : float;
       (** virtual time until which this node's CPU is busy *)
@@ -64,6 +73,48 @@ val install_fact : t -> at:string -> Tuple.t -> unit
 val install_program_facts : t -> unit
 val install_links : ?with_cost:bool -> t -> unit
 
+val retract_fact : t -> at:string -> Tuple.t -> unit
+(** Retract a base fact previously installed at a node (scheduled
+    immediately): withdraws its external support and runs a DRed-style
+    incremental deletion pass — dependents whose every derivation
+    flowed through the lost tuple are deleted (recursively), anything
+    with a surviving alternative derivation or other external support
+    (another sender, a local installation) is re-derived in place,
+    aggregates are recomputed, and peers that received now-dead
+    tuples get authenticated retraction notices that trigger the same
+    pass remotely.  Dead tuples' provenance is retired to the offline
+    store; surviving tuples lose only the invalidated alternatives. *)
+
+(** {1 Link churn}
+
+    The physical topology stays fixed (delivery latencies, the flap
+    process's link population); churn retracts and reinstalls the
+    {e link facts} the program routes over, which is what the fixpoint
+    depends on.  The from-scratch equivalent of a down link is a fresh
+    runtime over [Net.Topology.remove_link]-mutated topology. *)
+
+val link_down : t -> src:string -> dst:string -> unit
+(** Retract the link fact for a physical link (as rendered by the last
+    {!install_links}).  Raises [Invalid_argument] if the physical link
+    does not exist. *)
+
+val link_up : t -> src:string -> dst:string -> unit
+(** Reinstall the link fact for a physical link. *)
+
+val schedule_flaps :
+  t ->
+  rate:float ->
+  ?mean_downtime:float ->
+  horizon:float ->
+  unit ->
+  Net.Fault.flap list
+(** Schedule a seed-reproducible Poisson link-flap process over every
+    physical link (see {!Net.Fault.flap_schedule}; the seed is
+    [cfg.fault.seed]).  Flap times are relative to the current virtual
+    time, so the usual sequence is: {!run} to the static fixpoint,
+    [schedule_flaps], {!run} again to re-converge.  Returns the
+    schedule. *)
+
 type run_result = {
   wall_seconds : float;
       (** real CPU time: the paper's completion time *)
@@ -87,8 +138,13 @@ val shutdown : t -> unit
     a long-lived process (the bench harness and tests do). *)
 
 val advance : t -> seconds:float -> unit
-(** Advance simulated time and evict expired soft state, retiring its
-    provenance to the offline stores. *)
+(** Advance simulated time by exactly [seconds] (events scheduled
+    beyond the horizon stay queued), then evict expired soft state in
+    deterministic node order: each expired tuple's provenance is
+    retired to the offline store and everything derived from it is
+    incrementally retracted, with re-derivable tuples reinstated.
+    Retraction fallout addressed to other nodes is delivered by the
+    next {!run} or [advance]. *)
 
 (** {1 Queries} *)
 
@@ -100,6 +156,12 @@ val condensed_annotation : t -> at:string -> Tuple.t -> string
 (** {1 Accessors} *)
 
 val stats : t -> Net.Stats.t
+
+val tuples_retracted : t -> int
+(** Monotone count of tuples deleted by retraction passes across all
+    nodes (soft-state expiry, {!retract_fact}, link churn, remote
+    retraction notices). *)
+
 val dropped_forged : t -> int
 val config : t -> Config.t
 val topology : t -> Net.Topology.t

@@ -47,8 +47,28 @@ val set_indexing : t -> bool -> unit
 
 val set_policy : t -> string -> policy -> unit
 val policy : t -> string -> policy
-val set_ttl : t -> string -> float -> unit
+
+val set_ttl : ?retroactive:bool -> t -> string -> float -> unit
+(** Set the relation's soft-state lifetime.  By default this affects
+    only tuples inserted {e after} the call — tuples already live keep
+    their recorded expiry (usually [None] when no TTL was set at
+    insert time).  Pass [~retroactive:true] to also rewrite live
+    tuples' expiry to [inserted_at + seconds]; an expiry that lands in
+    the past is collected by the next {!evict_expired} pass. *)
+
 val ttl : t -> string -> float option
+
+val set_refresh_on_rederive : t -> string -> bool -> unit
+(** Whether re-deriving (re-inserting) an already-live tuple of the
+    relation extends its lifetime to [now + ttl].  The default —
+    [true] — is P2's refresh semantics: a tuple stays alive as long
+    as it keeps being derived, and every {!insert} that reports
+    [Refreshed]/[New_asserter] silently renews the expiry using the
+    relation TTL in force at refresh time.  Set to [false] to make
+    the tuple keep the expiry from its first insertion regardless of
+    later re-derivations (new asserters are still recorded). *)
+
+val refresh_on_rederive : t -> string -> bool
 
 type insert_result =
   | Added
@@ -65,6 +85,11 @@ val result_is_new : insert_result -> bool
 val insert : t -> now:float -> ?asserted_by:Value.t -> Tuple.t -> insert_result
 val remove : t -> Tuple.t -> unit
 val mem : t -> Tuple.t -> bool
+
+(** The live tuple currently holding this tuple's keyed group (the
+    group's replace-policy winner): [None] for [Set] relations and for
+    groups with no live member. *)
+val incumbent_of : t -> Tuple.t -> Tuple.t option
 val asserters_of : t -> Tuple.t -> Value.t list
 val meta_of : t -> Tuple.t -> meta option
 val iter_rel : t -> string -> (Tuple.t -> unit) -> unit

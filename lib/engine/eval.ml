@@ -405,11 +405,22 @@ let new_stats () = { rounds = 0; derivations = 0; inserted = 0 }
      become [emit]s.  [None] runs single-site (everything local).
    - [self_principal]: the asserting principal recorded for locally
      derived tuples (SeNDlog context; [None] in plain NDlog).
+   - [support]: when given, every derivation found (including heads
+     rejected by a replace policy and heads emitted elsewhere) is
+     recorded in the support graph for later incremental deletion.
+   - [on_replace] fires with the evicted incumbent whenever a keyed
+     insert replaces a tuple, so the caller can retire its provenance.
+   - [seeded] are frontier items whose tuples the caller has *already
+     inserted* (the retraction pass re-inserts re-derived tuples
+     itself); they join the first round's delta without the
+     insert-and-filter step applied to [pending].
    - [on_derive] fires for *every* derivation found, including
      re-derivations of existing tuples, so the caller can accumulate
      alternative provenance (Plus in the semiring). *)
 let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
     ~(local : string option) ?(self_principal : Value.t option)
+    ?(support : Support.t option) ?(on_replace = fun (_ : Tuple.t) -> ())
+    ?(seeded : frontier_item list = [])
     ~(pending : frontier_item list) ~(on_derive : derivation -> unit) () :
     emit list * stats =
   let stats = new_stats () in
@@ -479,15 +490,18 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
      positions by the semi-naive ordering. *)
   let insert_local tuple asserter =
     let r = Db.insert db ~now ?asserted_by:asserter tuple in
+    (match r with Db.Replaced old -> on_replace old | _ -> ());
     if Db.result_is_new r then begin
       let fresh = match r with Db.Added | Db.Replaced _ -> true | _ -> false in
       Some ({ f_tuple = tuple; f_asserter = asserter }, fresh)
     end
     else None
   in
-  (* Insert the initial pending tuples. *)
+  (* Insert the initial pending tuples; [seeded] ones are already in. *)
   let frontier =
-    ref (List.filter_map (fun fi -> insert_local fi.f_tuple fi.f_asserter) pending)
+    ref
+      (List.map (fun fi -> (fi, true)) seeded
+      @ List.filter_map (fun fi -> insert_local fi.f_tuple fi.f_asserter) pending)
   in
   (* Derivations already reported this round, keyed on the full
      (rule, head, body-with-asserters) identity.  The delta-position
@@ -534,6 +548,15 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
         | Some _, None -> true
         | Some d, Some l -> String.equal d l
       in
+      (* Record the support edge unconditionally — even for heads a
+         replace policy rejects, so a beaten candidate can be
+         reinstated if the incumbent is later retracted. *)
+      (match support with
+      | Some s ->
+        Support.record s ~rule:rule_name ~head:tuple
+          ~dest:(if is_local then None else dest)
+          ~body
+      | None -> ());
       if is_local then begin
         on_derive deriv;
         match insert_local tuple self_principal with
@@ -597,6 +620,310 @@ let run_fixpoint (db : Db.t) ~(now : float) ~(rules : rule list)
   Obs.Metrics.inc ~by:stats.derivations (Obs.Metrics.counter reg "eval.derivations");
   Obs.Metrics.inc ~by:stats.inserted (Obs.Metrics.counter reg "eval.inserted");
   (List.rev !emits, stats)
+
+(* --- incremental deletion (DRed) ------------------------------------- *)
+
+(* Outcome of a retraction pass, for the caller's bookkeeping:
+   - [rr_deleted]: previously-live local tuples now dead (their
+     provenance should be retired to the offline store);
+   - [rr_remote_dead]: heads emitted to another node that have lost
+     every local derivation (the destination should be told to
+     retract them);
+   - [rr_invalidated]: support records removed because a body tuple
+     died (the corresponding provenance alternative can be trimmed);
+   - [rr_emits]: tuples (re-)derived for other nodes during the
+     propagation fixpoint. *)
+type retract_result = {
+  rr_deleted : Tuple.t list;
+  rr_remote_dead : (string * Tuple.t) list;
+  rr_invalidated : derivation list;
+  rr_emits : emit list;
+  rr_stats : stats;
+}
+
+(* [retract db ~support ~lost ...] implements delete-and-rederive
+   (DRed) over the recorded support graph:
+
+   1. Over-delete: the closure of [lost] under "is a body tuple of a
+      recorded derivation" is removed from the database.  This is an
+      over-approximation — a dependent may well have other
+      derivations — which is what makes the pass sound in the
+      presence of cycles (a tuple supported only by a cycle through
+      the deleted set must not survive).
+   2. Re-derive: over-deleted tuples (plus previously rejected
+      candidates of any keyed group that lost a tuple) are reinstated
+      when they still have external support ([external_support]: base
+      facts, remote senders) or a recorded derivation whose body
+      tuples are all live again.  The check iterates to a fixpoint so
+      chains of dependents are restored without re-running any rule.
+   3. COUNT/SUM heads are recomputed from scratch (their recorded
+      supports describe historical witness sets, not current groups).
+   4. Everything reinstated or recomputed seeds a normal semi-naive
+      fixpoint, which finds any genuinely new consequences (e.g. a
+      previously beaten alternative now winning a MIN group) and the
+      emits for other nodes.
+
+   Limitation (documented in DESIGN.md §10): rules with negated body
+   literals are not re-fired for tuples whose negated literal became
+   true by deletion; none of the shipped programs combines negation
+   with soft-state churn. *)
+let retract (db : Db.t) ~(support : Support.t) ~(now : float)
+    ~(rules : rule list) ~(local : string option)
+    ?(self_principal : Value.t option) ?(on_replace = fun (_ : Tuple.t) -> ())
+    ~(lost : Tuple.t list)
+    ~(external_support : Tuple.t -> Value.t option list)
+    ~(on_derive : derivation -> unit) () : retract_result =
+  let agg_rules = List.filter is_recomputed_agg rules in
+  let agg_rels =
+    List.sort_uniq String.compare
+      (List.map (fun (r : rule) -> r.rule_head.head_pred) agg_rules)
+  in
+  let is_agg_rel rel = List.mem rel agg_rels in
+  (* Identity of a tuple's keyed group, or None for set relations. *)
+  let group_key (tup : Tuple.t) : string option =
+    match Db.policy db tup.Tuple.rel with
+    | Db.Set -> None
+    | Db.Replace { key; _ } -> (
+      match Tuple.key_opt tup key with
+      | None -> None
+      | Some vs ->
+        Some
+          (tup.Tuple.rel ^ "|"
+          ^ String.concat ","
+              (List.map (fun v -> string_of_int (Value.id v)) vs)))
+  in
+  (* --- phase 1: over-delete closure --------------------------------- *)
+  (* [overdeleted] maps each reachable tuple to [Some asserters] if it
+     was live when visited (captured for faithful reinstatement), or
+     [None] for heads that were never in the local store (emitted or
+     policy-rejected heads). *)
+  let overdeleted : Value.t list option Tuple.Table.t = Tuple.Table.create 64 in
+  let queue = Queue.create () in
+  List.iter (fun t -> Queue.add t queue) lost;
+  while not (Queue.is_empty queue) do
+    let tup = Queue.pop queue in
+    if not (Tuple.Table.mem overdeleted tup) then begin
+      let asserters =
+        if Db.mem db tup then Some (Db.asserters_of db tup) else None
+      in
+      Tuple.Table.replace overdeleted tup asserters;
+      List.iter
+        (fun (e : Support.entry) -> Queue.add e.sp_head queue)
+        (Support.dependents_of support tup)
+    end
+  done;
+  Tuple.Table.iter
+    (fun tup live -> if live <> None then Db.remove db tup)
+    overdeleted;
+  (* Keyed groups left with no live winner: previously rejected
+     candidates of these groups become reinstatement candidates below.
+     Groups whose winner survives (the common forward-displacement
+     case: a better aggregate value replaced the old one) are skipped —
+     a beaten candidate can never beat the live incumbent, and the
+     skip keeps the per-relation head scan off the hot path. *)
+  let affected_groups : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let affected_rels : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  Tuple.Table.iter
+    (fun tup live ->
+      if live <> None && Option.is_none (Db.incumbent_of db tup) then
+        match group_key tup with
+        | Some g ->
+          Hashtbl.replace affected_groups g ();
+          Hashtbl.replace affected_rels tup.Tuple.rel ()
+        | None -> ())
+    overdeleted;
+  (* --- phase 2: reinstatement fixpoint ------------------------------ *)
+  let candidates : Value.t list option Tuple.Table.t = Tuple.Table.create 64 in
+  Tuple.Table.iter (fun tup live -> Tuple.Table.replace candidates tup live)
+    overdeleted;
+  if Hashtbl.length affected_groups > 0 then
+    Hashtbl.iter
+      (fun rel () ->
+        Support.iter_heads_of_rel support rel (fun h ->
+            if
+              (not (Tuple.Table.mem candidates h))
+              && not (Db.mem db h)
+            then
+              match group_key h with
+              | Some g when Hashtbl.mem affected_groups g ->
+                Tuple.Table.replace candidates h None
+              | Some _ | None -> ()))
+      affected_rels;
+  let valid (e : Support.entry) =
+    List.for_all (fun (b, _) -> Db.mem db b) e.Support.sp_body
+  in
+  let tried : unit Tuple.Table.t = Tuple.Table.create 32 in
+  let seeded = ref [] in
+  let push_seed tuple asserter =
+    seeded := { f_tuple = tuple; f_asserter = asserter } :: !seeded
+  in
+  (* Insert [tuple]; true when it is live afterwards. *)
+  let reinsert tuple asserters =
+    let one asserter =
+      let r = Db.insert db ~now ?asserted_by:asserter tuple in
+      (match r with Db.Replaced old -> on_replace old | _ -> ());
+      match r with Db.Rejected -> false | _ -> true
+    in
+    match asserters with
+    | [] -> one None
+    | l -> List.fold_left (fun acc a -> one a || acc) false l
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Tuple.Table.iter
+      (fun tup was_live ->
+        if
+          (not (Tuple.Table.mem tried tup))
+          && (not (Db.mem db tup))
+          && not (is_agg_rel tup.Tuple.rel)
+        then begin
+          let entries = Support.entries_of support tup in
+          let local_valid =
+            List.filter (fun e -> e.Support.sp_dest = None && valid e) entries
+          in
+          let ext = external_support tup in
+          if ext <> [] || local_valid <> [] then begin
+            Tuple.Table.replace tried tup ();
+            changed := true;
+            match was_live with
+            | Some saved ->
+              (* Restore the tuple as it was; a fresh TTL window is the
+                 refresh-on-rederive semantics a from-scratch run would
+                 apply.  Dependents revive through their own recorded
+                 entries, so no frontier seeding is needed. *)
+              ignore (reinsert tup (List.map Option.some saved))
+            | None ->
+              (* Never live here before (beaten candidate): replay its
+                 surviving derivations so provenance and downstream
+                 consequences are built exactly as a forward run
+                 would. *)
+              let live =
+                List.fold_left
+                  (fun acc (e : Support.entry) ->
+                    on_derive
+                      { d_rule = e.sp_rule; d_head = tup; d_body = e.sp_body };
+                    let l = reinsert tup [ self_principal ] in
+                    acc || l)
+                  false local_valid
+              in
+              let live =
+                if ext <> [] then begin
+                  let l = reinsert tup ext in
+                  if l then List.iter (fun a -> push_seed tup a) ext;
+                  l || live
+                end
+                else live
+              in
+              if live then push_seed tup self_principal
+          end
+        end)
+      candidates
+  done;
+  (* --- phase 3: COUNT/SUM recomputation ----------------------------- *)
+  let extra_emits = ref [] in
+  if agg_rules <> [] && Tuple.Table.length overdeleted > 0 then
+    List.iter
+      (fun (rule : rule) ->
+        List.iter
+          (fun (tuple, dest, body) ->
+            let is_local =
+              match (dest, local) with
+              | None, _ | Some _, None -> true
+              | Some d, Some l -> String.equal d l
+            in
+            let deriv = { d_rule = rule.rule_name; d_head = tuple; d_body = body } in
+            Support.record support ~rule:rule.rule_name ~head:tuple
+              ~dest:(if is_local then None else dest)
+              ~body;
+            if is_local then begin
+              on_derive deriv;
+              let r = Db.insert db ~now ?asserted_by:self_principal tuple in
+              (match r with Db.Replaced old -> on_replace old | _ -> ());
+              if Db.result_is_new r then push_seed tuple self_principal
+            end
+            else
+              match dest with
+              | Some d ->
+                extra_emits :=
+                  { e_dest = d; e_tuple = tuple; e_deriv = deriv } :: !extra_emits
+              | None -> ())
+          (recompute_agg_rule db ~self:self_principal rule))
+      agg_rules;
+  (* --- phase 4: settle the dead, trim the support graph ------------- *)
+  let dead : unit Tuple.Table.t = Tuple.Table.create 32 in
+  Tuple.Table.iter
+    (fun tup _ -> if not (Db.mem db tup) then Tuple.Table.replace dead tup ())
+    candidates;
+  (* Remote copies to notify: a (head, dest) pair is dead when no
+     surviving entry for that destination is valid.  Collected before
+     trimming, while the invalid entries still carry their dests. *)
+  let check_remote : (int * string, Tuple.t) Hashtbl.t = Hashtbl.create 16 in
+  let note_remote (e : Support.entry) =
+    match e.Support.sp_dest with
+    | Some d -> Hashtbl.replace check_remote (Tuple.id e.sp_head, d) e.sp_head
+    | None -> ()
+  in
+  Tuple.Table.iter
+    (fun tup () ->
+      List.iter note_remote (Support.dependents_of support tup);
+      List.iter note_remote (Support.entries_of support tup))
+    dead;
+  let remote_dead =
+    Hashtbl.fold
+      (fun (_, d) tup acc ->
+        let still =
+          List.exists
+            (fun (e : Support.entry) -> e.Support.sp_dest = Some d && valid e)
+            (Support.entries_of support tup)
+        in
+        if still then acc else (d, tup) :: acc)
+      check_remote []
+    |> List.sort (fun (d1, t1) (d2, t2) ->
+           match String.compare d1 d2 with
+           | 0 -> String.compare (Tuple.identity t1) (Tuple.identity t2)
+           | c -> c)
+  in
+  (* Trim: every record consuming a dead tuple, and every now-invalid
+     record of a dead head, leaves the graph; the caller uses the list
+     to drop the matching provenance alternatives. *)
+  let invalidated = ref [] in
+  let trim (e : Support.entry) =
+    if Support.mem_entry support e then begin
+      Support.remove_entry support e;
+      invalidated :=
+        { d_rule = e.sp_rule; d_head = e.sp_head; d_body = e.sp_body }
+        :: !invalidated
+    end
+  in
+  Tuple.Table.iter
+    (fun tup () ->
+      List.iter trim (Support.dependents_of support tup);
+      List.iter
+        (fun (e : Support.entry) -> if not (valid e) then trim e)
+        (Support.entries_of support tup))
+    dead;
+  let deleted =
+    Tuple.Table.fold
+      (fun tup was_live acc ->
+        match was_live with
+        | Some _ when not (Db.mem db tup) -> tup :: acc
+        | Some _ | None -> acc)
+      candidates []
+    |> List.sort (fun a b -> String.compare (Tuple.identity a) (Tuple.identity b))
+  in
+  (* --- phase 5: propagate ------------------------------------------- *)
+  let emits, stats =
+    if !seeded = [] then ([], new_stats ())
+    else
+      run_fixpoint db ~now ~rules ~local ?self_principal ~support ~on_replace
+        ~seeded:!seeded ~pending:[] ~on_derive ()
+  in
+  { rr_deleted = deleted;
+    rr_remote_dead = remote_dead;
+    rr_invalidated = !invalidated;
+    rr_emits = List.rev !extra_emits @ emits;
+    rr_stats = stats }
 
 (* Single-site convenience used by tests and the quickstart example:
    run a whole program (facts + rules) to fixpoint in one database,

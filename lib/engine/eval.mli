@@ -50,6 +50,9 @@ val run_fixpoint :
   rules:Ndlog.Ast.rule list ->
   local:string option ->
   ?self_principal:Value.t ->
+  ?support:Support.t ->
+  ?on_replace:(Tuple.t -> unit) ->
+  ?seeded:frontier_item list ->
   pending:frontier_item list ->
   on_derive:(derivation -> unit) ->
   unit ->
@@ -60,9 +63,57 @@ val run_fixpoint :
       become {!emit}s.  [None] runs single-site (everything local).
     - [self_principal]: the asserting principal recorded for locally
       derived tuples (SeNDlog context; [None] in plain NDlog).
+    - [support]: when given, every derivation found (including heads a
+      replace policy rejects and heads emitted elsewhere) is recorded
+      in the support graph for later incremental deletion.
+    - [on_replace] fires with the evicted incumbent whenever a keyed
+      insert replaces a tuple, so the caller can retire its
+      provenance.
+    - [seeded]: frontier items whose tuples the caller has already
+      inserted (used by {!retract}); they join the first round's delta
+      directly.
     - [on_derive] fires exactly once per distinct derivation found,
       including re-derivations of existing tuples, so the caller can
       accumulate alternative provenance (Plus in the semiring). *)
+
+(** Outcome of a {!retract} pass. *)
+type retract_result = {
+  rr_deleted : Tuple.t list;
+      (** previously-live local tuples now dead — retire their
+          provenance to the offline store *)
+  rr_remote_dead : (string * Tuple.t) list;
+      (** emitted heads that lost every local derivation — the
+          destination node should be told to retract them *)
+  rr_invalidated : derivation list;
+      (** support records removed because a body tuple died — the
+          matching provenance alternatives can be trimmed *)
+  rr_emits : emit list;
+      (** tuples (re-)derived for other nodes during propagation *)
+  rr_stats : stats;
+}
+
+val retract :
+  Db.t ->
+  support:Support.t ->
+  now:float ->
+  rules:Ndlog.Ast.rule list ->
+  local:string option ->
+  ?self_principal:Value.t ->
+  ?on_replace:(Tuple.t -> unit) ->
+  lost:Tuple.t list ->
+  external_support:(Tuple.t -> Value.t option list) ->
+  on_derive:(derivation -> unit) ->
+  unit ->
+  retract_result
+(** Delete-and-rederive (DRed) incremental maintenance: over-delete
+    the dependents of [lost] through the recorded support graph, then
+    reinstate every tuple that still has external support (base fact,
+    remote sender — [external_support] returns its asserters, [[]]
+    meaning none) or a recorded derivation whose body is live again,
+    recompute COUNT/SUM heads, and run a semi-naive fixpoint over
+    whatever changed.  After the pass the database equals the fixpoint
+    a from-scratch run would reach without the [lost] tuples (see
+    DESIGN.md §10 for the negation caveat). *)
 
 val run_single_site : ?on_derive:(derivation -> unit) -> Ndlog.Ast.program -> Db.t
 (** Run a whole program (facts + rules) to fixpoint in one database,

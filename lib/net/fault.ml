@@ -146,6 +146,76 @@ let restart_after (m : model) ~(now : float) (node : string) : float option =
            (fun acc c -> max acc (Option.get c.cr_restart))
            neg_infinity covering)
 
+(* --- link flaps ------------------------------------------------------- *)
+
+(* One link-state transition of a Poisson flap process: at [fl_at] the
+   (directed) link goes down ([fl_down]) or comes back up. *)
+type flap = {
+  fl_src : string;
+  fl_dst : string;
+  fl_at : float;
+  fl_down : bool;
+}
+
+(* Exponential inter-arrival draw; clamped away from 0 so two events
+   of one link never coincide. *)
+let exp_draw (rng : Crypto.Rng.t) (mean : float) : float =
+  let u = max 1e-12 (Crypto.Rng.float rng 1.0) in
+  max 1e-6 (-.mean *. log u)
+
+(* [flap_schedule m ~links ~rate ~horizon] samples a seed-reproducible
+   Poisson flap process per directed link: up-times are exponential
+   with mean [1/rate], down-times exponential with mean
+   [mean_downtime].  Determinism follows the per-message verdict
+   idiom: each link's randomness comes from a private RNG seeded by
+   SHA-256 of (model seed, src, dst), so a link's flap history never
+   depends on the order links are listed or on any shared RNG
+   stream.  Events are returned sorted by (time, src, dst). *)
+let flap_schedule (m : model) ~(links : (string * string) list) ~(rate : float)
+    ?(mean_downtime = 0.5) ~(horizon : float) () : flap list =
+  if rate < 0.0 then invalid_arg "Fault.flap_schedule: negative rate";
+  if mean_downtime <= 0.0 then
+    invalid_arg "Fault.flap_schedule: mean downtime must be positive";
+  if rate = 0.0 || horizon <= 0.0 then []
+  else begin
+    let events = ref [] in
+    List.iter
+      (fun (src, dst) ->
+        let key = Printf.sprintf "flap|%d|%s|%s" m.seed src dst in
+        let d = Crypto.Sha256.digest key in
+        let s = ref 0 in
+        for i = 0 to 7 do
+          s := (!s lsl 8) lor Char.code d.[i]
+        done;
+        let rng = Crypto.Rng.create ~seed:!s in
+        let t = ref (exp_draw rng (1.0 /. rate)) in
+        let up = ref true in
+        while !t < horizon do
+          events := { fl_src = src; fl_dst = dst; fl_at = !t; fl_down = !up } :: !events;
+          let dwell =
+            if !up then exp_draw rng mean_downtime else exp_draw rng (1.0 /. rate)
+          in
+          up := not !up;
+          t := !t +. dwell
+        done;
+        (* A link down at the horizon comes back just after it, so
+           every flap run converges to the static topology. *)
+        if not !up then
+          events :=
+            { fl_src = src; fl_dst = dst; fl_at = horizon; fl_down = false }
+            :: !events)
+      links;
+    List.sort
+      (fun a b ->
+        match compare a.fl_at b.fl_at with
+        | 0 -> (
+          match String.compare a.fl_src b.fl_src with
+          | 0 -> String.compare a.fl_dst b.fl_dst
+          | c -> c)
+        | c -> c)
+      !events
+  end
+
 (* --- crash-spec syntax ------------------------------------------------ *)
 
 (* "node@at" (down forever) or "node@at+duration" (restarts at

@@ -74,6 +74,34 @@ val restart_after : model -> now:float -> string -> float option
 (** When a node that is down at [now] comes back up: [Some t] with
     [t > now], or [None] if the node is up already or down forever. *)
 
+type flap = {
+  fl_src : string;
+  fl_dst : string;
+  fl_at : float;  (** virtual time of the transition *)
+  fl_down : bool;  (** [true] = link goes down, [false] = comes back up *)
+}
+(** One link-state transition of a Poisson flap process. *)
+
+val flap_schedule :
+  model ->
+  links:(string * string) list ->
+  rate:float ->
+  ?mean_downtime:float ->
+  horizon:float ->
+  unit ->
+  flap list
+(** Sample a seed-reproducible Poisson flap process for each directed
+    link: up-times are exponential with mean [1/rate] flaps per
+    second, down-times exponential with mean [mean_downtime]
+    (default 0.5s).  Each link draws from a private RNG seeded by
+    SHA-256 of (model seed, src, dst) — the same idiom as {!decide} —
+    so a link's history is independent of listing order and of every
+    other link.  Any link still down at [horizon] gets a final up
+    transition there, so a flap run always converges back to the
+    static topology.  Events are sorted by (time, src, dst).
+    Raises [Invalid_argument] on a negative rate or non-positive mean
+    downtime; a zero rate or non-positive horizon yields []. *)
+
 val crash_of_string : string -> (crash, string) result
 (** Parse ["node@at"] (down forever) or ["node@at+duration"]. *)
 

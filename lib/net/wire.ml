@@ -13,11 +13,13 @@ type auth =
   | A_hmac of { principal : string; tag : string }
   | A_signature of { principal : string; signature : string }
 
-(* Data messages carry tuples; ACKs acknowledge a data message's
-   per-channel sequence number for the reliable-delivery layer.  An
-   ACK's [msg_seq] is the acknowledged data sequence number. *)
+(* Data messages carry tuples; retractions withdraw a previously sent
+   tuple (incremental deletion); ACKs acknowledge a data or retract
+   message's per-channel sequence number for the reliable-delivery
+   layer.  An ACK's [msg_seq] is the acknowledged sequence number. *)
 type kind =
   | K_data
+  | K_retract
   | K_ack
 
 type message = {
@@ -138,9 +140,18 @@ let signed_bytes ~(src : string) ~(dst : string) (tuple : Engine.Tuple.t) : stri
   Buffer.add_string buf (encode_tuple tuple);
   Buffer.contents buf
 
+(* Retraction authentication is domain-separated from assertion
+   authentication: without the prefix, a captured data message's
+   signature could be replayed as a retraction of the very tuple it
+   asserted (and vice versa). *)
+let retract_signed_bytes ~(src : string) ~(dst : string)
+    (tuple : Engine.Tuple.t) : string =
+  "retract|" ^ signed_bytes ~src ~dst tuple
+
 let encode_message (m : message) : string =
   let buf = Buffer.create 128 in
-  Buffer.add_char buf (match m.msg_kind with K_data -> 'D' | K_ack -> 'A');
+  Buffer.add_char buf
+    (match m.msg_kind with K_data -> 'D' | K_retract -> 'R' | K_ack -> 'A');
   put_string buf m.msg_src;
   put_string buf m.msg_dst;
   put_u32 buf m.msg_seq;

@@ -17,10 +17,13 @@ type auth =
   | A_hmac of { principal : string; tag : string }
   | A_signature of { principal : string; signature : string }
 
-(** Data messages carry tuples; ACKs acknowledge a data message's
-    per-channel sequence number for the reliable-delivery layer. *)
+(** Data messages carry tuples; retractions withdraw a previously sent
+    tuple (incremental deletion); ACKs acknowledge a data or retract
+    message's per-channel sequence number for the reliable-delivery
+    layer. *)
 type kind =
   | K_data
+  | K_retract
   | K_ack
 
 type message = {
@@ -56,6 +59,12 @@ val signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
     as the original (and identical tuples can share signature work via
     the sender-side sign cache).  Changing this breaks reliable
     delivery under signatures — retransmits would need re-signing. *)
+
+val retract_signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
+(** Canonical bytes a retraction's authentication covers: a
+    ["retract|"] domain-separation prefix over {!signed_bytes}, so a
+    captured assertion's signature can never be replayed as a
+    retraction of the same tuple (or vice versa). *)
 
 val encode_message : message -> string
 

@@ -1021,6 +1021,219 @@ let chord_suite =
 
 let suite = suite @ chord_suite
 
+(* --- incremental maintenance (DRed) under churn and expiry --------------- *)
+
+(* [advance ~seconds] is a bounded horizon, not "drain the queue":
+   events scheduled beyond it must stay queued (regression: advance
+   used to call [Event_sim.run] with no [~until]). *)
+let test_advance_bounded_horizon () =
+  let t, _ = mk_runtime ~cfg:Core.Config.ndlog ~n:4 () in
+  run_links t;
+  let fired = ref false in
+  Net.Event_sim.schedule (Core.Runtime.sim t) ~delay:1000.0 (fun () -> fired := true);
+  let before = Net.Event_sim.now (Core.Runtime.sim t) in
+  Core.Runtime.advance t ~seconds:1.0;
+  Alcotest.(check bool) "far-future event not executed" false !fired;
+  Alcotest.(check (float 1e-9)) "clock advanced exactly" (before +. 1.0)
+    (Net.Event_sim.now (Core.Runtime.sim t));
+  Core.Runtime.advance t ~seconds:2000.0;
+  Alcotest.(check bool) "event runs once inside the horizon" true !fired
+
+(* The acceptance criterion: after a link retraction, the queried
+   fixpoint AND its provenance are byte-identical to a from-scratch
+   fixpoint over the mutated topology. *)
+let test_link_retraction_matches_scratch () =
+  let seed = 31 in
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed) ~n:8 () in
+  let cfg = { Core.Config.sendlog_prov with Core.Config.rsa_bits } in
+  let directory = Core.Bestpath_workload.shared_directory ~rsa_bits topo.Net.Topology.nodes in
+  let t =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:(seed + 1)) ~cfg ~topo
+      ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  Core.Runtime.install_links t;
+  ignore (Core.Runtime.run t);
+  let l = List.hd topo.Net.Topology.links in
+  Core.Runtime.link_down t ~src:l.Net.Topology.l_src ~dst:l.Net.Topology.l_dst;
+  ignore (Core.Runtime.run t);
+  Alcotest.(check bool) "retraction pass deleted something" true
+    (Core.Runtime.tuples_retracted t > 0);
+  let topo2 =
+    Net.Topology.remove_link topo ~src:l.Net.Topology.l_src ~dst:l.Net.Topology.l_dst
+  in
+  let t2 =
+    Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:(seed + 1)) ~cfg
+      ~topo:topo2 ~program:(Ndlog.Programs.best_path ()) ()
+  in
+  Core.Runtime.install_links t2;
+  ignore (Core.Runtime.run t2);
+  Alcotest.(check bool) "fixpoint byte-identical to scratch" true
+    (Core.Bestpath_workload.fixpoint_snapshot t "bestPath"
+    = Core.Bestpath_workload.fixpoint_snapshot t2 "bestPath");
+  Alcotest.(check bool) "provenance byte-identical to scratch" true
+    (Core.Bestpath_workload.prov_snapshot t "bestPath"
+    = Core.Bestpath_workload.prov_snapshot t2 "bestPath")
+
+(* Same criterion for soft-state expiry: a TTL'd base relation expires
+   under [advance], its dependents are incrementally retracted, and
+   the surviving fixpoint (and provenance) equals a from-scratch run
+   that never saw the expired facts. *)
+let test_ttl_expiry_matches_scratch () =
+  let topo = Net.Topology.paper_example () in
+  let src =
+    "#ttl templink 5.\n\
+     sp1 reachable(@S,D) :- link(@S,D).\n\
+     sp2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).\n\
+     tp1 reachable(@S,D) :- templink(@S,D).\n"
+  in
+  let program = Ndlog.Parser.parse_program_exn src in
+  let cfg = { Core.Config.sendlog_prov with Core.Config.rsa_bits } in
+  let mk () =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:91) ~cfg ~topo ~program ()
+  in
+  let install_links t =
+    List.iter
+      (fun (l : Net.Topology.link) ->
+        Core.Runtime.install_fact t ~at:l.l_src
+          (Tuple.make "link" [ Value.V_str l.l_src; Value.V_str l.l_dst ]))
+      topo.links
+  in
+  let t = mk () in
+  install_links t;
+  (* an extra soft-state edge c->a that closes a cycle *)
+  Core.Runtime.install_fact t ~at:"c"
+    (Tuple.make "templink" [ Value.V_str "c"; Value.V_str "a" ]);
+  ignore (Core.Runtime.run t);
+  let with_temp = Core.Bestpath_workload.fixpoint_snapshot t "reachable" in
+  Core.Runtime.advance t ~seconds:10.0;
+  ignore (Core.Runtime.run t);
+  let t2 = mk () in
+  install_links t2;
+  ignore (Core.Runtime.run t2);
+  let scratch = Core.Bestpath_workload.fixpoint_snapshot t2 "reachable" in
+  Alcotest.(check bool) "templink widened the fixpoint" true (with_temp <> scratch);
+  Alcotest.(check bool) "post-expiry fixpoint = scratch" true
+    (Core.Bestpath_workload.fixpoint_snapshot t "reachable" = scratch);
+  Alcotest.(check bool) "post-expiry provenance = scratch" true
+    (Core.Bestpath_workload.prov_snapshot t "reachable"
+    = Core.Bestpath_workload.prov_snapshot t2 "reachable")
+
+(* Satellite: a keyed replacement ([Db.insert] returning [Replaced])
+   must retire the incumbent's provenance to the offline store — the
+   history of the displaced value is forensic state, not garbage. *)
+let test_replaced_incumbent_retired_offline () =
+  let cfg =
+    { Core.Config.sendlog_prov with Core.Config.rsa_bits; offline_store = true }
+  in
+  let t, _ = mk_runtime ~cfg ~n:8 () in
+  run_links t;
+  (* Best-Path over a random topology replaces incumbents as better
+     costs arrive; no TTL ever fires, so every offline record here
+     comes from replacement (or the retraction passes it triggers). *)
+  let storage = Core.Runtime.total_storage t in
+  Alcotest.(check bool) "replaced incumbents retired offline" true
+    (storage.st_offline_records > 0)
+
+(* Link churn under the batch engine: a sequential and a --jobs 4 run
+   over the same flap schedule must agree tuple-for-tuple and
+   byte-for-byte on provenance, with both matching from-scratch. *)
+let test_seq_vs_par_churn_identical () =
+  let run jobs =
+    let cfg =
+      Core.Config.with_jobs
+        { Core.Config.sendlog_prov with Core.Config.rsa_bits }
+        jobs
+    in
+    Core.Bestpath_workload.run_churn ~cfg ~n:8 ~rate:0.4 ~horizon:3.0 ()
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check bool) "seq matches scratch (fixpoint+prov)" true
+    (seq.Core.Bestpath_workload.c_fixpoint_match
+    && seq.Core.Bestpath_workload.c_prov_match);
+  Alcotest.(check bool) "par matches scratch (fixpoint+prov)" true
+    (par.Core.Bestpath_workload.c_fixpoint_match
+    && par.Core.Bestpath_workload.c_prov_match);
+  Alcotest.(check int) "same flap schedule" seq.Core.Bestpath_workload.c_flaps
+    par.Core.Bestpath_workload.c_flaps
+
+(* The flap process is a pure function of --fault-seed. *)
+let test_flap_schedule_deterministic () =
+  let schedule fault_seed =
+    let cfg =
+      Core.Config.with_fault_seed { Core.Config.ndlog with Core.Config.rsa_bits }
+        fault_seed
+    in
+    let t, _ = mk_runtime ~cfg ~n:6 () in
+    run_links t;
+    let flaps = Core.Runtime.schedule_flaps t ~rate:0.5 ~horizon:4.0 () in
+    List.map
+      (fun (f : Net.Fault.flap) -> (f.fl_src, f.fl_dst, f.fl_at, f.fl_down))
+      flaps
+  in
+  Alcotest.(check bool) "same seed, same flaps" true (schedule 7 = schedule 7);
+  Alcotest.(check bool) "different seed, different flaps" true
+    (schedule 7 <> schedule 8)
+
+(* Chord under member churn: stale lookup results routed through
+   departed members (or through fingers the reassignment shifted) are
+   withdrawn and re-derived; exactly one result per key survives, and
+   every owner is correct for the final ring. *)
+let test_chord_churn_no_stale_results () =
+  let n = 12 in
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:81) ~n () in
+  let ring0 = Core.Chord.build_ring ~m:10 topo.nodes in
+  let cfg = { Core.Config.sendlog_prov with Core.Config.rsa_bits } in
+  let t =
+    Core.Runtime.create ~rng:(Crypto.Rng.create ~seed:82) ~cfg ~topo
+      ~program:(Ndlog.Programs.chord ()) ()
+  in
+  Core.Chord.install_ring t ring0;
+  ignore (Core.Runtime.run t);
+  let rng = Crypto.Rng.create ~seed:83 in
+  let keys =
+    List.sort_uniq compare (List.init 8 (fun _ -> Crypto.Rng.int rng ring0.modulus))
+  in
+  List.iter (fun k -> Core.Chord.issue_lookup t ~from:"n0" ~key:k) keys;
+  ignore (Core.Runtime.run t);
+  (* one member leaves, another joins back after *)
+  let leaver = List.find (fun a -> a <> "n0") topo.nodes in
+  let ring1 =
+    Core.Chord.build_ring ~m:10 (List.filter (fun a -> a <> leaver) topo.nodes)
+  in
+  Core.Chord.apply_ring_change t ~before:ring0 ~after:ring1;
+  ignore (Core.Runtime.run t);
+  let ring2 = Core.Chord.build_ring ~m:10 topo.nodes in
+  Core.Chord.apply_ring_change t ~before:ring1 ~after:ring2;
+  ignore (Core.Runtime.run t);
+  let results = Core.Chord.results t ~requester:"n0" in
+  Alcotest.(check int) "exactly one result per key (no stale survivors)"
+    (List.length keys) (List.length results);
+  List.iter
+    (fun (r : Core.Chord.lookup_result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "key %d owner correct for final ring" r.lr_key)
+        (Core.Chord.true_owner ring2 r.lr_key)
+        r.lr_owner)
+    results;
+  Alcotest.(check bool) "churn exercised the retraction pass" true
+    (Core.Runtime.tuples_retracted t > 0)
+
+let churn_suite =
+  [ Alcotest.test_case "advance bounded horizon" `Quick test_advance_bounded_horizon;
+    Alcotest.test_case "link retraction = scratch" `Quick
+      test_link_retraction_matches_scratch;
+    Alcotest.test_case "ttl expiry = scratch" `Quick test_ttl_expiry_matches_scratch;
+    Alcotest.test_case "replaced incumbent retired offline" `Quick
+      test_replaced_incumbent_retired_offline;
+    Alcotest.test_case "seq vs par churn identical" `Quick
+      test_seq_vs_par_churn_identical;
+    Alcotest.test_case "flap schedule deterministic" `Quick
+      test_flap_schedule_deterministic;
+    Alcotest.test_case "chord churn: no stale results" `Quick
+      test_chord_churn_no_stale_results ]
+
+let suite = suite @ churn_suite
+
 (* --- distributed reachability property -------------------------------------- *)
 
 (* Distributed evaluation over random topologies matches the

@@ -98,6 +98,42 @@ let test_db_ttl_eviction () =
   Alcotest.(check int) "no eviction after refresh" 0
     (List.length (Db.evict_expired db ~now:9.0))
 
+let test_db_set_ttl_semantics () =
+  let db = Db.create () in
+  let t1 = Tuple.make "soft" [ v_int 1 ] in
+  ignore (Db.insert db ~now:0.0 t1);
+  (* default: a TTL set after insertion does NOT apply to live tuples *)
+  Db.set_ttl db "soft" 5.0;
+  Alcotest.(check int) "pre-existing tuple immortal" 0
+    (List.length (Db.evict_expired db ~now:100.0));
+  (* future inserts get the TTL *)
+  let t2 = Tuple.make "soft" [ v_int 2 ] in
+  ignore (Db.insert db ~now:100.0 t2);
+  Alcotest.(check (list string)) "new tuple expires" [ "soft(2)" ]
+    (List.map Tuple.to_string (Db.evict_expired db ~now:106.0));
+  (* retroactive: live tuples get inserted_at + seconds, possibly past *)
+  Db.set_ttl ~retroactive:true db "soft" 5.0;
+  Alcotest.(check (list string)) "retroactive expiry collected" [ "soft(1)" ]
+    (List.map Tuple.to_string (Db.evict_expired db ~now:107.0))
+
+let test_db_refresh_on_rederive () =
+  let db = Db.create () in
+  Db.set_ttl db "soft" 5.0;
+  let t = Tuple.make "soft" [ v_int 1 ] in
+  (* default (P2 semantics): re-derivation extends the lifetime *)
+  ignore (Db.insert db ~now:0.0 t);
+  ignore (Db.insert db ~now:4.0 t);
+  Alcotest.(check int) "refreshed past original expiry" 0
+    (List.length (Db.evict_expired db ~now:6.0));
+  Alcotest.(check (list string)) "expires from the refresh" [ "soft(1)" ]
+    (List.map Tuple.to_string (Db.evict_expired db ~now:9.5));
+  (* explicit opt-out: the first insertion's expiry sticks *)
+  Db.set_refresh_on_rederive db "soft" false;
+  ignore (Db.insert db ~now:10.0 t);
+  ignore (Db.insert db ~now:14.0 t);
+  Alcotest.(check (list string)) "re-derivation did not extend" [ "soft(1)" ]
+    (List.map Tuple.to_string (Db.evict_expired db ~now:15.5))
+
 let test_db_asserters () =
   let db = Db.create () in
   let t = Tuple.make "p" [ v_int 1 ] in
@@ -428,6 +464,8 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "db replace min" `Quick test_db_replace_min;
     Alcotest.test_case "db replace last" `Quick test_db_replace_last;
     Alcotest.test_case "db ttl eviction" `Quick test_db_ttl_eviction;
+    Alcotest.test_case "db set_ttl semantics" `Quick test_db_set_ttl_semantics;
+    Alcotest.test_case "db refresh-on-rederive" `Quick test_db_refresh_on_rederive;
     Alcotest.test_case "db asserters" `Quick test_db_asserters;
     Alcotest.test_case "db remove" `Quick test_db_remove;
     Alcotest.test_case "expr arithmetic" `Quick test_expr_arithmetic;
