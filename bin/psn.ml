@@ -139,6 +139,22 @@ let run_cmd =
          & info [ "jobs" ] ~docv:"N"
              ~doc:"Worker domains for the batch engine (1 = sequential event loop)")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Event-simulator shards: partition nodes by AS across K \
+                   per-shard queues synchronized conservatively (1 = single \
+                   queue, 0 = one shard per AS domain); results are \
+                   byte-identical across K")
+  in
+  let prov_granularity =
+    Arg.(value & opt string "node"
+         & info [ "prov-granularity" ] ~docv:"LEVEL"
+             ~doc:"Provenance granularity: node (full detail) or domain \
+                   (cross-AS shipments summarize to the origin AS; traceback \
+                   answers at domain granularity outside the querying node's \
+                   own AS)")
+  in
   let flap_rate =
     Arg.(value & opt float 0.0
          & info [ "flap-rate" ] ~docv:"RATE"
@@ -191,9 +207,9 @@ let run_cmd =
              ~doc:"Write the structured event log (JSON lines) to FILE")
   in
   let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
-      crashes fault_seed reliable retries ack_timeout max_backoff jobs flap_rate churn
-      advance with_links show metrics_out metrics_format trace_out chrome_out
-      events_out =
+      crashes fault_seed reliable retries ack_timeout max_backoff jobs shards
+      prov_granularity flap_rate churn advance with_links show metrics_out
+      metrics_format trace_out chrome_out events_out =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
@@ -226,6 +242,14 @@ let run_cmd =
         let c = Core.Config.with_max_backoff c max_backoff in
         let c = Core.Config.with_flap_rate c flap_rate in
         let c = Core.Config.with_churn c churn in
+        let c = Core.Config.with_shards c shards in
+        let c =
+          match Core.Config.granularity_of_string prov_granularity with
+          | Ok g -> Core.Config.with_granularity c g
+          | Error e ->
+            Printf.eprintf "--prov-granularity: %s\n" e;
+            exit 1
+        in
         Core.Config.with_jobs c jobs
       with Invalid_argument e ->
         Printf.eprintf "%s\n" e;
@@ -315,7 +339,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a program over a simulated network")
     Term.(const run $ file $ nodes $ seed $ cfg $ rsa_bits $ no_indexes $ no_fastpath
           $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
-          $ ack_timeout $ max_backoff $ jobs $ flap_rate $ churn $ advance $ with_links
+          $ ack_timeout $ max_backoff $ jobs $ shards $ prov_granularity $ flap_rate
+          $ churn $ advance $ with_links
           $ show $ metrics_out $ metrics_format $ trace_out $ chrome_out $ events_out)
 
 (* --- psn stats -------------------------------------------------------- *)

@@ -10,9 +10,12 @@
 type point = {
   p_config : string;
   p_n : int;
-  p_wall_seconds : float;
+  p_wall_seconds : float; (* mean over runs *)
+  p_wall_stddev : float; (* sample stddev over runs; 0 for a single run *)
   p_sim_seconds : float;
+  p_sim_stddev : float;
   p_megabytes : float;
+  p_mb_stddev : float;
   p_messages : int;
   p_signatures : int;
   p_verif_failures : int;
@@ -74,11 +77,37 @@ let configs ~(rsa_bits : int) : Config.t list =
     { Config.sendlog with rsa_bits };
     { Config.sendlog_prov with rsa_bits } ]
 
-(* Measure the three configurations at one network size, averaging
-   over [opts.ro_runs] topologies. *)
+(* One run's raw measurements, kept per run (not folded into running
+   sums) so the aggregation can report dispersion alongside the mean. *)
+type sample = {
+  sm_wall : float;
+  sm_sim : float;
+  sm_mb : float;
+  sm_msgs : int;
+  sm_sigs : int;
+  sm_vf : int;
+  sm_df : int;
+  sm_best : int;
+}
+
+let mean (xs : float list) : float =
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+(* Sample standard deviation (Bessel-corrected); 0 for fewer than two
+   runs, so single-run smoke output stays exact. *)
+let stddev (xs : float list) : float =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+(* Measure the three configurations at one network size over
+   [opts.ro_runs] topologies, reporting mean and sample stddev. *)
 let measure_n ?(opts = default_opts) (n : int) : point list =
   let cfgs = configs ~rsa_bits:opts.ro_rsa_bits in
-  let acc = Hashtbl.create 4 in
+  let acc : (string, sample list ref) Hashtbl.t = Hashtbl.create 4 in
   for run = 0 to opts.ro_runs - 1 do
     let topo_rng = Crypto.Rng.create ~seed:(opts.ro_seed + (1000 * run) + n) in
     let topo = Net.Topology.random topo_rng ~n ~outdegree:opts.ro_outdegree () in
@@ -90,38 +119,44 @@ let measure_n ?(opts = default_opts) (n : int) : point list =
         let wall, sim, stats, best =
           run_once ~cfg ~topo ~directory ~seed:(opts.ro_seed + run)
         in
-        let name = Config.name cfg in
-        let prev =
-          Option.value (Hashtbl.find_opt acc name)
-            ~default:(0.0, 0.0, 0.0, 0, 0, 0, 0, 0)
+        let sample =
+          { sm_wall = wall;
+            sm_sim = sim;
+            sm_mb = Net.Stats.megabytes stats;
+            sm_msgs = stats.Net.Stats.messages;
+            sm_sigs = stats.Net.Stats.signatures_generated;
+            sm_vf = stats.Net.Stats.verification_failures;
+            sm_df = stats.Net.Stats.dropped_forged;
+            sm_best = best }
         in
-        let w, s, mb, msgs, sigs, vf, df, bp = prev in
-        Hashtbl.replace acc name
-          ( w +. wall,
-            s +. sim,
-            mb +. Net.Stats.megabytes stats,
-            msgs + stats.Net.Stats.messages,
-            sigs + stats.Net.Stats.signatures_generated,
-            vf + stats.Net.Stats.verification_failures,
-            df + stats.Net.Stats.dropped_forged,
-            bp + best ))
+        let name = Config.name cfg in
+        match Hashtbl.find_opt acc name with
+        | Some r -> r := sample :: !r
+        | None -> Hashtbl.add acc name (ref [ sample ]))
       cfgs
   done;
   List.map
     (fun cfg ->
       let name = Config.name cfg in
-      let w, s, mb, msgs, sigs, vf, df, bp = Hashtbl.find acc name in
-      let r = float_of_int opts.ro_runs in
+      let samples = !(Hashtbl.find acc name) in
+      let runs = List.length samples in
+      let walls = List.map (fun s -> s.sm_wall) samples in
+      let sims = List.map (fun s -> s.sm_sim) samples in
+      let mbs = List.map (fun s -> s.sm_mb) samples in
+      let isum f = List.fold_left (fun a s -> a + f s) 0 samples in
       { p_config = name;
         p_n = n;
-        p_wall_seconds = w /. r;
-        p_sim_seconds = s /. r;
-        p_megabytes = mb /. r;
-        p_messages = msgs / opts.ro_runs;
-        p_signatures = sigs / opts.ro_runs;
-        p_verif_failures = vf;
-        p_dropped_forged = df;
-        p_best_paths = bp / opts.ro_runs })
+        p_wall_seconds = mean walls;
+        p_wall_stddev = stddev walls;
+        p_sim_seconds = mean sims;
+        p_sim_stddev = stddev sims;
+        p_megabytes = mean mbs;
+        p_mb_stddev = stddev mbs;
+        p_messages = isum (fun s -> s.sm_msgs) / runs;
+        p_signatures = isum (fun s -> s.sm_sigs) / runs;
+        p_verif_failures = isum (fun s -> s.sm_vf);
+        p_dropped_forged = isum (fun s -> s.sm_df);
+        p_best_paths = isum (fun s -> s.sm_best) / runs })
     cfgs
 
 (* The full Figure 3 / Figure 4 sweep. *)
@@ -193,7 +228,7 @@ let run_churn ?(cfg = Config.sendlog_prov) ?(seed = 2008) ?(n = 10)
   Runtime.enable_derivation_log t;
   let derivs_before = List.length (Runtime.derivation_log t) in
   let retracted_before = Runtime.tuples_retracted t in
-  let churn_start = Net.Event_sim.now (Runtime.sim t) in
+  let churn_start = Runtime.now t in
   let flaps = Runtime.schedule_flaps t ~rate ~horizon () in
   let r1 = Runtime.run t in
   let last_flap =
@@ -257,8 +292,11 @@ let point_to_json (p : point) : Obs.Json.t =
     [ ("config", Obs.Json.Str p.p_config);
       ("n", Obs.Json.Int p.p_n);
       ("wall_seconds", Obs.Json.Float p.p_wall_seconds);
+      ("wall_stddev", Obs.Json.Float p.p_wall_stddev);
       ("sim_seconds", Obs.Json.Float p.p_sim_seconds);
+      ("sim_stddev", Obs.Json.Float p.p_sim_stddev);
       ("megabytes", Obs.Json.Float p.p_megabytes);
+      ("megabytes_stddev", Obs.Json.Float p.p_mb_stddev);
       ("messages", Obs.Json.Int p.p_messages);
       ("signatures", Obs.Json.Int p.p_signatures);
       ("verification_failures", Obs.Json.Int p.p_verif_failures);

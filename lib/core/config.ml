@@ -88,6 +88,11 @@ type t = {
       (* churn horizon in virtual seconds: how long the flap process
          (or a workload's join/leave phase) runs before the network is
          left to re-converge (0 = no churn phase) *)
+  shards : int;
+      (* event-simulator shards for the conservative parallel engine:
+         1 = the single sequential priority queue, 0 = one shard per
+         AS domain, K >= 2 = partition nodes across K shards by
+         AS (domain i mod K) *)
 }
 
 let default =
@@ -111,7 +116,8 @@ let default =
     max_backoff = 2.0;
     jobs = 1;
     flap_rate = 0.0;
-    churn = 0.0 }
+    churn = 0.0;
+    shards = 1 }
 
 (* The paper's three evaluation configurations. *)
 let ndlog = default
@@ -221,6 +227,18 @@ let with_churn (c : t) (churn : float) : t =
   if churn < 0.0 then invalid_arg "Config.with_churn: negative horizon";
   { c with churn }
 
+let with_shards (c : t) (shards : int) : t =
+  if shards < 0 then invalid_arg "Config.with_shards: need >= 0 (0 = per domain)";
+  { c with shards }
+
+let with_granularity (c : t) (granularity : granularity) : t = { c with granularity }
+
+let granularity_of_string (s : string) : (granularity, string) result =
+  match String.lowercase_ascii s with
+  | "node" -> Ok Node_level
+  | "domain" | "as" -> Ok As_level
+  | _ -> Error (Printf.sprintf "unknown provenance granularity %S (node|domain)" s)
+
 (* Argv-style construction: consume the flags this module understands
    and hand everything else back to the caller's own parser.  Both
    binaries route their command line through here so ablation and
@@ -256,7 +274,9 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
             max_backoff = cfg.max_backoff;
             jobs = cfg.jobs;
             flap_rate = cfg.flap_rate;
-            churn = cfg.churn }
+            churn = cfg.churn;
+            shards = cfg.shards;
+            granularity = cfg.granularity }
           leftover rest
       | Error e -> Error e)
     | "--rsa-bits" :: v :: rest ->
@@ -313,9 +333,18 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
       float_arg "--churn" v (fun h ->
           try go (with_churn cfg h) leftover rest
           with Invalid_argument e -> Error e)
+    | "--shards" :: v :: rest ->
+      int_arg "--shards" v (fun k ->
+          try go (with_shards cfg k) leftover rest
+          with Invalid_argument e -> Error e)
+    | "--prov-granularity" :: v :: rest -> (
+      match granularity_of_string v with
+      | Ok g -> go (with_granularity cfg g) leftover rest
+      | Error e -> Error e)
     | (("--config" | "--rsa-bits" | "--loss" | "--dup" | "--reorder" | "--jitter"
        | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout" | "--max-backoff"
-       | "--jobs" | "--flap-rate" | "--churn") as flag)
+       | "--jobs" | "--flap-rate" | "--churn" | "--shards" | "--prov-granularity")
+        as flag)
       :: [] -> Error (Printf.sprintf "%s: missing value" flag)
     | other :: rest -> go cfg (other :: leftover) rest
   in

@@ -37,7 +37,7 @@ type alarm = {
 (* Report a route change at [node] for destination [dest]; the event
    timestamp doubles as the counted witness. *)
 let report_change (t : Runtime.t) ~(node : string) ~(dest : string) : unit =
-  let now = Net.Event_sim.now (Runtime.sim t) in
+  let now = Runtime.now t in
   let tuple =
     Tuple.make "routeEvent"
       [ Value.V_str node; Value.V_str dest; Value.V_float now ]

@@ -210,15 +210,19 @@ let compare_bench ~(baseline : Obs.Json.t) ~(current : Obs.Json.t) : string list
       [ "crypto_ablation"; "naive_wall_seconds" ];
       [ "crypto_ablation"; "fastpath_wall_seconds" ];
       [ "jobs_ablation"; "seq_wall_seconds" ];
-      [ "jobs_ablation"; "par_wall_seconds" ] ];
+      [ "jobs_ablation"; "par_wall_seconds" ];
+      [ "shards_ablation"; "seq_wall_seconds" ];
+      [ "shards_ablation"; "sharded_wall_seconds" ] ];
   List.iter speedup
     [ [ "index_ablation"; "speedup" ];
       [ "crypto_ablation"; "speedup" ];
-      [ "jobs_ablation"; "speedup" ] ];
+      [ "jobs_ablation"; "speedup" ];
+      [ "shards_ablation"; "speedup" ] ];
   List.iter exact
     [ [ "index_ablation"; "best_paths" ];
       [ "crypto_ablation"; "best_paths" ];
       [ "jobs_ablation"; "best_paths" ];
+      [ "shards_ablation"; "fixpoint_rows" ];
       [ "fault_ablation"; "baseline_best_paths" ] ];
   sim [ "fault_ablation"; "reliable_max_sim_seconds" ];
   List.rev !issues

@@ -36,6 +36,14 @@ type node = {
          drop every variant of one (dest, tuple) in O(1) *)
   mutable n_msgs_received : int;
   mutable n_free_at : float; (* virtual time until which this node's CPU is busy *)
+  n_parked : Net.Wire.message Queue.t;
+      (* receive queue: messages that arrived while the CPU was busy,
+         in arrival order.  Drained FIFO by a wake event at
+         [n_free_at], so a message that waits through several busy
+         periods can never be overtaken by a later arrival on the same
+         channel (retract/assert wire order is load-bearing) *)
+  mutable n_wake_at : float;
+      (* time of the armed wake event, or -1.0 when none is pending *)
 }
 
 (* One unit of node-level work inside a timestamp batch: a delivered
@@ -70,9 +78,51 @@ type exec_ctx = {
   mutable xc_out : outgoing list; (* reversed *)
 }
 
+(* One cross-shard schedule buffered during a conservative window.
+   Shards may not touch each other's queues mid-window, so a delivery
+   addressed to another shard parks here and is flushed at the next
+   barrier, sorted by (timestamp, source shard, per-shard order) — the
+   deterministic tiebreak that makes the merged schedule independent
+   of which worker domain ran which shard. *)
+type outbox_entry = {
+  ox_time : float; (* absolute virtual time of the buffered event *)
+  ox_src : int; (* producing shard *)
+  ox_order : int; (* per-shard production order, for the tiebreak *)
+  ox_target : int; (* shard whose queue receives the event *)
+  ox_action : unit -> unit;
+}
+
+(* One shard of the conservative parallel event engine: its own
+   priority queue and clock, plus the per-shard batching state the
+   window drain uses (the [jobs > 1] batch engine's coalescing, local
+   to this shard's worker).  With [Config.shards = 1] there is exactly
+   one shard and the engine degenerates to the classic loops. *)
+type shard = {
+  sh_id : int;
+  sh_sim : Net.Event_sim.t;
+  mutable sh_batching : bool;
+      (* true while this shard's timestamp batch is being drained:
+         accepted deliveries collect into [sh_inbox] instead of
+         executing their handler inline *)
+  mutable sh_inbox : (node * work_item) list; (* reversed arrival order *)
+  mutable sh_outbox : outbox_entry list; (* reversed production order *)
+  mutable sh_order : int; (* monotone outbox tiebreak counter *)
+}
+
 type t = {
   cfg : Config.t;
-  sim : Net.Event_sim.t;
+  shards : shard array; (* length >= 1; index 0 is the default shard *)
+  shard_ids : (string, int) Hashtbl.t; (* node address -> owning shard *)
+  lookahead : float;
+      (* conservative safe-advance window: the minimum cross-shard
+         delivery latency (including the overlay path), so an event
+         executed inside a window can only schedule cross-shard work
+         at or beyond the window's end *)
+  net_mu : Mutex.t;
+      (* guards the cross-shard network tables ([chan_seq], [pending],
+         [seen]) and [tuples_retracted]: each key is written by a
+         single shard, but the tables themselves resize under
+         concurrent writers *)
   topo : Net.Topology.t;
   stats : Net.Stats.t;
   directory : Sendlog.Principal.directory;
@@ -83,12 +133,8 @@ type t = {
       (* guards the shared condense context (BDD manager + wire cache)
          against concurrent encode/decode from worker domains *)
   log_mu : Mutex.t; (* guards [derivation_log] appends *)
-  pool : Par.Pool.t option; (* worker domains when [cfg.jobs > 1] *)
-  mutable batching : bool;
-      (* true while a timestamp batch's events are being drained:
-         accepted deliveries collect into [batch_inbox] instead of
-         executing their handler inline *)
-  mutable batch_inbox : (node * work_item) list; (* reversed arrival order *)
+  pool : Par.Pool.t option;
+      (* worker domains when [cfg.jobs > 1] or the engine is sharded *)
   obs_events : Obs.Events.log; (* bounded structured event log *)
   mutable tracer : Obs.Trace.t option; (* span tree, when tracing is on *)
   h_handler : Obs.Metrics.histogram; (* modeled per-handler duration *)
@@ -127,6 +173,106 @@ let node (t : t) (addr : string) : node =
 let nodes (t : t) : node list =
   List.map (fun addr -> node t addr) t.topo.Net.Topology.nodes
 
+(* --- shard context ---------------------------------------------------- *)
+
+(* Which shard the calling domain is currently draining: set around
+   each window drain, -1 elsewhere (the orchestrator between barriers,
+   and every domain of an unsharded runtime). *)
+let cur_shard_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let shard_of (t : t) (addr : string) : int =
+  if Array.length t.shards = 1 then 0
+  else Option.value (Hashtbl.find_opt t.shard_ids addr) ~default:0
+
+(* The shard whose batching state applies to the calling context: the
+   one being drained on this domain, or shard 0 (the only shard, and
+   the one the [jobs > 1] batch engine uses) outside any drain. *)
+let shard_ctx (t : t) : shard =
+  let i = Domain.DLS.get cur_shard_key in
+  if i >= 0 && i < Array.length t.shards then t.shards.(i) else t.shards.(0)
+
+(* Current virtual time as seen from the calling context: the draining
+   shard's clock inside a window, the global maximum outside (the
+   orchestrator's view — every shard has drained at least to the last
+   barrier). *)
+let now (t : t) : float =
+  if Array.length t.shards = 1 then Net.Event_sim.now t.shards.(0).sh_sim
+  else begin
+    let i = Domain.DLS.get cur_shard_key in
+    if i >= 0 && i < Array.length t.shards then Net.Event_sim.now t.shards.(i).sh_sim
+    else
+      Array.fold_left
+        (fun acc sh -> Float.max acc (Net.Event_sim.now sh.sh_sim))
+        0.0 t.shards
+  end
+
+(* Schedule [action] on the shard owning [addr], [delay] simulated
+   seconds from the caller's current virtual time.  Same-shard (and
+   unsharded) schedules go straight onto the queue; cross-shard
+   schedules from inside a window buffer in the producing shard's
+   outbox until the next barrier (conservative synchronization: the
+   target shard may already have drained past the caller's clock, but
+   never past [caller now + lookahead], and every cross-shard delay is
+   at least the lookahead); cross-shard schedules from the
+   orchestrator (installs, evictions) go on the target queue directly,
+   clamped forward to its clock. *)
+let sched_to (t : t) (addr : string) ~(delay : float) (action : unit -> unit) : unit =
+  if delay < 0.0 then invalid_arg "Runtime.sched_to: negative delay";
+  if Array.length t.shards = 1 then
+    Net.Event_sim.schedule t.shards.(0).sh_sim ~delay action
+  else begin
+    let target = shard_of t addr in
+    let cur = Domain.DLS.get cur_shard_key in
+    if cur = target then Net.Event_sim.schedule t.shards.(target).sh_sim ~delay action
+    else if cur < 0 then begin
+      let tsim = t.shards.(target).sh_sim in
+      Net.Event_sim.schedule_at tsim
+        ~time:(Float.max (Net.Event_sim.now tsim) (now t +. delay))
+        action
+    end
+    else begin
+      let src = t.shards.(cur) in
+      src.sh_order <- src.sh_order + 1;
+      src.sh_outbox <-
+        { ox_time = Net.Event_sim.now src.sh_sim +. delay;
+          ox_src = cur;
+          ox_order = src.sh_order;
+          ox_target = target;
+          ox_action = action }
+        :: src.sh_outbox
+    end
+  end
+
+(* Absolute-time variant, for events whose deadline was computed
+   against the caller's own clock (retransmission parks, flap
+   schedules, busy-queue waits). *)
+let sched_at_to (t : t) (addr : string) ~(time : float) (action : unit -> unit) : unit
+    =
+  if Array.length t.shards = 1 then
+    Net.Event_sim.schedule_at t.shards.(0).sh_sim ~time action
+  else begin
+    let target = shard_of t addr in
+    let cur = Domain.DLS.get cur_shard_key in
+    if cur = target then Net.Event_sim.schedule_at t.shards.(target).sh_sim ~time action
+    else if cur < 0 then begin
+      let tsim = t.shards.(target).sh_sim in
+      Net.Event_sim.schedule_at tsim
+        ~time:(Float.max (Net.Event_sim.now tsim) time)
+        action
+    end
+    else begin
+      let src = t.shards.(cur) in
+      src.sh_order <- src.sh_order + 1;
+      src.sh_outbox <-
+        { ox_time = time;
+          ox_src = cur;
+          ox_order = src.sh_order;
+          ox_target = target;
+          ox_action = action }
+        :: src.sh_outbox
+    end
+  end
+
 (* --- creation -------------------------------------------------------- *)
 
 let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.t)
@@ -162,7 +308,9 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
           n_recv_from = Tuple.Table.create 64;
           n_sent_cache = Hashtbl.create 256;
           n_msgs_received = 0;
-          n_free_at = 0.0 })
+          n_free_at = 0.0;
+          n_parked = Queue.create ();
+          n_wake_at = -1.0 })
     topo.Net.Topology.nodes;
   let reg = Obs.Metrics.default in
   (* Pre-register the run's standard series so a metrics snapshot
@@ -182,9 +330,66 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   (* Fresh run: reused principals must not carry signatures (or their
      cost savings) over from a previous runtime. *)
   Sendlog.Principal.clear_sign_caches directory;
+  (* Shard layout: partition nodes by AS.  [shards = 0] means one
+     shard per distinct AS; [shards = K] folds ASes onto K shards by
+     [as mod K]; [shards = 1] is the classic single-queue engine. *)
+  let distinct_as =
+    let seen_as = Hashtbl.create 16 in
+    List.iter
+      (fun addr -> Hashtbl.replace seen_as (Net.Topology.as_of topo addr) ())
+      topo.Net.Topology.nodes;
+    max 1 (Hashtbl.length seen_as)
+  in
+  let shard_count =
+    match cfg.Config.shards with
+    | 0 -> distinct_as
+    | 1 -> 1
+    | k -> min k (max 1 (List.length topo.Net.Topology.nodes))
+  in
+  let shard_ids = Hashtbl.create (List.length topo.Net.Topology.nodes) in
+  List.iter
+    (fun addr ->
+      Hashtbl.replace shard_ids addr (Net.Topology.as_of topo addr mod shard_count))
+    topo.Net.Topology.nodes;
+  (* Conservative lookahead: no cross-shard interaction can take
+     effect sooner than the cheapest cross-shard delivery.  The
+     overlay path (used when no physical link exists) bounds it from
+     above; any faster physical link that crosses a shard boundary
+     lowers it.  A zero-latency cross-shard link degrades the window
+     to one timestamp per barrier — still correct, just slower. *)
+  let lookahead =
+    if shard_count = 1 then infinity
+    else
+      List.fold_left
+        (fun acc (l : Net.Topology.link) ->
+          let s = Hashtbl.find_opt shard_ids l.Net.Topology.l_src in
+          let d = Hashtbl.find_opt shard_ids l.Net.Topology.l_dst in
+          if s <> d then Float.min acc l.Net.Topology.l_latency else acc)
+        Net.Topology.overlay_latency topo.Net.Topology.links
+  in
+  let shards =
+    Array.init shard_count (fun i ->
+        { sh_id = i;
+          sh_sim = Net.Event_sim.create ();
+          sh_batching = false;
+          sh_inbox = [];
+          sh_outbox = [];
+          sh_order = 0 })
+  in
+  (* The sharded engine needs worker domains even when [jobs = 1];
+     shards beyond the hardware parallelism just queue. *)
+  let pool_jobs =
+    if shard_count > 1 then
+      max cfg.Config.jobs
+        (min shard_count (max 2 (Domain.recommended_domain_count ())))
+    else cfg.Config.jobs
+  in
   let t =
     { cfg;
-      sim = Net.Event_sim.create ();
+      shards;
+      shard_ids;
+      lookahead;
+      net_mu = Mutex.create ();
       topo;
       stats = Net.Stats.create ();
       directory;
@@ -193,9 +398,10 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       prov_ctx = Provenance.Condense.create_ctx ();
       prov_mu = Mutex.create ();
       log_mu = Mutex.create ();
-      pool = (if cfg.jobs > 1 then Some (Par.Pool.create ~jobs:cfg.jobs) else None);
-      batching = false;
-      batch_inbox = [];
+      pool =
+        (if cfg.jobs > 1 || shard_count > 1 then
+           Some (Par.Pool.create ~jobs:pool_jobs)
+         else None);
       obs_events = Obs.Events.create ~capacity:8192 ();
       tracer = None;
       h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
@@ -218,16 +424,20 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   in
   Obs.Metrics.set t.g_crashed 0.0;
   Obs.Metrics.set (Obs.Metrics.gauge reg "par.jobs") (float_of_int cfg.jobs);
+  Obs.Metrics.set (Obs.Metrics.gauge reg "sim.shards") (float_of_int shard_count);
   (* Marker events keep the sim.crashed_nodes gauge current as the
-     fault model's fail-stop schedule plays out. *)
+     fault model's fail-stop schedule plays out.  They are telemetry
+     only (crash semantics come from the pure [Fault.is_down]), so
+     shard 0 hosts them all regardless of the crashed node's shard. *)
   List.iter
     (fun (c : Net.Fault.crash) ->
-      Net.Event_sim.schedule_at t.sim ~time:c.Net.Fault.cr_at (fun () ->
+      Net.Event_sim.schedule_at t.shards.(0).sh_sim ~time:c.Net.Fault.cr_at
+        (fun () ->
           t.crashed_now <- t.crashed_now + 1;
           Obs.Metrics.set t.g_crashed (float_of_int t.crashed_now));
       match c.Net.Fault.cr_restart with
       | Some r ->
-        Net.Event_sim.schedule_at t.sim ~time:r (fun () ->
+        Net.Event_sim.schedule_at t.shards.(0).sh_sim ~time:r (fun () ->
             t.crashed_now <- t.crashed_now - 1;
             Obs.Metrics.set t.g_crashed (float_of_int t.crashed_now))
       | None -> ())
@@ -312,7 +522,7 @@ let capture_derivation (t : t) (n : node) (deriv : Eval.derivation) :
                 origin_of t n b,
                 Option.map Value.to_addr asserter ))
             deriv.d_body;
-        dr_at = Net.Event_sim.now t.sim;
+        dr_at = now t;
         dr_signature = signature;
         dr_signer = signer }
     in
@@ -360,37 +570,37 @@ let deliver : (t -> node -> Net.Wire.message -> unit) ref =
 
 (* Per-(src,dst) channel sequence numbers: the reliable layer keys its
    pending table and the receiver's dedup table by (src, dst, seq), so
-   sequence numbers must be unique per channel, not globally. *)
+   sequence numbers must be unique per channel, not globally.  Each
+   channel is driven from the sender's shard, but the table itself
+   resizes under concurrent writers, hence [net_mu]. *)
 let next_seq (t : t) ~(src : string) ~(dst : string) : int =
-  let key = (src, dst) in
-  let s = Option.value (Hashtbl.find_opt t.chan_seq key) ~default:0 in
-  Hashtbl.replace t.chan_seq key (s + 1);
-  s
+  locked t.net_mu (fun () ->
+      let key = (src, dst) in
+      let s = Option.value (Hashtbl.find_opt t.chan_seq key) ~default:0 in
+      Hashtbl.replace t.chan_seq key (s + 1);
+      s)
 
 (* --- faulty transport ------------------------------------------------ *)
 
 (* One transmission attempt over the (possibly faulty) network: asks
    the fault model how many copies arrive and with what extra delay.
-   ACK verdicts hash a complemented sequence number so an ACK's fate is
-   independent of the data message on the reverse channel that happens
-   to share its seq. *)
+   Verdicts are keyed by [ident] — the message's content identity
+   (kind-prefixed tuple identity), supplied by the caller — so a
+   [--fault-seed] run's fate per message is independent of the
+   enqueue-order-dependent channel sequence numbers and reproduces
+   across [--shards] values. *)
 let transmit (t : t) ~(delay : float) (receiver : node) (msg : Net.Wire.message)
-    ~(attempt : int) : unit =
-  let seq =
-    match msg.Net.Wire.msg_kind with
-    | Net.Wire.K_data | Net.Wire.K_retract -> msg.Net.Wire.msg_seq
-    | Net.Wire.K_ack -> lnot msg.Net.Wire.msg_seq
-  in
+    ~(attempt : int) ~(ident : string) : unit =
   let deliveries =
     Net.Fault.decide t.cfg.Config.fault ~src:msg.Net.Wire.msg_src
-      ~dst:msg.Net.Wire.msg_dst ~seq ~attempt
+      ~dst:msg.Net.Wire.msg_dst ~ident ~attempt
   in
   (match deliveries with
   | [] -> Net.Stats.record_drop t.stats
   | _ :: extras -> List.iter (fun _ -> Net.Stats.record_dup t.stats) extras);
   List.iter
     (fun extra ->
-      Net.Event_sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
+      sched_to t receiver.n_addr ~delay:(delay +. extra) (fun () ->
           !deliver t receiver msg))
     deliveries
 
@@ -400,8 +610,8 @@ let transmit (t : t) ~(delay : float) (receiver : node) (msg : Net.Wire.message)
    fail-stopped parks itself until the sender restarts (the pending
    table is the sender's stable storage). *)
 let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
-    ~(delay : float) ~(latency : float) ~(attempt : int) : unit =
-  transmit t ~delay receiver msg ~attempt;
+    ~(delay : float) ~(latency : float) ~(attempt : int) ~(ident : string) : unit =
+  transmit t ~delay receiver msg ~attempt ~ident;
   let key = (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq) in
   (* Exponential backoff, capped: without the cap a run at 20% loss
      spends most of its simulated time inside minute-long retransmit
@@ -426,19 +636,19 @@ let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
                ("reason", reason) ] })
   in
   let rec on_timer () =
-    if Hashtbl.mem t.pending key then begin
-      let now = Net.Event_sim.now t.sim in
+    if locked t.net_mu (fun () -> Hashtbl.mem t.pending key) then begin
+      let now = now t in
       let fault = t.cfg.Config.fault in
       if Net.Fault.is_down fault ~now msg.Net.Wire.msg_src then
         match Net.Fault.restart_after fault ~now msg.Net.Wire.msg_src with
-        | Some at -> Net.Event_sim.schedule_at t.sim ~time:at on_timer
+        | Some at -> sched_at_to t msg.Net.Wire.msg_src ~time:at on_timer
         | None ->
           (* The sender never comes back; nobody will retransmit. *)
-          Hashtbl.remove t.pending key;
+          locked t.net_mu (fun () -> Hashtbl.remove t.pending key);
           Net.Stats.record_retry_exhausted t.stats;
           emit_retry_exhausted ~at:now ~reason:"sender_failed"
       else if attempt >= t.cfg.Config.retry_limit then begin
-        Hashtbl.remove t.pending key;
+        locked t.net_mu (fun () -> Hashtbl.remove t.pending key);
         Net.Stats.record_retry_exhausted t.stats;
         emit_retry_exhausted ~at:now ~reason:"retry_limit"
       end
@@ -447,21 +657,35 @@ let rec reliable_send (t : t) (receiver : node) (msg : Net.Wire.message)
         (* The retransmitted copy costs real bandwidth. *)
         Net.Stats.record_message t.stats msg;
         reliable_send t receiver msg ~delay:latency ~latency ~attempt:(attempt + 1)
+          ~ident
       end
     end
   in
-  Net.Event_sim.schedule t.sim ~delay:(delay +. timeout) on_timer
+  (* The timer lives on the sender's shard: retransmission is the
+     sender's CPU re-offering the message, and [latency >= lookahead]
+     keeps the resulting cross-shard delivery safe. *)
+  sched_to t msg.Net.Wire.msg_src ~delay:(delay +. timeout) on_timer
 
-(* Entry point for a freshly produced data message leaving its node. *)
+(* Entry point for a freshly produced data message leaving its node.
+   The fault-verdict identity is the message's content, prefixed per
+   kind so a retraction of a tuple never shares its assertion's
+   verdicts. *)
 let dispatch (t : t) (receiver : node) (msg : Net.Wire.message) ~(delay : float)
     ~(latency : float) : unit =
+  let ident =
+    (match msg.Net.Wire.msg_kind with
+    | Net.Wire.K_retract -> "r|"
+    | Net.Wire.K_data | Net.Wire.K_ack -> "")
+    ^ Tuple.interned_identity msg.Net.Wire.msg_tuple
+  in
   if t.cfg.Config.reliable then begin
-    Hashtbl.replace t.pending
-      (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
-      ();
-    reliable_send t receiver msg ~delay ~latency ~attempt:0
+    locked t.net_mu (fun () ->
+        Hashtbl.replace t.pending
+          (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
+          ());
+    reliable_send t receiver msg ~delay ~latency ~attempt:0 ~ident
   end
-  else transmit t ~delay receiver msg ~attempt:0
+  else transmit t ~delay receiver msg ~attempt:0 ~ident
 
 (* Prepare an emitted tuple for the wire: capture provenance, dedup
    against the sender's sent cache, and sign.  Everything here is
@@ -475,15 +699,28 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
      these pointers back through the node that derived the tuple) and
      obtain the combined expression of this derivation. *)
   let combined = capture_derivation t sender emit.e_deriv in
+  (* AS-level granularity (Section 5.3): a tuple crossing a domain
+     boundary ships its provenance summarized to the origin domain's
+     single base key; intra-domain sends keep node-level detail. *)
+  let shipped =
+    match t.cfg.granularity with
+    | Config.Node_level -> combined
+    | Config.As_level ->
+      let src_as = Net.Topology.as_of t.topo sender.n_addr in
+      if Net.Topology.as_of t.topo emit.e_dest = src_as then combined
+      else
+        Provenance.Condense.domain_summary combined
+          ~domain:(Printf.sprintf "as%d" src_as)
+  in
   (* Provenance shipped with the tuple: only in local proactive mode
      (receiver Plus-combines alternatives). *)
   let prov_block =
     match (t.cfg.prov, t.cfg.maintenance) with
     | Config.Prov_local, Config.Proactive when sampled t tuple ->
-      if Provenance.Prov_expr.equal combined Provenance.Prov_expr.zero then None
+      if Provenance.Prov_expr.equal shipped Provenance.Prov_expr.zero then None
       else begin
         xc.xc_charge <- xc.xc_charge +. t.cfg.cost_model.per_provenance_seconds;
-        Some (encode_prov t combined)
+        Some (encode_prov t shipped)
       end
     | _ -> None
   in
@@ -497,27 +734,37 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
       Hashtbl.add sender.n_sent_cache cache_group v;
       v
   in
-  if not (Hashtbl.mem variants cache_variant) then begin
-    Hashtbl.add variants cache_variant ();
+  let fresh = not (Hashtbl.mem variants cache_variant) in
+  (* Signing runs *before* the sent-cache verdict on the RSA fastpath:
+     [Wire.signed_bytes] excludes the seq and the provenance block, so
+     a re-derivation re-shipping the same (dest, tuple) — whatever its
+     provenance variant — recurs byte-identically and resolves as a
+     digest-cache hit rather than never reaching the cache at all.
+     Without the fastpath the old layering stands (no speculative
+     exponentiation for a message the sent cache is about to drop). *)
+  if fresh || (t.cfg.auth = Sendlog.Auth.Auth_rsa && t.cfg.use_crypto_fastpath) then begin
     let bytes = Net.Wire.signed_bytes ~src:sender.n_addr ~dst:emit.e_dest tuple in
     let auth =
       Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
         sender.n_principal bytes
     in
-    (match t.cfg.auth with
-    | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
-    | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
-    let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:emit.e_dest in
-    let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
-    xc.xc_out <-
-      { o_kind = Net.Wire.K_data;
-        o_dest = emit.e_dest;
-        o_receiver = receiver;
-        o_latency = latency;
-        o_tuple = tuple;
-        o_auth = auth;
-        o_prov = prov_block }
-      :: xc.xc_out
+    if fresh then begin
+      Hashtbl.add variants cache_variant ();
+      (match t.cfg.auth with
+      | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac -> Net.Stats.record_signature t.stats
+      | Sendlog.Auth.Auth_none | Sendlog.Auth.Auth_cleartext -> ());
+      let latency = Net.Topology.delivery_latency t.topo ~src:sender.n_addr ~dst:emit.e_dest in
+      let receiver = Hashtbl.find_opt t.nodes emit.e_dest in
+      xc.xc_out <-
+        { o_kind = Net.Wire.K_data;
+          o_dest = emit.e_dest;
+          o_receiver = receiver;
+          o_latency = latency;
+          o_tuple = tuple;
+          o_auth = auth;
+          o_prov = prov_block }
+        :: xc.xc_out
+    end
   end
 
 let self_principal_of (t : t) (n : node) : Value.t option =
@@ -532,7 +779,7 @@ let on_derive_for (t : t) (n : node) : Eval.derivation -> unit =
  fun deriv ->
   if t.log_derivations then
     locked t.log_mu (fun () -> t.derivation_log <- deriv :: t.derivation_log);
-  let at = Net.Event_sim.now t.sim in
+  let at = now t in
   Obs.Events.emit t.obs_events ~at
     (Obs.Events.E_rule_fired
        { node = n.n_addr; rule = deriv.Eval.d_rule; derivations = 1 });
@@ -545,7 +792,7 @@ let on_derive_for (t : t) (n : node) : Eval.derivation -> unit =
    now, so it moves to the offline store rather than lingering online
    as if [old] were still live. *)
 let on_replace_for (t : t) (n : node) : Tuple.t -> unit =
- fun old -> Prov_store.retire n.n_prov old ~now:(Net.Event_sim.now t.sim)
+ fun old -> Prov_store.retire n.n_prov old ~now:(now t)
 
 (* --- incremental deletion (DRed) -------------------------------------- *)
 
@@ -657,7 +904,7 @@ let displacement_drains (n : node) (old : Tuple.t) : bool =
 
 let rec retract_pass (t : t) (xc : exec_ctx) (n : node) ~(lost : Tuple.t list)
     ~(displaced : Tuple.t list ref) : unit =
-  let now = Net.Event_sim.now t.sim in
+  let now = now t in
   let self_principal = self_principal_of t n in
   let on_replace old =
     on_replace_for t n old;
@@ -696,7 +943,8 @@ let rec retract_pass (t : t) (xc : exec_ctx) (n : node) ~(lost : Tuple.t list)
     in
     refresh 0
   end;
-  t.tuples_retracted <- t.tuples_retracted + List.length res.Eval.rr_deleted;
+  locked t.net_mu (fun () ->
+      t.tuples_retracted <- t.tuples_retracted + List.length res.Eval.rr_deleted);
   if res.Eval.rr_deleted <> [] then
     Obs.Events.emit t.obs_events ~at:now
       (Obs.Events.E_custom
@@ -757,7 +1005,7 @@ let process (t : t) (xc : exec_ctx) (n : node) (pending : Eval.frontier_item lis
   in
   let self_principal = self_principal_of t n in
   let emits, _stats =
-    Eval.run_fixpoint n.n_db ~now:(Net.Event_sim.now t.sim)
+    Eval.run_fixpoint n.n_db ~now:(now t)
       ~rules:t.compiled.c_rules ~local:(Some n.n_addr) ?self_principal
       ~support:n.n_support ~on_replace ~pending
       ~on_derive:(on_derive_for t n) ()
@@ -788,7 +1036,7 @@ let handle_retract (t : t) (xc : exec_ctx) (receiver : node)
       (match t.cfg.auth with
       | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
         Net.Stats.record_verification t.stats ~ok:true;
-        Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
+        Obs.Events.emit t.obs_events ~at:(now t)
           (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
       | _ -> ());
       true
@@ -796,7 +1044,7 @@ let handle_retract (t : t) (xc : exec_ctx) (receiver : node)
     | Sendlog.Auth.Forged _ ->
       Net.Stats.record_verification t.stats ~ok:false;
       Net.Stats.record_forged t.stats;
-      let at = Net.Event_sim.now t.sim in
+      let at = now t in
       Obs.Events.emit t.obs_events ~at
         (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
       Obs.Events.emit t.obs_events ~at
@@ -828,7 +1076,7 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
     +. (float_of_int incoming_msgs *. cm.per_message_seconds)
     +. (float_of_int incoming_bytes /. cm.throughput_bytes_per_sec)
   in
-  let now = Net.Event_sim.now t.sim in
+  let now = now t in
   n.n_free_at <- max n.n_free_at now +. duration;
   let depart = n.n_free_at -. now in
   let outgoing = List.rev xc.xc_out in
@@ -939,7 +1187,7 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
         (match t.cfg.auth with
         | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
           Net.Stats.record_verification t.stats ~ok:true;
-          Obs.Events.emit t.obs_events ~at:(Net.Event_sim.now t.sim)
+          Obs.Events.emit t.obs_events ~at:(now t)
             (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = true })
         | _ -> ());
         Some (Value.V_str p)
@@ -947,7 +1195,7 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
       | Sendlog.Auth.Forged _ ->
         Net.Stats.record_verification t.stats ~ok:false;
         Net.Stats.record_forged t.stats;
-        let at = Net.Event_sim.now t.sim in
+        let at = now t in
         Obs.Events.emit t.obs_events ~at
           (Obs.Events.E_sig_verified { node = receiver.n_addr; ok = false });
         Obs.Events.emit t.obs_events ~at
@@ -979,7 +1227,7 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
   { Eval.f_tuple = tuple; f_asserter = asserter }
 
 let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
-  let now = Net.Event_sim.now t.sim in
+  let now = now t in
   (* Fail-stop: a crashed node neither consumes ACKs nor processes
      data; the copy is simply lost (the reliable layer's retransmits
      outlive the outage). *)
@@ -991,54 +1239,112 @@ let rec handle_message (t : t) (receiver : node) (msg : Net.Wire.message) : unit
       (* Consumed by the sender-side reliable layer: clears the pending
          entry so the retransmission timer stands down.  No dataflow
          work, so no CPU charge or busy-queue wait. *)
-      Hashtbl.remove t.pending
-        (msg.Net.Wire.msg_dst, msg.Net.Wire.msg_src, msg.Net.Wire.msg_seq)
+      locked t.net_mu (fun () ->
+          Hashtbl.remove t.pending
+            (msg.Net.Wire.msg_dst, msg.Net.Wire.msg_src, msg.Net.Wire.msg_seq))
     | Net.Wire.K_data | Net.Wire.K_retract ->
-      (* If the receiver's CPU is still busy with earlier work, the
-         message waits in its queue. *)
-      if receiver.n_free_at > now +. 1e-9 then
-        Net.Event_sim.schedule_at t.sim ~time:receiver.n_free_at (fun () ->
-            !deliver t receiver msg)
-      else begin
-        (* Reliable delivery: every copy is acknowledged (the first ACK
-           may have been lost), but only the first is processed.
-           Retractions share the channel's sequence space, so the same
-           dedup covers them. *)
-        let fresh =
-          (not t.cfg.Config.reliable)
-          || begin
-               let key =
-                 (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
-               in
-               let count = Option.value (Hashtbl.find_opt t.seen key) ~default:0 in
-               Hashtbl.replace t.seen key (count + 1);
-               send_ack t receiver msg ~attempt:count;
-               count = 0
-             end
-        in
-        if fresh then begin
-          receiver.n_msgs_received <- receiver.n_msgs_received + 1;
-          Net.Stats.record_received t.stats msg;
-          Obs.Events.emit t.obs_events ~at:now
-            (Obs.Events.E_msg_received
-               { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
-          if t.batching then
-            (* Batch engine: defer verification + fixpoint to the
-               grouped per-node computation for this timestamp. *)
-            t.batch_inbox <- (receiver, W_msg msg) :: t.batch_inbox
-          else
-            with_processing t receiver ~incoming_bytes:(Net.Wire.size msg)
-              ?trace_parent:msg.Net.Wire.msg_trace (fun xc ->
-                match msg.Net.Wire.msg_kind with
-                | Net.Wire.K_retract -> handle_retract t xc receiver msg
-                | _ ->
-                  (* [Exit] aborts processing of a forged message; the
-                     work done so far (verification) is still charged to
-                     the node. *)
-                  (try process t xc receiver [ accept_message t receiver msg ]
-                   with Exit -> ()))
-        end
+      (* If the receiver's CPU is still busy with earlier work — or
+         earlier arrivals are still waiting — the message joins the
+         node's receive queue.  A single wake event drains the queue in
+         arrival order; re-parking each message at its own [n_free_at]
+         would let a later arrival overtake one that waited through
+         several busy periods, inverting retract/assert wire order. *)
+      if
+        receiver.n_free_at > now +. 1e-9
+        || not (Queue.is_empty receiver.n_parked)
+      then begin
+        Queue.add msg receiver.n_parked;
+        arm_wake t receiver
       end
+      else deliver_now t receiver msg
+
+(* Arm the node's wake event at the end of its busy period (or now, if
+   it is idle but the queue is nonempty).  At most one wake is pending
+   per node: the wake re-arms itself while work remains. *)
+and arm_wake (t : t) (receiver : node) : unit =
+  if receiver.n_wake_at < 0.0 then begin
+    let at = Float.max receiver.n_free_at (now t) in
+    receiver.n_wake_at <- at;
+    sched_at_to t receiver.n_addr ~time:at (fun () -> wake t receiver)
+  end
+
+(* The wake event: if the node is busy again, re-arm; otherwise drain
+   the receive queue in arrival order.  Under the batch engines the
+   whole queue joins the current timestamp's combined computation; the
+   one-event engine processes the head (which advances [n_free_at])
+   and re-arms for the rest. *)
+and wake (t : t) (receiver : node) : unit =
+  receiver.n_wake_at <- -1.0;
+  if receiver.n_free_at > now t +. 1e-9 then arm_wake t receiver
+  else begin
+    let sh = shard_ctx t in
+    if sh.sh_batching then
+      while not (Queue.is_empty receiver.n_parked) do
+        deliver_now t receiver (Queue.pop receiver.n_parked)
+      done
+    else begin
+      (match Queue.take_opt receiver.n_parked with
+      | Some msg -> deliver_now t receiver msg
+      | None -> ());
+      if not (Queue.is_empty receiver.n_parked) then arm_wake t receiver
+    end
+  end
+
+(* Accept a data or retract message on an idle CPU: acknowledge and
+   dedup (reliable mode), then hand it to the batch inbox or process
+   it inline.  [now] is re-read here — a parked message is charged the
+   wake time, not its arrival time. *)
+and deliver_now (t : t) (receiver : node) (msg : Net.Wire.message) : unit =
+  let now = now t in
+  if Net.Fault.is_down t.cfg.Config.fault ~now receiver.n_addr then
+    (* Crashed while the message waited: the copy is lost (the reliable
+       layer's retransmits outlive the outage). *)
+    Net.Stats.record_drop t.stats
+  else begin
+    (* Reliable delivery: every copy is acknowledged (the first ACK
+       may have been lost), but only the first is processed.
+       Retractions share the channel's sequence space, so the same
+       dedup covers them. *)
+    let fresh =
+      (not t.cfg.Config.reliable)
+      || begin
+           let key =
+             (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq)
+           in
+           let count =
+             locked t.net_mu (fun () ->
+                 let c = Option.value (Hashtbl.find_opt t.seen key) ~default:0 in
+                 Hashtbl.replace t.seen key (c + 1);
+                 c)
+           in
+           send_ack t receiver msg ~attempt:count;
+           count = 0
+         end
+    in
+    if fresh then begin
+      receiver.n_msgs_received <- receiver.n_msgs_received + 1;
+      Net.Stats.record_received t.stats msg;
+      Obs.Events.emit t.obs_events ~at:now
+        (Obs.Events.E_msg_received
+           { node = receiver.n_addr; src = msg.Net.Wire.msg_src; bytes = Net.Wire.size msg });
+      let sh = shard_ctx t in
+      if sh.sh_batching then
+        (* Batch engine: defer verification + fixpoint to the
+           grouped per-node computation for this timestamp. *)
+        sh.sh_inbox <- (receiver, W_msg msg) :: sh.sh_inbox
+      else
+        with_processing t receiver ~incoming_bytes:(Net.Wire.size msg)
+          ?trace_parent:msg.Net.Wire.msg_trace (fun xc ->
+            match msg.Net.Wire.msg_kind with
+            | Net.Wire.K_retract -> handle_retract t xc receiver msg
+            | _ ->
+              (* [Exit] aborts processing of a forged message; the
+                 work done so far (verification) is still charged to
+                 the node. *)
+              (try process t xc receiver [ accept_message t receiver msg ]
+               with Exit -> ()))
+    end
+  end
 
 (* Acknowledge a data message back to its sender.  ACKs ride the same
    faulty network but are never themselves retransmitted: a lost ACK
@@ -1059,7 +1365,12 @@ and send_ack (t : t) (receiver : node) (data : Net.Wire.message) ~(attempt : int
       Net.Topology.delivery_latency t.topo ~src:receiver.n_addr
         ~dst:data.Net.Wire.msg_src
     in
+    (* The ACK's fault identity derives from the *data* message it
+       acknowledges (the wire ACK carries only a placeholder tuple), so
+       an ACK's fate never aliases a data verdict on the reverse
+       channel and stays enqueue-order-independent. *)
     transmit t ~delay:latency orig ack ~attempt
+      ~ident:("ack|" ^ Tuple.interned_identity data.Net.Wire.msg_tuple)
 
 let () = deliver := handle_message
 
@@ -1068,8 +1379,9 @@ let () = deliver := handle_message
 (* Install a base fact at a node (scheduled immediately). *)
 let install_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
   let n = node t at in
-  Net.Event_sim.schedule t.sim ~delay:0.0 (fun () ->
-      if t.batching then t.batch_inbox <- (n, W_fact tuple) :: t.batch_inbox
+  sched_to t at ~delay:0.0 (fun () ->
+      let sh = shard_ctx t in
+      if sh.sh_batching then sh.sh_inbox <- (n, W_fact tuple) :: sh.sh_inbox
       else
         with_processing t n ~incoming_bytes:0 (fun xc ->
             if prov_enabled t && sampled t tuple then
@@ -1103,8 +1415,9 @@ let install_links ?(with_cost = true) (t : t) : unit =
    deletion pass over everything derived from it. *)
 let retract_fact (t : t) ~(at : string) (tuple : Tuple.t) : unit =
   let n = node t at in
-  Net.Event_sim.schedule t.sim ~delay:0.0 (fun () ->
-      if t.batching then t.batch_inbox <- (n, W_retract tuple) :: t.batch_inbox
+  sched_to t at ~delay:0.0 (fun () ->
+      let sh = shard_ctx t in
+      if sh.sh_batching then sh.sh_inbox <- (n, W_retract tuple) :: sh.sh_inbox
       else
         with_processing t n ~incoming_bytes:0 (fun xc ->
             Tuple.Table.remove n.n_base tuple;
@@ -1159,11 +1472,13 @@ let schedule_flaps (t : t) ~(rate : float) ?(mean_downtime = 0.5)
     Net.Fault.flap_schedule t.cfg.Config.fault ~links ~rate ~mean_downtime
       ~horizon ()
   in
-  let start = Net.Event_sim.now t.sim in
+  let start = now t in
   List.iter
     (fun (f : Net.Fault.flap) ->
       let time = start +. f.Net.Fault.fl_at in
-      Net.Event_sim.schedule_at t.sim ~time (fun () ->
+      (* A flap's effects are the source node's link facts, so the
+         transition event lives on the source node's shard. *)
+      sched_at_to t f.Net.Fault.fl_src ~time (fun () ->
           Obs.Events.emit t.obs_events ~at:time
             (Obs.Events.E_custom
                { kind = (if f.Net.Fault.fl_down then "link_down" else "link_up");
@@ -1176,13 +1491,14 @@ let schedule_flaps (t : t) ~(rate : float) ?(mean_downtime = 0.5)
 
 (* --- batch engine (jobs > 1) ------------------------------------------ *)
 
-(* Drain the deferred inbox into per-node work lists, in first-arrival
-   order both across nodes and within each node's list.  That order is
-   the canonical commit order: it makes seq assignment (and hence the
-   whole schedule) independent of which domain computed what. *)
-let group_inbox (t : t) : (node * work_item list) list =
-  let items = List.rev t.batch_inbox in
-  t.batch_inbox <- [];
+(* Drain a shard's deferred inbox into per-node work lists, in
+   first-arrival order both across nodes and within each node's list.
+   That order is the canonical commit order: it makes seq assignment
+   (and hence the whole schedule) independent of which domain computed
+   what. *)
+let group_inbox (sh : shard) : (node * work_item list) list =
+  let items = List.rev sh.sh_inbox in
+  sh.sh_inbox <- [];
   let order = ref [] in
   let tbl : (string, work_item list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -1255,19 +1571,20 @@ let node_compute (t : t) ((n, items) : node * work_item list) :
    sensitive), evaluate the per-node groups on the pool, and commit
    results in canonical group order. *)
 let run_batched (t : t) (pool : Par.Pool.t) ~(until : float) : int =
+  let sh = t.shards.(0) in
   let count = ref 0 in
   let continue = ref true in
   while !continue do
-    match Net.Event_sim.peek_time t.sim with
+    match Net.Event_sim.peek_time sh.sh_sim with
     | None -> continue := false
     | Some ts when ts > until -> continue := false
     | Some _ ->
-      let actions = Net.Event_sim.next_batch t.sim in
+      let actions = Net.Event_sim.next_batch sh.sh_sim in
       count := !count + List.length actions;
-      t.batching <- true;
+      sh.sh_batching <- true;
       List.iter (fun act -> act ()) actions;
-      t.batching <- false;
-      let groups = group_inbox t in
+      sh.sh_batching <- false;
+      let groups = group_inbox sh in
       if groups <> [] then begin
         Obs.Metrics.inc t.c_batches;
         List.iter
@@ -1286,6 +1603,130 @@ let run_batched (t : t) (pool : Par.Pool.t) ~(until : float) : int =
   done;
   !count
 
+(* --- sharded engine (Config.shards <> 1) ------------------------------ *)
+
+(* Flush every shard's cross-shard outbox onto the target queues.
+   Orchestrator-only (between windows).  Entries are sorted by
+   (timestamp, producing shard, per-shard order) before scheduling, so
+   same-timestamp arrivals enqueue — and hence execute — in an order
+   independent of which worker domain drained which shard when. *)
+let flush_outboxes (t : t) : unit =
+  let entries =
+    Array.fold_left (fun acc sh ->
+        let es = sh.sh_outbox in
+        sh.sh_outbox <- [];
+        List.rev_append es acc)
+      [] t.shards
+  in
+  let entries =
+    List.sort
+      (fun a b ->
+        match Float.compare a.ox_time b.ox_time with
+        | 0 -> (
+          match compare a.ox_src b.ox_src with
+          | 0 -> compare a.ox_order b.ox_order
+          | c -> c)
+        | c -> c)
+      entries
+  in
+  List.iter
+    (fun e ->
+      let tsim = t.shards.(e.ox_target).sh_sim in
+      Net.Event_sim.schedule_at tsim
+        ~time:(Float.max (Net.Event_sim.now tsim) e.ox_time)
+        e.ox_action)
+    entries
+
+(* Drain one shard through the window ending at [limit] (exclusive, or
+   inclusive for the degenerate zero-lookahead window), coalescing
+   each timestamp's deliveries into combined per-node fixpoints
+   exactly like [run_batched] — but sequentially on the calling worker
+   domain ([Par.Pool] is not reentrant), with cross-shard products
+   parked in the outbox. *)
+let drain_shard (t : t) (sh : shard) ~(limit : float) ~(inclusive : bool) : int =
+  let in_window ts = if inclusive then ts <= limit else ts < limit in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Net.Event_sim.peek_time sh.sh_sim with
+    | None -> continue := false
+    | Some ts when not (in_window ts) -> continue := false
+    | Some _ ->
+      let actions = Net.Event_sim.next_batch sh.sh_sim in
+      count := !count + List.length actions;
+      sh.sh_batching <- true;
+      List.iter (fun act -> act ()) actions;
+      sh.sh_batching <- false;
+      let groups = group_inbox sh in
+      if groups <> [] then begin
+        Obs.Metrics.inc t.c_batches;
+        List.iter
+          (fun (n, items) ->
+            let len = List.length items in
+            Obs.Metrics.inc ~by:len t.c_batch_items;
+            Obs.Metrics.set_max t.g_group_max (float_of_int len);
+            let n, xc, compute, nmsgs, bytes, tparent = node_compute t (n, items) in
+            commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute
+              ?trace_parent:tparent xc)
+          groups
+      end
+  done;
+  !count
+
+(* Conservative parallel loop: find the global minimum timestamp, open
+   a window of one lookahead, drain every shard through it on the pool
+   (each worker pinned to its shard via [cur_shard_key]), then
+   exchange the buffered cross-shard events at the barrier.  Safety:
+   every cross-shard interaction is delayed by at least the lookahead
+   (delivery latency, ACK latency, retransmit latency are all >= the
+   minimum cross-shard link latency), so nothing produced inside a
+   window can land inside it.  Progress: the shard owning the minimum
+   executes at least one event per round; with zero lookahead the
+   window degenerates to exactly that timestamp, and replies are
+   strictly later (handler durations are positive), so rounds always
+   advance. *)
+let run_sharded (t : t) (pool : Par.Pool.t) ~(until : float) : int =
+  let k = Array.length t.shards in
+  let indices = Array.init k Fun.id in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    flush_outboxes t;
+    let tmin =
+      Array.fold_left
+        (fun acc sh ->
+          match Net.Event_sim.peek_time sh.sh_sim with
+          | Some ts -> ( match acc with Some a -> Some (Float.min a ts) | None -> Some ts)
+          | None -> acc)
+        None t.shards
+    in
+    match tmin with
+    | None -> continue := false
+    | Some ts when ts > until -> continue := false
+    | Some ts ->
+      let limit, inclusive =
+        if t.lookahead > 0.0 && ts +. t.lookahead <= until then
+          (ts +. t.lookahead, false)
+        else if t.lookahead > 0.0 then (until, true)
+        else (ts, true)
+      in
+      let counts =
+        Par.Pool.parallel_map pool
+          (fun i ->
+            let sh = t.shards.(i) in
+            Domain.DLS.set cur_shard_key i;
+            Fun.protect
+              ~finally:(fun () -> Domain.DLS.set cur_shard_key (-1))
+              (fun () -> drain_shard t sh ~limit ~inclusive))
+          indices
+      in
+      count := Array.fold_left ( + ) !count counts
+  done;
+  (* Deliver any events parked at the horizon so a later [run] resumes
+     from a consistent queue. *)
+  flush_outboxes t;
+  !count
+
 type run_result = {
   wall_seconds : float; (* real CPU time: the paper's completion time *)
   sim_seconds : float; (* simulated network time at quiescence *)
@@ -1302,12 +1743,17 @@ let run ?(until = Float.infinity) (t : t) : run_result =
   let go () =
     let t0 = Unix.gettimeofday () in
     let events =
-      match t.pool with
-      | Some pool -> run_batched t pool ~until
-      | None -> Net.Event_sim.run ~until t.sim
+      if Array.length t.shards > 1 then
+        match t.pool with
+        | Some pool -> run_sharded t pool ~until
+        | None -> assert false (* create always pools a sharded engine *)
+      else
+        match t.pool with
+        | Some pool -> run_batched t pool ~until
+        | None -> Net.Event_sim.run ~until t.shards.(0).sh_sim
     in
     let wall = Unix.gettimeofday () -. t0 in
-    { wall_seconds = wall; sim_seconds = Net.Event_sim.now t.sim; events }
+    { wall_seconds = wall; sim_seconds = now t; events }
   in
   match t.tracer with
   | Some tr -> Obs.Trace.with_span tr ~attrs:[ ("config", Config.name t.cfg) ] "run" go
@@ -1328,14 +1774,19 @@ let shutdown (t : t) : unit =
    fallout addressed to other nodes is queued and delivered by the
    next [run] or [advance]. *)
 let advance (t : t) ~(seconds : float) : unit =
-  let horizon = Net.Event_sim.now t.sim +. seconds in
-  (* Marker event: carries the clock to the horizon even when the
-     queue drains early. *)
-  Net.Event_sim.schedule t.sim ~delay:seconds (fun () -> ());
-  (match t.pool with
-  | Some pool -> ignore (run_batched t pool ~until:horizon)
-  | None -> ignore (Net.Event_sim.run ~until:horizon t.sim));
-  let now = Net.Event_sim.now t.sim in
+  let horizon = now t +. seconds in
+  (* Marker events: carry every shard's clock to the horizon even when
+     its queue drains early, so TTL eviction sees one coherent time. *)
+  Array.iter
+    (fun sh -> Net.Event_sim.schedule_at sh.sh_sim ~time:horizon (fun () -> ()))
+    t.shards;
+  (if Array.length t.shards > 1 then
+     ignore (run_sharded t (Option.get t.pool) ~until:horizon)
+   else
+     match t.pool with
+     | Some pool -> ignore (run_batched t pool ~until:horizon)
+     | None -> ignore (Net.Event_sim.run ~until:horizon t.shards.(0).sh_sim));
+  let now = now t in
   List.iter
     (fun n ->
       let evicted = Db.evict_expired n.n_db ~now in
@@ -1382,14 +1833,20 @@ let config (t : t) : Config.t = t.cfg
 
 let topology (t : t) : Net.Topology.t = t.topo
 
-let sim (t : t) : Net.Event_sim.t = t.sim
+(* The default shard's simulator, for tests and tools that schedule
+   probe events directly; with [shards = 1] this is the engine's only
+   queue.  Use {!now} for the virtual clock — under sharding each
+   shard keeps its own. *)
+let sim (t : t) : Net.Event_sim.t = t.shards.(0).sh_sim
+
+let shard_count (t : t) : int = Array.length t.shards
 
 let directory (t : t) : Sendlog.Principal.directory = t.directory
 
 (* Whether [addr] is fail-stopped at the current virtual time; the
    basis for traceback's graceful degradation. *)
 let is_node_down (t : t) (addr : string) : bool =
-  Net.Fault.is_down t.cfg.Config.fault ~now:(Net.Event_sim.now t.sim) addr
+  Net.Fault.is_down t.cfg.Config.fault ~now:(now t) addr
 
 (* Swap a node's signing identity (adversary simulation in tests: a
    rogue principal whose signatures the directory can't verify). *)
@@ -1408,7 +1865,7 @@ let set_tracer (t : t) (tr : Obs.Trace.t) : unit = t.tracer <- Some tr
 (* Attach a tracer whose primary clock is the simulator's virtual
    clock (wall-clock durations are recorded alongside). *)
 let enable_tracing (t : t) : Obs.Trace.t =
-  let tr = Obs.Trace.create ~clock:(fun () -> Net.Event_sim.now t.sim) () in
+  let tr = Obs.Trace.create ~clock:(fun () -> now t) () in
   t.tracer <- Some tr;
   tr
 

@@ -45,6 +45,12 @@ type node = {
   mutable n_msgs_received : int;
   mutable n_free_at : float;
       (** virtual time until which this node's CPU is busy *)
+  n_parked : Net.Wire.message Queue.t;
+      (** receive queue: arrivals during a busy period, drained FIFO by
+          a wake event so later arrivals can never overtake earlier
+          ones (retract/assert wire order is load-bearing) *)
+  mutable n_wake_at : float;
+      (** time of the armed wake event, or [-1.0] when none *)
 }
 
 type t
@@ -165,7 +171,20 @@ val tuples_retracted : t -> int
 val dropped_forged : t -> int
 val config : t -> Config.t
 val topology : t -> Net.Topology.t
+
 val sim : t -> Net.Event_sim.t
+(** The default shard's event queue, for tests and tools that schedule
+    probe events directly.  Under [Config.shards <> 1] each shard has
+    its own queue and clock; use {!now} for the virtual time. *)
+
+val now : t -> float
+(** Current virtual time: the calling shard's clock inside the engine,
+    the maximum over shard clocks from outside (with one shard, simply
+    the simulator clock). *)
+
+val shard_count : t -> int
+(** Number of event-simulator shards this runtime was created with. *)
+
 val directory : t -> Sendlog.Principal.directory
 
 val is_node_down : t -> string -> bool

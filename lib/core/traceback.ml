@@ -46,9 +46,27 @@ let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
   let cost = { remote_queries = 0; query_bytes = 0; nodes_visited = 1 } in
   let visited = Hashtbl.create 64 in
   let partial = ref false in
+  (* AS-level granularity (Section 5.3): the querying node sees full
+     node-level detail inside its own domain, but a walk that crosses
+     into another AS stops at the boundary with a single leaf naming
+     the origin domain — matching what [Runtime.send] shipped. *)
+  let topo = Runtime.topology t in
+  let home_as = Net.Topology.as_of topo at in
+  let domain_cut addr =
+    match (Runtime.config t).Config.granularity with
+    | Config.Node_level -> None
+    | Config.As_level ->
+      let a = Net.Topology.as_of topo addr in
+      if a = home_as then None else Some (Printf.sprintf "as%d" a)
+  in
   let rec walk (addr : string) (tuple : Tuple.t) (depth : int) : Provenance.Derivation.t =
     let key = addr ^ "|" ^ Tuple.interned_identity tuple in
     let ident = Tuple.interned_identity tuple in
+    match domain_cut addr with
+    | Some dom ->
+      Provenance.Derivation.Leaf
+        { tuple = ident; ann = Provenance.Derivation.annot ~says:dom dom }
+    | None ->
     (* Graceful degradation: a crashed node can't answer a provenance
        query, so its subtree becomes an explicit [Unreachable] stub
        instead of hanging the traceback or raising. *)

@@ -188,12 +188,20 @@ let result_is_new = function
   | Refreshed | Rejected -> false
 
 (* Compare a candidate against the incumbent under a preference
-   order; [true] when the candidate should replace it. *)
+   order; [true] when the candidate should replace it.  Ties on the
+   preferred column fall back to the structural whole-tuple order, so
+   which equal-cost witness survives does not depend on arrival order
+   — the property the sharded simulator's byte-identity rests on. *)
 let candidate_wins prefer ~incumbent ~candidate =
+  let tie () = Tuple.compare candidate incumbent < 0 in
   match prefer with
   | P_last -> true
-  | P_min i -> Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) < 0
-  | P_max i -> Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) > 0
+  | P_min i ->
+    let c = Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) in
+    c < 0 || (c = 0 && tie ())
+  | P_max i ->
+    let c = Value.compare (Tuple.arg candidate i) (Tuple.arg incumbent i) in
+    c > 0 || (c = 0 && tie ())
 
 let insert (db : t) ~(now : float) ?(asserted_by : Value.t option)
     (tuple : Tuple.t) : insert_result =
@@ -378,7 +386,14 @@ let configure_from_program (db : t) (p : Ndlog.Ast.program) : unit =
   List.iter
     (function
       | Ndlog.Ast.D_ttl (rel, seconds) -> set_ttl db rel seconds
-      | Ndlog.Ast.D_key (rel, key) -> set_policy db rel (Replace { key; prefer = P_last })
+      | Ndlog.Ast.D_key (rel, key, hint) ->
+        let prefer =
+          match hint with
+          | Ndlog.Ast.K_last -> P_last
+          | Ndlog.Ast.K_min i -> P_min i
+          | Ndlog.Ast.K_max i -> P_max i
+        in
+        set_policy db rel (Replace { key; prefer })
       | Ndlog.Ast.D_watch _ -> ())
     (Ndlog.Ast.directives p);
   List.iter

@@ -74,9 +74,17 @@ type fact = {
 }
 [@@deriving show, eq]
 
+(* Preference order for a `#key` relation: which of two tuples sharing
+   a key survives.  [K_last] is P2's last-write-wins; [K_min]/[K_max]
+   keep the extremum of one column with a deterministic whole-tuple
+   tie-break, so the materialized table is insertion-order independent
+   (required for sharded-run byte-identity, DESIGN.md Section 11). *)
+type key_prefer = K_last | K_min of int | K_max of int [@@deriving show, eq]
+
 type directive =
   | D_ttl of string * float (* #ttl pred seconds. : soft-state lifetime *)
-  | D_key of string * int list (* #key pred i,j. : replace-semantics key *)
+  | D_key of string * int list * key_prefer
+      (* #key pred i,j [min k|max k]. : replace-semantics key *)
   | D_watch of string (* #watch pred. : log derivations *)
 [@@deriving show, eq]
 

@@ -336,8 +336,17 @@ let parse_directive (st : state) : statement =
         | _ -> error st "usage: #key predicate i,j,..."
       in
       let ks = go [] in
+      let prefer =
+        match peek st with
+        | Lexer.IDENT ("min" | "max") -> (
+          let dir = match advance st with Lexer.IDENT d -> d | _ -> assert false in
+          match advance st with
+          | Lexer.INT i -> if dir = "min" then K_min i else K_max i
+          | _ -> error st "usage: #key predicate i,j min k.")
+        | _ -> K_last
+      in
       expect st Lexer.PERIOD ". after #key";
-      S_directive (D_key (p, ks))
+      S_directive (D_key (p, ks, prefer))
     | _ -> error st "usage: #key predicate i,j,...")
   | Lexer.HASH_WATCH -> (
     match advance st with

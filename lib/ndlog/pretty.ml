@@ -107,8 +107,16 @@ let directive_to_string = function
   | D_ttl (p, s) ->
     if Float.is_integer s then Printf.sprintf "#ttl %s %d." p (int_of_float s)
     else Printf.sprintf "#ttl %s %g." p s
-  | D_key (p, ks) ->
-    Printf.sprintf "#key %s %s." p (String.concat "," (List.map string_of_int ks))
+  | D_key (p, ks, prefer) ->
+    let suffix =
+      match prefer with
+      | K_last -> ""
+      | K_min i -> Printf.sprintf " min %d" i
+      | K_max i -> Printf.sprintf " max %d" i
+    in
+    Printf.sprintf "#key %s %s%s." p
+      (String.concat "," (List.map string_of_int ks))
+      suffix
   | D_watch p -> Printf.sprintf "#watch %s." p
 
 (* Print a whole program, re-grouping rules under their `At P:` context

@@ -33,11 +33,16 @@ s3 reachable(Z, Y)@Z :- Z says linkD(S, Z), W says reachable(S, Y).
 
    The recursion goes through [bestPath] (not raw [path]) so that only
    optimal prefixes are extended; this both matches the path-vector
-   protocol the paper references and keeps the computation finite. *)
+   protocol the paper references and keeps the computation finite.
+
+   [#key bestPath 0,1 min 3.] keeps, among equal-cost witnesses, the
+   structurally least tuple instead of the last arrival, so the
+   fixpoint is independent of message interleaving — sequential,
+   batched and sharded runs agree byte for byte. *)
 let best_path_src =
   {|
 #key bestPathCost 0,1.
-#key bestPath 0,1.
+#key bestPath 0,1 min 3.
 p1 path(@S, D, P, C) :- link(@S, D, C), P := f_init(S, D).
 p2 path(@S, D, P, C) :- link(@S, Z, C1), bestPath(@Z, D, P2, C2),
    f_member(P2, S) == false, C := C1 + C2, P := f_concat(S, P2).
@@ -52,7 +57,7 @@ p4 bestPath(@S, D, P, C) :- bestPathCost(@S, D, C), path(@S, D, P, C).
 let sendlog_best_path_src =
   {|
 #key bestPathCost 0,1.
-#key bestPath 0,1.
+#key bestPath 0,1 min 3.
 At S:
 sp1 path(S, D, P, C) :- link(S, D, C), P := f_init(S, D).
 sp2 pathHint(S, C1, D)@D :- link(S, D, C1).

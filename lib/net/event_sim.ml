@@ -175,6 +175,38 @@ let next_batch (t : t) : (unit -> unit) list =
 
 let queue_capacity (t : t) : int = Pq.capacity t.queue
 
+(* Drain every event strictly below [limit] (at or below with
+   [inclusive]), including events those events schedule inside the
+   window.  This is the sharded engine's unit of work: one shard
+   drains its own queue up to the conservative safe-advance limit
+   while the other shards do the same, and events at or beyond the
+   limit wait for the next barrier.  Unlike [run ~until] the clock is
+   left where the last executed event put it, never advanced to
+   [limit], so a later cross-shard delivery stamped inside [now,
+   limit) can still be scheduled. *)
+let run_window ?(inclusive = false) ~(limit : float) (t : t) : int =
+  let in_window time = if inclusive then time <= limit else time < limit in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Pq.pop t.queue with
+    | None -> continue := false
+    | Some e ->
+      if not (in_window e.ev_time) then begin
+        Pq.push t.queue e;
+        continue := false
+      end
+      else begin
+        t.now <- max t.now e.ev_time;
+        t.processed <- t.processed + 1;
+        e.ev_action ();
+        incr count
+      end
+  done;
+  Obs.Metrics.inc ~by:!count t.c_processed;
+  Obs.Metrics.set t.g_capacity (float_of_int (Pq.capacity t.queue));
+  !count
+
 let events_processed (t : t) : int = t.processed
 
 (* Run until the queue drains (distributed fixpoint / quiescence) or

@@ -50,6 +50,15 @@ val queue_capacity : t -> int
 (** Current heap array capacity (the queue shrinks after bursts; the
     memory tests observe this). *)
 
+val run_window : ?inclusive:bool -> limit:float -> t -> int
+(** Execute every queued event with timestamp strictly below [limit]
+    ([<= limit] with [inclusive]), including events scheduled {e
+    inside} the window by those executions; events at or beyond the
+    limit stay queued.  The clock is left at the last executed event's
+    time (never advanced to [limit]), so the sharded engine can still
+    schedule cross-shard deliveries stamped inside the window.
+    Returns the number of events processed by this call. *)
+
 val events_processed : t -> int
 (** Total events executed since {!create}. *)
 

@@ -6,12 +6,18 @@
    schedule fail-stop node crashes.
 
    Determinism invariant: every per-message verdict is derived from a
-   SHA-256 hash of (model seed, src, dst, seq, attempt) that seeds a
-   private [Crypto.Rng], never from a shared RNG stream.  Handler
-   durations in the simulator include measured wall CPU, so event
-   *interleaving* varies run to run; hashing per message makes each
-   verdict independent of delivery order, which is what keeps a faulty
-   run byte-for-byte reproducible from its seed. *)
+   SHA-256 hash of (model seed, src, dst, message identity, attempt)
+   that seeds a private [Crypto.Rng], never from a shared RNG stream.
+   Handler durations in the simulator include measured wall CPU, so
+   event *interleaving* varies run to run; hashing per message makes
+   each verdict independent of delivery order, which is what keeps a
+   faulty run byte-for-byte reproducible from its seed.  The identity
+   key is the message's *content* (kind-prefixed tuple identity), not
+   its per-channel sequence number: sequence numbers are assigned in
+   enqueue order, which the sharded engine does not preserve across
+   shard counts, whereas the set of (channel, content) pairs a run
+   ships is interleaving-independent — so verdicts reproduce
+   bit-for-bit across [--shards] values. *)
 
 type spec = {
   drop : float; (* P(message lost in transit), per attempt *)
@@ -85,9 +91,9 @@ let spec_for (m : model) ~(src : string) ~(dst : string) : spec =
 
 (* --- per-message verdicts -------------------------------------------- *)
 
-let rng_for (m : model) ~(src : string) ~(dst : string) ~(seq : int)
+let rng_for (m : model) ~(src : string) ~(dst : string) ~(ident : string)
     ~(attempt : int) : Crypto.Rng.t =
-  let key = Printf.sprintf "fault|%d|%s|%s|%d|%d" m.seed src dst seq attempt in
+  let key = Printf.sprintf "fault|%d|%s|%s|%s|%d" m.seed src dst ident attempt in
   let d = Crypto.Sha256.digest key in
   let s = ref 0 in
   for i = 0 to 7 do
@@ -99,12 +105,12 @@ let rng_for (m : model) ~(src : string) ~(dst : string) ~(seq : int)
    delivers: [[]] means the attempt was dropped, a two-element list
    means it was duplicated.  All randomness is drawn in a fixed order
    so verdicts never depend on which branch is taken. *)
-let decide (m : model) ~(src : string) ~(dst : string) ~(seq : int)
+let decide (m : model) ~(src : string) ~(dst : string) ~(ident : string)
     ~(attempt : int) : float list =
   let spec = spec_for m ~src ~dst in
   if spec_is_harmless spec then [ 0.0 ]
   else begin
-    let rng = rng_for m ~src ~dst ~seq ~attempt in
+    let rng = rng_for m ~src ~dst ~ident ~attempt in
     let dropped = Crypto.Rng.float rng 1.0 < spec.drop in
     let duplicated = Crypto.Rng.float rng 1.0 < spec.duplicate in
     let extra_delay () =

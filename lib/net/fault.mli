@@ -3,10 +3,14 @@
     A {!model} describes how links misbehave (loss, duplication,
     reordering jitter) and which nodes fail-stop and when.  Every
     per-message verdict is computed by hashing (model seed, src, dst,
-    seq, attempt) into a private {!Crypto.Rng}; no shared RNG stream is
-    consumed, so verdicts are independent of event interleaving and a
-    faulty run is reproducible from its seed even though handler
-    durations include measured wall CPU. *)
+    message identity, attempt) into a private {!Crypto.Rng}; no shared
+    RNG stream is consumed, so verdicts are independent of event
+    interleaving and a faulty run is reproducible from its seed even
+    though handler durations include measured wall CPU.  Keying on
+    message {e identity} (content) rather than the per-channel
+    sequence number makes verdicts independent of enqueue order, so a
+    [--fault-seed] run reproduces bit-for-bit across sharded-simulator
+    configurations. *)
 
 type spec = {
   drop : float;  (** P(message lost in transit), per attempt *)
@@ -62,10 +66,13 @@ val is_ideal : model -> bool
 val spec_for : model -> src:string -> dst:string -> spec
 
 val decide :
-  model -> src:string -> dst:string -> seq:int -> attempt:int -> float list
+  model -> src:string -> dst:string -> ident:string -> attempt:int -> float list
 (** The network's verdict on one transmission attempt: one extra-delay
     value per copy actually delivered.  [[]] means dropped; two
-    elements mean duplicated.  Deterministic in its arguments. *)
+    elements mean duplicated.  Deterministic in its arguments; [ident]
+    is the message's content identity (kind-prefixed tuple identity),
+    so identical content retransmitted on the same attempt number gets
+    the same verdict regardless of enqueue order. *)
 
 val is_down : model -> now:float -> string -> bool
 (** Whether [node] is crashed at virtual time [now]. *)

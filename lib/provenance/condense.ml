@@ -98,6 +98,18 @@ let compression_ratio (ctx : ctx) (e : Prov_expr.t) : float =
   let b = encode ctx e in
   float_of_int (raw_wire_size e) /. float_of_int (condensed_wire_size b)
 
+(* AS-level provenance granularity (Section 5.3): at a domain
+   boundary, a tuple's full intra-domain derivation collapses to a
+   single base key naming the origin domain.  The receiving domain
+   then sees <as3> where node-level granularity would ship
+   <a*b+a*c*d>, so the condensed BDD's support — and with it the wire
+   encoding — is bounded by the number of ASes rather than the number
+   of nodes along the derivation.  Zero stays zero: an underivable
+   tuple must not acquire support by crossing a boundary. *)
+let domain_summary (e : Prov_expr.t) ~(domain : string) : Prov_expr.t =
+  if Prov_expr.equal e Prov_expr.zero then Prov_expr.zero
+  else Prov_expr.base domain
+
 exception Wire_error of string
 
 (* Wire form of condensed provenance: the serialized BDD plus its

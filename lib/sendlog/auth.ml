@@ -28,12 +28,14 @@ let mode_to_string = function
    so identical payloads can share signature work.  The runtime's
    per-node sent cache keys on (dest, tuple, provenance block) and only
    signs on a miss, and retransmissions reuse the already-signed
-   message — so on workloads without shipped provenance every signed
-   payload is unique by construction and hits read 0 (the crypto
-   ablation's steady state).  The cache earns hits when the same tuple
-   is re-shipped to the same destination under a *different* provenance
-   block: the sent cache misses but the signed bytes recur (covered by
-   the live-path fixture in test_sendlog.ml). *)
+   message — so on workloads where no tuple is ever re-derived toward
+   the same destination every signed payload is unique and hits read 0.
+   The cache earns hits when the same tuple is re-shipped to the same
+   destination under a *different* provenance block: the sent cache
+   misses but the signed bytes recur (covered by the live-path fixture
+   in test_sendlog.ml and asserted by the bench crypto ablation, which
+   runs the provenance-shipping configuration for exactly this
+   reason). *)
 let c_cache_hits =
   lazy (Obs.Metrics.counter Obs.Metrics.default "crypto.sign_cache_hits")
 

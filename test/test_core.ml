@@ -434,7 +434,8 @@ let fake_points =
   (* a synthetic sweep with the paper's qualitative shape *)
   let mk config n wall mb =
     { Core.Bestpath_workload.p_config = config; p_n = n; p_wall_seconds = wall;
-      p_sim_seconds = wall; p_megabytes = mb; p_messages = 0; p_signatures = 0;
+      p_wall_stddev = 0.0; p_sim_seconds = wall; p_sim_stddev = 0.0;
+      p_megabytes = mb; p_mb_stddev = 0.0; p_messages = 0; p_signatures = 0;
       p_verif_failures = 0; p_dropped_forged = 0; p_best_paths = 0 }
   in
   [ mk "NDLog" 10 1.0 1.0; mk "SeNDLog" 10 1.6 1.5; mk "SeNDLogProv" 10 2.2 2.3;

@@ -12,4 +12,5 @@ let () =
       ("sendlog", Test_sendlog.suite);
       ("core", Test_core.suite);
       ("par", Test_par.suite);
+      ("shard", Test_shard.suite);
       ("obs", Test_obs.suite) ]

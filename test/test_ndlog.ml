@@ -108,11 +108,16 @@ let test_parse_facts () =
     (f.fact_args = [ Ast.C_str "a"; Ast.C_str "b"; Ast.C_int 1 ])
 
 let test_parse_directives () =
-  let p = parse "#ttl link 30.\n#key best 0,1.\n#watch alarm.\np(@a)." in
+  let p =
+    parse "#ttl link 30.\n#key best 0,1.\n#key top 0 max 2.\n#watch alarm.\np(@a)."
+  in
   let ds = Ast.directives p in
-  Alcotest.(check int) "three directives" 3 (List.length ds);
+  Alcotest.(check int) "four directives" 4 (List.length ds);
   Alcotest.(check bool) "ttl" true (List.mem (Ast.D_ttl ("link", 30.0)) ds);
-  Alcotest.(check bool) "key" true (List.mem (Ast.D_key ("best", [ 0; 1 ])) ds);
+  Alcotest.(check bool) "key" true
+    (List.mem (Ast.D_key ("best", [ 0; 1 ], Ast.K_last)) ds);
+  Alcotest.(check bool) "key with preference" true
+    (List.mem (Ast.D_key ("top", [ 0 ], Ast.K_max 2)) ds);
   Alcotest.(check bool) "watch" true (List.mem (Ast.D_watch "alarm") ds)
 
 let test_parse_expressions () =

@@ -302,17 +302,50 @@ let test_fault_decide_deterministic () =
       ~default_spec:(Net.Fault.uniform ~drop:0.3 ~duplicate:0.2 ~reorder:0.5 ())
       ()
   in
+  let ident i = Printf.sprintf "m%d" i in
   let verdicts m =
-    List.init 200 (fun seq ->
-        Net.Fault.decide m ~src:"n0" ~dst:"n1" ~seq ~attempt:0)
+    List.init 200 (fun i ->
+        Net.Fault.decide m ~src:"n0" ~dst:"n1" ~ident:(ident i) ~attempt:0)
   in
   Alcotest.(check bool) "same seed, same verdicts" true (verdicts m = verdicts m);
   Alcotest.(check bool) "different seed, different verdicts" false
     (verdicts m = verdicts (Net.Fault.with_seed m 43));
-  (* a retransmission attempt rolls fresh dice for the same seq *)
+  (* a retransmission attempt rolls fresh dice for the same identity *)
   Alcotest.(check bool) "attempts are independent" false
-    (List.init 200 (fun seq -> Net.Fault.decide m ~src:"n0" ~dst:"n1" ~seq ~attempt:1)
+    (List.init 200 (fun i ->
+         Net.Fault.decide m ~src:"n0" ~dst:"n1" ~ident:(ident i) ~attempt:1)
     = verdicts m)
+
+(* Satellite of the sharded-engine work: verdicts are keyed by message
+   identity, never by enqueue order, so any permutation of the query
+   order — which is what a different [--shards] value induces — yields
+   the same per-message fate. *)
+let test_fault_verdicts_order_independent () =
+  let m =
+    Net.Fault.make ~seed:99
+      ~default_spec:(Net.Fault.uniform ~drop:0.3 ~duplicate:0.2 ~reorder:0.4 ())
+      ()
+  in
+  let idents = List.init 100 (fun i -> Printf.sprintf "tuple|%d" i) in
+  let forward =
+    List.map (fun ident -> Net.Fault.decide m ~src:"a" ~dst:"b" ~ident ~attempt:0) idents
+  in
+  let backward =
+    List.rev_map
+      (fun ident -> Net.Fault.decide m ~src:"a" ~dst:"b" ~ident ~attempt:0)
+      (List.rev idents)
+  in
+  Alcotest.(check bool) "reversed query order, same verdicts" true (forward = backward);
+  (* interleaving queries for other channels must not perturb them *)
+  let interleaved =
+    List.map
+      (fun ident ->
+        ignore (Net.Fault.decide m ~src:"b" ~dst:"a" ~ident ~attempt:0);
+        ignore (Net.Fault.decide m ~src:"a" ~dst:"b" ~ident ~attempt:1);
+        Net.Fault.decide m ~src:"a" ~dst:"b" ~ident ~attempt:0)
+      idents
+  in
+  Alcotest.(check bool) "interleaved queries, same verdicts" true (forward = interleaved)
 
 let test_fault_rates_sane () =
   let m =
@@ -323,7 +356,9 @@ let test_fault_rates_sane () =
   let n = 2000 in
   let dropped = ref 0 and dup = ref 0 in
   for seq = 0 to n - 1 do
-    match Net.Fault.decide m ~src:"a" ~dst:"b" ~seq ~attempt:0 with
+    match
+      Net.Fault.decide m ~src:"a" ~dst:"b" ~ident:(string_of_int seq) ~attempt:0
+    with
     | [] -> incr dropped
     | [ _; _ ] -> incr dup
     | _ -> ()
@@ -334,7 +369,8 @@ let test_fault_rates_sane () =
   (* an ideal model never misbehaves *)
   Alcotest.(check bool) "ideal delivers exactly once" true
     (List.init 100 (fun seq ->
-         Net.Fault.decide Net.Fault.ideal ~src:"a" ~dst:"b" ~seq ~attempt:0)
+         Net.Fault.decide Net.Fault.ideal ~src:"a" ~dst:"b"
+           ~ident:(string_of_int seq) ~attempt:0)
     |> List.for_all (fun v -> v = [ 0.0 ]))
 
 let test_fault_crash_schedule () =
@@ -448,6 +484,8 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "AS assignment" `Quick test_topology_as_assignment;
     Alcotest.test_case "link facts" `Quick test_link_facts;
     Alcotest.test_case "fault verdicts deterministic" `Quick test_fault_decide_deterministic;
+    Alcotest.test_case "fault verdicts order independent" `Quick
+      test_fault_verdicts_order_independent;
     Alcotest.test_case "fault rates sane" `Quick test_fault_rates_sane;
     Alcotest.test_case "fault crash schedule" `Quick test_fault_crash_schedule;
     Alcotest.test_case "fault crash spec syntax" `Quick test_fault_crash_spec_syntax;
