@@ -214,7 +214,8 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
     ~(figure_metrics : Obs.Json.t) ~(index_ablation : Obs.Json.t)
     ~(crypto_ablation : Obs.Json.t) ~(fault_ablation : Obs.Json.t)
     ~(jobs_ablation : Obs.Json.t) ~(shards_ablation : Obs.Json.t)
-    ~(churn_ablation : Obs.Json.t) ~(sweep_n1000 : Obs.Json.t) : Obs.Json.t =
+    ~(churn_ablation : Obs.Json.t) ~(forensics_ablation : Obs.Json.t)
+    ~(sweep_n1000 : Obs.Json.t) : Obs.Json.t =
   let doc =
     Obs.Json.Obj
       [ ("workload", Obs.Json.Str "best-path sweep (Figures 3 & 4)");
@@ -229,6 +230,7 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
         ("jobs_ablation", jobs_ablation);
         ("shards_ablation", shards_ablation);
         ("churn_ablation", churn_ablation);
+        ("forensics_ablation", forensics_ablation);
         ("sweep_n1000", sweep_n1000);
         ("metrics", figure_metrics) ]
   in
@@ -239,8 +241,8 @@ let write_results_json (o : options) (points : Core.Bestpath_workload.point list
       output_string oc (Obs.Json.to_string doc);
       output_char oc '\n');
   Printf.printf
-    "\nwrote BENCH_results.json (%d points + index/crypto/fault/jobs/shards/churn \
-     ablations + metrics snapshot)\n"
+    "\nwrote BENCH_results.json (%d points + index/crypto/fault/jobs/shards/churn/\
+     forensics ablations + metrics snapshot)\n"
     (List.length points);
   doc
 
@@ -1005,6 +1007,202 @@ let churn_ablation (o : options) : Obs.Json.t * bool =
     (if all_match then "byte-identical (tuples and provenance)" else "DIVERGED");
   (Obs.Json.List (List.map Core.Bestpath_workload.churn_point_to_json points), all_match)
 
+(* --- Forensics ablation: prov-log write-through + offline queries ------- *)
+
+let rm_rf dir =
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir
+
+(* Section 5.2 end to end: the same SeNDLogProv Best-Path run with and
+   without the persisted provenance log (the retire write-through,
+   1/K-sampled flows and Bloom digests all active), then offline
+   traceback over the log a *fresh handle* recovers from disk — the
+   restart story.  The smoke gate asserts the write-through costs at
+   most 10% wall (with a small absolute slack for tiny runs) and that
+   the fixpoint is unchanged.  In full runs the offline-query latency
+   point moves to N=1000 at domain granularity, matching the sweep. *)
+let forensics_ablation (o : options) : Obs.Json.t * float * float * bool =
+  hr "Forensics ablation: provenance-log write-through + offline queries";
+  let n = 80 in
+  let log_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psn-bench-provlog-%d" (Unix.getpid ()))
+  in
+  rm_rf log_dir;
+  Printf.printf
+    "workload: Best-Path over one random topology, N=%d, SeNDLogProv config\n\
+     (paired runs: identical evaluation, one writing retirements, sampled\n\
+     flows and Bloom digests through to %s)\n\n"
+    n log_dir;
+  let topo = Net.Topology.random (Crypto.Rng.create ~seed:2033) ~n () in
+  let directory =
+    Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits topo.Net.Topology.nodes
+  in
+  let fixpoint t =
+    List.map
+      (fun (at, tu) -> at ^ "|" ^ Engine.Tuple.identity tu)
+      (Core.Runtime.query_all t "bestPath")
+    |> List.sort compare
+  in
+  let measure prov_log =
+    phase_reset ();
+    let cfg = { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits } in
+    let cfg = Core.Config.with_prov_log cfg prov_log in
+    let t =
+      Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+        ~program:(Ndlog.Programs.best_path ()) ()
+    in
+    Core.Runtime.install_links t;
+    let r = Core.Runtime.run t in
+    Core.Runtime.sync_prov_log t;
+    let fp = fixpoint t in
+    let stats =
+      match Core.Runtime.prov_log t with
+      | Some log ->
+        ( Store.Prov_log.record_count log,
+          Store.Prov_log.flow_count log,
+          Store.Prov_log.digest_count log,
+          Store.Prov_log.segment_count log,
+          Store.Prov_log.bytes_on_disk log )
+      | None -> (0, 0, 0, 0, 0)
+    in
+    Core.Runtime.shutdown t;
+    (r.Core.Runtime.wall_seconds, fp, stats)
+  in
+  let base_wall, base_fp, _ = measure None in
+  let log_wall, log_fp, (records, flows, digests, segments, log_bytes) =
+    measure (Some log_dir)
+  in
+  let overhead_pct =
+    if base_wall > 0.0 then 100.0 *. ((log_wall /. base_wall) -. 1.0) else 0.0
+  in
+  let fixpoint_ok = base_fp = log_fp in
+  Printf.printf "%-12s %14s %14s\n" "config" "wall (s)" "best paths";
+  Printf.printf "%-12s %14.3f %14d\n" "no log" base_wall (List.length base_fp);
+  Printf.printf "%-12s %14.3f %14d\n" "prov-log" log_wall (List.length log_fp);
+  Printf.printf
+    "\nwrite-through overhead: %+.1f%% wall  fixpoint: %s\n\
+     log: %d records, %d flows, %d digests, %d segments, %d bytes\n"
+    overhead_pct
+    (if fixpoint_ok then "identical" else "DIVERGED")
+    records flows digests segments log_bytes;
+  if not fixpoint_ok then begin
+    Printf.eprintf
+      "FAILURE: prov-log write-through changed the fixpoint (%d vs %d bestPath tuples)\n"
+      (List.length base_fp) (List.length log_fp);
+    exit 1
+  end;
+  (* Offline-query latency, from a handle that recovered the log from
+     disk.  Full runs take the N=1000 domain-granularity point (the
+     sweep's configuration); smoke reuses the N=80 log just written. *)
+  let query_n, query_granularity, query_log_dir =
+    if o.n1000 then begin
+      let qn = 1000 in
+      let q_dir = log_dir ^ "-n1000" in
+      rm_rf q_dir;
+      Printf.printf
+        "\npopulating the N=%d domain-granularity log for offline queries...\n%!"
+        qn;
+      let topo = Net.Topology.random (Crypto.Rng.create ~seed:2032) ~n:qn () in
+      let directory =
+        Core.Bestpath_workload.shared_directory ~rsa_bits:o.rsa_bits
+          topo.Net.Topology.nodes
+      in
+      let cfg =
+        Core.Config.with_granularity
+          (Core.Config.with_shards
+             { Core.Config.sendlog_prov with rsa_bits = o.rsa_bits }
+             0)
+          Core.Config.As_level
+      in
+      let cfg = Core.Config.with_prov_log cfg (Some q_dir) in
+      let t =
+        Core.Runtime.create ~directory ~rng:(Crypto.Rng.create ~seed:1) ~cfg ~topo
+          ~program:(Ndlog.Programs.best_path ()) ()
+      in
+      Core.Runtime.install_links t;
+      ignore (Core.Runtime.run ~until:0.15 t);
+      Core.Runtime.sync_prov_log t;
+      Core.Runtime.shutdown t;
+      (qn, Core.Config.As_level, q_dir)
+    end
+    else (n, Core.Config.Node_level, log_dir)
+  in
+  let log = Store.Prov_log.open_log ~dir:query_log_dir () in
+  let idents =
+    let all = Store.Prov_log.idents_of_relation log "bestPath" in
+    List.filteri (fun i _ -> i < 200) all
+  in
+  let latencies =
+    List.filter_map
+      (fun ident ->
+        match Core.Traceback.offline_nodes log ~ident with
+        | [] -> None
+        | at :: _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore
+            (Core.Traceback.offline_query log
+               ~granularity:query_granularity ~at ~ident ());
+          Some (Unix.gettimeofday () -. t0))
+      idents
+  in
+  Store.Prov_log.close log;
+  rm_rf log_dir;
+  if query_log_dir <> log_dir then rm_rf query_log_dir;
+  let p50, p99 =
+    match List.sort compare latencies with
+    | [] -> (0.0, 0.0)
+    | sorted ->
+      let arr = Array.of_list sorted in
+      let pick q =
+        arr.(min (Array.length arr - 1)
+               (int_of_float (q *. float_of_int (Array.length arr))))
+      in
+      (pick 0.50, pick 0.99)
+  in
+  Printf.printf
+    "\noffline traceback (fresh handle, N=%d, %s granularity): %d queries, \
+     p50 %.2fms, p99 %.2fms\n"
+    query_n
+    (match query_granularity with
+    | Core.Config.As_level -> "domain"
+    | Core.Config.Node_level -> "node")
+    (List.length latencies) (p50 *. 1e3) (p99 *. 1e3);
+  ( Obs.Json.Obj
+      [ ("workload", Obs.Json.Str "best-path, one topology, SeNDLogProv config");
+        ("n", Obs.Json.Int n);
+        ("base_wall_seconds", Obs.Json.Float base_wall);
+        ("provlog_wall_seconds", Obs.Json.Float log_wall);
+        ("overhead_pct", Obs.Json.Float overhead_pct);
+        ("best_paths", Obs.Json.Int (List.length log_fp));
+        ("records", Obs.Json.Int records);
+        ("flows", Obs.Json.Int flows);
+        ("digests", Obs.Json.Int digests);
+        ("segments", Obs.Json.Int segments);
+        ("log_bytes", Obs.Json.Int log_bytes);
+        ("offline_query",
+         Obs.Json.Obj
+           [ ("n", Obs.Json.Int query_n);
+             ("granularity",
+              Obs.Json.Str
+                (match query_granularity with
+                | Core.Config.As_level -> "domain"
+                | Core.Config.Node_level -> "node"));
+             ("queries", Obs.Json.Int (List.length latencies));
+             ("p50_seconds", Obs.Json.Float p50);
+             ("p99_seconds", Obs.Json.Float p99) ]) ],
+    overhead_pct,
+    log_wall -. base_wall,
+    fixpoint_ok )
+
 (* --- Figures 3 and 4 ---------------------------------------------------- *)
 
 let figures (o : options) : Core.Bestpath_workload.point list * Obs.Json.t =
@@ -1318,12 +1516,16 @@ let () =
     let jobs_json, jobs_speedup, _jobs_ok = jobs_ablation o in
     let shards_json, shards_speedup, _shards_ok = shards_ablation o in
     let churn_json, churn_ok = churn_ablation o in
+    let forensics_json, forensics_overhead, forensics_delta, forensics_ok =
+      forensics_ablation o
+    in
     let n1000_json = if o.n1000 then sweep_n1000 o else Obs.Json.Null in
     let results_doc =
       write_results_json o points ~figure_metrics ~index_ablation:abl_json
         ~crypto_ablation:crypto_json ~fault_ablation:fault_json
         ~jobs_ablation:jobs_json ~shards_ablation:shards_json
-        ~churn_ablation:churn_json ~sweep_n1000:n1000_json
+        ~churn_ablation:churn_json ~forensics_ablation:forensics_json
+        ~sweep_n1000:n1000_json
     in
     (match o.compare_file with
     | Some path -> run_compare path results_doc
@@ -1396,6 +1598,20 @@ let () =
       Printf.eprintf
         "SMOKE FAILURE: incremental maintenance diverged from full \
          recomputation after link churn (fixpoint or provenance mismatch)\n";
+      exit 1
+    end;
+    if o.smoke && not forensics_ok then begin
+      Printf.eprintf
+        "SMOKE FAILURE: the provenance-log write-through changed the fixpoint\n";
+      exit 1
+    end;
+    (* 10% wall budget for the retire write-through, with an absolute
+       slack so sub-second runs aren't gated on scheduler noise. *)
+    if o.smoke && forensics_overhead > 10.0 && forensics_delta > 0.15 then begin
+      Printf.eprintf
+        "SMOKE FAILURE: provenance-log write-through costs %.1f%% wall \
+         (+%.3fs; budget 10%% or 0.15s absolute)\n"
+        forensics_overhead forensics_delta;
       exit 1
     end
   end;

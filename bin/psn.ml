@@ -4,7 +4,9 @@
    Subcommands:
      parse   check and pretty-print an NDlog/SeNDlog program
      run     execute a program over a simulated topology
-             (--metrics / --trace / --events dump run telemetry)
+             (--metrics / --trace / --events dump run telemetry;
+             --prov-log persists offline provenance for psn trace)
+     trace   offline traceback over a persisted provenance log
      stats   pretty-print a metrics snapshot written by run --metrics
      sweep   reproduce the Figure 3 / Figure 4 series
      demo    the paper's Figure 1 / Figure 2 walkthrough *)
@@ -206,10 +208,24 @@ let run_cmd =
          & info [ "events" ] ~docv:"FILE"
              ~doc:"Write the structured event log (JSON lines) to FILE")
   in
+  let prov_log =
+    Arg.(value & opt (some string) None
+         & info [ "prov-log" ] ~docv:"DIR"
+             ~doc:"Persist offline provenance to an on-disk log in DIR: retired \
+                   tuples write through, live tuples are checkpointed at the end \
+                   of the run, and released data messages record 1/K-sampled \
+                   flows plus per-epoch Bloom digests; query later with psn trace")
+  in
+  let prov_sample =
+    Arg.(value & opt int 1
+         & info [ "prov-sample" ] ~docv:"K"
+             ~doc:"Sample 1-in-K flows into the provenance log (deterministic \
+                   per flow key; 1 = record every flow)")
+  in
   let run file nodes seed cfg rsa_bits no_indexes no_fastpath loss dup reorder jitter
       crashes fault_seed reliable retries ack_timeout max_backoff jobs shards
       prov_granularity flap_rate churn advance with_links show metrics_out
-      metrics_format trace_out chrome_out events_out =
+      metrics_format trace_out chrome_out events_out prov_log prov_sample =
     let program = Ndlog.Parser.parse_program_exn (read_file file) in
     let rng = Crypto.Rng.create ~seed in
     let topo = Net.Topology.random rng ~n:nodes () in
@@ -250,6 +266,8 @@ let run_cmd =
             Printf.eprintf "--prov-granularity: %s\n" e;
             exit 1
         in
+        let c = Core.Config.with_prov_log c prov_log in
+        let c = Core.Config.with_prov_sample c prov_sample in
         Core.Config.with_jobs c jobs
       with Invalid_argument e ->
         Printf.eprintf "%s\n" e;
@@ -332,6 +350,20 @@ let run_cmd =
     (match events_out with
     | Some path -> write_output path (Obs.Events.to_json_lines (Core.Runtime.event_log t))
     | None -> ());
+    (* Checkpoint live tuples into the offline log so psn trace can
+       answer for them after this process exits. *)
+    (match Core.Runtime.prov_log t with
+    | Some log ->
+      Core.Runtime.sync_prov_log t;
+      Printf.fprintf human
+        "prov-log: %s (%d records, %d flows, %d digests, %d segments, %d bytes)\n"
+        (Store.Prov_log.directory log)
+        (Store.Prov_log.record_count log)
+        (Store.Prov_log.flow_count log)
+        (Store.Prov_log.digest_count log)
+        (Store.Prov_log.segment_count log)
+        (Store.Prov_log.bytes_on_disk log)
+    | None -> ());
     (* Join the worker domains (jobs > 1) before exiting. *)
     Core.Runtime.shutdown t
   in
@@ -341,7 +373,135 @@ let run_cmd =
           $ loss $ dup $ reorder $ jitter $ crashes $ fault_seed $ reliable $ retries
           $ ack_timeout $ max_backoff $ jobs $ shards $ prov_granularity $ flap_rate
           $ churn $ advance $ with_links
-          $ show $ metrics_out $ metrics_format $ trace_out $ chrome_out $ events_out)
+          $ show $ metrics_out $ metrics_format $ trace_out $ chrome_out $ events_out
+          $ prov_log $ prov_sample)
+
+(* --- psn trace --------------------------------------------------------- *)
+
+(* Query the on-disk provenance log written by `psn run --prov-log`:
+   full derivation-tree reconstruction from the record frames
+   (default), or --moonwalk for the sampled approximation (Bloom
+   prefilter + random moonwalk over the 1/K-sampled flow frames).
+   Works in a fresh process, after the tuples — and the run that
+   derived them — are gone. *)
+let trace_cmd =
+  let store =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Provenance log directory written by run --prov-log")
+  in
+  let tuple =
+    Arg.(value & opt (some string) None
+         & info [ "tuple" ] ~docv:"IDENT"
+             ~doc:"Tuple identity to trace, e.g. \"path(a,c,2)\"")
+  in
+  let rel =
+    Arg.(value & opt (some string) None
+         & info [ "rel" ] ~docv:"REL" ~doc:"Trace every recorded tuple of a relation")
+  in
+  let at =
+    Arg.(value & opt (some float) None
+         & info [ "at" ] ~docv:"T"
+             ~doc:"Only use log data stamped at or before virtual time T")
+  in
+  let moonwalk =
+    Arg.(value & flag
+         & info [ "moonwalk" ]
+             ~doc:"Sampled backend (paper §5.2): Bloom-digest prefilter plus \
+                   random moonwalks over the sampled flow log, reporting suspect \
+                   origins instead of full trees")
+  in
+  let granularity =
+    Arg.(value & opt string "node"
+         & info [ "granularity" ] ~docv:"LEVEL"
+             ~doc:"Tree detail: node (full) or domain (walks crossing out of the \
+                   queried tuple's AS stop at the boundary)")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("tree", `Tree); ("json", `Json) ]) `Tree
+         & info [ "format" ] ~doc:"Output format: tree | json")
+  in
+  let walks =
+    Arg.(value & opt int 200 & info [ "walks" ] ~doc:"Moonwalk count (with --moonwalk)")
+  in
+  let seed =
+    Arg.(value & opt int 2008 & info [ "seed" ] ~doc:"Random seed for --moonwalk")
+  in
+  let run store tuple rel at moonwalk granularity format walks seed =
+    let target =
+      match (tuple, rel) with
+      | Some ident, None -> Core.Provenance_query.Tuple_id ident
+      | None, Some r -> Core.Provenance_query.Relation r
+      | _ ->
+        Printf.eprintf "exactly one of --tuple or --rel is required\n";
+        exit 2
+    in
+    let granularity =
+      match Core.Config.granularity_of_string granularity with
+      | Ok g -> g
+      | Error e ->
+        Printf.eprintf "--granularity: %s\n" e;
+        exit 2
+    in
+    if not (Sys.file_exists store && Sys.is_directory store) then begin
+      Printf.eprintf "no provenance log at %s\n" store;
+      exit 1
+    end;
+    let log = Store.Prov_log.open_log ~dir:store () in
+    Fun.protect
+      ~finally:(fun () -> Store.Prov_log.close log)
+      (fun () ->
+        let q =
+          { Core.Provenance_query.q_target = target;
+            q_before = at;
+            q_granularity = Some granularity;
+            q_backend =
+              (if moonwalk then Core.Provenance_query.Sampled log
+               else Core.Provenance_query.Disk log) }
+        in
+        let rng = Crypto.Rng.create ~seed in
+        let answer = Core.Provenance_query.run ~rng ~walks q in
+        match format with
+        | `Json ->
+          print_endline (Obs.Json.to_string (Core.Provenance_query.answer_to_json answer));
+          (match answer with
+          | Core.Provenance_query.Trees [] -> exit 1
+          | Core.Provenance_query.Suspects { suspects = []; _ } -> exit 1
+          | _ -> ())
+        | `Tree -> (
+          match answer with
+          | Core.Provenance_query.Trees [] ->
+            Printf.eprintf "no provenance recorded for the target\n";
+            exit 1
+          | Core.Provenance_query.Trees findings ->
+            List.iter
+              (fun (f : Core.Provenance_query.finding) ->
+                Printf.printf "-- %s @%s%s\n" f.f_ident f.f_node
+                  (if f.f_result.Core.Traceback.partial then " (partial)" else "");
+                Printf.printf "   provenance: <%s>\n"
+                  (Provenance.Prov_expr.canonical_string
+                     f.f_result.Core.Traceback.expr);
+                print_string
+                  (Provenance.Derivation.to_string f.f_result.Core.Traceback.tree))
+              findings
+          | Core.Provenance_query.Suspects { prefilter; suspects } ->
+            Printf.printf "prefilter: %s\n"
+              (match prefilter with
+              | [] -> "(no digest admits the target)"
+              | l -> String.concat " " l);
+            if suspects = [] then begin
+              Printf.eprintf "no sampled flows recorded for the target\n";
+              exit 1
+            end;
+            Printf.printf "%-16s %s\n" "SUSPECT" "WALKS";
+            List.iter
+              (fun (node, hits) -> Printf.printf "%-16s %d\n" node hits)
+              suspects))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Offline traceback over a persisted provenance log")
+    Term.(const run $ store $ tuple $ rel $ at $ moonwalk $ granularity $ format
+          $ walks $ seed)
 
 (* --- psn stats -------------------------------------------------------- *)
 
@@ -592,4 +752,6 @@ let demo_cmd =
 
 let () =
   let info = Cmd.info "psn" ~version:"1.0.0" ~doc:"Provenance-aware secure networks" in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; stats_cmd; sweep_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ parse_cmd; run_cmd; trace_cmd; stats_cmd; sweep_cmd; demo_cmd ]))

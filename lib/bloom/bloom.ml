@@ -63,6 +63,40 @@ let estimated_fp_rate (t : t) : float =
   and m = Float.of_int t.nbits in
   (1.0 -. Float.exp (-.k *. n /. m)) ** k
 
+(* Binary serialization, so per-epoch digests can persist alongside
+   the on-disk provenance log and answer membership queries after a
+   restart.  Layout (big-endian): u32 nbits | u16 nhashes |
+   u32 ninserted | bit array bytes. *)
+let to_bytes (t : t) : string =
+  let buf = Buffer.create (11 + Bytes.length t.bits) in
+  let u32 v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  u32 t.nbits;
+  Buffer.add_char buf (Char.chr ((t.nhashes lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (t.nhashes land 0xFF));
+  u32 t.ninserted;
+  Buffer.add_bytes buf t.bits;
+  Buffer.contents buf
+
+let of_bytes (s : string) : t =
+  let fail () = invalid_arg "Bloom.of_bytes: malformed digest" in
+  if String.length s < 10 then fail ();
+  let byte i = Char.code s.[i] in
+  let u32 i =
+    (byte i lsl 24) lor (byte (i + 1) lsl 16) lor (byte (i + 2) lsl 8) lor byte (i + 3)
+  in
+  let nbits = u32 0 in
+  let nhashes = (byte 4 lsl 8) lor byte 5 in
+  let ninserted = u32 6 in
+  if nbits <= 0 || nhashes <= 0 || ninserted < 0 then fail ();
+  let nbytes = (nbits + 7) / 8 in
+  if String.length s <> 10 + nbytes then fail ();
+  { bits = Bytes.of_string (String.sub s 10 nbytes); nbits; nhashes; ninserted }
+
 (* Union of two same-shape filters (epoch merging at an aggregation
    point, e.g. AS-granularity provenance). *)
 let union (a : t) (b : t) : t =

@@ -30,3 +30,12 @@ val estimated_fp_rate : t -> float
 val union : t -> t -> t
 (** Bitwise union of two same-shape filters (epoch merging).
     @raise Invalid_argument when shapes differ. *)
+
+val to_bytes : t -> string
+(** Binary form ([u32 nbits | u16 nhashes | u32 ninserted | bits]),
+    so per-epoch digests can persist alongside the on-disk provenance
+    log and answer membership queries after a restart. *)
+
+val of_bytes : string -> t
+(** Inverse of {!to_bytes}.
+    @raise Invalid_argument on a malformed digest. *)

@@ -93,6 +93,12 @@ type t = {
          1 = the single sequential priority queue, 0 = one shard per
          AS domain, K >= 2 = partition nodes across K shards by
          AS (domain i mod K) *)
+  prov_log : string option;
+      (* directory of the persisted offline provenance log (Section
+         4.2); None = no on-disk write-through *)
+  prov_sample_k : int;
+      (* 1/K packet sampling for the offline log's flow records and
+         Bloom digests (Section 5.2); 1 = record every shipment *)
 }
 
 let default =
@@ -117,7 +123,9 @@ let default =
     jobs = 1;
     flap_rate = 0.0;
     churn = 0.0;
-    shards = 1 }
+    shards = 1;
+    prov_log = None;
+    prov_sample_k = 1 }
 
 (* The paper's three evaluation configurations. *)
 let ndlog = default
@@ -233,6 +241,16 @@ let with_shards (c : t) (shards : int) : t =
 
 let with_granularity (c : t) (granularity : granularity) : t = { c with granularity }
 
+let with_prov_log (c : t) (dir : string option) : t =
+  (match dir with
+  | Some "" -> invalid_arg "Config.with_prov_log: empty directory"
+  | _ -> ());
+  { c with prov_log = dir }
+
+let with_prov_sample (c : t) (k : int) : t =
+  if k < 1 then invalid_arg "Config.with_prov_sample: need K >= 1";
+  { c with prov_sample_k = k }
+
 let granularity_of_string (s : string) : (granularity, string) result =
   match String.lowercase_ascii s with
   | "node" -> Ok Node_level
@@ -276,7 +294,9 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
             flap_rate = cfg.flap_rate;
             churn = cfg.churn;
             shards = cfg.shards;
-            granularity = cfg.granularity }
+            granularity = cfg.granularity;
+            prov_log = cfg.prov_log;
+            prov_sample_k = cfg.prov_sample_k }
           leftover rest
       | Error e -> Error e)
     | "--rsa-bits" :: v :: rest ->
@@ -341,9 +361,17 @@ let of_args ?(base = default) (args : string list) : (t * string list, string) r
       match granularity_of_string v with
       | Ok g -> go (with_granularity cfg g) leftover rest
       | Error e -> Error e)
+    | "--prov-log" :: v :: rest -> (
+      try go (with_prov_log cfg (Some v)) leftover rest
+      with Invalid_argument e -> Error e)
+    | "--prov-sample" :: v :: rest ->
+      int_arg "--prov-sample" v (fun k ->
+          try go (with_prov_sample cfg k) leftover rest
+          with Invalid_argument e -> Error e)
     | (("--config" | "--rsa-bits" | "--loss" | "--dup" | "--reorder" | "--jitter"
        | "--crash" | "--fault-seed" | "--retries" | "--ack-timeout" | "--max-backoff"
-       | "--jobs" | "--flap-rate" | "--churn" | "--shards" | "--prov-granularity")
+       | "--jobs" | "--flap-rate" | "--churn" | "--shards" | "--prov-granularity"
+       | "--prov-log" | "--prov-sample")
         as flag)
       :: [] -> Error (Printf.sprintf "%s: missing value" flag)
     | other :: rest -> go cfg (other :: leftover) rest

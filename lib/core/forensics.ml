@@ -133,6 +133,25 @@ let random_moonwalk (rng : Crypto.Rng.t) ~(flows : flow list) ~(walks : int)
     |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
   end
 
+(* Moonwalk over the *persisted* flow log: the 1/K-sampled 'F' frames
+   written by the runtime are exactly the edge set the walk needs, so
+   sampled traceback works from disk after the run (and process) that
+   recorded them is gone.  [ident] restricts the walk to the flows of
+   one tuple identity. *)
+let moonwalk_log (rng : Crypto.Rng.t) (log : Store.Prov_log.t)
+    ?(ident : string option) ~(walks : int) ~(max_hops : int) () :
+    (string * int) list =
+  let flows =
+    List.filter_map
+      (fun (f : Store.Prov_log.flow) ->
+        match ident with
+        | Some id when not (String.equal id f.Store.Prov_log.fl_ident) -> None
+        | _ ->
+          Some { fl_src = f.Store.Prov_log.fl_src; fl_dst = f.fl_dst; fl_time = f.fl_time })
+      (Store.Prov_log.flows log)
+  in
+  random_moonwalk rng ~flows ~walks ~max_hops
+
 (* --- offline provenance queries --------------------------------------- *)
 
 (* Search the offline stores of every node for records mentioning a

@@ -212,7 +212,10 @@ let compare_bench ~(baseline : Obs.Json.t) ~(current : Obs.Json.t) : string list
       [ "jobs_ablation"; "seq_wall_seconds" ];
       [ "jobs_ablation"; "par_wall_seconds" ];
       [ "shards_ablation"; "seq_wall_seconds" ];
-      [ "shards_ablation"; "sharded_wall_seconds" ] ];
+      [ "shards_ablation"; "sharded_wall_seconds" ];
+      [ "forensics_ablation"; "base_wall_seconds" ];
+      [ "forensics_ablation"; "provlog_wall_seconds" ];
+      [ "forensics_ablation"; "offline_query"; "p99_seconds" ] ];
   List.iter speedup
     [ [ "index_ablation"; "speedup" ];
       [ "crypto_ablation"; "speedup" ];
@@ -223,7 +226,8 @@ let compare_bench ~(baseline : Obs.Json.t) ~(current : Obs.Json.t) : string list
       [ "crypto_ablation"; "best_paths" ];
       [ "jobs_ablation"; "best_paths" ];
       [ "shards_ablation"; "fixpoint_rows" ];
-      [ "fault_ablation"; "baseline_best_paths" ] ];
+      [ "fault_ablation"; "baseline_best_paths" ];
+      [ "forensics_ablation"; "best_paths" ] ];
   sim [ "fault_ablation"; "reliable_max_sim_seconds" ];
   List.rev !issues
 

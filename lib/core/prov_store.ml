@@ -61,6 +61,7 @@ type offline_record = {
   off_tuple : Tuple.t;
   off_expr : Provenance.Prov_expr.t;
   off_derivs : deriv_record list;
+  off_received_from : string list;
   off_expired_at : float;
 }
 
@@ -69,10 +70,21 @@ type t = {
   mutable offline : offline_record list;
   mutable offline_bytes : int;
   offline_enabled : bool;
+  mutable on_retire : (offline_record -> unit) option;
+      (* write-through sink to the persisted log (Store.Prov_log);
+         fires on every retirement, independent of the in-memory
+         offline list *)
 }
 
 let create ~offline_enabled () =
-  { entries = Tuple.Table.create 256; offline = []; offline_bytes = 0; offline_enabled }
+  { entries = Tuple.Table.create 256; offline = []; offline_bytes = 0; offline_enabled;
+    on_retire = None }
+
+(* Install the on-disk write-through: every retired tuple's record is
+   handed to [sink] in addition to (not instead of) the in-memory
+   offline list when that is enabled. *)
+let set_retire_sink (t : t) (sink : (offline_record -> unit) option) : unit =
+  t.on_retire <- sink
 
 let find (t : t) (tuple : Tuple.t) : entry option = Tuple.Table.find_opt t.entries tuple
 
@@ -256,15 +268,18 @@ let retire (t : t) (tuple : Tuple.t) ~(now : float) : unit =
   | None -> ()
   | Some e ->
     Tuple.Table.remove t.entries tuple;
-    if t.offline_enabled then begin
+    if t.offline_enabled || t.on_retire <> None then begin
       let record =
         { off_tuple = tuple; off_expr = e.e_expr; off_derivs = alt_derivs e.e_alts;
-          off_expired_at = now }
+          off_received_from = e.e_received_from; off_expired_at = now }
       in
-      t.offline <- record :: t.offline;
-      t.offline_bytes <-
-        t.offline_bytes + Tuple.wire_size tuple
-        + Provenance.Prov_expr.wire_size e.e_expr
+      (match t.on_retire with Some sink -> sink record | None -> ());
+      if t.offline_enabled then begin
+        t.offline <- record :: t.offline;
+        t.offline_bytes <-
+          t.offline_bytes + Tuple.wire_size tuple
+          + Provenance.Prov_expr.wire_size e.e_expr
+      end
     end
 
 (* Age out offline provenance older than [max_age] (Section 5:
@@ -287,6 +302,17 @@ let age_offline (t : t) ~(now : float) ~(max_age : float)
   List.length drop
 
 let offline_records (t : t) : offline_record list = t.offline
+
+(* Snapshot the live entries as offline-shaped records (checkpoint
+   time as the timestamp); the runtime persists these as 'L' frames so
+   offline traceback covers still-live tuples across a restart. *)
+let live_records (t : t) ~(now : float) : offline_record list =
+  Tuple.Table.fold
+    (fun tuple e acc ->
+      { off_tuple = tuple; off_expr = e.e_expr; off_derivs = alt_derivs e.e_alts;
+        off_received_from = e.e_received_from; off_expired_at = now }
+      :: acc)
+    t.entries []
 
 let offline_lookup (t : t) (tuple : Tuple.t) : offline_record option =
   List.find_opt (fun r -> Tuple.equal r.off_tuple tuple) t.offline

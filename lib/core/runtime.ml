@@ -132,6 +132,11 @@ type t = {
   prov_mu : Mutex.t;
       (* guards the shared condense context (BDD manager + wire cache)
          against concurrent encode/decode from worker domains *)
+  prov_log : Store.Prov_log.t option;
+      (* persisted offline provenance log (write-through target of
+         every node's retire path, plus 1/K-sampled flows and Bloom
+         digests); internally mutex-guarded, so worker domains append
+         directly *)
   log_mu : Mutex.t; (* guards [derivation_log] appends *)
   pool : Par.Pool.t option;
       (* worker domains when [cfg.jobs > 1] or the engine is sharded *)
@@ -143,6 +148,7 @@ type t = {
   c_buffered : Obs.Metrics.counter;
   c_batches : Obs.Metrics.counter; (* timestamp batches executed *)
   c_batch_items : Obs.Metrics.counter; (* work items across all batches *)
+  c_flows : Obs.Metrics.counter; (* 1/K-sampled flows written to the log *)
   g_group_max : Obs.Metrics.gauge; (* largest per-node group coalesced *)
   g_crashed : Obs.Metrics.gauge; (* nodes currently failed-stop *)
   mutable crashed_now : int;
@@ -275,6 +281,41 @@ let sched_at_to (t : t) (addr : string) ~(time : float) (action : unit -> unit) 
 
 (* --- creation -------------------------------------------------------- *)
 
+(* AS-domain base key of a node, independent of the run's provenance
+   granularity: the offline log's secondary index keys records by
+   domain even for node-granularity runs. *)
+let as_domain_of (topo : Net.Topology.t) (addr : string) : string =
+  Printf.sprintf "as%d" (Net.Topology.as_of topo addr)
+
+(* Shape a live store's offline record for the on-disk log. *)
+let log_record_of_offline ~(node : string) ~(domain : string) ~(live : bool)
+    (r : Prov_store.offline_record) : Store.Prov_log.record =
+  { Store.Prov_log.r_node = node;
+    r_domain = domain;
+    r_live = live;
+    r_at = r.Prov_store.off_expired_at;
+    r_tuple = r.Prov_store.off_tuple;
+    r_expr = r.Prov_store.off_expr;
+    r_received_from = r.Prov_store.off_received_from;
+    r_derivs =
+      List.map
+        (fun (d : Prov_store.deriv_record) ->
+          { Store.Prov_log.d_rule = d.Prov_store.dr_rule;
+            d_at = d.Prov_store.dr_at;
+            d_signer = d.Prov_store.dr_signer;
+            d_signature = d.Prov_store.dr_signature;
+            d_body =
+              List.map
+                (fun (b, o, says) ->
+                  { Store.Prov_log.b_tuple = b;
+                    b_origin =
+                      (match o with
+                      | Prov_store.O_local -> Store.Prov_log.Local
+                      | Prov_store.O_remote a -> Store.Prov_log.Remote a);
+                    b_says = says })
+                d.Prov_store.dr_body })
+        r.Prov_store.off_derivs }
+
 let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.t)
     ~(cfg : Config.t) ~(topo : Net.Topology.t) ~(program : Ndlog.Ast.program) () : t =
   let compiled = Sendlog.Compile.compile program in
@@ -327,9 +368,33 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_hits");
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_misses");
   ignore (Obs.Metrics.counter reg "traceback.partial_results");
+  ignore (Obs.Metrics.counter reg "forensics.records_written");
+  ignore (Obs.Metrics.counter reg "forensics.segments_compacted");
+  ignore (Obs.Metrics.counter reg "forensics.flows_recorded");
+  ignore (Obs.Metrics.counter reg "forensics.bloom_prefilter_hits");
+  ignore (Obs.Metrics.counter reg "forensics.bloom_prefilter_misses");
+  ignore (Obs.Metrics.counter reg "forensics.sampled_query_walks");
   (* Fresh run: reused principals must not carry signatures (or their
      cost savings) over from a previous runtime. *)
   Sendlog.Principal.clear_sign_caches directory;
+  (* Persisted offline provenance log: every node's retire path writes
+     through to it, so expired tuples remain traceable after the
+     process exits (Section 4.2). *)
+  let prov_log =
+    Option.map (fun dir -> Store.Prov_log.open_log ~dir ()) cfg.Config.prov_log
+  in
+  (match prov_log with
+  | Some log ->
+    Hashtbl.iter
+      (fun _ n ->
+        let domain = as_domain_of topo n.n_addr in
+        Prov_store.set_retire_sink n.n_prov
+          (Some
+             (fun r ->
+               Store.Prov_log.append log
+                 (log_record_of_offline ~node:n.n_addr ~domain ~live:false r))))
+      nodes
+  | None -> ());
   (* Shard layout: partition nodes by AS.  [shards = 0] means one
      shard per distinct AS; [shards = K] folds ASes onto K shards by
      [as mod K]; [shards = 1] is the classic single-queue engine. *)
@@ -397,6 +462,7 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       nodes;
       prov_ctx = Provenance.Condense.create_ctx ();
       prov_mu = Mutex.create ();
+      prov_log;
       log_mu = Mutex.create ();
       pool =
         (if cfg.jobs > 1 || shard_count > 1 then
@@ -410,6 +476,7 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
       c_buffered = Obs.Metrics.counter reg "runtime.messages_buffered";
       c_batches = Obs.Metrics.counter reg "par.batches";
       c_batch_items = Obs.Metrics.counter reg "par.batch_items";
+      c_flows = Obs.Metrics.counter reg "forensics.flows_recorded";
       g_group_max = Obs.Metrics.gauge reg "par.group_items_max";
       g_crashed = Obs.Metrics.gauge reg "sim.crashed_nodes";
       crashed_now = 0;
@@ -1130,6 +1197,21 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
       Obs.Events.emit t.obs_events ~at:now
         (Obs.Events.E_msg_sent
            { src = n.n_addr; dst = o.o_dest; bytes = Net.Wire.size msg });
+      (* Offline-log capture during ordinary runs (Section 5.2): every
+         released data shipment is a flow edge; a deterministic 1-in-K
+         hash of the flow key decides whether to record it, and the
+         sender's per-epoch Bloom digest remembers the tuple for
+         membership pre-filtering during sampled traceback. *)
+      (match t.prov_log with
+      | Some log when o.o_kind = Net.Wire.K_data ->
+        let ident = Tuple.interned_identity o.o_tuple in
+        let key = n.n_addr ^ ">" ^ o.o_dest ^ "|" ^ ident in
+        if Store.Prov_log.sampled ~k:t.cfg.Config.prov_sample_k key then begin
+          Store.Prov_log.append_flow log ~src:n.n_addr ~dst:o.o_dest ~time:now ~ident;
+          Store.Prov_log.record_digest log ~node:n.n_addr ~time:now ident;
+          Obs.Metrics.inc t.c_flows
+        end
+      | _ -> ());
       (match o.o_prov with
       | Some block ->
         Obs.Events.emit t.obs_events ~at:now
@@ -1759,9 +1841,32 @@ let run ?(until = Float.infinity) (t : t) : run_result =
   | Some tr -> Obs.Trace.with_span tr ~attrs:[ ("config", Config.name t.cfg) ] "run" go
   | None -> go ()
 
+let prov_log (t : t) : Store.Prov_log.t option = t.prov_log
+
+(* Checkpoint still-live provenance into the offline log as 'L'
+   frames and flush digests, so a query over the directory after this
+   process exits covers live tuples too — the byte-identity
+   acceptance path for offline-vs-online traceback. *)
+let sync_prov_log (t : t) : unit =
+  match t.prov_log with
+  | None -> ()
+  | Some log ->
+    let at = now t in
+    List.iter
+      (fun n ->
+        let domain = as_domain_of t.topo n.n_addr in
+        List.iter
+          (fun r ->
+            Store.Prov_log.append log (log_record_of_offline ~node:n.n_addr ~domain ~live:true r))
+          (Prov_store.live_records n.n_prov ~now:at))
+      (nodes t);
+    Store.Prov_log.flush log
+
 (* Join the worker domains (OCaml caps live domains, so long-lived
-   processes that create many runtimes must release them). *)
+   processes that create many runtimes must release them), and release
+   the offline log's file handles. *)
 let shutdown (t : t) : unit =
+  (match t.prov_log with Some log -> Store.Prov_log.close log | None -> ());
   match t.pool with Some pool -> Par.Pool.shutdown pool | None -> ()
 
 (* Advance simulated time by [seconds] — and no further.  (The
@@ -1816,6 +1921,19 @@ let query_all (t : t) (rel : string) : (string * Tuple.t) list =
   List.concat_map
     (fun n -> List.map (fun tu -> (n.n_addr, tu)) (Db.tuples_of n.n_db rel))
     (nodes t)
+
+(* Resolve a tuple identity string (e.g. "link(a,b,1)") to the live
+   tuple at a node, for identity-keyed queries against the live
+   backend.  The relation prefix narrows the scan. *)
+let find_tuple (t : t) ~(at : string) ~(ident : string) : Tuple.t option =
+  let rel =
+    match String.index_opt ident '(' with
+    | Some i -> String.sub ident 0 i
+    | None -> ident
+  in
+  List.find_opt
+    (fun tu -> String.equal (Tuple.interned_identity tu) ident)
+    (Db.tuples_of (node t at).n_db rel)
 
 let provenance_of (t : t) ~(at : string) (tuple : Tuple.t) : Provenance.Prov_expr.t =
   Prov_store.expr_of (node t at).n_prov tuple

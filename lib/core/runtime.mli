@@ -139,9 +139,22 @@ val run : ?until:float -> t -> run_result
     one-event-at-a-time loop runs. *)
 
 val shutdown : t -> unit
-(** Join the worker domains of the [jobs > 1] pool (no-op otherwise).
-    OCaml caps live domains, so call this when discarding a runtime in
-    a long-lived process (the bench harness and tests do). *)
+(** Join the worker domains of the [jobs > 1] pool (no-op otherwise)
+    and close the offline provenance log's file handles.  OCaml caps
+    live domains, so call this when discarding a runtime in a
+    long-lived process (the bench harness and tests do). *)
+
+val prov_log : t -> Store.Prov_log.t option
+(** The persisted offline provenance log, when the run was configured
+    with [Config.prov_log].  Every node's retire path writes through
+    to it, and released data messages record 1/K-sampled flows and
+    per-(node, epoch) Bloom digests (paper §5.2). *)
+
+val sync_prov_log : t -> unit
+(** Checkpoint still-live tuples' provenance into the offline log as
+    live ('L') records and flush pending digests, so offline queries
+    after this process exits cover live tuples too.  No-op without a
+    configured log. *)
 
 val advance : t -> seconds:float -> unit
 (** Advance simulated time by exactly [seconds] (events scheduled
@@ -156,6 +169,12 @@ val advance : t -> seconds:float -> unit
 
 val query : t -> at:string -> string -> Tuple.t list
 val query_all : t -> string -> (string * Tuple.t) list
+
+val find_tuple : t -> at:string -> ident:string -> Tuple.t option
+(** Resolve a tuple identity string (e.g. ["link(a,b,1)"]) to the
+    live tuple at a node, for identity-keyed queries against the live
+    backend. *)
+
 val provenance_of : t -> at:string -> Tuple.t -> Provenance.Prov_expr.t
 val condensed_annotation : t -> at:string -> Tuple.t -> string
 

@@ -146,6 +146,156 @@ let query (t : Runtime.t) ~(at : string) (tuple : Tuple.t) : result =
   if !partial then Obs.Metrics.inc (Lazy.force c_partial);
   { tree; expr = Provenance.Derivation.to_expr tree; cost; partial = !partial }
 
+(* --- offline backend (this PR's tentpole) ------------------------------ *)
+
+(* The same recursive walk, but over the persisted provenance log
+   instead of live [Prov_store]s: record selection replaces node
+   lookup, a missing record plays the role of a crashed node
+   (Unreachable stub + partial), and the AS-granularity cut compares
+   the *stored* domain keys instead of consulting a topology.  The
+   tree-construction cases are kept textually parallel to [query]
+   above on purpose — for a tuple that is still live, the offline
+   tree's [Prov_expr.canonical_string] must be byte-identical to the
+   online one. *)
+
+let offline_query (log : Store.Prov_log.t)
+    ?(granularity = Config.Node_level) ?(before : float option)
+    ~(at : string) ~(ident : string) () : result =
+  let cost = { remote_queries = 0; query_bytes = 0; nodes_visited = 1 } in
+  let visited = Hashtbl.create 64 in
+  let partial = ref false in
+  (* Per-query cache of index lookups: the walk revisits identities
+     (visited-set checks happen after record selection, as the live
+     walk consults the node before its visited check). *)
+  let cache : (string, Store.Prov_log.record list) Hashtbl.t = Hashtbl.create 64 in
+  let records_of ident =
+    match Hashtbl.find_opt cache ident with
+    | Some rs -> rs
+    | None ->
+      let rs = Store.Prov_log.lookup log ~ident in
+      Hashtbl.add cache ident rs;
+      rs
+  in
+  (* Latest record for (addr, ident), optionally bounded to the log
+     prefix stamped at or before [before] — querying "the log as of
+     time T".  [lookup] returns oldest first, so the last survivor
+     wins. *)
+  let record_for addr ident : Store.Prov_log.record option =
+    List.fold_left
+      (fun acc (r : Store.Prov_log.record) ->
+        if
+          String.equal r.Store.Prov_log.r_node addr
+          && (match before with None -> true | Some t -> r.Store.Prov_log.r_at <= t)
+        then Some r
+        else acc)
+      None (records_of ident)
+  in
+  (* AS-level granularity offline: the querying node's domain is the
+     domain stored with the root record, and the cut fires when a walk
+     reaches a record persisted under a different domain key. *)
+  let home_domain =
+    match record_for at ident with
+    | Some r -> r.Store.Prov_log.r_domain
+    | None -> ""
+  in
+  let domain_cut dom =
+    match granularity with
+    | Config.Node_level -> None
+    | Config.As_level -> if String.equal dom home_domain then None else Some dom
+  in
+  let rec walk (addr : string) (tuple : Tuple.t) (depth : int) : Provenance.Derivation.t =
+    let ident = Tuple.interned_identity tuple in
+    let key = addr ^ "|" ^ ident in
+    match record_for addr ident with
+    | None ->
+      (* No record for this tuple at this node: the log can't answer,
+         the offline analogue of a crashed node. *)
+      partial := true;
+      Provenance.Derivation.Unreachable { tuple = ident; location = addr }
+    | Some r ->
+      (match domain_cut r.Store.Prov_log.r_domain with
+      | Some dom ->
+        Provenance.Derivation.Leaf
+          { tuple = ident; ann = Provenance.Derivation.annot ~says:dom dom }
+      | None ->
+        if depth > max_depth || Hashtbl.mem visited key then
+          Provenance.Derivation.Leaf
+            { tuple = ident; ann = Provenance.Derivation.annot addr }
+        else begin
+          Hashtbl.add visited key ();
+          let local_alternatives =
+            List.map
+              (fun (d : Store.Prov_log.deriv) ->
+                let children =
+                  List.map
+                    (fun (b : Store.Prov_log.body_item) ->
+                      match b.Store.Prov_log.b_origin with
+                      | Store.Prov_log.Local -> walk addr b.b_tuple (depth + 1)
+                      | Store.Prov_log.Remote sender ->
+                        cost.remote_queries <- cost.remote_queries + 1;
+                        cost.nodes_visited <- cost.nodes_visited + 1;
+                        cost.query_bytes <- cost.query_bytes + request_bytes b.b_tuple;
+                        let sub = walk sender b.b_tuple (depth + 1) in
+                        cost.query_bytes <-
+                          cost.query_bytes
+                          + response_bytes (Provenance.Derivation.to_expr_by_tuple sub);
+                        sub)
+                    d.Store.Prov_log.d_body
+                in
+                Provenance.Derivation.Rule
+                  { rule = d.d_rule;
+                    tuple = ident;
+                    ann =
+                      Provenance.Derivation.annot ~created:d.d_at
+                        ?says:
+                          (match d.d_signer with
+                          | Some s -> Some s
+                          | None -> Some addr)
+                        ?signature:d.d_signature addr;
+                    children })
+              r.Store.Prov_log.r_derivs
+          in
+          let remote_alternatives =
+            List.map
+              (fun sender ->
+                cost.remote_queries <- cost.remote_queries + 1;
+                cost.nodes_visited <- cost.nodes_visited + 1;
+                cost.query_bytes <- cost.query_bytes + request_bytes tuple;
+                let sub = walk sender tuple (depth + 1) in
+                cost.query_bytes <-
+                  cost.query_bytes
+                  + response_bytes (Provenance.Derivation.to_expr_by_tuple sub);
+                sub)
+              r.Store.Prov_log.r_received_from
+          in
+          match local_alternatives @ remote_alternatives with
+          | [] ->
+            Provenance.Derivation.Leaf
+              { tuple = ident; ann = Provenance.Derivation.annot ~says:addr addr }
+          | [ one ] -> one
+          | alternatives -> Provenance.Derivation.Union { tuple = ident; alternatives }
+        end)
+  in
+  let tree =
+    match record_for at ident with
+    | None ->
+      partial := true;
+      Provenance.Derivation.Unreachable { tuple = ident; location = at }
+    | Some r -> walk at r.Store.Prov_log.r_tuple 0
+  in
+  if !partial then Obs.Metrics.inc (Lazy.force c_partial);
+  { tree; expr = Provenance.Derivation.to_expr tree; cost; partial = !partial }
+
+(* Nodes holding a record for [ident], newest occurrence last —
+   offline queries that don't name a node root at each of these. *)
+let offline_nodes (log : Store.Prov_log.t) ~(ident : string) : string list =
+  List.fold_left
+    (fun acc (r : Store.Prov_log.record) ->
+      if List.exists (String.equal r.Store.Prov_log.r_node) acc then acc
+      else acc @ [ r.Store.Prov_log.r_node ])
+    []
+    (Store.Prov_log.lookup log ~ident)
+
 (* Latency-annotated view of a traceback result: the derivation tree's
    [a_created] stamps are virtual-clock times (Prov_store records them
    at [Net.Event_sim.now]), so the tree doubles as a profile of when

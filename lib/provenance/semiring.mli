@@ -1,0 +1,53 @@
+(** Provenance semirings (Green, Karvounarakis, Tannen, PODS'07).
+
+    The paper (Sections 4.4–4.5) annotates tuples with provenance
+    expressions over base-tuple keys; evaluating the same expression
+    in different commutative semirings yields the different
+    "quantifiable" readings: boolean trust, derivation counting,
+    security levels, tropical cost, why-provenance, and lineage. *)
+
+module type S = sig
+  type t
+
+  val zero : t  (** annotation of absent tuples; [plus] identity *)
+
+  val one : t  (** annotation of base facts; [times] identity *)
+
+  val plus : t -> t -> t  (** alternative derivations (union) *)
+
+  val times : t -> t -> t  (** joint use in one derivation (join) *)
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module Boolean : S with type t = bool
+(** Does the tuple exist / is it derivable from trusted base tuples. *)
+
+module Counting : S with type t = int
+(** Number of distinct derivations (Gupta et al.'s view-maintenance
+    counts, the paper's [10]). *)
+
+module Security_level : S with type t = int
+(** Section 4.5: plus = max, times = min; [zero] is [min_int] (absent),
+    [one] is [max_int] (a derivation using no base facts). *)
+
+module Tropical : S with type t = float
+(** Minimum total cost over derivations, cost adding along each one. *)
+
+module String_set : Set.S with type elt = string
+
+module Lineage : S with type t = String_set.t option
+(** Cui–Widom lineage: the set of base tuples involved in any
+    derivation; [None] marks the absent tuple so annihilation
+    (0*x = 0) holds. *)
+
+module String_set_set : Set.S with type elt = String_set.t
+
+module Why : S with type t = String_set_set.t
+(** Why-provenance: a set of witnesses, each witness a set of base
+    tuples (Buneman–Khanna–Tan, the paper's [7]). *)
+
+val minimal_witnesses : String_set_set.t -> String_set_set.t
+(** Drop absorbed witnesses (supersets of other witnesses): the set
+    counterpart of the BDD condensation's <a+a*b> -> <a>. *)

@@ -1,0 +1,25 @@
+(** Quantifiable provenance and trust policies (Sections 4.5 and 3).
+
+    A {!policy} decides whether to accept a tuple given its
+    provenance — the paper's trust-management use case
+    (Orchestra-style accept/reject of updates based on origins). *)
+
+type policy =
+  | Accept_all
+  | Trusted_set of string list
+      (** accept iff derivable from trusted principals only *)
+  | Min_security_level of { levels : (string * int) list; threshold : int }
+      (** Section 4.5: max-min security level must reach the threshold *)
+  | K_votes of { principals : string list; k : int }
+      (** "accepting an update only if over K principals assert the
+          update" *)
+  | And of policy * policy
+  | Or of policy * policy
+
+val evaluate : policy -> Prov_expr.t -> bool
+
+val paper_example_level : unit -> int
+(** The Section 4.5 worked example: <a+a*b> with level(a)=2,
+    level(b)=1 evaluates to max(2, min(2,1)) = 2. *)
+
+val to_string : policy -> string

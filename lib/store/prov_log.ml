@@ -1,0 +1,1036 @@
+(* Append-only on-disk provenance log (paper Sections 3, 4.2 and 5.2):
+   the *offline* half of the provenance taxonomy.  Live soft-state
+   provenance in Core.Prov_store evaporates when tuples expire; this
+   log is where retirements (and optional live-tuple checkpoints) are
+   written through so forensic traceback works after expiry and across
+   process restarts.
+
+   On-disk layout, inside one directory:
+
+     MANIFEST          text: version, digest-epoch length, and the
+                       ordered list of live segment files.  Always
+                       replaced via tmp-file + atomic rename.
+     seg-%06d.log      size-bounded binary segments of frames.
+     seg-%06d.idx      persistent index sidecar, written when a
+                       segment is sealed: per record frame, its
+                       offset and index keys (node, tuple identity,
+                       relation, AS domain), so reopening a sealed
+                       segment never decodes record payloads.
+     *.tmp             in-flight manifest/segment/sidecar writes;
+                       orphans from a crash are deleted at open.
+
+   Each segment starts with the magic "PSNLOG1\n" and then frames:
+
+     u32 payload-length | u8 kind | payload | 4-byte checksum
+
+   where the checksum is the first four bytes of SHA-256 over the
+   kind byte plus payload.  Frame kinds: 'R' retired-tuple record,
+   'L' live-tuple checkpoint record, 'F' sampled flow, 'B' per-(node,
+   epoch) Bloom digest.  Record payloads reuse the existing codecs:
+   Net.Wire.encode_tuple for tuples and Provenance.Condense.to_wire
+   for the condensed provenance expression (falling back to the raw
+   Prov_expr codec when the expression's support exceeds the 16-bit
+   condensed wire fields).
+
+   Recovery invariants (DESIGN.md section 12):
+     - only the tail segment can be torn: sealed segments and the
+       manifest are only ever produced by tmp+rename.  Opening scans
+       the tail, stops at the first frame whose length or checksum is
+       bad, and truncates the file to the valid prefix.
+     - compaction writes the merged segment to a tmp file, renames
+       it, swaps the manifest, and only then unlinks the merged
+       inputs.  A crash before the swap leaves an orphan tmp (deleted
+       at open); a crash after it leaves unlisted segment files
+       (deleted at open).  Either way the manifest names a consistent
+       set of segments.
+
+   The whole public API is mutex-guarded: retire write-through runs
+   on the runtime's worker domains. *)
+
+type origin =
+  | Local
+  | Remote of string
+
+type body_item = {
+  b_tuple : Engine.Tuple.t;
+  b_origin : origin;
+  b_says : string option;
+}
+
+type deriv = {
+  d_rule : string;
+  d_at : float;
+  d_signer : string option;
+  d_signature : string option;
+  d_body : body_item list;
+}
+
+type record = {
+  r_node : string;
+  r_domain : string;
+  r_live : bool;
+  r_at : float;
+  r_tuple : Engine.Tuple.t;
+  r_expr : Provenance.Prov_expr.t;
+  r_received_from : string list;
+  r_derivs : deriv list;
+}
+
+type flow = {
+  fl_src : string;
+  fl_dst : string;
+  fl_time : float;
+  fl_ident : string;
+}
+
+exception Corrupt of string
+exception Crash_injected of string
+
+let magic = "PSNLOG1\n"
+let idx_magic = "PSNIDX1\n"
+let manifest_name = "MANIFEST"
+let default_segment_bytes = 4 * 1024 * 1024
+let default_compact_threshold = 4
+let default_epoch_seconds = 60.0
+let default_digest_expected = 10_000
+let default_digest_fp_rate = 0.01
+
+(* ------------------------------------------------------------------ *)
+(* Primitive codecs                                                    *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Prov_log: u16 field overflow";
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Prov_log: u32 field overflow";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    put_u8 buf (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL))
+  done
+
+let put_str16 buf s =
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_str32 buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_opt16 buf = function
+  | None -> put_u8 buf 0
+  | Some s ->
+    put_u8 buf 1;
+    put_str16 buf s
+
+type cursor = { src : string; mutable pos : int }
+
+let need (c : cursor) n =
+  if c.pos + n > String.length c.src then raise (Corrupt "truncated frame payload")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  let hi = get_u8 c in
+  let lo = get_u8 c in
+  (hi lsl 8) lor lo
+
+let get_u32 c =
+  let a = get_u16 c in
+  let b = get_u16 c in
+  (a lsl 16) lor b
+
+let get_f64 c =
+  need c 8;
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 c))
+  done;
+  Int64.float_of_bits !bits
+
+let get_bytes c n =
+  need c n;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str16 c = get_bytes c (get_u16 c)
+let get_str32 c = get_bytes c (get_u32 c)
+
+let get_opt16 c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get_str16 c)
+  | n -> raise (Corrupt (Printf.sprintf "bad option tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Payload codecs                                                      *)
+
+(* Record payload:
+     u8 live | str16 node | str16 domain | f64 at
+     str32 tuple (Net.Wire.encode_tuple)
+     u8 expr-repr (0 condensed / 1 raw) | str32 expr bytes
+     u16 n, str16 received-from addresses (order-preserving)
+     u16 n derivations, each:
+       str16 rule | f64 at | opt signer | opt signature
+       u16 n body items, each:
+         str32 tuple | u8 origin (0 local / 1 remote + str16 addr) | opt says *)
+let encode_record (ctx : Provenance.Condense.ctx) (r : record) : string =
+  let buf = Buffer.create 256 in
+  put_u8 buf (if r.r_live then 1 else 0);
+  put_str16 buf r.r_node;
+  put_str16 buf r.r_domain;
+  put_f64 buf r.r_at;
+  put_str32 buf (Net.Wire.encode_tuple r.r_tuple);
+  (match Provenance.Condense.to_wire ctx r.r_expr with
+  | w ->
+    put_u8 buf 0;
+    put_str32 buf w
+  | exception Provenance.Condense.Wire_error _ ->
+    (* support too wide for the condensed u16 fields: keep the raw
+       expression codec so the record is never lost *)
+    put_u8 buf 1;
+    put_str32 buf (Provenance.Prov_expr.encode r.r_expr));
+  put_u16 buf (List.length r.r_received_from);
+  List.iter (put_str16 buf) r.r_received_from;
+  put_u16 buf (List.length r.r_derivs);
+  List.iter
+    (fun d ->
+      put_str16 buf d.d_rule;
+      put_f64 buf d.d_at;
+      put_opt16 buf d.d_signer;
+      put_opt16 buf d.d_signature;
+      put_u16 buf (List.length d.d_body);
+      List.iter
+        (fun b ->
+          put_str32 buf (Net.Wire.encode_tuple b.b_tuple);
+          (match b.b_origin with
+          | Local -> put_u8 buf 0
+          | Remote addr ->
+            put_u8 buf 1;
+            put_str16 buf addr);
+          put_opt16 buf b.b_says)
+        d.d_body)
+    r.r_derivs;
+  Buffer.contents buf
+
+let decode_tuple_block (s : string) : Engine.Tuple.t =
+  try Net.Wire.decode_tuple s with
+  | Net.Wire.Decode_error m -> raise (Corrupt ("bad tuple block: " ^ m))
+
+let decode_expr_block (ctx : Provenance.Condense.ctx) ~(repr : int) (s : string) :
+    Provenance.Prov_expr.t =
+  match repr with
+  | 0 -> (
+    try Provenance.Condense.of_wire ctx s with
+    | Provenance.Condense.Wire_error m -> raise (Corrupt ("bad condensed block: " ^ m)))
+  | 1 -> (
+    try Provenance.Prov_expr.decode s with
+    | Provenance.Prov_expr.Decode_error m -> raise (Corrupt ("bad raw expr block: " ^ m)))
+  | n -> raise (Corrupt (Printf.sprintf "bad expr repr tag %d" n))
+
+let decode_record (ctx : Provenance.Condense.ctx) ~(live : bool) (payload : string) : record =
+  let c = { src = payload; pos = 0 } in
+  let live_flag = get_u8 c in
+  if live_flag <> (if live then 1 else 0) then
+    raise (Corrupt "record live flag disagrees with frame kind");
+  let node = get_str16 c in
+  let domain = get_str16 c in
+  let at = get_f64 c in
+  let tuple = decode_tuple_block (get_str32 c) in
+  let repr = get_u8 c in
+  let expr = decode_expr_block ctx ~repr (get_str32 c) in
+  let nrecv = get_u16 c in
+  let received = List.init nrecv (fun _ -> get_str16 c) in
+  let nderiv = get_u16 c in
+  let derivs =
+    List.init nderiv (fun _ ->
+        let rule = get_str16 c in
+        let dat = get_f64 c in
+        let signer = get_opt16 c in
+        let signature = get_opt16 c in
+        let nbody = get_u16 c in
+        let body =
+          List.init nbody (fun _ ->
+              let t = decode_tuple_block (get_str32 c) in
+              let origin =
+                match get_u8 c with
+                | 0 -> Local
+                | 1 -> Remote (get_str16 c)
+                | n -> raise (Corrupt (Printf.sprintf "bad origin tag %d" n))
+              in
+              let says = get_opt16 c in
+              { b_tuple = t; b_origin = origin; b_says = says })
+        in
+        { d_rule = rule; d_at = dat; d_signer = signer; d_signature = signature; d_body = body })
+  in
+  { r_node = node; r_domain = domain; r_live = live; r_at = at; r_tuple = tuple;
+    r_expr = expr; r_received_from = received; r_derivs = derivs }
+
+(* Cheap key extraction for indexing a record frame without decoding
+   the expression or derivations (used when a sealed segment has no
+   sidecar index). *)
+let decode_record_keys (payload : string) : bool * string * string * Engine.Tuple.t =
+  let c = { src = payload; pos = 0 } in
+  let live = get_u8 c <> 0 in
+  let node = get_str16 c in
+  let domain = get_str16 c in
+  let _at = get_f64 c in
+  let tuple = decode_tuple_block (get_str32 c) in
+  (live, node, domain, tuple)
+
+let encode_flow (f : flow) : string =
+  let buf = Buffer.create 64 in
+  put_str16 buf f.fl_src;
+  put_str16 buf f.fl_dst;
+  put_f64 buf f.fl_time;
+  put_str16 buf f.fl_ident;
+  Buffer.contents buf
+
+let decode_flow (payload : string) : flow =
+  let c = { src = payload; pos = 0 } in
+  let src = get_str16 c in
+  let dst = get_str16 c in
+  let time = get_f64 c in
+  let ident = get_str16 c in
+  { fl_src = src; fl_dst = dst; fl_time = time; fl_ident = ident }
+
+let encode_bloom ~(node : string) ~(epoch : int) (b : Bloom.t) : string =
+  let buf = Buffer.create 64 in
+  put_str16 buf node;
+  put_u32 buf epoch;
+  put_str32 buf (Bloom.to_bytes b);
+  Buffer.contents buf
+
+let decode_bloom (payload : string) : string * int * Bloom.t =
+  let c = { src = payload; pos = 0 } in
+  let node = get_str16 c in
+  let epoch = get_u32 c in
+  let bytes = get_str32 c in
+  let b = try Bloom.of_bytes bytes with Invalid_argument m -> raise (Corrupt m) in
+  (node, epoch, b)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+
+let checksum (kind : char) (payload : string) : string =
+  String.sub (Crypto.Sha256.digest (String.make 1 kind ^ payload)) 0 4
+
+let frame_overhead = 4 + 1 + 4
+
+let write_frame (oc : out_channel) (kind : char) (payload : string) : int =
+  let len = String.length payload in
+  output_char oc (Char.chr ((len lsr 24) land 0xFF));
+  output_char oc (Char.chr ((len lsr 16) land 0xFF));
+  output_char oc (Char.chr ((len lsr 8) land 0xFF));
+  output_char oc (Char.chr (len land 0xFF));
+  output_char oc kind;
+  output_string oc payload;
+  output_string oc (checksum kind payload);
+  frame_overhead + len
+
+(* Scan frames of a loaded segment string; [f off kind payload] per
+   valid frame.  Returns the length of the valid prefix: scanning
+   stops (without raising) at the first truncated or checksum-corrupt
+   frame — the torn-tail tolerance. *)
+let scan_frames (s : string) (f : int -> char -> string -> unit) : int =
+  let len = String.length s in
+  if len < String.length magic || String.sub s 0 (String.length magic) <> magic then 0
+  else begin
+    let pos = ref (String.length magic) in
+    let stop = ref false in
+    while not !stop do
+      let off = !pos in
+      if off + frame_overhead > len then stop := true
+      else begin
+        let b i = Char.code s.[off + i] in
+        let plen = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if plen < 0 || off + frame_overhead + plen > len then stop := true
+        else begin
+          let kind = s.[off + 4] in
+          let payload = String.sub s (off + 5) plen in
+          let sum = String.sub s (off + 5 + plen) 4 in
+          if sum <> checksum kind payload then stop := true
+          else begin
+            (try f off kind payload with Corrupt _ -> ());
+            pos := off + frame_overhead + plen
+          end
+        end
+      end
+    done;
+    !pos
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Segments, index, handle                                             *)
+
+type entry = {
+  en_off : int;
+  en_live : bool;
+  en_node : string;
+  en_ident : string;
+  en_rel : string;
+  en_domain : string;
+}
+
+type seg = {
+  sg_id : int;
+  mutable sg_entries : entry list;  (* newest first while accumulating *)
+}
+
+type t = {
+  dir : string;
+  seg_bytes : int;
+  compact_threshold : int;
+  epoch_seconds : float;
+  digest_expected : int;
+  digest_fp_rate : float;
+  ctx : Provenance.Condense.ctx;
+  mu : Mutex.t;
+  mutable segs : seg list;  (* manifest order, oldest first; last is the tail *)
+  mutable tail_oc : out_channel;
+  mutable tail_bytes : int;
+  mutable next_id : int;
+  index : (string, (int * int) list ref) Hashtbl.t;
+      (* tuple identity -> (segment id, offset) newest first *)
+  by_rel : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  by_domain : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  digests : (string * int, Bloom.t) Hashtbl.t;
+  dirty_digests : (string * int, unit) Hashtbl.t;
+  mutable flows_rev : flow list;
+  readers : (int, in_channel) Hashtbl.t;
+  mutable n_records : int;
+  c_records : Obs.Metrics.counter;
+  c_compacted : Obs.Metrics.counter;
+  mutable closed : bool;
+}
+
+let seg_file_name id = Printf.sprintf "seg-%06d.log" id
+let idx_file_name id = Printf.sprintf "seg-%06d.idx" id
+let seg_path t id = Filename.concat t.dir (seg_file_name id)
+let idx_path t id = Filename.concat t.dir (idx_file_name id)
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let check_open t = if t.closed then invalid_arg "Prov_log: log handle is closed"
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic ~(dir : string) ~(name : string) (contents : string) : unit =
+  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp (Filename.concat dir name)
+
+let rec mkdir_p d =
+  if d = "" || d = "/" || d = "." || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ---- manifest ---- *)
+
+let render_manifest ~(epoch_seconds : float) (seg_ids : int list) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "psn-prov-log 1\n";
+  Buffer.add_string buf (Printf.sprintf "epoch %.17g\n" epoch_seconds);
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "seg %s\n" (seg_file_name id)))
+    seg_ids;
+  Buffer.contents buf
+
+let write_manifest t =
+  write_file_atomic ~dir:t.dir ~name:manifest_name
+    (render_manifest ~epoch_seconds:t.epoch_seconds (List.map (fun s -> s.sg_id) t.segs))
+
+let parse_seg_id (file : string) : int option =
+  try Scanf.sscanf file "seg-%06d.log%!" (fun id -> Some id) with _ -> None
+
+let parse_manifest (contents : string) : float option * int list =
+  let epoch = ref None and segs = ref [] in
+  String.split_on_char '\n' contents
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "psn-prov-log"; "1" ] -> ()
+         | [ "epoch"; v ] -> (try epoch := Some (float_of_string v) with _ -> ())
+         | [ "seg"; file ] -> (
+           match parse_seg_id file with
+           | Some id -> segs := id :: !segs
+           | None -> ())
+         | _ -> ());
+  (!epoch, List.rev !segs)
+
+(* ---- sidecar index ---- *)
+
+let render_idx (entries : entry list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf idx_magic;
+  put_u32 buf (List.length entries);
+  List.iter
+    (fun e ->
+      put_u32 buf e.en_off;
+      put_u8 buf (if e.en_live then 1 else 0);
+      put_str16 buf e.en_node;
+      put_str16 buf e.en_ident;
+      put_str16 buf e.en_rel;
+      put_str16 buf e.en_domain)
+    entries;
+  Buffer.contents buf
+
+let parse_idx (contents : string) : entry list option =
+  let m = String.length idx_magic in
+  if String.length contents < m || String.sub contents 0 m <> idx_magic then None
+  else
+    try
+      let c = { src = contents; pos = m } in
+      let n = get_u32 c in
+      let entries =
+        List.init n (fun _ ->
+            let off = get_u32 c in
+            let live = get_u8 c <> 0 in
+            let node = get_str16 c in
+            let ident = get_str16 c in
+            let rel = get_str16 c in
+            let domain = get_str16 c in
+            { en_off = off; en_live = live; en_node = node; en_ident = ident;
+              en_rel = rel; en_domain = domain })
+      in
+      if c.pos <> String.length contents then None else Some entries
+    with Corrupt _ -> None
+
+let parse_idx_file ~(dir : string) (id : int) : entry list option =
+  let path = Filename.concat dir (idx_file_name id) in
+  if Sys.file_exists path then parse_idx (read_file path) else None
+
+let write_idx t (s : seg) : unit =
+  write_file_atomic ~dir:t.dir ~name:(idx_file_name s.sg_id)
+    (render_idx (List.rev s.sg_entries))
+
+(* ---- in-memory index maintenance ---- *)
+
+let secondary_add tbl key ident =
+  let set =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace tbl key s;
+      s
+  in
+  Hashtbl.replace set ident ()
+
+let index_add t (seg_id : int) (e : entry) : unit =
+  (match Hashtbl.find_opt t.index e.en_ident with
+  | Some locs -> locs := (seg_id, e.en_off) :: !locs
+  | None -> Hashtbl.replace t.index e.en_ident (ref [ (seg_id, e.en_off) ]));
+  secondary_add t.by_rel e.en_rel e.en_ident;
+  secondary_add t.by_domain e.en_domain e.en_ident;
+  t.n_records <- t.n_records + 1
+
+let rebuild_index t : unit =
+  Hashtbl.reset t.index;
+  Hashtbl.reset t.by_rel;
+  Hashtbl.reset t.by_domain;
+  t.n_records <- 0;
+  List.iter
+    (fun s -> List.iter (fun e -> index_add t s.sg_id e) (List.rev s.sg_entries))
+    t.segs
+
+(* ------------------------------------------------------------------ *)
+(* Open / recovery                                                     *)
+
+let fresh_segment t : seg =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 (seg_path t id)
+  in
+  output_string oc magic;
+  Stdlib.flush oc;
+  t.tail_oc <- oc;
+  t.tail_bytes <- String.length magic;
+  { sg_id = id; sg_entries = [] }
+
+let open_log ?(segment_bytes = default_segment_bytes)
+    ?(compact_threshold = default_compact_threshold)
+    ?(epoch_seconds = default_epoch_seconds)
+    ?(digest_expected = default_digest_expected)
+    ?(digest_fp_rate = default_digest_fp_rate) ~(dir : string) () : t =
+  if segment_bytes < 1024 then invalid_arg "Prov_log.open_log: segment_bytes must be >= 1024";
+  if compact_threshold < 2 then invalid_arg "Prov_log.open_log: compact_threshold must be >= 2";
+  if epoch_seconds <= 0.0 then invalid_arg "Prov_log.open_log: epoch_seconds must be positive";
+  mkdir_p dir;
+  (* sweep crash orphans: in-flight tmp files never made it to a rename *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  let manifest_path = Filename.concat dir manifest_name in
+  let manifest_epoch, listed =
+    if Sys.file_exists manifest_path then parse_manifest (read_file manifest_path)
+    else (None, [])
+  in
+  (* an existing log's epoch length wins: digests on disk were bucketed
+     with it *)
+  let epoch_seconds = Option.value manifest_epoch ~default:epoch_seconds in
+  (* segment files the manifest does not list are leftovers from a
+     crash after a manifest swap: delete them *)
+  let listed_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace listed_set id ()) listed;
+  Array.iter
+    (fun f ->
+      match parse_seg_id f with
+      | Some id when not (Hashtbl.mem listed_set id) ->
+        (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+        let idx = Filename.concat dir (idx_file_name id) in
+        if Sys.file_exists idx then (try Sys.remove idx with Sys_error _ -> ())
+      | _ -> ())
+    (Sys.readdir dir);
+  let listed =
+    List.filter (fun id -> Sys.file_exists (Filename.concat dir (seg_file_name id))) listed
+  in
+  let t =
+    { dir; seg_bytes = segment_bytes; compact_threshold; epoch_seconds; digest_expected;
+      digest_fp_rate;
+      ctx = Provenance.Condense.create_ctx ();
+      mu = Mutex.create ();
+      segs = [];
+      tail_oc = stdout (* replaced before open_log returns *);
+      tail_bytes = 0;
+      next_id = List.fold_left (fun acc id -> max acc (id + 1)) 1 listed;
+      index = Hashtbl.create 1024;
+      by_rel = Hashtbl.create 64;
+      by_domain = Hashtbl.create 64;
+      digests = Hashtbl.create 64;
+      dirty_digests = Hashtbl.create 64;
+      flows_rev = [];
+      readers = Hashtbl.create 8;
+      n_records = 0;
+      c_records = Obs.Metrics.counter Obs.Metrics.default "forensics.records_written";
+      c_compacted = Obs.Metrics.counter Obs.Metrics.default "forensics.segments_compacted";
+      closed = false }
+  in
+  let ntotal = List.length listed in
+  let segs =
+    List.mapi
+      (fun i id ->
+        let is_tail = i = ntotal - 1 in
+        let path = seg_path t id in
+        let contents = read_file path in
+        let sidecar = if is_tail then None else parse_idx_file ~dir id in
+        let scanned = ref [] in
+        let valid =
+          scan_frames contents (fun off kind payload ->
+              match kind with
+              | 'R' | 'L' ->
+                if sidecar = None then begin
+                  let live, node, domain, tuple = decode_record_keys payload in
+                  scanned :=
+                    { en_off = off; en_live = live; en_node = node;
+                      en_ident = Engine.Tuple.interned_identity tuple;
+                      en_rel = tuple.Engine.Tuple.rel; en_domain = domain }
+                    :: !scanned
+                end
+              | 'F' -> t.flows_rev <- decode_flow payload :: t.flows_rev
+              | 'B' ->
+                let node, epoch, b = decode_bloom payload in
+                Hashtbl.replace t.digests (node, epoch) b
+              | _ -> () (* unknown frame kind: forward-compat skip *))
+        in
+        if is_tail then begin
+          (* torn tail: drop the invalid suffix before reopening for
+             append.  A destroyed header truncates to empty and the
+             magic is rewritten below. *)
+          let keep = if valid < String.length magic then 0 else valid in
+          if keep < String.length contents then Unix.truncate path keep;
+          t.tail_bytes <- keep
+        end;
+        { sg_id = id;
+          sg_entries = (match sidecar with Some es -> List.rev es | None -> !scanned) })
+      listed
+  in
+  t.segs <- segs;
+  (match List.rev segs with
+  | tail :: _ ->
+    let oc =
+      open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 (seg_path t tail.sg_id)
+    in
+    t.tail_oc <- oc;
+    if t.tail_bytes = 0 then begin
+      output_string oc magic;
+      Stdlib.flush oc;
+      t.tail_bytes <- String.length magic
+    end
+  | [] ->
+    let s = fresh_segment t in
+    t.segs <- [ s ]);
+  write_manifest t;
+  rebuild_index t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Sealing and compaction                                              *)
+
+let tail_seg t : seg =
+  match List.rev t.segs with
+  | s :: _ -> s
+  | [] -> invalid_arg "Prov_log: no tail segment"
+
+let close_readers t =
+  Hashtbl.iter (fun _ ic -> close_in_noerr ic) t.readers;
+  Hashtbl.reset t.readers
+
+(* Simulated-crash exit used by the [crash_after] injection hook: the
+   handle becomes unusable, as if the process had died at that point;
+   tests reopen the directory to exercise recovery. *)
+let crash_out t (msg : string) =
+  t.closed <- true;
+  close_readers t;
+  close_out_noerr t.tail_oc;
+  raise (Crash_injected msg)
+
+(* Merge every sealed segment into one.  Frames are copied verbatim
+   (payload bytes unchanged); dropped are superseded live checkpoints
+   — an 'L' with any later frame for the same (node, identity) in the
+   merged set — and superseded Bloom digests (frames for a (node,
+   epoch) that a later frame replaces).  Returns the number of
+   segments merged away. *)
+let compact_locked ?crash_after t : int =
+  if List.length t.segs < 3 then 0
+  else begin
+    let tail = tail_seg t in
+    let sealed = List.filter (fun s -> s.sg_id <> tail.sg_id) t.segs in
+    (* gather frames of the merged inputs; ends newest first *)
+    let frames = ref [] in
+    List.iter
+      (fun s ->
+        let contents = read_file (seg_path t s.sg_id) in
+        let keyed = Hashtbl.create 64 in
+        List.iter (fun e -> Hashtbl.replace keyed e.en_off e) s.sg_entries;
+        ignore
+          (scan_frames contents (fun off kind payload ->
+               let entry =
+                 match kind with
+                 | 'R' | 'L' -> (
+                   match Hashtbl.find_opt keyed off with
+                   | Some e -> Some e
+                   | None ->
+                     let live, node, domain, tuple = decode_record_keys payload in
+                     Some
+                       { en_off = off; en_live = live; en_node = node;
+                         en_ident = Engine.Tuple.interned_identity tuple;
+                         en_rel = tuple.Engine.Tuple.rel; en_domain = domain })
+                 | _ -> None
+               in
+               frames := (kind, payload, entry) :: !frames)))
+      sealed;
+    (* decide keeps newest to oldest; fold re-reverses, so [keep] is
+       back in append (oldest-first) order *)
+    let seen_rec = Hashtbl.create 256 and seen_bloom = Hashtbl.create 64 in
+    let keep =
+      List.fold_left
+        (fun acc ((kind, payload, entry) as fr) ->
+          let keep_it =
+            match (kind, entry) with
+            | ('R' | 'L'), Some e ->
+              let key = e.en_node ^ "|" ^ e.en_ident in
+              let superseded = e.en_live && Hashtbl.mem seen_rec key in
+              Hashtbl.replace seen_rec key ();
+              not superseded
+            | 'B', _ -> (
+              match decode_bloom payload with
+              | node, epoch, _ ->
+                if Hashtbl.mem seen_bloom (node, epoch) then false
+                else begin
+                  Hashtbl.replace seen_bloom (node, epoch) ();
+                  true
+                end
+              | exception Corrupt _ -> false)
+            | _ -> true
+          in
+          if keep_it then fr :: acc else acc)
+        [] !frames
+    in
+    (* write the merged segment to a tmp file, then rename *)
+    let new_id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let tmp = Filename.concat t.dir (seg_file_name new_id ^ ".tmp") in
+    let oc = open_out_bin tmp in
+    output_string oc magic;
+    let pos = ref (String.length magic) in
+    let new_entries = ref [] in
+    List.iter
+      (fun (kind, payload, entry) ->
+        let off = !pos in
+        pos := off + write_frame oc kind payload;
+        match entry with
+        | Some e -> new_entries := { e with en_off = off } :: !new_entries
+        | None -> ())
+      keep;
+    close_out oc;
+    if crash_after = Some `Tmp_written then
+      crash_out t "crashed after compaction tmp written, before manifest swap";
+    Sys.rename tmp (seg_path t new_id);
+    let merged_seg = { sg_id = new_id; sg_entries = !new_entries } in
+    write_idx t merged_seg;
+    t.segs <- [ merged_seg; tail ];
+    write_manifest t;
+    if crash_after = Some `Manifest_swapped then
+      crash_out t "crashed after manifest swap, before merged inputs unlinked";
+    List.iter
+      (fun s ->
+        (try Sys.remove (seg_path t s.sg_id) with Sys_error _ -> ());
+        let idx = idx_path t s.sg_id in
+        if Sys.file_exists idx then (try Sys.remove idx with Sys_error _ -> ()))
+      sealed;
+    close_readers t;
+    rebuild_index t;
+    let n = List.length sealed in
+    Obs.Metrics.inc ~by:n t.c_compacted;
+    n
+  end
+
+(* Seal the tail (flush, sidecar index) and start a new segment; then
+   compact inline once enough sealed segments pile up.  "Background"
+   compaction is amortized over segment boundaries — it never runs on
+   an append that doesn't also roll the segment. *)
+let maybe_roll t : unit =
+  if t.tail_bytes >= t.seg_bytes then begin
+    let tail = tail_seg t in
+    Stdlib.flush t.tail_oc;
+    close_out t.tail_oc;
+    write_idx t tail;
+    let s = fresh_segment t in
+    t.segs <- t.segs @ [ s ];
+    write_manifest t;
+    if List.length t.segs - 1 > t.compact_threshold then ignore (compact_locked t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Appends                                                             *)
+
+let append_locked t (r : record) : unit =
+  let payload = encode_record t.ctx r in
+  let kind = if r.r_live then 'L' else 'R' in
+  let tail = tail_seg t in
+  let off = t.tail_bytes in
+  t.tail_bytes <- t.tail_bytes + write_frame t.tail_oc kind payload;
+  let e =
+    { en_off = off; en_live = r.r_live; en_node = r.r_node;
+      en_ident = Engine.Tuple.interned_identity r.r_tuple;
+      en_rel = r.r_tuple.Engine.Tuple.rel; en_domain = r.r_domain }
+  in
+  tail.sg_entries <- e :: tail.sg_entries;
+  index_add t tail.sg_id e;
+  Obs.Metrics.inc t.c_records;
+  maybe_roll t
+
+let append t (r : record) : unit =
+  with_lock t (fun () ->
+      check_open t;
+      append_locked t r)
+
+let append_flow t ~(src : string) ~(dst : string) ~(time : float) ~(ident : string) : unit =
+  with_lock t (fun () ->
+      check_open t;
+      let f = { fl_src = src; fl_dst = dst; fl_time = time; fl_ident = ident } in
+      t.tail_bytes <- t.tail_bytes + write_frame t.tail_oc 'F' (encode_flow f);
+      t.flows_rev <- f :: t.flows_rev;
+      maybe_roll t)
+
+let epoch_of t (time : float) : int = int_of_float (time /. t.epoch_seconds)
+
+let record_digest t ~(node : string) ~(time : float) (key : string) : unit =
+  with_lock t (fun () ->
+      check_open t;
+      let epoch = epoch_of t time in
+      let b =
+        match Hashtbl.find_opt t.digests (node, epoch) with
+        | Some b -> b
+        | None ->
+          let b = Bloom.create_for ~expected:t.digest_expected ~fp_rate:t.digest_fp_rate in
+          Hashtbl.replace t.digests (node, epoch) b;
+          b
+      in
+      Bloom.add b key;
+      Hashtbl.replace t.dirty_digests (node, epoch) ())
+
+(* Persist dirty per-(node, epoch) digests; at load a later frame for
+   the same key replaces the earlier one, so rewriting a still-hot
+   epoch is safe. *)
+let flush_locked t : unit =
+  let dirty = Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_digests [] in
+  Hashtbl.reset t.dirty_digests;
+  List.iter
+    (fun ((node, epoch) as k) ->
+      match Hashtbl.find_opt t.digests k with
+      | Some b ->
+        t.tail_bytes <- t.tail_bytes + write_frame t.tail_oc 'B' (encode_bloom ~node ~epoch b)
+      | None -> ())
+    (List.sort compare dirty);
+  Stdlib.flush t.tail_oc;
+  maybe_roll t
+
+let flush t : unit =
+  with_lock t (fun () ->
+      check_open t;
+      flush_locked t)
+
+let compact ?crash_after t : int =
+  with_lock t (fun () ->
+      check_open t;
+      flush_locked t;
+      compact_locked ?crash_after t)
+
+let close t : unit =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        flush_locked t;
+        t.closed <- true;
+        close_readers t;
+        close_out_noerr t.tail_oc
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let reader_for t (seg_id : int) : in_channel =
+  match Hashtbl.find_opt t.readers seg_id with
+  | Some ic -> ic
+  | None ->
+    let ic = open_in_bin (seg_path t seg_id) in
+    Hashtbl.replace t.readers seg_id ic;
+    ic
+
+let read_record_at t (seg_id : int) (off : int) : record =
+  let ic = reader_for t seg_id in
+  seek_in ic off;
+  let b () = Char.code (input_char ic) in
+  let plen =
+    (* sequenced lets: operand order of [lor] is unspecified, and these
+       reads side-effect the channel position *)
+    try
+      let b3 = b () in
+      let b2 = b () in
+      let b1 = b () in
+      let b0 = b () in
+      (b3 lsl 24) lor (b2 lsl 16) lor (b1 lsl 8) lor b0
+    with End_of_file -> raise (Corrupt "record offset past end of segment")
+  in
+  let kind, payload =
+    try
+      let kind = input_char ic in
+      (kind, really_input_string ic plen)
+    with End_of_file -> raise (Corrupt "truncated record frame")
+  in
+  match kind with
+  | 'R' -> decode_record t.ctx ~live:false payload
+  | 'L' -> decode_record t.ctx ~live:true payload
+  | k -> raise (Corrupt (Printf.sprintf "frame at indexed offset has kind %C" k))
+
+let lookup t ~(ident : string) : record list =
+  with_lock t (fun () ->
+      check_open t;
+      Stdlib.flush t.tail_oc;
+      match Hashtbl.find_opt t.index ident with
+      | None -> []
+      | Some locs ->
+        (* locs are newest first; rev_map returns oldest first *)
+        List.rev_map (fun (seg_id, off) -> read_record_at t seg_id off) !locs)
+
+let sorted_keys (set : (string, unit) Hashtbl.t) : string list =
+  Hashtbl.fold (fun k () acc -> k :: acc) set [] |> List.sort String.compare
+
+let idents_of_relation t (rel : string) : string list =
+  with_lock t (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.by_rel rel with
+      | None -> []
+      | Some set -> sorted_keys set)
+
+let idents_of_domain t (domain : string) : string list =
+  with_lock t (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.by_domain domain with
+      | None -> []
+      | Some set -> sorted_keys set)
+
+let relations t : string list =
+  with_lock t (fun () ->
+      check_open t;
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.by_rel [] |> List.sort String.compare)
+
+let flows t : flow list =
+  with_lock t (fun () ->
+      check_open t;
+      List.rev t.flows_rev)
+
+let digest_mem t ~(node : string) ~(time : float) (key : string) : bool =
+  with_lock t (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.digests (node, epoch_of t time) with
+      | Some b -> Bloom.mem b key
+      | None -> false)
+
+let digest_nodes t ~(time : float) (key : string) : string list =
+  with_lock t (fun () ->
+      check_open t;
+      let epoch = epoch_of t time in
+      Hashtbl.fold
+        (fun (node, e) b acc -> if e = epoch && Bloom.mem b key then node :: acc else acc)
+        t.digests []
+      |> List.sort_uniq String.compare)
+
+let digest_count t : int = with_lock t (fun () -> Hashtbl.length t.digests)
+let epoch_seconds t : float = t.epoch_seconds
+let record_count t : int = with_lock t (fun () -> t.n_records)
+let segment_count t : int = with_lock t (fun () -> List.length t.segs)
+let flow_count t : int = with_lock t (fun () -> List.length t.flows_rev)
+let directory t : string = t.dir
+
+let bytes_on_disk t : int =
+  with_lock t (fun () ->
+      check_open t;
+      Stdlib.flush t.tail_oc;
+      List.fold_left
+        (fun acc s ->
+          let sz p = try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0 in
+          acc + sz (seg_path t s.sg_id) + sz (idx_path t s.sg_id))
+        0 t.segs)
+
+(* ------------------------------------------------------------------ *)
+(* 1/K sampling (paper Section 5.2)                                    *)
+
+(* Deterministic, interleaving-independent sample decision: hash the
+   flow key, keep 1-in-k.  Stateless, so the batched/sharded runtimes
+   make identical decisions regardless of delivery order, and an
+   offline query can recompute which flows were eligible. *)
+let sampled ~(k : int) (key : string) : bool =
+  if k <= 1 then true
+  else begin
+    let d = Crypto.Sha256.digest ("flow|" ^ key) in
+    let v = (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2] in
+    v mod k = 0
+  end

@@ -11,6 +11,7 @@ let () =
       ("provenance", Test_provenance.suite);
       ("sendlog", Test_sendlog.suite);
       ("core", Test_core.suite);
+      ("store", Test_store.suite);
       ("par", Test_par.suite);
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite) ]
