@@ -339,11 +339,16 @@ let serialized_size (a : t) : int = String.length (serialize a)
 exception Deserialize_error of string
 
 (* Inverse of [serialize]: rebuild the function inside [m] (ids are
-   remapped through the manager's hash-consing). *)
-let deserialize (m : manager) (s : string) : t =
-  let n = String.length s in
+   remapped through the manager's hash-consing).  The sub-range form
+   lets a wire decoder hand over its receive buffer directly instead
+   of copying the BDD tail out first. *)
+let deserialize_sub (m : manager) (s : string) ~(pos : int) ~(len : int) : t =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    raise (Deserialize_error "range outside buffer");
+  let n = len in
   if n < 4 || n mod 16 <> 4 then raise (Deserialize_error "bad length");
   let read_int off =
+    let off = pos + off in
     (Char.code s.[off] lsl 24)
     lor (Char.code s.[off + 1] lsl 16)
     lor (Char.code s.[off + 2] lsl 8)
@@ -367,3 +372,6 @@ let deserialize (m : manager) (s : string) : t =
     Hashtbl.replace mapping old_id (mk m ~var ~lo ~hi)
   done;
   resolve (read_int (n - 4))
+
+let deserialize (m : manager) (s : string) : t =
+  deserialize_sub m s ~pos:0 ~len:(String.length s)

@@ -100,6 +100,12 @@ val deserialize : manager -> string -> t
     compatible with the manager's).
     @raise Deserialize_error on malformed input. *)
 
+val deserialize_sub : manager -> string -> pos:int -> len:int -> t
+(** {!deserialize} over a sub-range, so a wire decoder can hand its
+    receive buffer over directly instead of copying the BDD tail out
+    first.  @raise Deserialize_error on malformed input or a range
+    outside the buffer. *)
+
 val id : t -> int
 (** Stable node identifier within the owning manager (0 and 1 are the
     constants); exposed for external memo tables. *)

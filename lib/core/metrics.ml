@@ -213,6 +213,9 @@ let compare_bench ~(baseline : Obs.Json.t) ~(current : Obs.Json.t) : string list
       [ "jobs_ablation"; "par_wall_seconds" ];
       [ "shards_ablation"; "seq_wall_seconds" ];
       [ "shards_ablation"; "sharded_wall_seconds" ];
+      [ "verify_ablation"; "ndlog_wall_seconds" ];
+      [ "verify_ablation"; "batched_wall_seconds" ];
+      [ "verify_ablation"; "inline_wall_seconds" ];
       [ "forensics_ablation"; "base_wall_seconds" ];
       [ "forensics_ablation"; "provlog_wall_seconds" ];
       [ "forensics_ablation"; "offline_query"; "p99_seconds" ] ];
@@ -226,6 +229,7 @@ let compare_bench ~(baseline : Obs.Json.t) ~(current : Obs.Json.t) : string list
       [ "crypto_ablation"; "best_paths" ];
       [ "jobs_ablation"; "best_paths" ];
       [ "shards_ablation"; "fixpoint_rows" ];
+      [ "verify_ablation"; "best_paths" ];
       [ "fault_ablation"; "baseline_best_paths" ];
       [ "forensics_ablation"; "best_paths" ] ];
   sim [ "fault_ablation"; "reliable_max_sim_seconds" ];

@@ -78,6 +78,20 @@ type exec_ctx = {
   mutable xc_out : outgoing list; (* reversed *)
 }
 
+(* One committed signed message whose verification is scheduled ahead
+   of delivery (pipelined batch verification, [Config.verify_batch]):
+   enough to re-encode the canonical signed bytes at flush time.  The
+   receiver finds the precomputed verdict keyed by the message's
+   channel identity. *)
+type pending_verify = {
+  pv_src : string;
+  pv_dst : string;
+  pv_seq : int;
+  pv_retract : bool;
+  pv_tuple : Tuple.t;
+  pv_auth : Net.Wire.auth;
+}
+
 (* One cross-shard schedule buffered during a conservative window.
    Shards may not touch each other's queues mid-window, so a delivery
    addressed to another shard parks here and is flushed at the next
@@ -107,6 +121,10 @@ type shard = {
   mutable sh_inbox : (node * work_item) list; (* reversed arrival order *)
   mutable sh_outbox : outbox_entry list; (* reversed production order *)
   mutable sh_order : int; (* monotone outbox tiebreak counter *)
+  mutable sh_verify : pending_verify list;
+      (* signed messages committed since the last verify flush
+         (reversed); flushed into async pool slabs at batch/window
+         boundaries so their crypto overlaps the next fixpoint *)
 }
 
 type t = {
@@ -140,6 +158,17 @@ type t = {
   log_mu : Mutex.t; (* guards [derivation_log] appends *)
   pool : Par.Pool.t option;
       (* worker domains when [cfg.jobs > 1] or the engine is sharded *)
+  verify_pipelined : bool;
+      (* dispatch-time batch verification is on: pool present, RSA
+         auth, signatures verified, and [cfg.verify_batch] *)
+  vq_mu : Mutex.t; (* guards [vq_futures] *)
+  vq_futures :
+    ( string * string * int * bool,
+      Sendlog.Auth.verdict array Par.Pool.future * int )
+    Hashtbl.t;
+      (* precomputed verdict per in-flight signed message, keyed
+         (src, dst, seq, is_retract): the slab future and the
+         message's slot within it *)
   obs_events : Obs.Events.log; (* bounded structured event log *)
   mutable tracer : Obs.Trace.t option; (* span tree, when tracing is on *)
   h_handler : Obs.Metrics.histogram; (* modeled per-handler duration *)
@@ -367,6 +396,8 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
   ignore (Obs.Metrics.histogram reg "crypto.verify_seconds");
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_hits");
   ignore (Obs.Metrics.counter reg "crypto.sign_cache_misses");
+  ignore (Obs.Metrics.counter reg "crypto.verify_batches");
+  ignore (Obs.Metrics.counter reg "crypto.verify_batch_size");
   ignore (Obs.Metrics.counter reg "traceback.partial_results");
   ignore (Obs.Metrics.counter reg "forensics.records_written");
   ignore (Obs.Metrics.counter reg "forensics.segments_compacted");
@@ -439,7 +470,8 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
           sh_batching = false;
           sh_inbox = [];
           sh_outbox = [];
-          sh_order = 0 })
+          sh_order = 0;
+          sh_verify = [] })
   in
   (* The sharded engine needs worker domains even when [jobs = 1];
      shards beyond the hardware parallelism just queue. *)
@@ -468,6 +500,12 @@ let create ?(directory : Sendlog.Principal.directory option) ~(rng : Crypto.Rng.
         (if cfg.jobs > 1 || shard_count > 1 then
            Some (Par.Pool.create ~jobs:pool_jobs)
          else None);
+      verify_pipelined =
+        (cfg.jobs > 1 || shard_count > 1)
+        && cfg.Config.verify_batch && cfg.Config.verify_signatures
+        && cfg.Config.auth = Sendlog.Auth.Auth_rsa;
+      vq_mu = Mutex.create ();
+      vq_futures = Hashtbl.create 256;
       obs_events = Obs.Events.create ~capacity:8192 ();
       tracer = None;
       h_handler = Obs.Metrics.histogram reg "runtime.handler_seconds";
@@ -810,9 +848,15 @@ let send (t : t) (xc : exec_ctx) (sender : node) (emit : Eval.emit) : unit =
      Without the fastpath the old layering stands (no speculative
      exponentiation for a message the sent cache is about to drop). *)
   if fresh || (t.cfg.auth = Sendlog.Auth.Auth_rsa && t.cfg.use_crypto_fastpath) then begin
-    let bytes = Net.Wire.signed_bytes ~src:sender.n_addr ~dst:emit.e_dest tuple in
+    (* The signed bytes live in the domain's scratch arena only long
+       enough to be digested (or MACed) by [make_auth_slice]; no
+       string is ever materialized on this path. *)
+    let bytes =
+      Net.Wire.signed_slice (Net.Arena.scratch ()) ~src:sender.n_addr
+        ~dst:emit.e_dest tuple
+    in
     let auth =
-      Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+      Sendlog.Auth.make_auth_slice ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
         sender.n_principal bytes
     in
     if fresh then begin
@@ -902,9 +946,12 @@ let clear_sent (n : node) (dest : string) (tuple : Tuple.t) : bool =
    replayed as a retraction (or vice versa). *)
 let send_retract (t : t) (xc : exec_ctx) (sender : node) ~(dest : string)
     (tuple : Tuple.t) : unit =
-  let bytes = Net.Wire.retract_signed_bytes ~src:sender.n_addr ~dst:dest tuple in
+  let bytes =
+    Net.Wire.retract_signed_slice (Net.Arena.scratch ()) ~src:sender.n_addr
+      ~dst:dest tuple
+  in
   let auth =
-    Sendlog.Auth.make_auth ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+    Sendlog.Auth.make_auth_slice ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
       sender.n_principal bytes
   in
   (match t.cfg.auth with
@@ -1080,6 +1127,34 @@ let process (t : t) (xc : exec_ctx) (n : node) (pending : Eval.frontier_item lis
   List.iter (send t xc n) emits;
   drain_displaced t xc n displaced
 
+(* Verdict for an incoming authenticated message: consume the
+   pipelined verdict if one was precomputed at dispatch (awaiting a
+   slab that no worker has started yet *steals* it and runs it inline,
+   so the fallback degenerates to exactly the scalar kernel), else
+   verify inline straight out of the scratch-encoded signed bytes.
+   Either way the per-message accounting stays with the caller. *)
+let verdict_for (t : t) (msg : Net.Wire.message) ~(retract : bool)
+    (bytes : Net.Arena.slice Lazy.t) : Sendlog.Auth.verdict =
+  let precomputed =
+    if not t.verify_pipelined then None
+    else
+      locked t.vq_mu (fun () ->
+          let key =
+            (msg.Net.Wire.msg_src, msg.Net.Wire.msg_dst, msg.Net.Wire.msg_seq,
+             retract)
+          in
+          match Hashtbl.find_opt t.vq_futures key with
+          | Some entry ->
+            Hashtbl.remove t.vq_futures key;
+            Some entry
+          | None -> None)
+  in
+  match precomputed with
+  | Some (fut, slot) -> (Par.Pool.await fut).(slot)
+  | None ->
+    Sendlog.Auth.verify_slice ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
+      t.directory msg.Net.Wire.msg_auth (Lazy.force bytes)
+
 (* Receiver side of a retraction notice: verify it (same outcomes as a
    data message), withdraw the sender from the tuple's external
    support and provenance, and — if the tuple is live — run the
@@ -1090,15 +1165,14 @@ let handle_retract (t : t) (xc : exec_ctx) (receiver : node)
   let tuple = msg.Net.Wire.msg_tuple in
   let src = msg.Net.Wire.msg_src in
   let bytes =
-    Net.Wire.retract_signed_bytes ~src ~dst:msg.Net.Wire.msg_dst tuple
+    lazy
+      (Net.Wire.retract_signed_slice (Net.Arena.scratch ()) ~src
+         ~dst:msg.Net.Wire.msg_dst tuple)
   in
   let ok =
     (not t.cfg.verify_signatures)
     ||
-    match
-      Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth
-        t.directory msg.Net.Wire.msg_auth bytes
-    with
+    match verdict_for t msg ~retract:true bytes with
     | Sendlog.Auth.Verified _ ->
       (match t.cfg.auth with
       | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
@@ -1223,7 +1297,25 @@ let commit_handler (t : t) (n : node) ~(incoming_msgs : int) ~(incoming_bytes : 
       | None -> ());
       match o.o_receiver with
       | None -> () (* destination outside the simulation: counted, dropped *)
-      | Some r -> dispatch t r msg ~delay:(depart +. o.o_latency) ~latency:o.o_latency)
+      | Some r ->
+        (* Pipelined verification: park the signed message for the next
+           verify flush, so a pool slab computes its verdict while this
+           shard is still busy with the following fixpoints.  The
+           verdict is deterministic in the message, so precomputing it
+           commutes with everything between here and acceptance. *)
+        (match o.o_auth with
+        | Net.Wire.A_signature _ when t.verify_pipelined ->
+          let sh = shard_ctx t in
+          sh.sh_verify <-
+            { pv_src = n.n_addr;
+              pv_dst = o.o_dest;
+              pv_seq = msg.Net.Wire.msg_seq;
+              pv_retract = (o.o_kind = Net.Wire.K_retract);
+              pv_tuple = o.o_tuple;
+              pv_auth = o.o_auth }
+            :: sh.sh_verify
+        | _ -> ());
+        dispatch t r msg ~delay:(depart +. o.o_latency) ~latency:o.o_latency)
     outgoing
 
 (* Execute [work] as node [n]'s CPU: measure its real duration, then
@@ -1251,7 +1343,9 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
     Eval.frontier_item =
   let tuple = msg.Net.Wire.msg_tuple in
   let bytes =
-    Net.Wire.signed_bytes ~src:msg.Net.Wire.msg_src ~dst:msg.Net.Wire.msg_dst tuple
+    lazy
+      (Net.Wire.signed_slice (Net.Arena.scratch ()) ~src:msg.Net.Wire.msg_src
+         ~dst:msg.Net.Wire.msg_dst tuple)
   in
   let asserter =
     if not t.cfg.verify_signatures then
@@ -1261,10 +1355,7 @@ let accept_message (t : t) (receiver : node) (msg : Net.Wire.message) :
       | Net.Wire.A_hmac { principal = p; _ }
       | Net.Wire.A_signature { principal = p; _ } -> Some (Value.V_str p)
     else begin
-      match
-        Sendlog.Auth.verify ~fastpath:t.cfg.use_crypto_fastpath t.cfg.auth t.directory
-          msg.Net.Wire.msg_auth bytes
-      with
+      match verdict_for t msg ~retract:false bytes with
       | Sendlog.Auth.Verified p ->
         (match t.cfg.auth with
         | Sendlog.Auth.Auth_rsa | Sendlog.Auth.Auth_hmac ->
@@ -1647,6 +1738,58 @@ let node_compute (t : t) ((n, items) : node * work_item list) :
   let compute = Unix.gettimeofday () -. t0 in
   (n, xc, compute, !nmsgs, !bytes, !tparent)
 
+(* Slab width for fanned-out verification: small enough that a
+   frontier fills several slabs (overlap), large enough that slab
+   bookkeeping is noise next to an RSA exponentiation. *)
+let verify_chunk = 16
+
+(* Launch the verification of every message committed since the last
+   flush as asynchronous slabs on the pool: batch k's crypto runs on
+   worker domains while the orchestrator executes batch k+1's events
+   and fixpoints, and the verdicts are consumed by [verdict_for] at
+   acceptance.  The signed bytes are re-encoded into one exact-sized
+   per-flush arena (no growth, so every slice stays valid) whose
+   buffer the slab closures retain until awaited. *)
+let flush_verify (t : t) (sh : shard) : unit =
+  match (t.pool, sh.sh_verify) with
+  | None, _ | _, [] -> ()
+  | Some pool, buffered ->
+    sh.sh_verify <- [];
+    let entries = Array.of_list (List.rev buffered) in
+    let bytes_needed =
+      Array.fold_left
+        (fun acc pv ->
+          acc
+          + (if pv.pv_retract then 8 else 0)
+          + 4 + String.length pv.pv_src + 4 + String.length pv.pv_dst
+          + Net.Wire.tuple_wire_size pv.pv_tuple)
+        0 entries
+    in
+    let a = Net.Arena.create ~capacity:(max 1 bytes_needed) () in
+    let items =
+      Array.map
+        (fun pv ->
+          let slice =
+            if pv.pv_retract then
+              Net.Wire.retract_signed_slice a ~src:pv.pv_src ~dst:pv.pv_dst
+                pv.pv_tuple
+            else Net.Wire.signed_slice a ~src:pv.pv_src ~dst:pv.pv_dst pv.pv_tuple
+          in
+          (pv.pv_auth, slice))
+        entries
+    in
+    let futures =
+      Sendlog.Auth.verify_batch_fanout ~fastpath:t.cfg.use_crypto_fastpath
+        ~chunk:verify_chunk pool t.cfg.auth t.directory items
+    in
+    locked t.vq_mu (fun () ->
+        Array.iteri
+          (fun j pv ->
+            Hashtbl.replace t.vq_futures
+              (pv.pv_src, pv.pv_dst, pv.pv_seq, pv.pv_retract)
+              (futures.(j / verify_chunk), j mod verify_chunk))
+          entries)
+
 (* One batch step: pop all events sharing the next timestamp, let them
    park their dataflow work in the inbox (ACKs, timers and fault
    verdicts still execute inline — they are cheap and order-
@@ -1681,7 +1824,10 @@ let run_batched (t : t) (pool : Par.Pool.t) ~(until : float) : int =
             commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute
               ?trace_parent:tparent xc)
           results
-      end
+      end;
+      (* The commits above dispatched the next frontier; start its
+         verification now so it overlaps that frontier's fixpoint. *)
+      flush_verify t sh
   done;
   !count
 
@@ -1751,7 +1897,11 @@ let drain_shard (t : t) (sh : shard) ~(limit : float) ~(inclusive : bool) : int 
             commit_handler t n ~incoming_msgs:nmsgs ~incoming_bytes:bytes ~compute
               ?trace_parent:tparent xc)
           groups
-      end
+      end;
+      (* Workers are shard-pinned for the window, so the slabs mostly
+         run between barriers (idle workers drain them); an awaited
+         slab that has not started is stolen and run inline. *)
+      flush_verify t sh
   done;
   !count
 

@@ -4,7 +4,7 @@
 
 let block_size = 64
 
-let sha256 ~(key : string) (msg : string) : string =
+let pads ~(key : string) : string * string =
   let key =
     if String.length key > block_size then Sha256.digest key else key
   in
@@ -16,9 +16,25 @@ let sha256 ~(key : string) (msg : string) : string =
   let xor_with pad =
     String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
   in
-  let ipad = xor_with 0x36 and opad = xor_with 0x5c in
+  (xor_with 0x36, xor_with 0x5c)
+
+let sha256 ~(key : string) (msg : string) : string =
+  let ipad, opad = pads ~key in
   Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+(* MAC over a [Bytes] sub-range: the inner hash streams the message
+   out of the caller's buffer, so the zero-copy wire path never
+   materializes the signed bytes as a string. *)
+let sha256_bytes ~(key : string) (b : Bytes.t) ~(pos : int) ~(len : int) : string =
+  let ipad, opad = pads ~key in
+  let inner = Sha256.init () in
+  Sha256.feed inner ipad;
+  Sha256.feed_bytes inner b ~pos ~len;
+  Sha256.digest (opad ^ Sha256.finalize inner)
 
 let hex ~key msg = Sha256.to_hex (sha256 ~key msg)
 
 let verify ~key ~tag msg = String.equal (sha256 ~key msg) tag
+
+let verify_bytes ~key ~tag b ~pos ~len =
+  String.equal (sha256_bytes ~key b ~pos ~len) tag

@@ -1,0 +1,20 @@
+(** HMAC-SHA256 (RFC 2104).  Used by the benign "cleartext plus MAC"
+    authentication mode of SeNDlog's [says], where full RSA signatures
+    are unnecessary. *)
+
+val block_size : int
+(** SHA-256 block size (64 bytes). *)
+
+val sha256 : key:string -> string -> string
+(** 32-byte MAC tag. *)
+
+val sha256_bytes : key:string -> Bytes.t -> pos:int -> len:int -> string
+(** MAC over a [Bytes] sub-range without copying the message; the
+    zero-copy path for authenticating wire slices. *)
+
+val hex : key:string -> string -> string
+(** [Sha256.to_hex] of the tag. *)
+
+val verify : key:string -> tag:string -> string -> bool
+
+val verify_bytes : key:string -> tag:string -> Bytes.t -> pos:int -> len:int -> bool

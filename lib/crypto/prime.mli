@@ -1,0 +1,12 @@
+(** Probabilistic prime generation for RSA key material: Miller-Rabin
+    with deterministic-seeded random witnesses, preceded by trial
+    division against the primes below 1000. *)
+
+val is_probable_prime : ?rounds:int -> Rng.t -> Bignum.Nat.t -> bool
+(** [rounds] defaults to 24 Miller-Rabin rounds. *)
+
+val generate : Rng.t -> bits:int -> Bignum.Nat.t
+(** A random probable prime with exactly [bits] bits (two top bits
+    forced, so a product of two such primes has [2 * bits] bits).
+    Deterministic given the generator state.  Raises
+    [Invalid_argument] if [bits < 4]. *)

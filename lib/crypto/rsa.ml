@@ -130,10 +130,14 @@ let crt_power (c : crt) (m : Nat.t) : Nat.t =
   let h = Nat.rem (Nat.mul c.q_inv diff) c.p in
   Nat.add s_q (Nat.mul h c.q)
 
-let sign ?fastpath (priv : private_key) (message : string) : string =
+(* Digest-level entry points: the wire hot path digests a message
+   slice in place (no string materialization, and no double digest
+   when the sender's sign cache is keyed by the same digest) and hands
+   the 32 bytes here. *)
+let sign_digest ?fastpath (priv : private_key) (digest : string) : string =
   let fastpath = Option.value fastpath ~default:!fastpath_default in
   Obs.Metrics.timed (Lazy.force sign_hist) @@ fun () ->
-  let m = encode_digest priv.pub (Sha256.digest message) in
+  let m = encode_digest priv.pub digest in
   let s =
     match (fastpath, priv.crt) with
     | true, Some c -> crt_power c m
@@ -145,8 +149,11 @@ let sign ?fastpath (priv : private_key) (message : string) : string =
   let k = signature_size priv.pub in
   String.make (k - String.length raw) '\000' ^ raw
 
-let verify ?fastpath (pub : public_key) ~(signature : string) (message : string) :
-    bool =
+let sign ?fastpath (priv : private_key) (message : string) : string =
+  sign_digest ?fastpath priv (Sha256.digest message)
+
+let verify_digest ?fastpath (pub : public_key) ~(signature : string)
+    (digest : string) : bool =
   let fastpath = Option.value fastpath ~default:!fastpath_default in
   Obs.Metrics.timed (Lazy.force verify_hist) @@ fun () ->
   String.length signature = signature_size pub
@@ -161,8 +168,12 @@ let verify ?fastpath (pub : public_key) ~(signature : string) (message : string)
            | None -> Nat.Mont.mod_pow (mont_ctx_of pub.n) s pub.e
          else Nat.mod_pow s pub.e pub.n
        in
-       Nat.equal recovered (encode_digest pub (Sha256.digest message))
+       Nat.equal recovered (encode_digest pub digest)
      end
+
+let verify ?fastpath (pub : public_key) ~(signature : string) (message : string) :
+    bool =
+  verify_digest ?fastpath pub ~signature (Sha256.digest message)
 
 (* Serialized public key, also used for fingerprints in wire messages. *)
 let public_to_string (pub : public_key) : string =

@@ -53,7 +53,15 @@ val sign : ?fastpath:bool -> private_key -> string -> string
     [?fastpath] selects CRT/Montgomery vs the naive exponentiation
     (identical bytes either way); defaults to {!set_fastpath}'s value. *)
 
+val sign_digest : ?fastpath:bool -> private_key -> string -> string
+(** Sign an already-computed 32-byte SHA-256 digest.  The wire hot
+    path digests a message slice in place and keys the sender's sign
+    cache by the same digest, so nothing is hashed twice. *)
+
 val verify : ?fastpath:bool -> public_key -> signature:string -> string -> bool
+
+val verify_digest : ?fastpath:bool -> public_key -> signature:string -> string -> bool
+(** Verify against an already-computed 32-byte SHA-256 digest. *)
 
 val public_to_string : public_key -> string
 val public_of_string : string -> public_key option

@@ -71,17 +71,37 @@ let compress (h : int array) (block : string) (off : int) =
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
 
-let feed (ctx : ctx) (s : string) =
-  ctx.len <- ctx.len + String.length s;
-  Buffer.add_string ctx.buf s;
-  let data = Buffer.contents ctx.buf in
-  let n = String.length data in
-  let blocks = n / 64 in
-  for i = 0 to blocks - 1 do
-    compress ctx.h data (i * 64)
-  done;
-  Buffer.clear ctx.buf;
-  Buffer.add_substring ctx.buf data (blocks * 64) (n - (blocks * 64))
+let feed_sub (ctx : ctx) (s : string) (pos : int) (len : int) =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sha256.feed_sub: range outside input";
+  ctx.len <- ctx.len + len;
+  if Buffer.length ctx.buf = 0 then begin
+    (* Block-aligned fast path: compress straight out of the caller's
+       buffer, no staging copy. *)
+    let blocks = len / 64 in
+    for i = 0 to blocks - 1 do
+      compress ctx.h s (pos + (i * 64))
+    done;
+    Buffer.add_substring ctx.buf s (pos + (blocks * 64)) (len - (blocks * 64))
+  end
+  else begin
+    Buffer.add_substring ctx.buf s pos len;
+    let data = Buffer.contents ctx.buf in
+    let n = String.length data in
+    let blocks = n / 64 in
+    for i = 0 to blocks - 1 do
+      compress ctx.h data (i * 64)
+    done;
+    Buffer.clear ctx.buf;
+    Buffer.add_substring ctx.buf data (blocks * 64) (n - (blocks * 64))
+  end
+
+let feed (ctx : ctx) (s : string) = feed_sub ctx s 0 (String.length s)
+
+(* Feed a [Bytes] sub-range without copying.  Sound: [compress] only
+   reads, and does so before control returns to the caller. *)
+let feed_bytes (ctx : ctx) (b : Bytes.t) ~(pos : int) ~(len : int) =
+  feed_sub ctx (Bytes.unsafe_to_string b) pos len
 
 let finalize (ctx : ctx) : string =
   let bit_len = ctx.len * 8 in
@@ -107,6 +127,11 @@ let finalize (ctx : ctx) : string =
 let digest (s : string) : string =
   let ctx = init () in
   feed ctx s;
+  finalize ctx
+
+let digest_bytes (b : Bytes.t) ~(pos : int) ~(len : int) : string =
+  let ctx = init () in
+  feed_bytes ctx b ~pos ~len;
   finalize ctx
 
 let to_hex (d : string) : string =

@@ -5,7 +5,14 @@
    payload, and - depending on the configuration - an authentication
    block (cleartext principal, HMAC tag, or RSA signature) and a
    condensed-provenance block.  RSA signatures are computed over the
-   canonical encoding produced here. *)
+   canonical encoding produced here.
+
+   Encoding goes through [Arena] writers (one growable buffer per
+   encode, reusable across messages) instead of per-field [Buffer]
+   allocation, decoding through [Arena] cursor readers over zero-copy
+   slices, and [size] is computed arithmetically without encoding
+   anything — the encoded-length identity is property-tested against a
+   reference Buffer codec in [test_net.ml]. *)
 
 type auth =
   | A_none
@@ -39,148 +46,224 @@ type message = {
          untraced run's. *)
 }
 
-(* --- primitive encoders --------------------------------------------- *)
+(* --- encoders --------------------------------------------------------- *)
 
-let put_u32 (buf : Buffer.t) (i : int) : unit =
-  Buffer.add_char buf (Char.chr ((i lsr 24) land 0xFF));
-  Buffer.add_char buf (Char.chr ((i lsr 16) land 0xFF));
-  Buffer.add_char buf (Char.chr ((i lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (i land 0xFF))
+let put_string (a : Arena.t) (s : string) : unit =
+  Arena.add_u32 a (String.length s);
+  Arena.add_string a s
 
-let put_u64 (buf : Buffer.t) (i : int64) : unit =
-  for k = 7 downto 0 do
-    Buffer.add_char buf
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical i (8 * k)) 0xFFL)))
-  done
-
-let put_string (buf : Buffer.t) (s : string) : unit =
-  put_u32 buf (String.length s);
-  Buffer.add_string buf s
-
-let rec put_value (buf : Buffer.t) (v : Engine.Value.t) : unit =
+let rec put_value (a : Arena.t) (v : Engine.Value.t) : unit =
   match v with
   | V_int i ->
-    Buffer.add_char buf '\001';
-    put_u64 buf (Int64.of_int i)
+    Arena.add_char a '\001';
+    Arena.add_u64 a (Int64.of_int i)
   | V_float f ->
-    Buffer.add_char buf '\002';
-    put_u64 buf (Int64.bits_of_float f)
+    Arena.add_char a '\002';
+    Arena.add_u64 a (Int64.bits_of_float f)
   | V_bool b ->
-    Buffer.add_char buf '\003';
-    Buffer.add_char buf (if b then '\001' else '\000')
+    Arena.add_char a '\003';
+    Arena.add_char a (if b then '\001' else '\000')
   | V_str s ->
-    Buffer.add_char buf '\004';
-    put_string buf s
+    Arena.add_char a '\004';
+    put_string a s
   | V_list l ->
-    Buffer.add_char buf '\005';
-    put_u32 buf (List.length l);
-    List.iter (put_value buf) l
+    Arena.add_char a '\005';
+    Arena.add_u32 a (List.length l);
+    List.iter (put_value a) l
+
+let write_tuple (a : Arena.t) (t : Engine.Tuple.t) : unit =
+  put_string a t.rel;
+  Arena.add_u32 a (Array.length t.args);
+  Array.iter (put_value a) t.args
 
 let encode_tuple (t : Engine.Tuple.t) : string =
-  let buf = Buffer.create 64 in
-  put_string buf t.rel;
-  put_u32 buf (Array.length t.args);
-  Array.iter (put_value buf) t.args;
-  Buffer.contents buf
+  let a = Arena.create ~capacity:64 () in
+  write_tuple a t;
+  Arena.contents a
+
+(* Encoded size of a value/tuple without encoding it; keeps the
+   bandwidth accounting ([size], [size_breakdown]) allocation-free. *)
+let rec value_wire_size (v : Engine.Value.t) : int =
+  match v with
+  | V_int _ | V_float _ -> 1 + 8
+  | V_bool _ -> 2
+  | V_str s -> 1 + 4 + String.length s
+  | V_list l -> List.fold_left (fun acc v -> acc + value_wire_size v) (1 + 4) l
+
+let tuple_wire_size (t : Engine.Tuple.t) : int =
+  Array.fold_left
+    (fun acc v -> acc + value_wire_size v)
+    (4 + String.length t.rel + 4)
+    t.args
 
 (* --- decoding -------------------------------------------------------- *)
 
 exception Decode_error of string
 
-type reader = { data : string; mutable pos : int }
+(* Translate an arena bounds overrun into the codec's own error: a
+   slice that ends mid-field is a truncated message, whatever the
+   field. *)
+let decoding (f : unit -> 'a) : 'a =
+  try f () with Arena.Bounds_error _ -> raise (Decode_error "truncated message")
 
-let take (r : reader) (n : int) : string =
-  if r.pos + n > String.length r.data then raise (Decode_error "truncated message");
-  let s = String.sub r.data r.pos n in
-  r.pos <- r.pos + n;
-  s
+let get_string (r : Arena.reader) : string =
+  let n = Arena.u32 r in
+  Arena.take_string r n
 
-let get_u32 (r : reader) : int =
-  let s = take r 4 in
-  (Char.code s.[0] lsl 24) lor (Char.code s.[1] lsl 16) lor (Char.code s.[2] lsl 8)
-  lor Char.code s.[3]
-
-let get_u64 (r : reader) : int64 =
-  let s = take r 8 in
-  let acc = ref 0L in
-  String.iter (fun c -> acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code c))) s;
-  !acc
-
-let get_string (r : reader) : string =
-  let n = get_u32 r in
-  take r n
-
-let rec get_value (r : reader) : Engine.Value.t =
-  match (take r 1).[0] with
-  | '\001' -> V_int (Int64.to_int (get_u64 r))
-  | '\002' -> V_float (Int64.float_of_bits (get_u64 r))
-  | '\003' -> V_bool ((take r 1).[0] = '\001')
+let rec get_value (r : Arena.reader) : Engine.Value.t =
+  match Char.chr (Arena.u8 r) with
+  | '\001' -> V_int (Int64.to_int (Arena.u64 r))
+  | '\002' -> V_float (Int64.float_of_bits (Arena.u64 r))
+  | '\003' -> V_bool (Arena.u8 r = 1)
   | '\004' -> V_str (get_string r)
   | '\005' ->
-    let n = get_u32 r in
+    let n = Arena.u32 r in
     V_list (List.init n (fun _ -> get_value r))
   | c -> raise (Decode_error (Printf.sprintf "bad value tag %C" c))
 
-let decode_tuple (s : string) : Engine.Tuple.t =
-  let r = { data = s; pos = 0 } in
+let read_tuple (r : Arena.reader) : Engine.Tuple.t =
   let rel = get_string r in
-  let n = get_u32 r in
+  let n = Arena.u32 r in
   let args = Array.init n (fun _ -> get_value r) in
   { Engine.Tuple.rel; args }
+
+let decode_tuple_slice (s : Arena.slice) : Engine.Tuple.t =
+  decoding (fun () -> read_tuple (Arena.reader s))
+
+let decode_tuple (s : string) : Engine.Tuple.t =
+  decode_tuple_slice (Arena.of_string s)
 
 (* --- message framing ------------------------------------------------- *)
 
 (* Canonical bytes that authentication covers: source, destination and
    the tuple payload (not the sequence number, so identical tuples can
-   share signature work if a sender caches them). *)
-let signed_bytes ~(src : string) ~(dst : string) (tuple : Engine.Tuple.t) : string =
-  let buf = Buffer.create 64 in
-  put_string buf src;
-  put_string buf dst;
-  Buffer.add_string buf (encode_tuple tuple);
-  Buffer.contents buf
+   share signature work if a sender caches them).  [signed_slice]
+   writes them into a caller-supplied arena — typically the domain's
+   [Arena.scratch] — and returns a view; the string form copies out of
+   a fresh arena for callers that retain the bytes. *)
+let signed_slice (a : Arena.t) ~(src : string) ~(dst : string)
+    (tuple : Engine.Tuple.t) : Arena.slice =
+  let start = Arena.length a in
+  put_string a src;
+  put_string a dst;
+  write_tuple a tuple;
+  Arena.slice_from a start
 
 (* Retraction authentication is domain-separated from assertion
    authentication: without the prefix, a captured data message's
    signature could be replayed as a retraction of the very tuple it
    asserted (and vice versa). *)
+let retract_signed_slice (a : Arena.t) ~(src : string) ~(dst : string)
+    (tuple : Engine.Tuple.t) : Arena.slice =
+  let start = Arena.length a in
+  Arena.add_string a "retract|";
+  put_string a src;
+  put_string a dst;
+  write_tuple a tuple;
+  Arena.slice_from a start
+
+let signed_bytes ~(src : string) ~(dst : string) (tuple : Engine.Tuple.t) : string =
+  let a = Arena.create ~capacity:64 () in
+  Arena.to_string (signed_slice a ~src ~dst tuple)
+
 let retract_signed_bytes ~(src : string) ~(dst : string)
     (tuple : Engine.Tuple.t) : string =
-  "retract|" ^ signed_bytes ~src ~dst tuple
+  let a = Arena.create ~capacity:64 () in
+  Arena.to_string (retract_signed_slice a ~src ~dst tuple)
+
+let kind_char (k : kind) : char =
+  match k with K_data -> 'D' | K_retract -> 'R' | K_ack -> 'A'
+
+let write_message (a : Arena.t) (m : message) : unit =
+  Arena.add_char a (kind_char m.msg_kind);
+  put_string a m.msg_src;
+  put_string a m.msg_dst;
+  Arena.add_u32 a m.msg_seq;
+  (* length-prefixed tuple: reserve the prefix, write, patch *)
+  let at = Arena.reserve_u32 a in
+  let before = Arena.length a in
+  write_tuple a m.msg_tuple;
+  Arena.patch_u32 a at (Arena.length a - before);
+  (match m.msg_auth with
+  | A_none -> Arena.add_char a '\000'
+  | A_principal p ->
+    Arena.add_char a '\001';
+    put_string a p
+  | A_hmac { principal; tag } ->
+    Arena.add_char a '\002';
+    put_string a principal;
+    put_string a tag
+  | A_signature { principal; signature } ->
+    Arena.add_char a '\003';
+    put_string a principal;
+    put_string a signature);
+  (match m.msg_provenance with
+  | None -> Arena.add_char a '\000'
+  | Some p ->
+    Arena.add_char a '\001';
+    put_string a p);
+  match m.msg_trace with
+  | None -> Arena.add_char a '\000'
+  | Some (trace_id, span_id) ->
+    Arena.add_char a '\001';
+    Arena.add_u32 a trace_id;
+    Arena.add_u32 a span_id
 
 let encode_message (m : message) : string =
-  let buf = Buffer.create 128 in
-  Buffer.add_char buf
-    (match m.msg_kind with K_data -> 'D' | K_retract -> 'R' | K_ack -> 'A');
-  put_string buf m.msg_src;
-  put_string buf m.msg_dst;
-  put_u32 buf m.msg_seq;
-  put_string buf (encode_tuple m.msg_tuple);
-  (match m.msg_auth with
-  | A_none -> Buffer.add_char buf '\000'
-  | A_principal p ->
-    Buffer.add_char buf '\001';
-    put_string buf p
-  | A_hmac { principal; tag } ->
-    Buffer.add_char buf '\002';
-    put_string buf principal;
-    put_string buf tag
-  | A_signature { principal; signature } ->
-    Buffer.add_char buf '\003';
-    put_string buf principal;
-    put_string buf signature);
-  (match m.msg_provenance with
-  | None -> Buffer.add_char buf '\000'
-  | Some p ->
-    Buffer.add_char buf '\001';
-    put_string buf p);
-  (match m.msg_trace with
-  | None -> Buffer.add_char buf '\000'
-  | Some (trace_id, span_id) ->
-    Buffer.add_char buf '\001';
-    put_u32 buf trace_id;
-    put_u32 buf span_id);
-  Buffer.contents buf
+  let a = Arena.create ~capacity:128 () in
+  write_message a m;
+  Arena.contents a
+
+let decode_message_slice (s : Arena.slice) : message =
+  decoding @@ fun () ->
+  let r = Arena.reader s in
+  let msg_kind =
+    match Char.chr (Arena.u8 r) with
+    | 'D' -> K_data
+    | 'R' -> K_retract
+    | 'A' -> K_ack
+    | c -> raise (Decode_error (Printf.sprintf "bad message kind %C" c))
+  in
+  let msg_src = get_string r in
+  let msg_dst = get_string r in
+  let msg_seq = Arena.u32 r in
+  let tuple_len = Arena.u32 r in
+  let msg_tuple = read_tuple (Arena.reader (Arena.take r tuple_len)) in
+  let msg_auth =
+    match Arena.u8 r with
+    | 0 -> A_none
+    | 1 -> A_principal (get_string r)
+    | 2 ->
+      let principal = get_string r in
+      let tag = get_string r in
+      A_hmac { principal; tag }
+    | 3 ->
+      let principal = get_string r in
+      let signature = get_string r in
+      A_signature { principal; signature }
+    | t -> raise (Decode_error (Printf.sprintf "bad auth tag %d" t))
+  in
+  let msg_provenance =
+    match Arena.u8 r with
+    | 0 -> None
+    | 1 -> Some (get_string r)
+    | t -> raise (Decode_error (Printf.sprintf "bad provenance tag %d" t))
+  in
+  let msg_trace =
+    match Arena.u8 r with
+    | 0 -> None
+    | 1 ->
+      let trace_id = Arena.u32 r in
+      let span_id = Arena.u32 r in
+      Some (trace_id, span_id)
+    | t -> raise (Decode_error (Printf.sprintf "bad trace tag %d" t))
+  in
+  if Arena.remaining r <> 0 then raise (Decode_error "trailing bytes after message");
+  { msg_kind; msg_src; msg_dst; msg_seq; msg_tuple; msg_auth; msg_provenance;
+    msg_trace }
+
+let decode_message (s : string) : message =
+  decode_message_slice (Arena.of_string s)
 
 (* Encoded bytes of the trace context beyond its always-present
    presence tag; subtracted from [size] so the modeled bandwidth (and
@@ -189,10 +272,9 @@ let encode_message (m : message) : string =
 let trace_bytes (m : message) : int =
   match m.msg_trace with None -> 0 | Some _ -> 8
 
-let size (m : message) : int = String.length (encode_message m) - trace_bytes m
-
 (* Size breakdown for the bandwidth accounting: how many bytes are
-   base payload vs authentication vs provenance. *)
+   base payload vs authentication vs provenance.  Computed
+   arithmetically — no encoding happens. *)
 type size_breakdown = {
   sb_header : int;
   sb_payload : int;
@@ -204,7 +286,7 @@ let size_breakdown (m : message) : size_breakdown =
   (* The trailing +1 is the absent-trace tag; a present trace context's
      id bytes are excluded (see [trace_bytes]). *)
   let header = 1 + 4 + String.length m.msg_src + 4 + String.length m.msg_dst + 4 + 1 in
-  let payload = 4 + String.length (encode_tuple m.msg_tuple) in
+  let payload = 4 + tuple_wire_size m.msg_tuple in
   let auth =
     match m.msg_auth with
     | A_none -> 1
@@ -220,6 +302,8 @@ let size_breakdown (m : message) : size_breakdown =
 
 let total (sb : size_breakdown) : int =
   sb.sb_header + sb.sb_payload + sb.sb_auth + sb.sb_provenance
+
+let size (m : message) : int = total (size_breakdown m)
 
 (* A minimal acknowledgement for the reliable-delivery layer.  ACKs
    are unauthenticated (they carry no tuple an adversary could smuggle

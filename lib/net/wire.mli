@@ -47,10 +47,31 @@ type message = {
 
 val encode_tuple : Engine.Tuple.t -> string
 
+val write_tuple : Arena.t -> Engine.Tuple.t -> unit
+(** Append a tuple's encoding to an arena (same bytes as
+    {!encode_tuple}). *)
+
+val tuple_wire_size : Engine.Tuple.t -> int
+(** [String.length (encode_tuple t)], computed without encoding. *)
+
 exception Decode_error of string
 
 val decode_tuple : string -> Engine.Tuple.t
 (** Raises {!Decode_error} on truncated or malformed input. *)
+
+val decode_tuple_slice : Arena.slice -> Engine.Tuple.t
+(** Zero-copy decode out of a slice; same errors as {!decode_tuple}. *)
+
+val signed_slice :
+  Arena.t -> src:string -> dst:string -> Engine.Tuple.t -> Arena.slice
+(** Write the canonical signed bytes (see {!signed_bytes}) into a
+    caller-supplied arena — typically the domain's [Arena.scratch] —
+    and return a zero-copy view of them, so the hot path signs and
+    verifies without materializing a string. *)
+
+val retract_signed_slice :
+  Arena.t -> src:string -> dst:string -> Engine.Tuple.t -> Arena.slice
+(** Arena form of {!retract_signed_bytes}. *)
 
 val signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
 (** Canonical bytes that authentication covers: source, destination
@@ -67,6 +88,18 @@ val retract_signed_bytes : src:string -> dst:string -> Engine.Tuple.t -> string
     retraction of the same tuple (or vice versa). *)
 
 val encode_message : message -> string
+
+val write_message : Arena.t -> message -> unit
+(** Append a message's encoding to an arena (same bytes as
+    {!encode_message}). *)
+
+val decode_message : string -> message
+(** Inverse of {!encode_message}.  Raises {!Decode_error} on
+    truncation, bad tags, or trailing bytes. *)
+
+val decode_message_slice : Arena.slice -> message
+(** Zero-copy decode out of a slice; same errors as
+    {!decode_message}. *)
 
 val trace_bytes : message -> int
 (** Encoded bytes the trace context adds beyond its presence tag

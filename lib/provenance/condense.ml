@@ -142,12 +142,11 @@ let rec to_wire (ctx : ctx) (e : Prov_expr.t) : string =
 and to_wire_uncached (ctx : ctx) (e : Prov_expr.t) : string =
   let b = encode ctx e in
   let support = Bdd.support b in
-  let buf = Buffer.create 64 in
+  let a = Net.Arena.create ~capacity:64 () in
   let u16 what v =
     if v < 0 || v > 0xFFFF then
       raise (Wire_error (Printf.sprintf "%s %d exceeds the 16-bit wire field" what v));
-    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
-    Buffer.add_char buf (Char.chr (v land 0xFF))
+    Net.Arena.add_u16 a v
   in
   u16 "support count" (List.length support);
   List.iter
@@ -155,40 +154,43 @@ and to_wire_uncached (ctx : ctx) (e : Prov_expr.t) : string =
       let name = Bdd.name_of_var ctx.manager v in
       u16 "variable id" v;
       u16 "name length" (String.length name);
-      Buffer.add_string buf name)
+      Net.Arena.add_string a name)
     support;
-  Buffer.add_string buf (Bdd.serialize b);
-  Buffer.contents buf
+  Net.Arena.add_string a (Bdd.serialize b);
+  Net.Arena.contents a
 
 (* [of_wire] is manager-independent: the BDD is rebuilt in a scratch
    manager (preserving the sender's variable order), decoded to its
    minimal cubes, and mapped back to principal names via the shipped
-   table. *)
-let of_wire (_ctx : ctx) (s : string) : Prov_expr.t =
-  let pos = ref 0 in
-  let byte () =
-    if !pos >= String.length s then raise (Wire_error "truncated provenance block");
-    let c = Char.code s.[!pos] in
-    incr pos;
-    c
-  in
+   table.  The slice form reads in place: the only copies are the
+   name strings the result retains; the BDD tail deserializes straight
+   out of the viewed buffer. *)
+let of_wire_slice (_ctx : ctx) (s : Net.Arena.slice) : Prov_expr.t =
+  let r = Net.Arena.reader s in
   let u16 () =
-    let hi = byte () in
-    let lo = byte () in
-    (hi lsl 8) lor lo
+    if Net.Arena.remaining r < 2 then raise (Wire_error "truncated provenance block");
+    Net.Arena.u16 r
   in
   let n = u16 () in
   let table = Hashtbl.create 8 in
   for _ = 1 to n do
     let v = u16 () in
     let len = u16 () in
-    if !pos + len > String.length s then raise (Wire_error "truncated name table");
-    let name = String.sub s !pos len in
-    pos := !pos + len;
+    if Net.Arena.remaining r < len then raise (Wire_error "truncated name table");
+    let name = Net.Arena.take_string r len in
     Hashtbl.replace table v name
   done;
   let scratch = Bdd.create_manager () in
-  let b = Bdd.deserialize scratch (String.sub s !pos (String.length s - !pos)) in
+  let tail = Net.Arena.take r (Net.Arena.remaining r) in
+  let b =
+    Net.Arena.with_bytes tail (fun bytes ~pos ~len ->
+        (* Read-only view of the backing bytes; [deserialize_sub] does
+           not retain it.  A malformed tail surfaces as the codec's own
+           error, like every other truncation in this block. *)
+        try Bdd.deserialize_sub scratch (Bytes.unsafe_to_string bytes) ~pos ~len
+        with Bdd.Deserialize_error why ->
+          raise (Wire_error (Printf.sprintf "bad BDD block: %s" why)))
+  in
   if Bdd.is_false b then Prov_expr.zero
   else if Bdd.is_true b then Prov_expr.one
   else
@@ -203,3 +205,6 @@ let of_wire (_ctx : ctx) (s : string) : Prov_expr.t =
                   | None -> raise (Wire_error (Printf.sprintf "variable %d not in table" v)))
                 cube))
          (Bdd.positive_cubes b))
+
+let of_wire (ctx : ctx) (s : string) : Prov_expr.t =
+  of_wire_slice ctx (Net.Arena.of_string s)

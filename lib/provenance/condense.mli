@@ -64,3 +64,8 @@ val of_wire : ctx -> string -> Prov_expr.t
     and maps cubes back through the shipped name table.  The result is
     the absorption-minimal sum of products.
     @raise Wire_error on malformed input. *)
+
+val of_wire_slice : ctx -> Net.Arena.slice -> Prov_expr.t
+(** {!of_wire} straight out of a receive-buffer slice: no intermediate
+    copies beyond the name strings the result retains (the BDD tail
+    deserializes in place).  Same errors as {!of_wire}. *)

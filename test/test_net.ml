@@ -124,6 +124,213 @@ let prop_tuple_codec_roundtrip =
   QCheck.Test.make ~name:"tuple encode/decode roundtrip" ~count:300 tuple_gen (fun t ->
       Tuple.equal t (Net.Wire.decode_tuple (Net.Wire.encode_tuple t)))
 
+(* --- arena codec vs the legacy Buffer codec ------------------------------
+
+   The arena writers replaced a per-field [Buffer] implementation; the
+   original is kept here, verbatim, as the byte-identity oracle.  Any
+   divergence would silently invalidate every signature in flight
+   (signatures cover the canonical encoding), so the property is
+   byte-for-byte equality on every message kind, auth variant, and
+   optional block combination. *)
+
+let ref_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (n land 0xFF))
+
+let ref_string b s =
+  ref_u32 b (String.length s);
+  Buffer.add_string b s
+
+let rec ref_value b (v : Value.t) =
+  match v with
+  | Value.V_int i ->
+    Buffer.add_char b '\001';
+    Buffer.add_int64_be b (Int64.of_int i)
+  | Value.V_float f ->
+    Buffer.add_char b '\002';
+    Buffer.add_int64_be b (Int64.bits_of_float f)
+  | Value.V_bool x ->
+    Buffer.add_char b '\003';
+    Buffer.add_char b (if x then '\001' else '\000')
+  | Value.V_str s ->
+    Buffer.add_char b '\004';
+    ref_string b s
+  | Value.V_list l ->
+    Buffer.add_char b '\005';
+    ref_u32 b (List.length l);
+    List.iter (ref_value b) l
+
+let ref_tuple b (t : Tuple.t) =
+  ref_string b t.Tuple.rel;
+  ref_u32 b (Array.length t.Tuple.args);
+  Array.iter (ref_value b) t.Tuple.args
+
+let reference_encode_message (m : Net.Wire.message) : string =
+  let open Net.Wire in
+  let b = Buffer.create 128 in
+  Buffer.add_char b
+    (match m.msg_kind with K_data -> 'D' | K_retract -> 'R' | K_ack -> 'A');
+  ref_string b m.msg_src;
+  ref_string b m.msg_dst;
+  ref_u32 b m.msg_seq;
+  let tb = Buffer.create 64 in
+  ref_tuple tb m.msg_tuple;
+  ref_u32 b (Buffer.length tb);
+  Buffer.add_buffer b tb;
+  (match m.msg_auth with
+  | A_none -> Buffer.add_char b '\000'
+  | A_principal p ->
+    Buffer.add_char b '\001';
+    ref_string b p
+  | A_hmac { principal; tag } ->
+    Buffer.add_char b '\002';
+    ref_string b principal;
+    ref_string b tag
+  | A_signature { principal; signature } ->
+    Buffer.add_char b '\003';
+    ref_string b principal;
+    ref_string b signature);
+  (match m.msg_provenance with
+  | None -> Buffer.add_char b '\000'
+  | Some p ->
+    Buffer.add_char b '\001';
+    ref_string b p);
+  (match m.msg_trace with
+  | None -> Buffer.add_char b '\000'
+  | Some (trace_id, span_id) ->
+    Buffer.add_char b '\001';
+    ref_u32 b trace_id;
+    ref_u32 b span_id);
+  Buffer.contents b
+
+let reference_signed_bytes ~src ~dst tuple =
+  let b = Buffer.create 64 in
+  ref_string b src;
+  ref_string b dst;
+  ref_tuple b tuple;
+  Buffer.contents b
+
+let message_gen : Net.Wire.message QCheck.arbitrary =
+  let open QCheck.Gen in
+  let short = string_size (int_bound 10) in
+  let auth_gen =
+    oneof
+      [ return Net.Wire.A_none;
+        map (fun p -> Net.Wire.A_principal p) short;
+        map
+          (fun (p, t) -> Net.Wire.A_hmac { principal = p; tag = t })
+          (pair short short);
+        map
+          (fun (p, s) -> Net.Wire.A_signature { principal = p; signature = s })
+          (pair short short) ]
+  in
+  QCheck.make
+    ~print:(fun m -> String.escaped (Net.Wire.encode_message m))
+    (map
+       (fun ((kind, src, dst, seq), (tuple, auth, prov, trace)) ->
+         { Net.Wire.msg_kind = kind;
+           msg_src = src;
+           msg_dst = dst;
+           msg_seq = seq;
+           msg_tuple = tuple;
+           msg_auth = auth;
+           msg_provenance = prov;
+           msg_trace = trace })
+       (pair
+          (quad
+             (oneofl [ Net.Wire.K_data; Net.Wire.K_retract; Net.Wire.K_ack ])
+             short short (int_bound 100_000))
+          (quad (QCheck.gen tuple_gen) auth_gen (opt short)
+             (opt (pair (int_bound 10_000) (int_bound 10_000))))))
+
+let prop_message_codec_byte_identical =
+  QCheck.Test.make ~name:"arena encode = legacy Buffer encode" ~count:300 message_gen
+    (fun m -> Net.Wire.encode_message m = reference_encode_message m)
+
+let prop_signed_bytes_byte_identical =
+  QCheck.Test.make ~name:"signed bytes = legacy Buffer encode" ~count:200 tuple_gen
+    (fun t ->
+      Net.Wire.signed_bytes ~src:"src-n" ~dst:"dst-n" t
+      = reference_signed_bytes ~src:"src-n" ~dst:"dst-n" t
+      && Net.Wire.retract_signed_bytes ~src:"src-n" ~dst:"dst-n" t
+         = "retract|" ^ reference_signed_bytes ~src:"src-n" ~dst:"dst-n" t)
+
+let prop_message_roundtrip =
+  QCheck.Test.make ~name:"message encode/decode roundtrip" ~count:300 message_gen
+    (fun m -> Net.Wire.decode_message (Net.Wire.encode_message m) = m)
+
+(* Every strict prefix of a valid encoding must fail as a *truncated
+   message* — the string and slice decoders agree, and the arena's
+   [Bounds_error] never leaks through the codec boundary. *)
+let prop_message_truncation_detected =
+  QCheck.Test.make ~name:"truncated message prefixes rejected" ~count:40 message_gen
+    (fun m ->
+      let bytes = Net.Wire.encode_message m in
+      let slice = Net.Arena.of_string bytes in
+      let rejects k =
+        (match Net.Wire.decode_message (String.sub bytes 0 k) with
+        | _ -> false
+        | exception Net.Wire.Decode_error _ -> true
+        | exception _ -> false)
+        &&
+        match Net.Wire.decode_message_slice (Net.Arena.sub slice ~pos:0 ~len:k) with
+        | _ -> false
+        | exception Net.Wire.Decode_error _ -> true
+        | exception _ -> false
+      in
+      let ok = ref true in
+      for k = 0 to String.length bytes - 1 do
+        if not (rejects k) then ok := false
+      done;
+      !ok)
+
+let prop_message_size_identity =
+  QCheck.Test.make ~name:"size = encoded length - trace bytes" ~count:300 message_gen
+    (fun m ->
+      Net.Wire.size m
+      = String.length (Net.Wire.encode_message m) - Net.Wire.trace_bytes m)
+
+(* The condensed-provenance framing keeps the same contract: any
+   truncation of a valid block — name table or BDD tail — surfaces as
+   [Condense.Wire_error], never a leaked arena [Bounds_error] or BDD
+   deserialize error. *)
+let test_condense_truncation_symmetric () =
+  let module Condense = Provenance.Condense in
+  let module Prov_expr = Provenance.Prov_expr in
+  let e =
+    Prov_expr.plus_list
+      (List.map
+         (fun i ->
+           Prov_expr.times_list
+             [ Prov_expr.base (Printf.sprintf "principal-%d" i);
+               Prov_expr.base "shared" ])
+         (List.init 6 (fun i -> i)))
+  in
+  let wire = Condense.to_wire (Condense.create_ctx ()) e in
+  for k = 0 to String.length wire - 1 do
+    let prefix = String.sub wire 0 k in
+    let check what decode =
+      match decode () with
+      | (_ : Prov_expr.t) ->
+        Alcotest.failf "%s: %d-byte prefix of a %d-byte block decoded" what k
+          (String.length wire)
+      | exception Condense.Wire_error _ -> ()
+      | exception exn ->
+        Alcotest.failf "%s: prefix length %d leaked %s" what k
+          (Printexc.to_string exn)
+    in
+    check "of_wire" (fun () -> Condense.of_wire (Condense.create_ctx ()) prefix);
+    check "of_wire_slice" (fun () ->
+        Condense.of_wire_slice (Condense.create_ctx ()) (Net.Arena.of_string prefix))
+  done;
+  (* the untruncated block still decodes, and to the same semantics *)
+  let decoded = Condense.of_wire (Condense.create_ctx ()) wire in
+  Alcotest.(check (list string)) "bases survive"
+    (List.sort_uniq compare (Prov_expr.bases e))
+    (List.sort_uniq compare (Prov_expr.bases decoded))
+
 let test_message_roundtrip_sizes () =
   let tuple = Tuple.make "path" [ Value.V_str "a"; Value.V_list [ Value.V_str "a"; Value.V_str "b" ]; Value.V_int 3 ] in
   let mk auth prov =
@@ -492,5 +699,14 @@ let suite : unit Alcotest.test_case list =
     Alcotest.test_case "topology rejects duplicate links" `Quick
       test_topology_rejects_duplicate_links;
     Alcotest.test_case "topology latency_between" `Quick test_topology_latency_between;
-    Alcotest.test_case "wire ACKs and kinds" `Quick test_wire_ack_and_kinds ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_sim_heap_order; prop_tuple_codec_roundtrip ]
+    Alcotest.test_case "wire ACKs and kinds" `Quick test_wire_ack_and_kinds;
+    Alcotest.test_case "condense truncation symmetric" `Quick
+      test_condense_truncation_symmetric ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_sim_heap_order;
+        prop_tuple_codec_roundtrip;
+        prop_message_codec_byte_identical;
+        prop_signed_bytes_byte_identical;
+        prop_message_roundtrip;
+        prop_message_truncation_detected;
+        prop_message_size_identity ]
